@@ -1,0 +1,152 @@
+//! Empirical CDF utilities used by Figures 3, 6, and 8.
+
+/// An empirical cumulative distribution over `f64` sample values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    /// Sorted sample values.
+    values: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from samples (order irrelevant; NaNs rejected).
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        let mut values: Vec<f64> = samples.into_iter().collect();
+        assert!(values.iter().all(|v| !v.is_nan()), "CDF over NaN is meaningless");
+        values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Cdf { values }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Fraction of samples ≤ `x`, in [0, 1].
+    pub fn at(&self, x: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let count = self.values.partition_point(|v| *v <= x);
+        count as f64 / self.values.len() as f64
+    }
+
+    /// Sample mean (0 for empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`), nearest-rank method.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.values.len() as f64).ceil() as usize).clamp(1, self.values.len());
+        Some(self.values[rank - 1])
+    }
+
+    /// Median.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// `(x, F(x))` points at each distinct sample value — the staircase
+    /// the paper's figures plot.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        let n = self.values.len() as f64;
+        let mut i = 0;
+        while i < self.values.len() {
+            let x = self.values[i];
+            let mut j = i;
+            while j < self.values.len() && self.values[j] == x {
+                j += 1;
+            }
+            out.push((x, j as f64 / n));
+            i = j;
+        }
+        out
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Option<f64> {
+        self.values.first().copied()
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<f64> {
+        self.values.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_properties() {
+        let c = Cdf::from_samples([3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.at(0.5), 0.0);
+        assert_eq!(c.at(1.0), 0.25);
+        assert_eq!(c.at(2.0), 0.75);
+        assert_eq!(c.at(3.0), 1.0);
+        assert_eq!(c.at(99.0), 1.0);
+        assert_eq!(c.mean(), 2.0);
+        assert_eq!(c.median(), Some(2.0));
+        assert_eq!(c.min(), Some(1.0));
+        assert_eq!(c.max(), Some(3.0));
+    }
+
+    #[test]
+    fn monotone_nondecreasing() {
+        let c = Cdf::from_samples((0..100).map(|i| f64::from(i % 13)));
+        let mut last = 0.0;
+        for x in 0..15 {
+            let y = c.at(f64::from(x));
+            assert!(y >= last, "CDF must be monotone");
+            last = y;
+        }
+        assert_eq!(last, 1.0);
+    }
+
+    #[test]
+    fn points_form_staircase_ending_at_one() {
+        let c = Cdf::from_samples([1.0, 1.0, 2.0, 5.0]);
+        let pts = c.points();
+        assert_eq!(pts, vec![(1.0, 0.5), (2.0, 0.75), (5.0, 1.0)]);
+    }
+
+    #[test]
+    fn quantiles() {
+        let c = Cdf::from_samples((1..=100).map(f64::from));
+        assert_eq!(c.quantile(0.01), Some(1.0));
+        assert_eq!(c.quantile(0.5), Some(50.0));
+        assert_eq!(c.quantile(1.0), Some(100.0));
+        assert_eq!(c.quantile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn empty_cdf_is_safe() {
+        let c = Cdf::from_samples(std::iter::empty());
+        assert!(c.is_empty());
+        assert_eq!(c.at(1.0), 0.0);
+        assert_eq!(c.mean(), 0.0);
+        assert_eq!(c.median(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Cdf::from_samples([1.0, f64::NAN]);
+    }
+}

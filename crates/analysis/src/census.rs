@@ -1,0 +1,252 @@
+//! The census pipeline: run the transactional scan over a generated
+//! Internet, classify every transaction, and enrich with geo/ASN data —
+//! producing the dataframe every table and figure is computed from
+//! (the paper's `dns-measurement-analysis` artifact).
+
+use inetgen::{GeoDb, Internet};
+use scanner::{classify, ClassifierConfig, Discard, OdnsClass, ScanConfig, Transaction, Verdict};
+use std::net::Ipv4Addr;
+
+/// One classified probe, enriched with mapping data.
+#[derive(Debug, Clone)]
+pub struct CensusRow {
+    /// Probed address.
+    pub target: Ipv4Addr,
+    /// Classification verdict.
+    pub verdict: Verdict,
+    /// Target's origin ASN (Routeviews-style lookup; `None` for the 0.1 %
+    /// coverage gap).
+    pub asn: Option<u32>,
+    /// Target's country (via ASN → country).
+    pub country: Option<&'static str>,
+    /// Who answered (for classified rows).
+    pub response_src: Option<Ipv4Addr>,
+    /// The dynamic `A_resolver` record (for classified rows).
+    pub a_resolver: Option<Ipv4Addr>,
+}
+
+impl CensusRow {
+    /// The ODNS class, if classified.
+    pub fn class(&self) -> Option<OdnsClass> {
+        self.verdict.class()
+    }
+}
+
+/// The census dataset.
+#[derive(Debug, Clone, Default)]
+pub struct Census {
+    /// One row per probe.
+    pub rows: Vec<CensusRow>,
+    /// Responses that matched no probe.
+    pub unmatched_responses: usize,
+    /// Responses that arrived past the timeout.
+    pub late_responses: usize,
+}
+
+impl Census {
+    /// Build from correlated transactions plus the lookup database.
+    pub fn from_transactions(
+        transactions: &[Transaction],
+        geo: &GeoDb,
+        config: &ClassifierConfig,
+    ) -> Self {
+        let rows = transactions
+            .iter()
+            .map(|t| {
+                let verdict = classify(t, config);
+                let (response_src, a_resolver) = match verdict {
+                    Verdict::Classified { response_src, a_resolver, .. } => {
+                        (Some(response_src), Some(a_resolver))
+                    }
+                    Verdict::Discarded(_) => (None, None),
+                };
+                let asn = geo.asn_of(t.probe.target);
+                CensusRow {
+                    target: t.probe.target,
+                    verdict,
+                    asn,
+                    country: asn.and_then(|a| geo.country_of_asn(a)),
+                    response_src,
+                    a_resolver,
+                }
+            })
+            .collect();
+        Census { rows, unmatched_responses: 0, late_responses: 0 }
+    }
+
+    /// Rows classified as `class`.
+    pub fn of_class(&self, class: OdnsClass) -> impl Iterator<Item = &CensusRow> {
+        self.rows.iter().filter(move |r| r.class() == Some(class))
+    }
+
+    /// Count per class.
+    pub fn count(&self, class: OdnsClass) -> usize {
+        self.of_class(class).count()
+    }
+
+    /// Total classified ODNS components.
+    pub fn odns_total(&self) -> usize {
+        self.rows.iter().filter(|r| r.class().is_some()).count()
+    }
+
+    /// Count of discarded probes by reason.
+    pub fn discarded(&self, reason: Discard) -> usize {
+        self.rows.iter().filter(|r| r.verdict == Verdict::Discarded(reason)).count()
+    }
+
+    /// The transparent forwarders' addresses (DNSRoute++ targets).
+    pub fn transparent_targets(&self) -> Vec<Ipv4Addr> {
+        self.of_class(OdnsClass::TransparentForwarder).map(|r| r.target).collect()
+    }
+
+    /// Share of a class among all ODNS components, in [0, 1].
+    pub fn share(&self, class: OdnsClass) -> f64 {
+        let total = self.odns_total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(class) as f64 / total as f64
+        }
+    }
+
+    /// Export the full dataframe as CSV — the paper's
+    /// `dns-measurement-analysis` artifact produces exactly such a table
+    /// for downstream notebooks.
+    pub fn to_csv(&self) -> String {
+        let mut t = crate::table::TextTable::new([
+            "target",
+            "verdict",
+            "class",
+            "response_src",
+            "a_resolver",
+            "asn",
+            "country",
+        ]);
+        for row in &self.rows {
+            let (verdict, class) = match &row.verdict {
+                Verdict::Classified { class, .. } => ("classified".to_string(), class.to_string()),
+                Verdict::Discarded(reason) => (format!("{reason:?}"), String::new()),
+            };
+            t.row([
+                row.target.to_string(),
+                verdict,
+                class,
+                row.response_src.map(|i| i.to_string()).unwrap_or_default(),
+                row.a_resolver.map(|i| i.to_string()).unwrap_or_default(),
+                row.asn.map(|a| a.to_string()).unwrap_or_default(),
+                row.country.unwrap_or("").to_string(),
+            ]);
+        }
+        t.to_csv()
+    }
+}
+
+/// Run the full transactional census against a generated Internet and
+/// classify with `config`. Scanner state lives at the pre-provisioned
+/// fixture node; the simulator's event loop drains completely (probe
+/// pacing + 20 s timeout are simulated time, not wall time).
+pub fn run_census(internet: &mut Internet, config: &ClassifierConfig) -> Census {
+    let scan = ScanConfig::new(internet.targets.clone());
+    let outcome = scanner::run_scan(&mut internet.sim, internet.fixtures.scanner, scan);
+    let mut census = Census::from_transactions(&outcome.transactions, &internet.geo, config);
+    census.unmatched_responses = outcome.unmatched_responses;
+    census.late_responses = outcome.late_responses;
+    census
+}
+
+/// Run a Shadowserver-style campaign pass over the same Internet and
+/// aggregate its reported ODNS addresses per country. Returned map:
+/// country → reported count. Used for the Table 5 comparison.
+pub fn run_shadowserver_census(
+    internet: &mut Internet,
+) -> std::collections::HashMap<&'static str, usize> {
+    use scanner::{run_campaign, Campaign, CampaignConfig};
+    let report = run_campaign(
+        &mut internet.sim,
+        internet.fixtures.campaign_scanners[0],
+        CampaignConfig::new(Campaign::Shadowserver, internet.targets.clone()),
+    );
+    let mut per_country = std::collections::HashMap::new();
+    for ip in &report.odns {
+        if let Some(country) = internet.geo.country_of(*ip) {
+            *per_country.entry(country).or_insert(0) += 1;
+        }
+    }
+    per_country
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanner::records::{ProbeRecord, ResponseRecord};
+
+    fn geo() -> GeoDb {
+        let mut g = GeoDb::perfect();
+        g.add_prefix24(Ipv4Addr::new(203, 0, 113, 0), 65001);
+        g.add_asn(65001, "BRA", netsim::AsKind::EyeballIsp);
+        g
+    }
+
+    fn tx(target: Ipv4Addr, response_src: Ipv4Addr, addrs: &[Ipv4Addr]) -> Transaction {
+        use dnswire::{DnsName, MessageBuilder, Record, RrType};
+        let qname = DnsName::parse("odns-study.example.").unwrap();
+        let q = MessageBuilder::query(5, qname.clone(), RrType::A).build();
+        let mut resp = MessageBuilder::response_to(&q).build();
+        for a in addrs {
+            resp.answers.push(Record::a(qname.clone(), 300, *a));
+        }
+        Transaction {
+            probe: ProbeRecord { index: 0, target, sent_at: netsim::SimTime(0), src_port: 33000, txid: 5 },
+            response: Some(ResponseRecord {
+                received_at: netsim::SimTime(100),
+                src: response_src,
+                dst_port: 33000,
+                payload: resp.encode(),
+            }),
+        }
+    }
+
+    #[test]
+    fn census_rows_enriched_with_geo() {
+        let target = Ipv4Addr::new(203, 0, 113, 1);
+        let resolver = Ipv4Addr::new(8, 8, 8, 8);
+        let t = tx(target, resolver, &[resolver, odns::study::CONTROL_A]);
+        let census = Census::from_transactions(&[t], &geo(), &ClassifierConfig::default());
+        assert_eq!(census.rows.len(), 1);
+        let row = &census.rows[0];
+        assert_eq!(row.class(), Some(OdnsClass::TransparentForwarder));
+        assert_eq!(row.country, Some("BRA"));
+        assert_eq!(row.asn, Some(65001));
+        assert_eq!(row.a_resolver, Some(resolver));
+        assert_eq!(census.transparent_targets(), vec![target]);
+        assert_eq!(census.odns_total(), 1);
+        assert!((census.share(OdnsClass::TransparentForwarder) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn discard_counting() {
+        let target = Ipv4Addr::new(203, 0, 113, 2);
+        let t = tx(target, target, &[target]); // single record: strict discard
+        let census = Census::from_transactions(&[t], &geo(), &ClassifierConfig::default());
+        assert_eq!(census.odns_total(), 0);
+        assert_eq!(census.discarded(Discard::WrongRecordCount), 1);
+    }
+
+    #[test]
+    fn csv_export_contains_every_row() {
+        let target = Ipv4Addr::new(203, 0, 113, 1);
+        let resolver = Ipv4Addr::new(8, 8, 8, 8);
+        let classified = tx(target, resolver, &[resolver, odns::study::CONTROL_A]);
+        let discarded = tx(Ipv4Addr::new(203, 0, 113, 2), Ipv4Addr::new(203, 0, 113, 2), &[]);
+        let census =
+            Census::from_transactions(&[classified, discarded], &geo(), &ClassifierConfig::default());
+        let csv = census.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 rows:\n{csv}");
+        assert!(lines[0].starts_with("target,verdict,class"));
+        assert!(lines[1].contains("Transparent Forwarder"));
+        assert!(lines[1].contains("8.8.8.8"));
+        assert!(lines[1].contains("BRA"));
+        assert!(lines[2].contains("NoAnswer"));
+    }
+}

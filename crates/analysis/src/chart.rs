@@ -1,0 +1,103 @@
+//! ASCII chart rendering: CDF staircases and stacked bars, so benches can
+//! print figure-shaped output straight to the terminal.
+
+use crate::cdf::Cdf;
+
+/// Render a CDF as an ASCII plot of `width`×`height` characters, with one
+/// labelled series.
+pub fn render_cdf(label: &str, cdf: &Cdf, width: usize, height: usize) -> String {
+    let mut out = format!("CDF: {label} (n={})\n", cdf.len());
+    if cdf.is_empty() || width < 8 || height < 2 {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let lo = cdf.min().expect("non-empty");
+    let hi = cdf.max().expect("non-empty");
+    let span = (hi - lo).max(1e-9);
+    let mut grid = vec![vec![' '; width]; height];
+    for (col, x) in (0..width).map(|c| (c, lo + span * c as f64 / (width - 1) as f64)) {
+        let y = cdf.at(x);
+        let row = ((1.0 - y) * (height - 1) as f64).round() as usize;
+        grid[row.min(height - 1)][col] = '*';
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let y_label = 1.0 - i as f64 / (height - 1) as f64;
+        out.push_str(&format!("{y_label:>4.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("      {:<w$.1}{:>w2$.1}\n", lo, hi, w = width / 2, w2 = width - width / 2));
+    out
+}
+
+/// One segment of a stacked bar.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Glyph used for this segment.
+    pub glyph: char,
+    /// Share in [0, 1].
+    pub share: f64,
+}
+
+/// Render a horizontal stacked bar of `width` characters (Figure 4/5
+/// style). Shares are clamped and the last segment absorbs rounding.
+pub fn render_stacked_bar(segments: &[Segment], width: usize) -> String {
+    let mut out = String::with_capacity(width);
+    let mut used = 0usize;
+    for (i, seg) in segments.iter().enumerate() {
+        let cells = if i + 1 == segments.len() {
+            width.saturating_sub(used)
+        } else {
+            ((seg.share.clamp(0.0, 1.0) * width as f64).round() as usize).min(width - used)
+        };
+        for _ in 0..cells {
+            out.push(seg.glyph);
+        }
+        used += cells;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_plot_contains_axis_and_points() {
+        let cdf = Cdf::from_samples((1..=20).map(f64::from));
+        let s = render_cdf("hops", &cdf, 40, 10);
+        assert!(s.contains("CDF: hops (n=20)"));
+        assert!(s.contains('*'));
+        assert!(s.lines().count() >= 10);
+    }
+
+    #[test]
+    fn empty_cdf_renders_placeholder() {
+        let s = render_cdf("empty", &Cdf::from_samples(std::iter::empty()), 40, 10);
+        assert!(s.contains("(no data)"));
+    }
+
+    #[test]
+    fn stacked_bar_has_exact_width_and_order() {
+        let bar = render_stacked_bar(
+            &[
+                Segment { glyph: 'G', share: 0.5 },
+                Segment { glyph: 'C', share: 0.25 },
+                Segment { glyph: '.', share: 0.25 },
+            ],
+            20,
+        );
+        assert_eq!(bar.len(), 20);
+        assert_eq!(&bar[0..10], "GGGGGGGGGG");
+        assert!(bar.ends_with('.'));
+    }
+
+    #[test]
+    fn stacked_bar_handles_rounding() {
+        let bar = render_stacked_bar(
+            &[Segment { glyph: 'a', share: 1.0 / 3.0 }, Segment { glyph: 'b', share: 2.0 / 3.0 }],
+            10,
+        );
+        assert_eq!(bar.len(), 10);
+    }
+}

@@ -1,0 +1,209 @@
+//! Offline pcap ingestion: rebuild scan transactions from a raw capture.
+//!
+//! The paper's pipeline stores the complete scan traffic with `dumpcap`
+//! and correlates offline (§A.2). This module proves our pipeline is
+//! equally capture-driven: given only the scanner's pcap bytes, it
+//! reconstructs probes (outgoing port-53 queries), responses (everything
+//! else), and correlates them by `(port, TXID)` within the timeout —
+//! independently of the in-memory records the scanner kept.
+
+use netsim::pcap::{read_pcap, PcapError};
+use netsim::wire::{decode, DecodedPacket};
+use netsim::SimDuration;
+use scanner::records::{ProbeRecord, ResponseRecord, ScanOutcome, Transaction};
+use std::collections::HashMap;
+
+/// Errors during capture ingestion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// The pcap container was malformed.
+    Pcap(PcapError),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Pcap(e) => write!(f, "pcap: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Reconstruct a [`ScanOutcome`] from raw capture bytes.
+///
+/// Packets that fail IP/UDP decoding are skipped (they would be ICMP or
+/// corruption — dumpcap keeps them too, the analyzer ignores them).
+pub fn outcome_from_pcap(pcap: &[u8], timeout: SimDuration) -> Result<ScanOutcome, IngestError> {
+    let records = read_pcap(pcap).map_err(IngestError::Pcap)?;
+    let mut probes: Vec<ProbeRecord> = Vec::new();
+    let mut responses: Vec<ResponseRecord> = Vec::new();
+    for rec in &records {
+        let Ok(DecodedPacket::Udp(d)) = decode(&rec.data) else {
+            continue; // ICMP and malformed frames are not DNS transactions
+        };
+        if d.dst_port == dnswire::DNS_PORT {
+            // Outgoing probe (the tap records the scanner's own sends).
+            let Some(txid) = dnswire::peek_id(&d.payload) else { continue };
+            probes.push(ProbeRecord {
+                index: probes.len(),
+                target: d.dst,
+                sent_at: rec.ts,
+                src_port: d.src_port,
+                txid,
+            });
+        } else {
+            responses.push(ResponseRecord {
+                received_at: rec.ts,
+                src: d.src,
+                dst_port: d.dst_port,
+                payload: d.payload.clone(),
+            });
+        }
+    }
+
+    let mut index: HashMap<(u16, u16), usize> = HashMap::with_capacity(probes.len());
+    for (i, p) in probes.iter().enumerate() {
+        index.insert((p.src_port, p.txid), i);
+    }
+    let mut transactions: Vec<Transaction> =
+        probes.iter().map(|p| Transaction { probe: p.clone(), response: None }).collect();
+    let mut unmatched = 0usize;
+    let mut late = 0usize;
+    for r in responses {
+        let Some(txid) = dnswire::peek_id(&r.payload) else {
+            unmatched += 1;
+            continue;
+        };
+        match index.get(&(r.dst_port, txid)) {
+            Some(&i) => {
+                let t = &mut transactions[i];
+                if r.received_at - t.probe.sent_at > timeout {
+                    late += 1;
+                } else if t.response.is_some() {
+                    unmatched += 1;
+                } else {
+                    t.response = Some(r);
+                }
+            }
+            None => unmatched += 1,
+        }
+    }
+    Ok(ScanOutcome { transactions, unmatched_responses: unmatched, late_responses: late })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnswire::{MessageBuilder, RrType};
+    use netsim::pcap::PcapWriter;
+    use netsim::wire::encode_udp;
+    use netsim::{Datagram, SimTime};
+    use std::net::Ipv4Addr;
+
+    const SCANNER: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+    const TARGET: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 1);
+    const RESOLVER: Ipv4Addr = Ipv4Addr::new(8, 8, 8, 8);
+
+    fn query_bytes(txid: u16) -> Vec<u8> {
+        MessageBuilder::query(txid, odns::study::study_qname(), RrType::A).build().encode()
+    }
+
+    fn response_bytes(txid: u16) -> Vec<u8> {
+        let q = MessageBuilder::query(txid, odns::study::study_qname(), RrType::A).build();
+        MessageBuilder::response_to(&q)
+            .answer_a(odns::study::study_qname(), 300, RESOLVER)
+            .answer_a(odns::study::study_qname(), 300, odns::study::CONTROL_A)
+            .build()
+            .encode()
+    }
+
+    fn capture() -> Vec<u8> {
+        let mut w = PcapWriter::new();
+        // Probe out at t=0.
+        let probe = Datagram {
+            src: SCANNER,
+            dst: TARGET,
+            src_port: 33000,
+            dst_port: 53,
+            ttl: 64,
+            payload: query_bytes(7),
+        };
+        w.write(SimTime(0), &encode_udp(&probe, 1));
+        // Response from the resolver (transparent forwarder!) at t=40ms.
+        let resp = Datagram {
+            src: RESOLVER,
+            dst: SCANNER,
+            src_port: 53,
+            dst_port: 33000,
+            ttl: 60,
+            payload: response_bytes(7),
+        };
+        w.write(SimTime(40_000), &encode_udp(&resp, 2));
+        w.finish()
+    }
+
+    #[test]
+    fn transactions_rebuilt_from_capture_alone() {
+        let outcome = outcome_from_pcap(&capture(), SimDuration::from_secs(20)).unwrap();
+        assert_eq!(outcome.transactions.len(), 1);
+        let t = &outcome.transactions[0];
+        assert_eq!(t.probe.target, TARGET);
+        assert_eq!(t.response_src(), Some(RESOLVER));
+        assert_eq!(outcome.unmatched_responses, 0);
+        // The classifier works on reconstructed transactions too.
+        let v = scanner::classify(t, &scanner::ClassifierConfig::default());
+        assert_eq!(v.class(), Some(scanner::OdnsClass::TransparentForwarder));
+    }
+
+    #[test]
+    fn late_response_rejected_by_timeout() {
+        let mut w = PcapWriter::new();
+        let probe = Datagram {
+            src: SCANNER,
+            dst: TARGET,
+            src_port: 33000,
+            dst_port: 53,
+            ttl: 64,
+            payload: query_bytes(9),
+        };
+        w.write(SimTime(0), &encode_udp(&probe, 1));
+        let resp = Datagram {
+            src: RESOLVER,
+            dst: SCANNER,
+            src_port: 53,
+            dst_port: 33000,
+            ttl: 60,
+            payload: response_bytes(9),
+        };
+        w.write(SimTime(25_000_000), &encode_udp(&resp, 2)); // 25 s
+        let outcome = outcome_from_pcap(&w.finish(), SimDuration::from_secs(20)).unwrap();
+        assert!(outcome.transactions[0].response.is_none());
+        assert_eq!(outcome.late_responses, 1);
+    }
+
+    #[test]
+    fn unsolicited_response_counted() {
+        let mut w = PcapWriter::new();
+        let resp = Datagram {
+            src: RESOLVER,
+            dst: SCANNER,
+            src_port: 53,
+            dst_port: 40000,
+            ttl: 60,
+            payload: response_bytes(1),
+        };
+        w.write(SimTime(0), &encode_udp(&resp, 1));
+        let outcome = outcome_from_pcap(&w.finish(), SimDuration::from_secs(20)).unwrap();
+        assert!(outcome.transactions.is_empty());
+        assert_eq!(outcome.unmatched_responses, 1);
+    }
+
+    #[test]
+    fn bad_pcap_rejected() {
+        assert!(matches!(
+            outcome_from_pcap(&[0u8; 10], SimDuration::from_secs(20)),
+            Err(IngestError::Pcap(_))
+        ));
+    }
+}

@@ -1,0 +1,143 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. strict two-record sanitization vs Shadowserver-style single-record
+//!    acceptance (§4.2);
+//! 2. DNSRoute++ vs classic traceroute (§5);
+//! 3. response-based vs query-based probing under resolver-cache load
+//!    (§6 — covered quantitatively in `table2_methods`, summarized here).
+
+use bench::{banner, criterion, tiny_world};
+use criterion::{black_box, Criterion};
+use dnsroute::{run_dnsroute, sanitize, DnsRouteConfig};
+use inetgen::{CountrySelection, GenConfig, PlantedClass};
+use scanner::{ClassifierConfig, OdnsClass};
+
+fn ablation_sanitization() {
+    banner(
+        "Ablation 1 — strict vs relaxed response sanitization",
+        "§4.2: omitting the control-record check 'leads to similar numbers than Shadowserver'",
+    );
+    let config = GenConfig { scale: 500, ..GenConfig::default() };
+
+    let mut strict_world = inetgen::generate(&config);
+    let strict = analysis::run_census(&mut strict_world, &ClassifierConfig::default());
+    let mut relaxed_world = inetgen::generate(&config);
+    let relaxed = analysis::run_census(&mut relaxed_world, &ClassifierConfig::relaxed());
+
+    let manipulated = strict_world.truth.count(PlantedClass::ManipulatedForwarder);
+    let mut t = analysis::TextTable::new(["Classifier", "ODNS total", "Discarded (manipulated)"]);
+    t.row([
+        "strict (this work)".to_string(),
+        strict.odns_total().to_string(),
+        strict.discarded(scanner::Discard::ControlRecordViolated).to_string(),
+    ]);
+    t.row([
+        "relaxed (Shadowserver-like)".to_string(),
+        relaxed.odns_total().to_string(),
+        relaxed.discarded(scanner::Discard::ControlRecordViolated).to_string(),
+    ]);
+    println!("{}", t.render());
+    assert_eq!(
+        relaxed.odns_total(),
+        strict.odns_total() + manipulated,
+        "relaxed counts exactly the manipulated responders on top"
+    );
+    println!(
+        "relaxed − strict = {} = planted manipulated responders ✓",
+        relaxed.odns_total() - strict.odns_total()
+    );
+}
+
+fn ablation_classic_traceroute() {
+    banner(
+        "Ablation 2 — DNSRoute++ vs classic traceroute",
+        "§5: classic traceroute stops at the target and sees nothing behind it",
+    );
+    let config = GenConfig {
+        countries: CountrySelection::Codes(vec!["BRA", "TUR"]),
+        scale: 1_500,
+        dud_fraction: 0.0,
+        ..GenConfig::default()
+    };
+    let mut internet = inetgen::generate(&config);
+    let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
+    let targets = census.transparent_targets();
+
+    let classic = run_dnsroute(
+        &mut internet.sim,
+        internet.fixtures.scanner,
+        DnsRouteConfig::classic(targets.clone()),
+    );
+    let (classic_paths, _) = sanitize(&classic);
+
+    let mut internet2 = inetgen::generate(&config);
+    let census2 = analysis::run_census(&mut internet2, &ClassifierConfig::default());
+    let full = run_dnsroute(
+        &mut internet2.sim,
+        internet2.fixtures.scanner,
+        DnsRouteConfig::new(census2.transparent_targets()),
+    );
+    let (full_paths, _) = sanitize(&full);
+
+    let mut t =
+        analysis::TextTable::new(["Mode", "Targets", "Forwarders located", "Paths to resolver"]);
+    t.row([
+        "classic traceroute".to_string(),
+        targets.len().to_string(),
+        classic.iter().filter(|x| x.target_seen_at.is_some()).count().to_string(),
+        classic_paths.len().to_string(),
+    ]);
+    t.row([
+        "DNSRoute++".to_string(),
+        targets.len().to_string(),
+        full.iter().filter(|x| x.target_seen_at.is_some()).count().to_string(),
+        full_paths.len().to_string(),
+    ]);
+    println!("{}", t.render());
+    assert!(classic_paths.is_empty());
+    assert_eq!(full_paths.len(), targets.len());
+    println!("classic mode recovers zero forwarder→resolver paths ✓");
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut internet = tiny_world();
+    let outcome = scanner::run_scan(
+        &mut internet.sim,
+        internet.fixtures.scanner,
+        scanner::ScanConfig::new(internet.targets.clone()),
+    );
+    let strict = ClassifierConfig::default();
+    let relaxed = ClassifierConfig::relaxed();
+    let mut group = c.benchmark_group("ablations");
+    group.bench_function("classify_strict", |b| {
+        b.iter(|| {
+            black_box(
+                outcome
+                    .transactions
+                    .iter()
+                    .filter(|t| scanner::classify(t, &strict).class() == Some(OdnsClass::TransparentForwarder))
+                    .count(),
+            )
+        })
+    });
+    group.bench_function("classify_relaxed", |b| {
+        b.iter(|| {
+            black_box(
+                outcome
+                    .transactions
+                    .iter()
+                    .filter(|t| scanner::classify(t, &relaxed).class() == Some(OdnsClass::TransparentForwarder))
+                    .count(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    ablation_sanitization();
+    ablation_classic_traceroute();
+    let mut c = criterion();
+    bench_ablations(&mut c);
+    c.final_summary();
+}

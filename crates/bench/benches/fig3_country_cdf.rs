@@ -1,0 +1,49 @@
+//! Figure 3: CDF of transparent forwarders per country, ranked descending.
+//!
+//! Paper: the top-10 countries hold ~90 % of all transparent forwarders;
+//! roughly 25 % of ODNS countries host none.
+
+use bench::{banner, bench_world, criterion, tiny_world};
+use criterion::{black_box, Criterion};
+use scanner::ClassifierConfig;
+
+fn regenerate() {
+    banner(
+        "Figure 3 — CDF of transparent forwarders per country",
+        "top-10 countries ≈ 90%; ~25% of ODNS countries host none",
+    );
+    let mut internet = bench_world();
+    let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
+    let (table, top10_share, zero_share) = analysis::report::figure3(&census);
+    println!("{}", table.render());
+
+    let cdf = analysis::aggregate::transparent_count_cdf(&census);
+    println!(
+        "{}",
+        analysis::chart::render_cdf("transparent forwarders per country", &cdf, 56, 10)
+    );
+    println!(
+        "top-10 cumulative share: {:.1}% (paper ≈ 90%)   zero-transparent countries: {:.0}% (paper ≈ 25%)",
+        top10_share * 100.0,
+        zero_share * 100.0
+    );
+    assert!((0.80..0.97).contains(&top10_share), "top-10 share {top10_share}");
+    assert!((0.15..0.35).contains(&zero_share), "zero share {zero_share}");
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut internet = tiny_world();
+    let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
+    let mut group = c.benchmark_group("fig3");
+    group.bench_function("cumulative_country_shares", |b| {
+        b.iter(|| black_box(analysis::figure3_cumulative(&census).0.len()))
+    });
+    group.finish();
+}
+
+fn main() {
+    regenerate();
+    let mut c = criterion();
+    bench_fig3(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,56 @@
+//! Figure 4: the top-50 countries by transparent forwarders, with per-
+//! country ODNS composition and AS counts.
+//!
+//! Paper: Brazil leads (1236 ASes), emerging markets dominate, and in
+//! Brazil/India transparent forwarders exceed 80 % of the national ODNS.
+
+use bench::{banner, bench_world, criterion, tiny_world};
+use criterion::{black_box, Criterion};
+use scanner::ClassifierConfig;
+
+fn regenerate() {
+    banner(
+        "Figure 4 — top-50 countries by transparent forwarders",
+        "BRA first; emerging markets dominate; BRA/IND > 80% transparent",
+    );
+    let mut internet = bench_world();
+    let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
+    println!("{}", analysis::report::figure4(&census, 50).render());
+    println!("bar legend: T = transparent forwarder, f = recursive forwarder, r = resolver");
+
+    let ranked = analysis::rank_by_transparent(&census);
+    assert_eq!(ranked[0].0, "BRA", "Brazil must lead the ranking");
+    let bra = &ranked[0].1;
+    assert!(
+        bra.transparent_share() > 0.75,
+        "Brazil's transparent share {:.2} must be near the paper's >80%",
+        bra.transparent_share()
+    );
+    let ind = ranked.iter().find(|(c, _)| *c == "IND").expect("India present").1;
+    assert!(ind.transparent_share() > 0.70, "India {:.2}", ind.transparent_share());
+    // Emerging markets among the top-10 (paper: 8 of the 9 >10k countries).
+    let emerging_top10 = ranked
+        .iter()
+        .take(10)
+        .filter(|(code, _)| inetgen::by_code(code).map(|p| p.emerging).unwrap_or(false))
+        .count();
+    println!("\nemerging markets in the top-10: {emerging_top10} (paper: 8 of 9 over-10k countries)");
+    assert!(emerging_top10 >= 6);
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut internet = tiny_world();
+    let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
+    let mut group = c.benchmark_group("fig4");
+    group.bench_function("by_country_aggregation", |b| {
+        b.iter(|| black_box(analysis::by_country(&census).len()))
+    });
+    group.finish();
+}
+
+fn main() {
+    regenerate();
+    let mut c = criterion();
+    bench_fig4(&mut c);
+    c.final_summary();
+}

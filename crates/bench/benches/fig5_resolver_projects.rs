@@ -1,0 +1,52 @@
+//! Figure 5: popularity of the public resolver projects among transparent
+//! forwarders, per country.
+//!
+//! Paper: Google and Cloudflare dominate; almost all Indian transparent
+//! forwarders relay to Google; Turkey/Poland/China/France lean on local
+//! resolvers instead ("other").
+
+use bench::{banner, bench_world, criterion, tiny_world};
+use criterion::{black_box, Criterion};
+use odns::ResolverProject;
+use scanner::ClassifierConfig;
+
+fn regenerate() {
+    banner(
+        "Figure 5 — resolver projects used by transparent forwarders",
+        "Google & Cloudflare most common; India ≈ all-Google; Turkey ≈ all-other",
+    );
+    let mut internet = bench_world();
+    let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
+    println!("{}", analysis::report::figure5(&census, 15).render());
+    println!("bar legend: G=Google C=Cloudflare q=Quad9 o=OpenDNS .=other");
+
+    let f5 = analysis::figure5_by_country(&census);
+    let ind = f5.get("IND").expect("India in census");
+    let g = ind.share(analysis::ResolverSource::Project(ResolverProject::Google));
+    assert!(g > 0.75, "India's Google share {g:.2} must reproduce the near-total reliance");
+    let tur = f5.get("TUR").expect("Turkey in census");
+    let other = tur.share(analysis::ResolverSource::Other);
+    assert!(other > 0.75, "Turkey's 'other' share {other:.2} must dominate");
+    println!(
+        "\nIND Google share {:.0}% (paper: almost all)   TUR other share {:.0}% (paper: ~90%)",
+        g * 100.0,
+        other * 100.0
+    );
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut internet = tiny_world();
+    let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
+    let mut group = c.benchmark_group("fig5");
+    group.bench_function("project_attribution", |b| {
+        b.iter(|| black_box(analysis::figure5_by_country(&census).len()))
+    });
+    group.finish();
+}
+
+fn main() {
+    regenerate();
+    let mut c = criterion();
+    bench_fig5(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,93 @@
+//! Micro-benchmarks of the simulator core: route resolution, event
+//! throughput, world generation — establishing that an Internet-scale
+//! (1:1) census is compute-feasible.
+
+use bench::{criterion, tiny_world};
+use criterion::{black_box, Criterion};
+use inetgen::{CountrySelection, GenConfig};
+use scanner::ScanConfig;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation");
+    group.bench_function("generate_two_country_world", |b| {
+        b.iter(|| {
+            let internet = inetgen::generate(&GenConfig {
+                countries: CountrySelection::Codes(vec!["MUS", "FSM"]),
+                scale: 1_000,
+                dud_fraction: 0.0,
+                ..GenConfig::default()
+            });
+            black_box(internet.truth.hosts.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_event_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simcore");
+    // Events per scan: measure a full small-world scan and report elements
+    // so criterion prints a rate.
+    let probes = {
+        let internet = tiny_world();
+        internet.targets.len() as u64
+    };
+    group.throughput(criterion::Throughput::Elements(probes));
+    group.bench_function("scan_probes_per_second", |b| {
+        b.iter(|| {
+            let mut internet = tiny_world();
+            let outcome = scanner::run_scan(
+                &mut internet.sim,
+                internet.fixtures.scanner,
+                ScanConfig::new(internet.targets.clone()),
+            );
+            black_box(outcome.transactions.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_route_resolution(c: &mut Criterion) {
+    let internet = tiny_world();
+    let topo = internet.sim.topology();
+    let scanner_node = internet.fixtures.scanner;
+    let targets: Vec<_> = internet.targets.iter().take(64).copied().collect();
+    let mut group = c.benchmark_group("routing");
+    group.throughput(criterion::Throughput::Elements(targets.len() as u64));
+    group.bench_function("resolve_64_cold_routes", |b| {
+        b.iter(|| {
+            let mut resolver = netsim::RouteResolver::new();
+            let mut hops = 0usize;
+            for t in &targets {
+                if let Ok(p) = resolver.resolve(topo, scanner_node, *t) {
+                    hops += p.router_hops();
+                }
+            }
+            black_box(hops)
+        })
+    });
+    group.bench_function("resolve_64_warm_routes", |b| {
+        let mut resolver = netsim::RouteResolver::new();
+        for t in &targets {
+            let _ = resolver.resolve(topo, scanner_node, *t);
+        }
+        b.iter(|| {
+            let mut hops = 0usize;
+            for t in &targets {
+                if let Ok(p) = resolver.resolve(topo, scanner_node, *t) {
+                    hops += p.router_hops();
+                }
+            }
+            black_box(hops)
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    println!("micro-benchmarks: world generation, scan event throughput, routing");
+    let mut c = criterion();
+    bench_generation(&mut c);
+    bench_event_throughput(&mut c);
+    bench_route_resolution(&mut c);
+    c.final_summary();
+}

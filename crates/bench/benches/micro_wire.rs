@@ -1,0 +1,126 @@
+//! Micro-benchmarks of the wire substrate: DNS message codec, IPv4/UDP
+//! encoding with checksums, pcap writing — plus the authoritative server's
+//! answer-construction rate (the paper's server sustains 20k pps; our
+//! in-memory hot path must be far above that for the simulation to be the
+//! bottleneck, not the codec).
+
+use bench::criterion;
+use criterion::{black_box, Criterion};
+use dnswire::{DnsName, Message, MessageBuilder, RrType};
+use netsim::wire::{decode, encode_udp};
+use netsim::Datagram;
+use std::net::Ipv4Addr;
+
+fn bench_dns_codec(c: &mut Criterion) {
+    let qname = DnsName::parse("odns-study.example.").unwrap();
+    let query = MessageBuilder::query(0x2861, qname.clone(), RrType::A)
+        .recursion_desired(true)
+        .build();
+    let response = MessageBuilder::response_to(&query)
+        .recursion_available(true)
+        .answer_a(qname.clone(), 300, Ipv4Addr::new(203, 1, 113, 50))
+        .answer_a(qname, 300, odns::study::CONTROL_A)
+        .build();
+    let query_bytes = query.encode();
+    let response_bytes = response.encode();
+
+    let mut group = c.benchmark_group("dns_codec");
+    group.throughput(criterion::Throughput::Elements(1));
+    group.bench_function("encode_query", |b| b.iter(|| black_box(query.encode().len())));
+    group.bench_function("encode_response_2a", |b| b.iter(|| black_box(response.encode().len())));
+    group.bench_function("decode_query", |b| {
+        b.iter(|| black_box(Message::decode(&query_bytes).unwrap().header.id))
+    });
+    group.bench_function("decode_response_2a", |b| {
+        b.iter(|| black_box(Message::decode(&response_bytes).unwrap().answers.len()))
+    });
+    group.bench_function("peek_id", |b| b.iter(|| black_box(dnswire::peek_id(&response_bytes))));
+    group.finish();
+}
+
+fn bench_ip_codec(c: &mut Criterion) {
+    let dgram = Datagram {
+        src: Ipv4Addr::new(192, 0, 2, 1),
+        dst: Ipv4Addr::new(203, 0, 113, 1),
+        src_port: 33000,
+        dst_port: 53,
+        ttl: 64,
+        payload: vec![0xAB; 48],
+    };
+    let wire = encode_udp(&dgram, 7);
+    let mut group = c.benchmark_group("ip_codec");
+    group.throughput(criterion::Throughput::Bytes(wire.len() as u64));
+    group.bench_function("encode_udp_with_checksums", |b| {
+        b.iter(|| black_box(encode_udp(&dgram, 7).len()))
+    });
+    group.bench_function("decode_udp_with_checksums", |b| {
+        b.iter(|| black_box(decode(&wire).is_ok()))
+    });
+    group.finish();
+}
+
+fn bench_pcap(c: &mut Criterion) {
+    let dgram = Datagram {
+        src: Ipv4Addr::new(192, 0, 2, 1),
+        dst: Ipv4Addr::new(203, 0, 113, 1),
+        src_port: 33000,
+        dst_port: 53,
+        ttl: 64,
+        payload: vec![0xAB; 48],
+    };
+    let wire = encode_udp(&dgram, 7);
+    let mut group = c.benchmark_group("pcap");
+    group.throughput(criterion::Throughput::Elements(1000));
+    group.bench_function("write_1000_records", |b| {
+        b.iter(|| {
+            let mut w = netsim::pcap::PcapWriter::new();
+            for i in 0..1000u64 {
+                w.write(netsim::SimTime(i), &wire);
+            }
+            black_box(w.finish().len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_auth_answers(c: &mut Criterion) {
+    // The paper's authoritative server handles 20k pps; measure our
+    // answer-construction rate per query (simulated network excluded).
+    use netsim::testkit::Exchange;
+    let mut group = c.benchmark_group("auth_server");
+    group.throughput(criterion::Throughput::Elements(100));
+    group.bench_function("answer_100_queries_e2e", |b| {
+        b.iter(|| {
+            let auth_ip = Ipv4Addr::new(198, 51, 100, 53);
+            let mut ex = Exchange::new(
+                auth_ip,
+                Ipv4Addr::new(192, 0, 2, 1),
+                odns::StudyAuthServer::new(odns::AuthConfig {
+                    rate_limit_pps: None,
+                    keep_log: false,
+                    ..odns::AuthConfig::default()
+                }),
+            );
+            for i in 0..100u16 {
+                let q = MessageBuilder::query(i, odns::study::study_qname(), RrType::A).build();
+                ex.send_at(
+                    netsim::SimDuration::from_micros(u64::from(i)),
+                    netsim::UdpSend::new(30000 + i, auth_ip, 53, q.encode()),
+                );
+            }
+            ex.run();
+            black_box(ex.received().len())
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    println!("micro-benchmarks: DNS codec, IPv4/UDP checksummed codec, pcap, auth server");
+    let mut c = criterion();
+    bench_dns_codec(&mut c);
+    bench_ip_codec(&mut c);
+    bench_pcap(&mut c);
+    bench_auth_answers(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,97 @@
+//! Table 3: detection of the three honeypot sensors by the three popular
+//! scanning campaigns.
+//!
+//! Paper: Shadowserver finds IP1 and IP3 (the interior sensor's *reply*
+//! address); Censys and Shodan find only IP1; nobody finds IP2 or IP4.
+
+use bench::{banner, criterion};
+use criterion::{black_box, Criterion};
+use inetgen::{CountrySelection, GenConfig};
+use scanner::{run_campaign, Campaign, CampaignConfig, HoneypotSensor, SensorKind};
+
+fn sensor_world() -> inetgen::Internet {
+    let config = GenConfig {
+        countries: CountrySelection::Codes(vec!["FSM"]),
+        scale: 2_000,
+        dud_fraction: 0.0,
+        ..GenConfig::default()
+    };
+    let mut internet = inetgen::generate(&config);
+    let a = internet.fixtures.sensor_addrs;
+    let google = odns::ResolverProject::Google.service_ip();
+    internet
+        .sim
+        .install(internet.fixtures.sensor1, HoneypotSensor::new(SensorKind::RecursiveResolver, google));
+    internet.sim.install(
+        internet.fixtures.sensor2,
+        HoneypotSensor::new(SensorKind::InteriorForwarder { reply_from: a.ip3 }, google),
+    );
+    internet
+        .sim
+        .install(internet.fixtures.sensor3, HoneypotSensor::new(SensorKind::ExteriorForwarder, google));
+    internet
+}
+
+fn regenerate() {
+    banner(
+        "Table 3 — detection of our DNS sensors by popular scans",
+        "Shadowserver: IP1 ✓ IP3 ✓; Censys/Shodan: IP1 only",
+    );
+    let mut t = analysis::TextTable::new(["Scanner", "IP1", "IP2", "IP3", "IP4"]);
+    let mut expected_rows = 0;
+    for campaign in Campaign::all() {
+        let mut internet = sensor_world();
+        let a = internet.fixtures.sensor_addrs;
+        let report = run_campaign(
+            &mut internet.sim,
+            internet.fixtures.campaign_scanners[0],
+            CampaignConfig::new(campaign, vec![a.ip1, a.ip2, a.ip3, a.ip4]),
+        );
+        let mark = |b: bool| if b { "yes" } else { "-" };
+        let row = (
+            report.odns.contains(&a.ip1),
+            report.odns.contains(&a.ip2),
+            report.odns.contains(&a.ip3),
+            report.odns.contains(&a.ip4),
+        );
+        t.row([
+            campaign.name().to_string(),
+            mark(row.0).to_string(),
+            mark(row.1).to_string(),
+            mark(row.2).to_string(),
+            mark(row.3).to_string(),
+        ]);
+        let expected = match campaign {
+            Campaign::Shadowserver => (true, false, true, false),
+            Campaign::Censys | Campaign::Shodan => (true, false, false, false),
+        };
+        assert_eq!(row, expected, "{campaign} deviates from Table 3");
+        expected_rows += 1;
+    }
+    println!("{}", t.render());
+    println!("matrix matches the paper for all {expected_rows} campaigns \u{2713}");
+}
+
+fn bench_campaigns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.bench_function("campaign_pass_over_sensors", |b| {
+        b.iter(|| {
+            let mut internet = sensor_world();
+            let a = internet.fixtures.sensor_addrs;
+            let report = run_campaign(
+                &mut internet.sim,
+                internet.fixtures.campaign_scanners[0],
+                CampaignConfig::new(Campaign::Shadowserver, vec![a.ip1, a.ip2, a.ip3, a.ip4]),
+            );
+            black_box(report.odns.len())
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    regenerate();
+    let mut c = criterion();
+    bench_campaigns(&mut c);
+    c.final_summary();
+}

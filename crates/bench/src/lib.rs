@@ -1,0 +1,61 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every bench regenerates one table or figure of the paper: it first
+//! prints the reproduced artifact (the same rows/series the paper
+//! reports), then measures the underlying pipeline with criterion.
+//! Absolute numbers differ from the paper (the substrate is a simulator,
+//! scaled down); the *shape* — who wins, by what factor, where crossovers
+//! fall — is what EXPERIMENTS.md compares.
+
+use inetgen::{CountrySelection, GenConfig, Internet};
+
+/// The standard bench world: the full country table at 1:500 scale
+/// (≈4.3k ODNS hosts). Deterministic.
+pub fn bench_world() -> Internet {
+    inetgen::generate(&GenConfig { scale: 500, ..GenConfig::default() })
+}
+
+/// A focused world for path experiments: the six headline countries at a
+/// scale that yields hundreds of transparent forwarders.
+pub fn path_world() -> Internet {
+    inetgen::generate(&GenConfig {
+        countries: CountrySelection::Codes(vec!["BRA", "IND", "USA", "TUR", "ARG", "IDN"]),
+        scale: 1_000,
+        dud_fraction: 0.0,
+        ..GenConfig::default()
+    })
+}
+
+/// A dense world where whole-/24 middleboxes materialize (Figure 8 needs
+/// per-country populations in the hundreds).
+pub fn density_world() -> Internet {
+    inetgen::generate(&GenConfig::density_scale())
+}
+
+/// A tiny world for hot-loop measurement (criterion iterations rebuild
+/// worlds, so they must be cheap).
+pub fn tiny_world() -> Internet {
+    inetgen::generate(&GenConfig {
+        countries: CountrySelection::Codes(vec!["MUS", "FSM"]),
+        scale: 1_000,
+        dud_fraction: 0.0,
+        ..GenConfig::default()
+    })
+}
+
+/// Standard criterion settings: small samples, short measurement — the
+/// pipelines under test are seconds-long end-to-end runs.
+pub fn criterion() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+/// Print a bench banner.
+pub fn banner(what: &str, paper: &str) {
+    println!("\n================================================================");
+    println!("Reproducing {what}");
+    println!("Paper reference: {paper}");
+    println!("================================================================");
+}

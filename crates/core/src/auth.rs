@@ -1,0 +1,374 @@
+//! The study's authoritative name server.
+//!
+//! Implements the *source-specific response* method of §2/§4.1: every
+//! answer carries two A records —
+//!
+//! 1. a **dynamic record** holding the IP address of the immediate client
+//!    (for a forwarded query this is the recursive resolver's egress, the
+//!    `A_resolver` of the classification rules), and
+//! 2. a **static control record** ([`crate::study::CONTROL_A`]) whose value
+//!    never changes, used to detect in-path manipulation.
+//!
+//! It also answers the *query-encoding* method's destination-encoded names
+//! (`a-b-c-d.scan.<zone>`), logging every query so Table 2's "detection at
+//! server" property can be exercised, and keeps a per-second token-bucket
+//! budget mirroring the paper's 20k pps server (§4.1).
+
+use crate::study::{self, ANSWER_TTL};
+use dnswire::{DnsName, Message, MessageBuilder, Rcode, Record, RrType, SoaData};
+use netsim::{Ctx, Datagram, Host, SimTime, TokenBucket, UdpSend};
+use std::net::Ipv4Addr;
+
+/// One received query, as logged by the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuthLogEntry {
+    /// Arrival time.
+    pub time: SimTime,
+    /// Immediate client (for forwarded queries: the recursive resolver).
+    pub client: Ipv4Addr,
+    /// Client source port.
+    pub client_port: u16,
+    /// Transaction ID.
+    pub txid: u16,
+    /// Query name.
+    pub qname: DnsName,
+    /// Query type.
+    pub qtype: RrType,
+    /// Target encoded in the name, when the query-based method is in use.
+    pub encoded_target: Option<Ipv4Addr>,
+}
+
+/// Configuration of the study's authoritative server.
+#[derive(Debug, Clone)]
+pub struct AuthConfig {
+    /// Zone of authority.
+    pub zone: DnsName,
+    /// The static name served with the two-record response.
+    pub static_qname: DnsName,
+    /// Value of the control record.
+    pub control_a: Ipv4Addr,
+    /// Answer TTL in seconds.
+    pub answer_ttl: u32,
+    /// Whether the control record is included. Disabling it is the
+    /// ablation matching Shadowserver's single-record check (§4.2).
+    pub include_control_record: bool,
+    /// Per-second query budget; `None` disables rate limiting. The paper's
+    /// server sustains 20k pps.
+    pub rate_limit_pps: Option<u64>,
+    /// Whether to keep the per-query log (disable for very large scans).
+    pub keep_log: bool,
+}
+
+impl Default for AuthConfig {
+    fn default() -> Self {
+        AuthConfig {
+            zone: study::study_zone(),
+            static_qname: study::study_qname(),
+            control_a: study::CONTROL_A,
+            answer_ttl: ANSWER_TTL,
+            include_control_record: true,
+            rate_limit_pps: Some(20_000),
+            keep_log: true,
+        }
+    }
+}
+
+/// Counters kept by the server.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuthStats {
+    /// Queries received (before rate limiting).
+    pub queries_received: u64,
+    /// Responses sent.
+    pub responses_sent: u64,
+    /// Queries shed by the rate limiter.
+    pub rate_limited: u64,
+    /// Queries for names outside the zone (refused).
+    pub out_of_zone: u64,
+    /// NXDOMAIN answers for unknown in-zone names.
+    pub nxdomain: u64,
+}
+
+/// The authoritative server host.
+#[derive(Debug)]
+pub struct StudyAuthServer {
+    config: AuthConfig,
+    bucket: Option<TokenBucket>,
+    /// Query log (enabled via [`AuthConfig::keep_log`]).
+    pub log: Vec<AuthLogEntry>,
+    /// Counters.
+    pub stats: AuthStats,
+}
+
+impl StudyAuthServer {
+    /// Build from config.
+    pub fn new(config: AuthConfig) -> Self {
+        let bucket = config.rate_limit_pps.map(TokenBucket::per_second);
+        StudyAuthServer { config, bucket, log: Vec::new(), stats: AuthStats::default() }
+    }
+
+    /// Server with the default study configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(AuthConfig::default())
+    }
+
+    /// The SOA record for the study zone (used in negative responses; its
+    /// MINIMUM field drives negative-caching duration, the §6 cache
+    /// pollution mechanism).
+    fn soa_record(&self) -> Record {
+        Record {
+            name: self.config.zone.clone(),
+            class: dnswire::Class::In,
+            ttl: self.config.answer_ttl,
+            rdata: dnswire::RData::Soa(SoaData {
+                mname: DnsName::parse("ns1.odns-study.example.").expect("static name"),
+                rname: DnsName::parse("hostmaster.odns-study.example.").expect("static name"),
+                serial: 20210420,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1_209_600,
+                minimum: self.config.answer_ttl,
+            }),
+        }
+    }
+
+    fn answer(&self, query: &Message, client: Ipv4Addr) -> Message {
+        let q = query.question().expect("caller checked");
+        let qname = &q.qname;
+        let mut builder = MessageBuilder::response_to(query).authoritative(true);
+
+        let in_zone = qname.is_subdomain_of(&self.config.zone);
+        if !in_zone {
+            return builder.rcode(Rcode::Refused).build();
+        }
+
+        let is_static = *qname == self.config.static_qname;
+        let is_encoded = study::decode_target_name(qname).is_some();
+        if is_static || is_encoded {
+            match q.qtype {
+                RrType::A | RrType::Any => {
+                    // Dynamic client-reflecting record first, control second
+                    // (Figure 7's layout).
+                    builder = builder.answer(Record::a(qname.clone(), self.config.answer_ttl, client));
+                    if self.config.include_control_record {
+                        builder = builder
+                            .answer(Record::a(qname.clone(), self.config.answer_ttl, self.config.control_a));
+                    }
+                    if q.qtype == RrType::Any {
+                        // ANY also returns the SOA — a little extra
+                        // amplification, as real zones provide (§6).
+                        builder = builder.answer(self.soa_record());
+                    }
+                    builder.build()
+                }
+                RrType::Soa => builder.answer(self.soa_record()).build(),
+                RrType::Txt => builder
+                    .answer(Record::txt(
+                        qname.clone(),
+                        self.config.answer_ttl,
+                        "transparent-forwarders-study see https://odns.secnow.net",
+                    ))
+                    .build(),
+                _ => {
+                    // NODATA: empty answer, SOA in authority.
+                    builder.authority(self.soa_record()).build()
+                }
+            }
+        } else {
+            builder.rcode(Rcode::NxDomain).authority(self.soa_record()).build()
+        }
+    }
+}
+
+impl Host for StudyAuthServer {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
+        if dgram.dst_port != dnswire::DNS_PORT {
+            ctx.send_port_unreachable(&dgram);
+            return;
+        }
+        let Ok(query) = Message::decode(&dgram.payload) else {
+            return; // malformed input is silently ignored, like real servers
+        };
+        if query.is_response() || query.question().is_none() {
+            return;
+        }
+        self.stats.queries_received += 1;
+
+        if let Some(bucket) = &mut self.bucket {
+            if !bucket.try_take(ctx.now()) {
+                self.stats.rate_limited += 1;
+                return;
+            }
+        }
+
+        let q = query.question().expect("checked");
+        if self.config.keep_log {
+            self.log.push(AuthLogEntry {
+                time: ctx.now(),
+                client: dgram.src,
+                client_port: dgram.src_port,
+                txid: query.header.id,
+                qname: q.qname.clone(),
+                qtype: q.qtype,
+                encoded_target: study::decode_target_name(&q.qname),
+            });
+        }
+
+        let response = self.answer(&query, dgram.src);
+        match response.header.flags.rcode {
+            Rcode::Refused => self.stats.out_of_zone += 1,
+            Rcode::NxDomain => self.stats.nxdomain += 1,
+            _ => {}
+        }
+        self.stats.responses_sent += 1;
+        ctx.send_udp(UdpSend {
+            src: Some(dgram.dst),
+            src_port: dnswire::DNS_PORT,
+            dst: dgram.src,
+            dst_port: dgram.src_port,
+            ttl: None,
+            payload: response.encode(),
+        });
+    }
+
+    netsim::impl_host_downcast!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnswire::MessageBuilder;
+
+    use netsim::testkit::Exchange;
+    use netsim::SimDuration;
+
+    const AUTH_IP: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 53);
+    const CLIENT_IP: Ipv4Addr = Ipv4Addr::new(203, 1, 113, 50);
+
+    fn query_send(qname: &str, qtype: RrType, txid: u16) -> UdpSend {
+        let q = MessageBuilder::query(txid, DnsName::parse(qname).unwrap(), qtype)
+            .recursion_desired(true)
+            .build();
+        UdpSend::new(34111, AUTH_IP, 53, q.encode())
+    }
+
+    fn ask(server: StudyAuthServer, qname: &str, qtype: RrType, txid: u16) -> (Message, Exchange) {
+        let mut ex = Exchange::new(AUTH_IP, CLIENT_IP, server);
+        ex.send_at(SimDuration::ZERO, query_send(qname, qtype, txid));
+        ex.run();
+        let resp = Message::decode(&ex.received()[0].1.payload).unwrap();
+        (resp, ex)
+    }
+
+    #[test]
+    fn static_name_gets_dynamic_plus_control() {
+        let (resp, ex) = ask(StudyAuthServer::with_defaults(), study::STUDY_QNAME, RrType::A, 777);
+        assert_eq!(resp.header.id, 777);
+        assert!(resp.header.flags.authoritative);
+        assert_eq!(resp.answer_a_addrs(), vec![CLIENT_IP, study::CONTROL_A]);
+        let s: &StudyAuthServer = ex.subject();
+        assert_eq!(s.stats.responses_sent, 1);
+        assert_eq!(s.log.len(), 1);
+        assert_eq!(s.log[0].client, CLIENT_IP);
+        assert_eq!(s.log[0].encoded_target, None);
+    }
+
+    #[test]
+    fn encoded_name_is_logged_with_target() {
+        let target = Ipv4Addr::new(203, 0, 113, 1);
+        let name = study::encode_target_name(target);
+        let (resp, ex) = ask(StudyAuthServer::with_defaults(), &name.to_string(), RrType::A, 1);
+        assert_eq!(resp.answer_a_addrs()[0], CLIENT_IP);
+        let s: &StudyAuthServer = ex.subject();
+        assert_eq!(s.log[0].encoded_target, Some(target));
+    }
+
+    #[test]
+    fn control_record_can_be_disabled() {
+        let server = StudyAuthServer::new(AuthConfig {
+            include_control_record: false,
+            ..AuthConfig::default()
+        });
+        let (resp, _ex) = ask(server, study::STUDY_QNAME, RrType::A, 2);
+        assert_eq!(resp.answer_a_addrs(), vec![CLIENT_IP], "single record in ablation mode");
+    }
+
+    #[test]
+    fn out_of_zone_refused() {
+        let (resp, ex) = ask(StudyAuthServer::with_defaults(), "google.com.", RrType::A, 3);
+        assert_eq!(resp.header.flags.rcode, Rcode::Refused);
+        let s: &StudyAuthServer = ex.subject();
+        assert_eq!(s.stats.out_of_zone, 1);
+    }
+
+    #[test]
+    fn unknown_in_zone_name_nxdomain_with_soa() {
+        let (resp, ex) =
+            ask(StudyAuthServer::with_defaults(), "nope.odns-study.example.", RrType::A, 4);
+        assert_eq!(resp.header.flags.rcode, Rcode::NxDomain);
+        assert_eq!(resp.authorities.len(), 1, "SOA for negative caching");
+        let s: &StudyAuthServer = ex.subject();
+        assert_eq!(s.stats.nxdomain, 1);
+    }
+
+    #[test]
+    fn any_query_amplifies() {
+        let (a, _) = ask(StudyAuthServer::with_defaults(), study::STUDY_QNAME, RrType::A, 5);
+        let (any, _) = ask(StudyAuthServer::with_defaults(), study::STUDY_QNAME, RrType::Any, 6);
+        assert!(
+            any.wire_len() > a.wire_len(),
+            "ANY response must be larger: {} vs {}",
+            any.wire_len(),
+            a.wire_len()
+        );
+    }
+
+    #[test]
+    fn txt_answered_for_static_name() {
+        let (resp, _) = ask(StudyAuthServer::with_defaults(), study::STUDY_QNAME, RrType::Txt, 7);
+        assert_eq!(resp.answers.len(), 1);
+        assert_eq!(resp.answers[0].rtype(), RrType::Txt);
+    }
+
+    #[test]
+    fn rate_limiter_sheds_excess_queries() {
+        let server = StudyAuthServer::new(AuthConfig {
+            rate_limit_pps: Some(2),
+            ..AuthConfig::default()
+        });
+        let mut ex = Exchange::new(AUTH_IP, CLIENT_IP, server);
+        for i in 0..5u16 {
+            ex.send_at(SimDuration::from_micros(u64::from(i)), query_send(study::STUDY_QNAME, RrType::A, i));
+        }
+        ex.run();
+        assert_eq!(ex.received().len(), 2, "only the budget is served in one second");
+        let s: &StudyAuthServer = ex.subject();
+        assert_eq!(s.stats.rate_limited, 3);
+        assert_eq!(s.stats.queries_received, 5);
+    }
+
+    #[test]
+    fn non_dns_port_gets_port_unreachable() {
+        let mut ex = Exchange::new(AUTH_IP, CLIENT_IP, StudyAuthServer::with_defaults());
+        ex.send_at(SimDuration::ZERO, UdpSend::new(40000, AUTH_IP, 9999, vec![1, 2, 3]));
+        ex.run();
+        assert!(ex.received().is_empty());
+        assert_eq!(ex.icmp().len(), 1);
+        assert_eq!(ex.icmp()[0].1.kind, netsim::IcmpKind::PortUnreachable);
+    }
+
+    #[test]
+    fn responses_and_garbage_ignored() {
+        let mut ex = Exchange::new(AUTH_IP, CLIENT_IP, StudyAuthServer::with_defaults());
+        // A response message (QR=1) must not be answered.
+        let bogus = MessageBuilder::query(9, DnsName::parse(study::STUDY_QNAME).unwrap(), RrType::A)
+            .build()
+            .response_skeleton();
+        ex.send_at(SimDuration::ZERO, UdpSend::new(1000, AUTH_IP, 53, bogus.encode()));
+        // Garbage bytes must not crash or be answered.
+        ex.send_at(SimDuration::from_millis(1), UdpSend::new(1001, AUTH_IP, 53, vec![0xFF; 9]));
+        ex.run();
+        assert!(ex.received().is_empty());
+        let s: &StudyAuthServer = ex.subject();
+        assert_eq!(s.stats.responses_sent, 0);
+    }
+}

@@ -1,0 +1,323 @@
+//! Resolver-side DNS cache with TTL decay, negative caching, and bounded
+//! capacity.
+//!
+//! Cache behaviour is measurement-relevant twice over: (1) remaining TTLs
+//! observed by the scanner reveal whether an answer was served from cache
+//! (Figure 7 shows 300 s vs 50 s from the same resolver); (2) the
+//! query-encoding detection method plants one unique name per probed
+//! target, polluting caches and evicting legitimate entries — the paper's
+//! argument for response-based probing (§6, "resolvers serving >40k
+//! forwarders would take >40k cache entries").
+
+use dnswire::{DnsName, Rcode, Record, RrType};
+use netsim::SimTime;
+use std::collections::{HashMap, VecDeque};
+
+/// Cache lookup key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Query name.
+    pub name: DnsName,
+    /// Query type.
+    pub rtype: RrType,
+}
+
+/// A cached outcome: either records or a negative result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CachedAnswer {
+    /// Positive answer records (TTLs as stored; adjusted on read).
+    Positive(Vec<Record>),
+    /// Negative result (NXDOMAIN or NODATA), with the RCODE to relay.
+    Negative(Rcode),
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    answer: CachedAnswer,
+    inserted: SimTime,
+    expires: SimTime,
+}
+
+/// Counters describing cache effectiveness (Table 2 reproduction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing (or only expired entries).
+    pub misses: u64,
+    /// Entries written.
+    pub insertions: u64,
+    /// Entries displaced by capacity pressure — the cache-pollution signal.
+    pub evictions: u64,
+    /// Entries that aged out.
+    pub expirations: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in [0, 1]; 0 when never queried.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded DNS cache with FIFO eviction.
+///
+/// Real resolvers use LRU-ish policies; FIFO keeps the simulation
+/// deterministic and is a conservative (worse-for-the-defender) choice for
+/// the pollution experiment: a polluter streaming unique names evicts
+/// legitimate entries at the same rate under either policy.
+#[derive(Debug)]
+pub struct DnsCache {
+    map: HashMap<CacheKey, Entry>,
+    order: VecDeque<CacheKey>,
+    capacity: usize,
+    /// Effectiveness counters.
+    pub stats: CacheStats,
+}
+
+impl DnsCache {
+    /// A cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        DnsCache { map: HashMap::new(), order: VecDeque::new(), capacity, stats: CacheStats::default() }
+    }
+
+    /// Current number of live-or-expired entries held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Look up `name`/`rtype` at time `now`. Positive answers come back
+    /// with record TTLs rewritten to the *remaining* lifetime — exactly
+    /// what a resolver serves from cache, and what Figure 7 observes.
+    pub fn get(&mut self, name: &DnsName, rtype: RrType, now: SimTime) -> Option<CachedAnswer> {
+        let key = CacheKey { name: name.clone(), rtype };
+        match self.map.get(&key) {
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+            Some(e) if now >= e.expires => {
+                self.stats.misses += 1;
+                self.stats.expirations += 1;
+                self.map.remove(&key);
+                None
+            }
+            Some(e) => {
+                self.stats.hits += 1;
+                let remaining = (e.expires - now).as_micros() / 1_000_000;
+                Some(match &e.answer {
+                    CachedAnswer::Positive(records) => CachedAnswer::Positive(
+                        records
+                            .iter()
+                            .map(|r| Record { ttl: remaining as u32, ..r.clone() })
+                            .collect(),
+                    ),
+                    CachedAnswer::Negative(rcode) => CachedAnswer::Negative(*rcode),
+                })
+            }
+        }
+    }
+
+    /// Insert an answer valid for `ttl_secs` starting at `now`.
+    pub fn insert(
+        &mut self,
+        name: DnsName,
+        rtype: RrType,
+        answer: CachedAnswer,
+        ttl_secs: u32,
+        now: SimTime,
+    ) {
+        let key = CacheKey { name, rtype };
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            // Capacity pressure: evict in insertion order, skipping keys
+            // already removed by expiration.
+            while let Some(old) = self.order.pop_front() {
+                if self.map.remove(&old).is_some() {
+                    self.stats.evictions += 1;
+                    break;
+                }
+            }
+        }
+        let expires = now + netsim::SimDuration::from_secs(u64::from(ttl_secs));
+        if self.map.insert(key.clone(), Entry { answer, inserted: now, expires }).is_none() {
+            self.order.push_back(key);
+        }
+        self.stats.insertions += 1;
+    }
+
+    /// Age of the entry for `name`/`rtype` at `now`, if present and live.
+    pub fn age(&self, name: &DnsName, rtype: RrType, now: SimTime) -> Option<u64> {
+        let key = CacheKey { name: name.clone(), rtype };
+        let e = self.map.get(&key)?;
+        if now >= e.expires {
+            None
+        } else {
+            Some((now - e.inserted).as_micros() / 1_000_000)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnswire::DnsName;
+    use netsim::SimDuration;
+    use std::net::Ipv4Addr;
+
+    fn name(s: &str) -> DnsName {
+        DnsName::parse(s).unwrap()
+    }
+
+    fn a_record(s: &str, ttl: u32) -> Record {
+        Record::a(name(s), ttl, Ipv4Addr::new(198, 51, 100, 7))
+    }
+
+    #[test]
+    fn miss_then_hit_with_ttl_decay() {
+        let mut c = DnsCache::new(8);
+        let t0 = SimTime::ZERO;
+        assert_eq!(c.get(&name("x.example."), RrType::A, t0), None);
+        c.insert(
+            name("x.example."),
+            RrType::A,
+            CachedAnswer::Positive(vec![a_record("x.example.", 300)]),
+            300,
+            t0,
+        );
+        // 250 seconds later the remaining TTL is 50 — the Figure 7 signal.
+        let t1 = t0 + SimDuration::from_secs(250);
+        match c.get(&name("x.example."), RrType::A, t1).unwrap() {
+            CachedAnswer::Positive(recs) => assert_eq!(recs[0].ttl, 50),
+            other => panic!("expected positive, got {other:?}"),
+        }
+        assert_eq!(c.stats.hits, 1);
+        assert_eq!(c.stats.misses, 1);
+    }
+
+    #[test]
+    fn expired_entries_are_misses() {
+        let mut c = DnsCache::new(8);
+        c.insert(
+            name("x.example."),
+            RrType::A,
+            CachedAnswer::Positive(vec![a_record("x.example.", 10)]),
+            10,
+            SimTime::ZERO,
+        );
+        let late = SimTime::ZERO + SimDuration::from_secs(10);
+        assert_eq!(c.get(&name("x.example."), RrType::A, late), None);
+        assert_eq!(c.stats.expirations, 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn negative_caching() {
+        let mut c = DnsCache::new(8);
+        c.insert(name("nx.example."), RrType::A, CachedAnswer::Negative(Rcode::NxDomain), 60, SimTime::ZERO);
+        match c.get(&name("nx.example."), RrType::A, SimTime::ZERO + SimDuration::from_secs(1)) {
+            Some(CachedAnswer::Negative(Rcode::NxDomain)) => {}
+            other => panic!("expected negative, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn capacity_eviction_fifo() {
+        let mut c = DnsCache::new(2);
+        let t = SimTime::ZERO;
+        for i in 0..3 {
+            c.insert(
+                name(&format!("h{i}.example.")),
+                RrType::A,
+                CachedAnswer::Positive(vec![a_record("h.example.", 60)]),
+                60,
+                t,
+            );
+        }
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats.evictions, 1);
+        assert_eq!(c.get(&name("h0.example."), RrType::A, t), None, "oldest evicted");
+        assert!(c.get(&name("h2.example."), RrType::A, t).is_some());
+    }
+
+    #[test]
+    fn pollution_scenario_unique_names_evict_legit_entry() {
+        // The §6 argument: a query-encoding scan floods unique names.
+        let mut c = DnsCache::new(100);
+        let t = SimTime::ZERO;
+        c.insert(
+            name("popular.example."),
+            RrType::A,
+            CachedAnswer::Positive(vec![a_record("popular.example.", 3600)]),
+            3600,
+            t,
+        );
+        for i in 0..200u32 {
+            c.insert(
+                name(&format!("{}-{}-{}-{}.scan.odns-study.example.", i % 256, i / 256, 0, 1)),
+                RrType::A,
+                CachedAnswer::Positive(vec![a_record("x.", 300)]),
+                300,
+                t,
+            );
+        }
+        assert_eq!(c.get(&name("popular.example."), RrType::A, t), None, "legit entry evicted");
+        assert!(c.stats.evictions >= 100);
+    }
+
+    #[test]
+    fn case_insensitive_keys() {
+        let mut c = DnsCache::new(4);
+        let t = SimTime::ZERO;
+        c.insert(
+            name("MiXeD.Example."),
+            RrType::A,
+            CachedAnswer::Positive(vec![a_record("mixed.example.", 60)]),
+            60,
+            t,
+        );
+        assert!(c.get(&name("mixed.example."), RrType::A, t).is_some());
+    }
+
+    #[test]
+    fn age_tracks_insertion() {
+        let mut c = DnsCache::new(4);
+        c.insert(
+            name("x.example."),
+            RrType::A,
+            CachedAnswer::Positive(vec![a_record("x.example.", 300)]),
+            300,
+            SimTime::ZERO,
+        );
+        let now = SimTime::ZERO + SimDuration::from_secs(42);
+        assert_eq!(c.age(&name("x.example."), RrType::A, now), Some(42));
+        assert_eq!(c.age(&name("y.example."), RrType::A, now), None);
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let mut c = DnsCache::new(4);
+        let t = SimTime::ZERO;
+        c.insert(
+            name("x.example."),
+            RrType::A,
+            CachedAnswer::Positive(vec![a_record("x.example.", 300)]),
+            300,
+            t,
+        );
+        let _ = c.get(&name("x.example."), RrType::A, t);
+        let _ = c.get(&name("y.example."), RrType::A, t);
+        assert!((c.stats.hit_ratio() - 0.5).abs() < 1e-9);
+        assert_eq!(CacheStats::default().hit_ratio(), 0.0);
+    }
+}

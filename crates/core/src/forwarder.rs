@@ -1,0 +1,562 @@
+//! DNS forwarders: recursive (NAT-style) and transparent (spoofing relay).
+//!
+//! The distinction these two types embody *is the paper's contribution*:
+//!
+//! * a **recursive forwarder** behaves like a normal UDP client toward its
+//!   resolver — it replaces the source address with its own, so the
+//!   resolver's answer comes back to *it*, and it relays (and may cache)
+//!   the answer to the original client;
+//! * a **transparent forwarder** relays the query packet with the client's
+//!   source address *unchanged* (spoofing), so the resolver answers the
+//!   client directly; the forwarder never sees the response, keeps no
+//!   state, and works only from networks without outbound SAV (§2).
+//!
+//! The transparent forwarder also behaves like a router at the IP layer:
+//! it decrements TTL when relaying and emits ICMP Time Exceeded when the
+//! TTL dies — which is exactly the behaviour DNSRoute++ (§5) exploits to
+//! trace the path *behind* it.
+
+use crate::cache::{CachedAnswer, DnsCache};
+use crate::device::DeviceProfile;
+use dnswire::{Message, MessageBuilder};
+use netsim::{Ctx, Datagram, Host, SimDuration, UdpSend};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Counters for a recursive forwarder.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecursiveForwarderStats {
+    /// Queries accepted from clients.
+    pub client_queries: u64,
+    /// Answers served from the local cache.
+    pub cache_answers: u64,
+    /// Queries forwarded upstream.
+    pub forwarded: u64,
+    /// Responses relayed back to clients.
+    pub relayed: u64,
+    /// Upstream timeouts.
+    pub timeouts: u64,
+}
+
+#[derive(Debug)]
+struct PendingQuery {
+    client: Ipv4Addr,
+    client_port: u16,
+    client_txid: u16,
+    qname: dnswire::DnsName,
+    qtype: dnswire::RrType,
+    done: bool,
+}
+
+/// In-path response manipulation, as practiced by ad-injecting or
+/// censoring CPE/ISP middleboxes (§6 distinguishes transparent forwarders
+/// from these). Manipulated responses fail the study's control-record
+/// check and are discarded by the strict classifier — but single-record
+/// pipelines like Shadowserver's still count the responder, which is how
+/// Shadowserver ends up reporting *more* ODNS hosts than the study in
+/// heavily-manipulated countries (Table 5: China, South Korea, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Manipulation {
+    /// Relay answers untouched.
+    None,
+    /// Replace every A record's address (ad-server injection style).
+    ReplaceARecords(Ipv4Addr),
+}
+
+/// A recursive (address-rewriting) DNS forwarder — typically CPE running a
+/// DNS proxy. Open to everyone, which is what makes it an ODNS component.
+#[derive(Debug)]
+pub struct RecursiveForwarder {
+    resolver: Ipv4Addr,
+    cache: Option<DnsCache>,
+    pending: HashMap<(u16, u16), usize>,
+    queries: Vec<PendingQuery>,
+    next_port: u16,
+    timeout: SimDuration,
+    device: Option<DeviceProfile>,
+    manipulation: Manipulation,
+    /// Counters.
+    pub stats: RecursiveForwarderStats,
+}
+
+impl RecursiveForwarder {
+    /// Forwarder relaying to `resolver`, with a small answer cache.
+    pub fn new(resolver: Ipv4Addr) -> Self {
+        RecursiveForwarder {
+            resolver,
+            cache: Some(DnsCache::new(64)),
+            pending: HashMap::new(),
+            queries: Vec::new(),
+            next_port: 2048,
+            timeout: SimDuration::from_secs(5),
+            device: None,
+            manipulation: Manipulation::None,
+            stats: RecursiveForwarderStats::default(),
+        }
+    }
+
+    /// Disable the answer cache (some CPE proxies do not cache).
+    pub fn without_cache(mut self) -> Self {
+        self.cache = None;
+        self
+    }
+
+    /// Attach a device profile (open ports / banners) for fingerprinting.
+    pub fn with_device(mut self, device: DeviceProfile) -> Self {
+        self.device = Some(device);
+        self
+    }
+
+    /// Enable in-path response manipulation.
+    pub fn with_manipulation(mut self, manipulation: Manipulation) -> Self {
+        self.manipulation = manipulation;
+        self
+    }
+
+    /// The resolver this forwarder relays to.
+    pub fn resolver(&self) -> Ipv4Addr {
+        self.resolver
+    }
+
+    fn alloc_port(&mut self) -> u16 {
+        let p = self.next_port;
+        self.next_port = if self.next_port >= 65000 { 2048 } else { self.next_port + 1 };
+        p
+    }
+}
+
+impl Host for RecursiveForwarder {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
+        if dgram.dst_port != dnswire::DNS_PORT {
+            // Upstream response to one of our ephemeral ports?
+            if let Ok(msg) = Message::decode(&dgram.payload) {
+                if msg.is_response() {
+                    let key = (dgram.dst_port, msg.header.id);
+                    if let Some(idx) = self.pending.remove(&key) {
+                        let q = &mut self.queries[idx];
+                        if q.done {
+                            return;
+                        }
+                        q.done = true;
+                        // Cache the answer under the client's question.
+                        if let Some(cache) = &mut self.cache {
+                            if !msg.answers.is_empty() {
+                                let min_ttl = msg.answers.iter().map(|r| r.ttl).min().unwrap_or(0);
+                                cache.insert(
+                                    q.qname.clone(),
+                                    q.qtype,
+                                    CachedAnswer::Positive(msg.answers.clone()),
+                                    min_ttl,
+                                    ctx.now(),
+                                );
+                            }
+                        }
+                        // Relay with the client's original transaction ID,
+                        // from our own address: to the client *we* look
+                        // like the resolver.
+                        let mut relayed = msg.clone();
+                        relayed.header.id = q.client_txid;
+                        if let Manipulation::ReplaceARecords(inject) = self.manipulation {
+                            for r in &mut relayed.answers {
+                                if let dnswire::RData::A(a) = &mut r.rdata {
+                                    *a = inject;
+                                }
+                            }
+                        }
+                        self.stats.relayed += 1;
+                        ctx.send_udp(UdpSend {
+                            src: None,
+                            src_port: dnswire::DNS_PORT,
+                            dst: q.client,
+                            dst_port: q.client_port,
+                            ttl: None,
+                            payload: relayed.encode(),
+                        });
+                        return;
+                    }
+                }
+            }
+            // Not DNS business: fingerprinting surface.
+            crate::device::handle_probe(ctx, &dgram, self.device.as_ref());
+            return;
+        }
+
+        let Ok(query) = Message::decode(&dgram.payload) else {
+            return;
+        };
+        if query.is_response() || query.question().is_none() {
+            return;
+        }
+        self.stats.client_queries += 1;
+        let q = query.question().expect("checked").clone();
+
+        if let Some(cache) = &mut self.cache {
+            if let Some(CachedAnswer::Positive(records)) = cache.get(&q.qname, q.qtype, ctx.now()) {
+                self.stats.cache_answers += 1;
+                let mut b = MessageBuilder::response_to(&query).recursion_available(true);
+                for r in records {
+                    b = b.answer(r);
+                }
+                ctx.send_udp(UdpSend {
+                    src: Some(dgram.dst),
+                    src_port: dnswire::DNS_PORT,
+                    dst: dgram.src,
+                    dst_port: dgram.src_port,
+                    ttl: None,
+                    payload: b.build().encode(),
+                });
+                return;
+            }
+        }
+
+        // Forward upstream from our own address (the defining rewrite).
+        let port = self.alloc_port();
+        let txid = query.header.id; // keep the ID; our port disambiguates
+        self.queries.push(PendingQuery {
+            client: dgram.src,
+            client_port: dgram.src_port,
+            client_txid: query.header.id,
+            qname: q.qname.clone(),
+            qtype: q.qtype,
+            done: false,
+        });
+        let idx = self.queries.len() - 1;
+        self.pending.insert((port, txid), idx);
+        self.stats.forwarded += 1;
+        ctx.send_udp(UdpSend {
+            src: None,
+            src_port: port,
+            dst: self.resolver,
+            dst_port: dnswire::DNS_PORT,
+            ttl: None,
+            payload: dgram.payload.clone(),
+        });
+        ctx.set_timer(self.timeout, (u64::from(port) << 16) | u64::from(txid));
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, token: u64) {
+        let key = ((token >> 16) as u16, token as u16);
+        if let Some(idx) = self.pending.remove(&key) {
+            // Give up silently (stub clients retry on their own), matching
+            // typical CPE proxy behaviour.
+            self.queries[idx].done = true;
+            self.stats.timeouts += 1;
+        }
+    }
+
+    netsim::impl_host_downcast!();
+}
+
+/// Counters for a transparent forwarder.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransparentForwarderStats {
+    /// DNS queries relayed (spoofed) toward the resolver.
+    pub relayed: u64,
+    /// Queries whose TTL died at this device (ICMP Time Exceeded sent).
+    pub ttl_exceeded: u64,
+}
+
+/// A transparent DNS forwarder: the misbehaving middlebox at the center of
+/// the paper.
+///
+/// It relays port-53 queries to its configured resolver with the client's
+/// source address preserved and never handles responses. It has *no
+/// per-query state* — which is also why scanning campaigns based purely on
+/// responses cannot see it (§3).
+#[derive(Debug)]
+pub struct TransparentForwarder {
+    resolver: Ipv4Addr,
+    device: Option<DeviceProfile>,
+    /// Counters.
+    pub stats: TransparentForwarderStats,
+}
+
+impl TransparentForwarder {
+    /// A transparent forwarder relaying to `resolver`.
+    pub fn new(resolver: Ipv4Addr) -> Self {
+        TransparentForwarder { resolver, device: None, stats: TransparentForwarderStats::default() }
+    }
+
+    /// Attach a device profile (open ports / banners) for fingerprinting.
+    pub fn with_device(mut self, device: DeviceProfile) -> Self {
+        self.device = Some(device);
+        self
+    }
+
+    /// The resolver this forwarder relays to.
+    pub fn resolver(&self) -> Ipv4Addr {
+        self.resolver
+    }
+}
+
+impl Host for TransparentForwarder {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
+        if dgram.dst_port != dnswire::DNS_PORT {
+            crate::device::handle_probe(ctx, &dgram, self.device.as_ref());
+            return;
+        }
+        // Quick sanity check that this is a DNS query; middleboxes that
+        // blindly redirect port 53 forward anything, so only the header is
+        // peeked, not fully validated.
+        if dnswire::peek_id(&dgram.payload).is_none() {
+            return;
+        }
+        // Router-at-IP-layer behaviour: relaying decrements TTL; a dead TTL
+        // elicits Time Exceeded *from this device* — DNSRoute++'s marker
+        // for the forwarder itself.
+        if dgram.ttl <= 1 {
+            self.stats.ttl_exceeded += 1;
+            ctx.send_time_exceeded(&dgram);
+            return;
+        }
+        self.stats.relayed += 1;
+        ctx.send_udp(UdpSend {
+            // The defining spoof: original source preserved.
+            src: Some(dgram.src),
+            src_port: dgram.src_port,
+            dst: self.resolver,
+            dst_port: dnswire::DNS_PORT,
+            ttl: Some(dgram.ttl - 1),
+            payload: dgram.payload.clone(),
+        });
+    }
+
+    netsim::impl_host_downcast!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnswire::{DnsName, RrType};
+    use netsim::testkit::{playground, Exchange};
+    use netsim::{SimConfig, Simulator};
+
+    const FWD_IP: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 1);
+    const CLIENT_IP: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+    const RESOLVER_IP: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 1);
+
+    fn query_bytes(txid: u16) -> Vec<u8> {
+        MessageBuilder::query(txid, DnsName::parse("odns-study.example.").unwrap(), RrType::A)
+            .recursion_desired(true)
+            .build()
+            .encode()
+    }
+
+    /// A resolver stand-in that answers every query with a fixed A record.
+    struct CannedResolver {
+        seen: Vec<Datagram>,
+    }
+    impl Host for CannedResolver {
+        fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
+            let query = Message::decode(&dgram.payload).unwrap();
+            let resp = MessageBuilder::response_to(&query)
+                .recursion_available(true)
+                .answer_a(query.questions[0].qname.clone(), 300, Ipv4Addr::new(7, 7, 7, 7))
+                .build();
+            ctx.send_udp(UdpSend {
+                src: Some(dgram.dst),
+                src_port: 53,
+                dst: dgram.src,
+                dst_port: dgram.src_port,
+                ttl: None,
+                payload: resp.encode(),
+            });
+            self.seen.push(dgram);
+        }
+        netsim::impl_host_downcast!();
+    }
+
+    fn three_node_sim() -> (Simulator, netsim::NodeId, netsim::NodeId, netsim::NodeId) {
+        let (topo, nodes) = playground(&[CLIENT_IP, FWD_IP, RESOLVER_IP]);
+        let sim = Simulator::new(topo, SimConfig::default());
+        (sim, nodes[0], nodes[1], nodes[2])
+    }
+
+    #[test]
+    fn transparent_forwarder_spoofs_and_resolver_answers_client_directly() {
+        let (mut sim, client, fwd, resolver) = three_node_sim();
+        sim.install(fwd, TransparentForwarder::new(RESOLVER_IP));
+        sim.install(resolver, CannedResolver { seen: vec![] });
+        netsim::testkit::install_script(
+            &mut sim,
+            client,
+            vec![(SimDuration::ZERO, UdpSend::new(34000, FWD_IP, 53, query_bytes(77)))],
+        );
+        sim.run();
+
+        let resolver_host: &CannedResolver = sim.host_as(resolver).unwrap();
+        assert_eq!(resolver_host.seen.len(), 1);
+        assert_eq!(resolver_host.seen[0].src, CLIENT_IP, "source spoofed to the client");
+        assert_eq!(resolver_host.seen[0].src_port, 34000, "client port preserved");
+
+        let client_host: &netsim::testkit::ScriptedClient = sim.host_as(client).unwrap();
+        assert_eq!(client_host.datagrams.len(), 1);
+        let (_, d) = &client_host.datagrams[0];
+        assert_eq!(d.src, RESOLVER_IP, "answer comes from the resolver, not the probed IP");
+        let resp = Message::decode(&d.payload).unwrap();
+        assert_eq!(resp.header.id, 77);
+
+        let fwd_host: &TransparentForwarder = sim.host_as(fwd).unwrap();
+        assert_eq!(fwd_host.stats.relayed, 1);
+        assert_eq!(sim.stats().spoofed_sent, 1);
+    }
+
+    #[test]
+    fn transparent_forwarder_blocked_by_sav() {
+        let (topo, nodes) =
+            netsim::testkit::playground_with_sav(&[CLIENT_IP, FWD_IP, RESOLVER_IP], true);
+        let mut sim = Simulator::new(topo, SimConfig::default());
+        sim.install(nodes[1], TransparentForwarder::new(RESOLVER_IP));
+        sim.install(nodes[2], CannedResolver { seen: vec![] });
+        netsim::testkit::install_script(
+            &mut sim,
+            nodes[0],
+            vec![(SimDuration::ZERO, UdpSend::new(34000, FWD_IP, 53, query_bytes(1)))],
+        );
+        sim.run();
+        let resolver_host: &CannedResolver = sim.host_as(nodes[2]).unwrap();
+        assert!(resolver_host.seen.is_empty(), "SAV eats the spoofed relay");
+        assert_eq!(sim.stats().dropped_sav, 1);
+    }
+
+    #[test]
+    fn transparent_forwarder_emits_time_exceeded_on_dead_ttl() {
+        let (mut sim, client, fwd, resolver) = three_node_sim();
+        sim.install(fwd, TransparentForwarder::new(RESOLVER_IP));
+        sim.install(resolver, CannedResolver { seen: vec![] });
+        // One router on the playground path: TTL 2 arrives at the
+        // forwarder with 1 left — the relay decrement kills it.
+        netsim::testkit::install_script(
+            &mut sim,
+            client,
+            vec![(
+                SimDuration::ZERO,
+                UdpSend {
+                    src: None,
+                    src_port: 34001,
+                    dst: FWD_IP,
+                    dst_port: 53,
+                    ttl: Some(2),
+                    payload: query_bytes(2),
+                },
+            )],
+        );
+        sim.run();
+        let client_host: &netsim::testkit::ScriptedClient = sim.host_as(client).unwrap();
+        assert_eq!(client_host.icmp.len(), 1);
+        let icmp = &client_host.icmp[0].1;
+        assert_eq!(icmp.kind, netsim::IcmpKind::TimeExceeded);
+        assert_eq!(icmp.from, FWD_IP, "the forwarder itself answers");
+        let fwd_host: &TransparentForwarder = sim.host_as(fwd).unwrap();
+        assert_eq!(fwd_host.stats.ttl_exceeded, 1);
+        assert_eq!(fwd_host.stats.relayed, 0);
+    }
+
+    #[test]
+    fn recursive_forwarder_rewrites_source_and_relays_answer() {
+        let (mut sim, client, fwd, resolver) = three_node_sim();
+        sim.install(fwd, RecursiveForwarder::new(RESOLVER_IP));
+        sim.install(resolver, CannedResolver { seen: vec![] });
+        netsim::testkit::install_script(
+            &mut sim,
+            client,
+            vec![(SimDuration::ZERO, UdpSend::new(34000, FWD_IP, 53, query_bytes(42)))],
+        );
+        sim.run();
+
+        let resolver_host: &CannedResolver = sim.host_as(resolver).unwrap();
+        assert_eq!(resolver_host.seen.len(), 1);
+        assert_eq!(resolver_host.seen[0].src, FWD_IP, "source rewritten to the forwarder");
+
+        let client_host: &netsim::testkit::ScriptedClient = sim.host_as(client).unwrap();
+        assert_eq!(client_host.datagrams.len(), 1);
+        let (_, d) = &client_host.datagrams[0];
+        assert_eq!(d.src, FWD_IP, "answer arrives from the probed IP");
+        let resp = Message::decode(&d.payload).unwrap();
+        assert_eq!(resp.header.id, 42, "client's transaction ID restored");
+        assert_eq!(resp.answer_a_addrs(), vec![Ipv4Addr::new(7, 7, 7, 7)]);
+        assert_eq!(sim.stats().spoofed_sent, 0, "no spoofing involved");
+    }
+
+    #[test]
+    fn recursive_forwarder_serves_second_query_from_cache() {
+        let (mut sim, client, fwd, resolver) = three_node_sim();
+        sim.install(fwd, RecursiveForwarder::new(RESOLVER_IP));
+        sim.install(resolver, CannedResolver { seen: vec![] });
+        netsim::testkit::install_script(
+            &mut sim,
+            client,
+            vec![
+                (SimDuration::ZERO, UdpSend::new(34000, FWD_IP, 53, query_bytes(1))),
+                (SimDuration::from_secs(10), UdpSend::new(34001, FWD_IP, 53, query_bytes(2))),
+            ],
+        );
+        sim.run();
+        let resolver_host: &CannedResolver = sim.host_as(resolver).unwrap();
+        assert_eq!(resolver_host.seen.len(), 1, "second query absorbed by cache");
+        let client_host: &netsim::testkit::ScriptedClient = sim.host_as(client).unwrap();
+        assert_eq!(client_host.datagrams.len(), 2);
+        let second = Message::decode(&client_host.datagrams[1].1.payload).unwrap();
+        assert_eq!(second.answers[0].ttl, 290, "cached TTL decayed by 10 s");
+        let f: &RecursiveForwarder = sim.host_as(fwd).unwrap();
+        assert_eq!(f.stats.cache_answers, 1);
+    }
+
+    #[test]
+    fn two_clients_same_txid_disambiguated_by_port() {
+        // Two clients query the recursive forwarder with the *same* DNS
+        // transaction ID; the forwarder's per-query upstream port keeps the
+        // answers apart.
+        let (topo, nodes) = playground(&[CLIENT_IP, Ipv4Addr::new(192, 0, 2, 2), FWD_IP, RESOLVER_IP]);
+        let mut sim = Simulator::new(topo, SimConfig::default());
+        sim.install(nodes[2], RecursiveForwarder::new(RESOLVER_IP).without_cache());
+        sim.install(nodes[3], CannedResolver { seen: vec![] });
+        netsim::testkit::install_script(
+            &mut sim,
+            nodes[0],
+            vec![(SimDuration::ZERO, UdpSend::new(40001, FWD_IP, 53, query_bytes(99)))],
+        );
+        netsim::testkit::install_script(
+            &mut sim,
+            nodes[1],
+            vec![(SimDuration::from_micros(10), UdpSend::new(40002, FWD_IP, 53, query_bytes(99)))],
+        );
+        sim.run();
+        for client in [nodes[0], nodes[1]] {
+            let h: &netsim::testkit::ScriptedClient = sim.host_as(client).unwrap();
+            assert_eq!(h.datagrams.len(), 1, "each client gets exactly one answer");
+            let m = Message::decode(&h.datagrams[0].1.payload).unwrap();
+            assert_eq!(m.header.id, 99);
+        }
+    }
+
+    #[test]
+    fn manipulating_forwarder_rewrites_a_records() {
+        let (mut sim, client, fwd, resolver) = three_node_sim();
+        let inject = Ipv4Addr::new(10, 66, 66, 66);
+        sim.install(
+            fwd,
+            RecursiveForwarder::new(RESOLVER_IP)
+                .with_manipulation(Manipulation::ReplaceARecords(inject)),
+        );
+        sim.install(resolver, CannedResolver { seen: vec![] });
+        netsim::testkit::install_script(
+            &mut sim,
+            client,
+            vec![(SimDuration::ZERO, UdpSend::new(34000, FWD_IP, 53, query_bytes(8)))],
+        );
+        sim.run();
+        let client_host: &netsim::testkit::ScriptedClient = sim.host_as(client).unwrap();
+        let resp = Message::decode(&client_host.datagrams[0].1.payload).unwrap();
+        assert_eq!(resp.answer_a_addrs(), vec![inject], "all A records replaced");
+    }
+
+    #[test]
+    fn transparent_forwarder_ignores_garbage() {
+        let mut ex = Exchange::new(FWD_IP, CLIENT_IP, TransparentForwarder::new(RESOLVER_IP));
+        ex.send_at(SimDuration::ZERO, UdpSend::new(1, FWD_IP, 53, vec![0x01]));
+        ex.run();
+        let f: &TransparentForwarder = ex.subject();
+        assert_eq!(f.stats.relayed, 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Per-source-prefix rate limiting.
+//!
+//! The paper's honeypot sensors answer at most one request every five
+//! minutes *per source /24* — prefix-keyed rather than host-keyed so that
+//! DoS "carpet bombs" (attacks sweeping a whole prefix of spoofed victims)
+//! cannot multiply the sensor's output (§3.1).
+
+use netsim::{SimDuration, SimTime, TokenBucket};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// The covering /24 of an address, as a 24-bit-aligned u32.
+pub fn prefix24(ip: Ipv4Addr) -> u32 {
+    u32::from(ip) & 0xFFFF_FF00
+}
+
+/// Render a /24 key back to dotted form, e.g. `203.0.113.0/24`.
+pub fn prefix24_to_string(prefix: u32) -> String {
+    let ip = Ipv4Addr::from(prefix);
+    format!("{ip}/24")
+}
+
+/// Bucket parameters for a prefix limiter.
+#[derive(Debug, Clone, Copy)]
+pub struct LimiterPolicy {
+    /// Bucket capacity (burst size).
+    pub capacity: u64,
+    /// Tokens restored per period.
+    pub refill: u64,
+    /// Refill period.
+    pub period: SimDuration,
+}
+
+impl LimiterPolicy {
+    /// The paper's sensor policy: 1 answer / 5 min / source /24.
+    pub fn one_per_5min() -> Self {
+        LimiterPolicy { capacity: 1, refill: 1, period: SimDuration::from_secs(300) }
+    }
+}
+
+/// A map of token buckets keyed by source /24.
+#[derive(Debug)]
+pub struct PrefixRateLimiter {
+    policy: LimiterPolicy,
+    buckets: HashMap<u32, TokenBucket>,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Requests rejected.
+    pub rejected: u64,
+}
+
+impl PrefixRateLimiter {
+    /// New limiter with the given per-prefix policy.
+    pub fn new(policy: LimiterPolicy) -> Self {
+        PrefixRateLimiter { policy, buckets: HashMap::new(), admitted: 0, rejected: 0 }
+    }
+
+    /// The sensor default (1 per 5 minutes per /24).
+    pub fn sensor_default() -> Self {
+        Self::new(LimiterPolicy::one_per_5min())
+    }
+
+    /// Admit or reject a request from `src` at `now`.
+    pub fn allow(&mut self, src: Ipv4Addr, now: SimTime) -> bool {
+        let key = prefix24(src);
+        let policy = self.policy;
+        let bucket = self
+            .buckets
+            .entry(key)
+            .or_insert_with(|| TokenBucket::new(policy.capacity, policy.refill, policy.period));
+        if bucket.try_take(now) {
+            self.admitted += 1;
+            true
+        } else {
+            self.rejected += 1;
+            false
+        }
+    }
+
+    /// Number of distinct source prefixes seen.
+    pub fn prefixes_seen(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_key_math() {
+        assert_eq!(prefix24(Ipv4Addr::new(203, 0, 113, 77)), u32::from(Ipv4Addr::new(203, 0, 113, 0)));
+        assert_eq!(prefix24_to_string(prefix24(Ipv4Addr::new(10, 1, 2, 3))), "10.1.2.0/24");
+    }
+
+    #[test]
+    fn same_prefix_shares_budget() {
+        let mut l = PrefixRateLimiter::sensor_default();
+        let t = SimTime::ZERO;
+        assert!(l.allow(Ipv4Addr::new(203, 0, 113, 1), t));
+        // A different host in the same /24 is rejected — carpet-bomb guard.
+        assert!(!l.allow(Ipv4Addr::new(203, 0, 113, 200), t));
+        assert_eq!(l.prefixes_seen(), 1);
+        assert_eq!((l.admitted, l.rejected), (1, 1));
+    }
+
+    #[test]
+    fn different_prefixes_are_independent() {
+        let mut l = PrefixRateLimiter::sensor_default();
+        let t = SimTime::ZERO;
+        assert!(l.allow(Ipv4Addr::new(203, 0, 113, 1), t));
+        assert!(l.allow(Ipv4Addr::new(203, 0, 114, 1), t));
+        assert_eq!(l.prefixes_seen(), 2);
+    }
+
+    #[test]
+    fn budget_recovers_after_period() {
+        let mut l = PrefixRateLimiter::sensor_default();
+        let src = Ipv4Addr::new(203, 0, 113, 1);
+        assert!(l.allow(src, SimTime::ZERO));
+        assert!(!l.allow(src, SimTime::ZERO + SimDuration::from_secs(299)));
+        assert!(l.allow(src, SimTime::ZERO + SimDuration::from_secs(300)));
+    }
+}

@@ -1,0 +1,523 @@
+//! The recursive resolver: iterative resolution with caching and ACLs.
+//!
+//! This single implementation plays three roles in the study (Figure 1):
+//!
+//! * **open recursive resolver** — `AccessPolicy::Open`, the classic ODNS
+//!   component and the only resolver type a transparent forwarder can use;
+//! * **restricted recursive resolver** — `AccessPolicy::RestrictedTo`, which
+//!   REFUSES off-net clients (and thereby *rejects* queries relayed by a
+//!   transparent forwarder, since those arrive with the scanner's address);
+//! * **public anycast resolver PoP** — an open instance registered under an
+//!   anycast service address (see `crate::public`), answering from that
+//!   address.
+//!
+//! Resolution is genuinely iterative: root referral → TLD referral →
+//! authoritative answer, all through the simulated network, with positive
+//! and negative caching.
+
+use crate::cache::{CachedAnswer, DnsCache};
+use dnswire::{DnsName, Message, MessageBuilder, Rcode, RrType};
+use netsim::{Ctx, Datagram, Host, SimDuration, UdpSend};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Who may use this resolver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessPolicy {
+    /// Anyone — an ODNS component.
+    Open,
+    /// Only clients inside one of these `(network, prefix_len)` blocks;
+    /// everyone else gets REFUSED.
+    RestrictedTo(Vec<(Ipv4Addr, u8)>),
+}
+
+impl AccessPolicy {
+    /// Does `client` pass this policy?
+    pub fn allows(&self, client: Ipv4Addr) -> bool {
+        match self {
+            AccessPolicy::Open => true,
+            AccessPolicy::RestrictedTo(nets) => {
+                nets.iter().any(|(net, len)| in_prefix(client, *net, *len))
+            }
+        }
+    }
+}
+
+/// Is `ip` inside `net/len`?
+pub fn in_prefix(ip: Ipv4Addr, net: Ipv4Addr, len: u8) -> bool {
+    if len == 0 {
+        return true;
+    }
+    if len > 32 {
+        return false;
+    }
+    let mask = u32::MAX << (32 - u32::from(len));
+    (u32::from(ip) & mask) == (u32::from(net) & mask)
+}
+
+/// Resolver configuration.
+#[derive(Debug, Clone)]
+pub struct ResolverConfig {
+    /// Root server addresses (tried in order).
+    pub roots: Vec<Ipv4Addr>,
+    /// Client access policy.
+    pub acl: AccessPolicy,
+    /// Cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Timeout per upstream query before retry/SERVFAIL.
+    pub upstream_timeout: SimDuration,
+    /// Maximum referral depth (loop guard).
+    pub max_referrals: u8,
+    /// Total upstream retries per resolution before SERVFAIL. Real
+    /// resolvers persist through several lost legs; a single-retry budget
+    /// makes every coalesced client hostage to two unlucky packets.
+    pub max_retries: u8,
+}
+
+impl ResolverConfig {
+    /// An open resolver with the given roots and sane defaults.
+    pub fn open(roots: Vec<Ipv4Addr>) -> Self {
+        ResolverConfig {
+            roots,
+            acl: AccessPolicy::Open,
+            cache_capacity: 512,
+            upstream_timeout: SimDuration::from_secs(2),
+            max_referrals: 8,
+            max_retries: 4,
+        }
+    }
+
+    /// A restricted resolver serving only `nets`.
+    pub fn restricted(roots: Vec<Ipv4Addr>, nets: Vec<(Ipv4Addr, u8)>) -> Self {
+        ResolverConfig { acl: AccessPolicy::RestrictedTo(nets), ..Self::open(roots) }
+    }
+}
+
+/// Counters kept by the resolver.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolverStats {
+    /// Client queries received.
+    pub client_queries: u64,
+    /// Client queries answered from cache.
+    pub cache_answers: u64,
+    /// Client queries coalesced onto an in-flight resolution for the same
+    /// name (real resolvers do this; without it a fast scanner's identical
+    /// queries stampede the authoritative server before the first answer
+    /// can populate the cache).
+    pub coalesced: u64,
+    /// Client queries REFUSED by the ACL.
+    pub refused: u64,
+    /// Upstream queries emitted (root + TLD + auth).
+    pub upstream_queries: u64,
+    /// SERVFAIL responses sent.
+    pub servfail: u64,
+    /// Upstream timeouts observed.
+    pub timeouts: u64,
+}
+
+/// How a resolution ended, delivered to the leader and all coalesced
+/// waiters.
+#[derive(Debug, Clone)]
+enum TaskOutcome {
+    Records(Vec<dnswire::Record>),
+    Rcode(Rcode),
+    NoData,
+}
+
+#[derive(Debug)]
+struct Task {
+    client: Ipv4Addr,
+    client_port: u16,
+    client_txid: u16,
+    /// The address the client queried (unicast or anycast service IP);
+    /// responses are sourced from it.
+    service_addr: Ipv4Addr,
+    qname: DnsName,
+    qtype: RrType,
+    current_ns: Ipv4Addr,
+    referrals: u8,
+    retries: u8,
+    done: bool,
+}
+
+/// The recursive resolver host.
+#[derive(Debug)]
+pub struct RecursiveResolver {
+    config: ResolverConfig,
+    cache: DnsCache,
+    tasks: Vec<Task>,
+    /// Pending upstream transactions: `(our_port, txid)` → task index.
+    pending: HashMap<(u16, u16), usize>,
+    /// Tasks waiting on another task's in-flight resolution of the same
+    /// `(qname, qtype)`: leader task index → waiter task indices.
+    waiters: HashMap<usize, Vec<usize>>,
+    /// Reverse lookup: `(qname, qtype)` → leader task index.
+    inflight: HashMap<(DnsName, RrType), usize>,
+    next_port: u16,
+    next_txid: u16,
+    /// Counters.
+    pub stats: ResolverStats,
+}
+
+impl RecursiveResolver {
+    /// Build from config.
+    pub fn new(config: ResolverConfig) -> Self {
+        let cache = DnsCache::new(config.cache_capacity);
+        RecursiveResolver {
+            config,
+            cache,
+            tasks: Vec::new(),
+            pending: HashMap::new(),
+            waiters: HashMap::new(),
+            inflight: HashMap::new(),
+            next_port: 1024,
+            next_txid: 1,
+            stats: ResolverStats::default(),
+        }
+    }
+
+    /// Access to the cache (for pollution experiments).
+    pub fn cache(&self) -> &DnsCache {
+        &self.cache
+    }
+
+    /// Mutable access to the cache (tests pre-seed entries).
+    pub fn cache_mut(&mut self) -> &mut DnsCache {
+        &mut self.cache
+    }
+
+    fn alloc_ids(&mut self) -> (u16, u16) {
+        let port = self.next_port;
+        self.next_port = if self.next_port >= 65000 { 1024 } else { self.next_port + 1 };
+        let txid = self.next_txid;
+        self.next_txid = self.next_txid.wrapping_add(1).max(1);
+        (port, txid)
+    }
+
+    fn respond_to_client(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        task_idx: usize,
+        build: impl FnOnce(MessageBuilder) -> MessageBuilder,
+    ) {
+        let task = &mut self.tasks[task_idx];
+        if task.done {
+            return;
+        }
+        task.done = true;
+        let skeleton = MessageBuilder::query(task.client_txid, task.qname.clone(), task.qtype)
+            .recursion_desired(true)
+            .build();
+        let builder = MessageBuilder::response_to(&skeleton).recursion_available(true);
+        let response = build(builder).build();
+        ctx.send_udp(UdpSend {
+            src: Some(task.service_addr),
+            src_port: dnswire::DNS_PORT,
+            dst: task.client,
+            dst_port: task.client_port,
+            ttl: None,
+            payload: response.encode(),
+        });
+    }
+
+    /// Deliver a final outcome to a leader task and every coalesced waiter.
+    fn finish(&mut self, ctx: &mut Ctx<'_>, leader_idx: usize, outcome: TaskOutcome) {
+        let key = {
+            let t = &self.tasks[leader_idx];
+            (t.qname.clone(), t.qtype)
+        };
+        if self.inflight.get(&key) == Some(&leader_idx) {
+            self.inflight.remove(&key);
+        }
+        let mut recipients = vec![leader_idx];
+        recipients.extend(self.waiters.remove(&leader_idx).unwrap_or_default());
+        for idx in recipients {
+            match &outcome {
+                TaskOutcome::Records(records) => {
+                    let records = records.clone();
+                    self.respond_to_client(ctx, idx, move |mut b| {
+                        for r in records {
+                            b = b.answer(r);
+                        }
+                        b
+                    });
+                }
+                TaskOutcome::Rcode(rcode) => {
+                    let rcode = *rcode;
+                    self.respond_to_client(ctx, idx, move |b| b.rcode(rcode));
+                }
+                TaskOutcome::NoData => self.respond_to_client(ctx, idx, |b| b),
+            }
+        }
+    }
+
+    fn send_upstream(&mut self, ctx: &mut Ctx<'_>, task_idx: usize) {
+        let (port, txid) = self.alloc_ids();
+        let task = &self.tasks[task_idx];
+        let query = MessageBuilder::query(txid, task.qname.clone(), task.qtype).build();
+        let ns = task.current_ns;
+        self.pending.insert((port, txid), task_idx);
+        self.stats.upstream_queries += 1;
+        ctx.send_udp(UdpSend {
+            src: None, // egress uses the node's unicast address, even on anycast PoPs
+            src_port: port,
+            dst: ns,
+            dst_port: dnswire::DNS_PORT,
+            ttl: None,
+            payload: query.encode(),
+        });
+        let token = encode_timer(port, txid);
+        ctx.set_timer(self.config.upstream_timeout, token);
+    }
+
+    fn handle_client_query(&mut self, ctx: &mut Ctx<'_>, dgram: &Datagram, query: Message) {
+        self.stats.client_queries += 1;
+        let q = query.question().expect("caller checked").clone();
+
+        if !self.config.acl.allows(dgram.src) {
+            self.stats.refused += 1;
+            let resp = MessageBuilder::response_to(&query).rcode(Rcode::Refused).build();
+            ctx.send_udp(UdpSend {
+                src: Some(dgram.dst),
+                src_port: dnswire::DNS_PORT,
+                dst: dgram.src,
+                dst_port: dgram.src_port,
+                ttl: None,
+                payload: resp.encode(),
+            });
+            return;
+        }
+
+        // Cache lookup.
+        if let Some(answer) = self.cache.get(&q.qname, q.qtype, ctx.now()) {
+            self.stats.cache_answers += 1;
+            let builder = MessageBuilder::response_to(&query).recursion_available(true);
+            let resp = match answer {
+                CachedAnswer::Positive(records) => {
+                    let mut b = builder;
+                    for r in records {
+                        b = b.answer(r);
+                    }
+                    b.build()
+                }
+                CachedAnswer::Negative(rcode) => builder.rcode(rcode).build(),
+            };
+            ctx.send_udp(UdpSend {
+                src: Some(dgram.dst),
+                src_port: dnswire::DNS_PORT,
+                dst: dgram.src,
+                dst_port: dgram.src_port,
+                ttl: None,
+                payload: resp.encode(),
+            });
+            return;
+        }
+
+        let Some(&root) = self.config.roots.first() else {
+            let resp = MessageBuilder::response_to(&query).rcode(Rcode::ServFail).build();
+            self.stats.servfail += 1;
+            ctx.send_udp(UdpSend {
+                src: Some(dgram.dst),
+                src_port: dnswire::DNS_PORT,
+                dst: dgram.src,
+                dst_port: dgram.src_port,
+                ttl: None,
+                payload: resp.encode(),
+            });
+            return;
+        };
+
+        self.tasks.push(Task {
+            client: dgram.src,
+            client_port: dgram.src_port,
+            client_txid: query.header.id,
+            service_addr: dgram.dst,
+            qname: q.qname.clone(),
+            qtype: q.qtype,
+            current_ns: root,
+            referrals: 0,
+            retries: 0,
+            done: false,
+        });
+        let idx = self.tasks.len() - 1;
+        // Coalesce onto an in-flight resolution for the same name.
+        let key = (q.qname.clone(), q.qtype);
+        if let Some(&leader) = self.inflight.get(&key) {
+            if !self.tasks[leader].done {
+                self.stats.coalesced += 1;
+                self.waiters.entry(leader).or_default().push(idx);
+                return;
+            }
+        }
+        self.inflight.insert(key, idx);
+        self.send_upstream(ctx, idx);
+    }
+
+    fn handle_upstream_response(&mut self, ctx: &mut Ctx<'_>, dgram: &Datagram, resp: Message) {
+        let key = (dgram.dst_port, resp.header.id);
+        let Some(task_idx) = self.pending.remove(&key) else {
+            return; // late or unsolicited; drop
+        };
+        if self.tasks[task_idx].done {
+            return;
+        }
+
+        if !resp.answers.is_empty() {
+            // Final answer: cache and relay (to the leader and everyone
+            // coalesced behind it).
+            let min_ttl = resp.answers.iter().map(|r| r.ttl).min().unwrap_or(0);
+            let records = resp.answers.clone();
+            let (qname, qtype) = {
+                let t = &self.tasks[task_idx];
+                (t.qname.clone(), t.qtype)
+            };
+            self.cache.insert(
+                qname,
+                qtype,
+                CachedAnswer::Positive(records.clone()),
+                min_ttl,
+                ctx.now(),
+            );
+            self.finish(ctx, task_idx, TaskOutcome::Records(records));
+            return;
+        }
+
+        if let Some(referral) = crate::zone::extract_referral(&resp) {
+            let task = &mut self.tasks[task_idx];
+            task.referrals += 1;
+            if task.referrals > self.config.max_referrals {
+                self.stats.servfail += 1;
+                self.finish(ctx, task_idx, TaskOutcome::Rcode(Rcode::ServFail));
+                return;
+            }
+            task.current_ns = referral.ns_ip;
+            self.send_upstream(ctx, task_idx);
+            return;
+        }
+
+        match resp.header.flags.rcode {
+            Rcode::NxDomain => {
+                // Negative caching per the SOA MINIMUM if present.
+                let ttl = resp
+                    .authorities
+                    .iter()
+                    .find_map(|r| match &r.rdata {
+                        dnswire::RData::Soa(soa) => Some(soa.minimum.min(r.ttl)),
+                        _ => None,
+                    })
+                    .unwrap_or(60);
+                let (qname, qtype) = {
+                    let t = &self.tasks[task_idx];
+                    (t.qname.clone(), t.qtype)
+                };
+                self.cache.insert(qname, qtype, CachedAnswer::Negative(Rcode::NxDomain), ttl, ctx.now());
+                self.finish(ctx, task_idx, TaskOutcome::Rcode(Rcode::NxDomain));
+            }
+            Rcode::NoError => {
+                self.finish(ctx, task_idx, TaskOutcome::NoData);
+            }
+            _ => {
+                self.stats.servfail += 1;
+                self.finish(ctx, task_idx, TaskOutcome::Rcode(Rcode::ServFail));
+            }
+        }
+    }
+}
+
+fn encode_timer(port: u16, txid: u16) -> u64 {
+    (u64::from(port) << 16) | u64::from(txid)
+}
+
+fn decode_timer(token: u64) -> (u16, u16) {
+    ((token >> 16) as u16, token as u16)
+}
+
+impl Host for RecursiveResolver {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
+        if dgram.dst_port == dnswire::DNS_PORT {
+            let Ok(msg) = Message::decode(&dgram.payload) else {
+                return;
+            };
+            if msg.is_response() || msg.question().is_none() {
+                return;
+            }
+            self.handle_client_query(ctx, &dgram, msg);
+        } else {
+            // Traffic to our ephemeral ports: upstream responses.
+            let Ok(msg) = Message::decode(&dgram.payload) else {
+                return;
+            };
+            if !msg.is_response() {
+                return;
+            }
+            self.handle_upstream_response(ctx, &dgram, msg);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let key = decode_timer(token);
+        let Some(task_idx) = self.pending.remove(&key) else {
+            return; // answered in time
+        };
+        self.stats.timeouts += 1;
+        let task = &mut self.tasks[task_idx];
+        if task.done {
+            return;
+        }
+        // Retry the current server with a fresh (port, txid) until the
+        // budget runs out, then SERVFAIL everyone waiting.
+        if task.retries < self.config.max_retries {
+            task.retries += 1;
+            let idx = task_idx;
+            self.send_upstream(ctx, idx);
+        } else {
+            self.stats.servfail += 1;
+            self.finish(ctx, task_idx, TaskOutcome::Rcode(Rcode::ServFail));
+        }
+    }
+
+    netsim::impl_host_downcast!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_matching() {
+        let net = Ipv4Addr::new(203, 0, 113, 0);
+        assert!(in_prefix(Ipv4Addr::new(203, 0, 113, 77), net, 24));
+        assert!(!in_prefix(Ipv4Addr::new(203, 0, 114, 1), net, 24));
+        assert!(in_prefix(Ipv4Addr::new(203, 0, 114, 1), net, 16));
+        assert!(in_prefix(Ipv4Addr::new(9, 9, 9, 9), net, 0), "len 0 matches all");
+        assert!(!in_prefix(Ipv4Addr::new(9, 9, 9, 9), net, 33), "invalid length matches none");
+    }
+
+    #[test]
+    fn access_policy() {
+        let open = AccessPolicy::Open;
+        assert!(open.allows(Ipv4Addr::new(1, 2, 3, 4)));
+        let restricted = AccessPolicy::RestrictedTo(vec![(Ipv4Addr::new(10, 0, 0, 0), 8)]);
+        assert!(restricted.allows(Ipv4Addr::new(10, 200, 3, 4)));
+        assert!(!restricted.allows(Ipv4Addr::new(192, 0, 2, 1)));
+    }
+
+    #[test]
+    fn timer_token_roundtrip() {
+        let (p, t) = decode_timer(encode_timer(34017, 0xBEEF));
+        assert_eq!((p, t), (34017, 0xBEEF));
+    }
+
+    #[test]
+    fn port_allocation_wraps_in_ephemeral_range() {
+        let mut r = RecursiveResolver::new(ResolverConfig::open(vec![Ipv4Addr::new(1, 1, 1, 1)]));
+        r.next_port = 64999;
+        let (p1, _) = r.alloc_ids();
+        let (p2, _) = r.alloc_ids();
+        let (p3, _) = r.alloc_ids();
+        assert_eq!((p1, p2, p3), (64999, 65000, 1024));
+    }
+
+    // Full end-to-end resolution paths are covered by integration tests in
+    // `resolution_chain.rs` (root → TLD → auth through the simulator).
+}

@@ -1,0 +1,149 @@
+//! Query coalescing in the recursive resolver: concurrent queries for the
+//! same name must share one upstream resolution (real resolver behaviour;
+//! without it, a fast scanner's identical queries stampede the
+//! authoritative server — the Table 2 cache-utilization property would be
+//! unmeasurable at scan rates).
+
+use dnswire::{DnsName, Message, MessageBuilder, RrType};
+use netsim::testkit::{install_script, playground, ScriptedClient};
+use netsim::{SimConfig, SimDuration, Simulator, UdpSend};
+use odns::study;
+use odns::{
+    AuthConfig, DelegatingServer, Delegation, RecursiveResolver, ResolverConfig, StudyAuthServer,
+};
+use std::net::Ipv4Addr;
+
+const RESOLVER: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 1);
+const ROOT: Ipv4Addr = Ipv4Addr::new(198, 41, 0, 4);
+const TLD: Ipv4Addr = Ipv4Addr::new(198, 41, 1, 4);
+const AUTH: Ipv4Addr = Ipv4Addr::new(198, 41, 2, 4);
+
+fn world(clients: usize) -> (Simulator, Vec<netsim::NodeId>, netsim::NodeId, netsim::NodeId) {
+    let mut ips = vec![RESOLVER, ROOT, TLD, AUTH];
+    for i in 0..clients {
+        ips.push(Ipv4Addr::new(192, 0, 2, (i + 1) as u8));
+    }
+    let (topo, nodes) = playground(&ips);
+    let mut sim = Simulator::new(topo, SimConfig::default());
+
+    let mut root = DelegatingServer::root();
+    root.delegate(Delegation {
+        zone: DnsName::parse("example.").unwrap(),
+        ns_name: DnsName::parse("a.nic.example.").unwrap(),
+        ns_ip: TLD,
+    });
+    sim.install(nodes[1], root);
+    let mut tld = DelegatingServer::new(DnsName::parse("example.").unwrap());
+    tld.delegate(Delegation {
+        zone: study::study_zone(),
+        ns_name: DnsName::parse("ns1.odns-study.example.").unwrap(),
+        ns_ip: AUTH,
+    });
+    sim.install(nodes[2], tld);
+    sim.install(nodes[3], StudyAuthServer::new(AuthConfig::default()));
+    sim.install(nodes[0], RecursiveResolver::new(ResolverConfig::open(vec![ROOT])));
+    let clients_nodes = nodes[4..].to_vec();
+    (sim, clients_nodes, nodes[0], nodes[3])
+}
+
+fn study_query(txid: u16) -> Vec<u8> {
+    MessageBuilder::query(txid, study::study_qname(), RrType::A)
+        .recursion_desired(true)
+        .build()
+        .encode()
+}
+
+#[test]
+fn concurrent_identical_queries_share_one_resolution() {
+    let n = 20;
+    let (mut sim, clients, resolver, auth) = world(n);
+    for (i, &c) in clients.iter().enumerate() {
+        install_script(
+            &mut sim,
+            c,
+            vec![(
+                // All queries within 1 ms — far below the resolution RTT.
+                SimDuration::from_micros(i as u64 * 50),
+                UdpSend::new(34000, RESOLVER, 53, study_query(i as u16)),
+            )],
+        );
+    }
+    sim.run();
+
+    // Every client got its answer...
+    for &c in &clients {
+        let sc: &ScriptedClient = sim.host_as(c).unwrap();
+        assert_eq!(sc.datagrams.len(), 1, "client must be answered");
+        let m = Message::decode(&sc.datagrams[0].1.payload).unwrap();
+        assert_eq!(m.answers.len(), 2, "both A records relayed");
+    }
+    // ...but the authority saw exactly one query.
+    let auth_host: &StudyAuthServer = sim.host_as(auth).unwrap();
+    assert_eq!(auth_host.stats.queries_received, 1, "one resolution for the herd");
+    let r: &RecursiveResolver = sim.host_as(resolver).unwrap();
+    assert_eq!(r.stats.client_queries, n as u64);
+    assert_eq!(r.stats.coalesced, n as u64 - 1);
+    assert_eq!(r.stats.upstream_queries, 3, "root + TLD + auth, once");
+}
+
+#[test]
+fn coalesced_clients_get_correct_transaction_ids() {
+    let (mut sim, clients, _resolver, _auth) = world(5);
+    for (i, &c) in clients.iter().enumerate() {
+        install_script(
+            &mut sim,
+            c,
+            vec![(
+                SimDuration::from_micros(i as u64 * 10),
+                UdpSend::new(40_000 + i as u16, RESOLVER, 53, study_query(1000 + i as u16)),
+            )],
+        );
+    }
+    sim.run();
+    for (i, &c) in clients.iter().enumerate() {
+        let sc: &ScriptedClient = sim.host_as(c).unwrap();
+        let m = Message::decode(&sc.datagrams[0].1.payload).unwrap();
+        assert_eq!(m.header.id, 1000 + i as u16, "each client's own TXID echoed");
+        assert_eq!(sc.datagrams[0].1.dst_port, 40_000 + i as u16);
+    }
+}
+
+#[test]
+fn different_names_do_not_coalesce() {
+    let (mut sim, clients, resolver, _auth) = world(2);
+    let q1 = MessageBuilder::query(1, study::study_qname(), RrType::A)
+        .recursion_desired(true)
+        .build()
+        .encode();
+    let q2 = MessageBuilder::query(2, DnsName::parse("nope.odns-study.example.").unwrap(), RrType::A)
+        .recursion_desired(true)
+        .build()
+        .encode();
+    install_script(&mut sim, clients[0], vec![(SimDuration::ZERO, UdpSend::new(34000, RESOLVER, 53, q1))]);
+    install_script(&mut sim, clients[1], vec![(SimDuration::ZERO, UdpSend::new(34001, RESOLVER, 53, q2))]);
+    sim.run();
+    let r: &RecursiveResolver = sim.host_as(resolver).unwrap();
+    assert_eq!(r.stats.coalesced, 0);
+    assert!(r.stats.upstream_queries >= 4, "two independent resolutions");
+}
+
+#[test]
+fn sequential_queries_hit_cache_not_coalescing() {
+    let (mut sim, clients, resolver, auth) = world(2);
+    install_script(
+        &mut sim,
+        clients[0],
+        vec![(SimDuration::ZERO, UdpSend::new(34000, RESOLVER, 53, study_query(1)))],
+    );
+    install_script(
+        &mut sim,
+        clients[1],
+        vec![(SimDuration::from_secs(5), UdpSend::new(34001, RESOLVER, 53, study_query(2)))],
+    );
+    sim.run();
+    let r: &RecursiveResolver = sim.host_as(resolver).unwrap();
+    assert_eq!(r.stats.coalesced, 0, "second query is late: cache, not coalescing");
+    assert_eq!(r.stats.cache_answers, 1);
+    let auth_host: &StudyAuthServer = sim.host_as(auth).unwrap();
+    assert_eq!(auth_host.stats.queries_received, 1);
+}

@@ -1,0 +1,370 @@
+//! The DNSRoute++ engine.
+//!
+//! Classic traceroute stops when the target answers. DNSRoute++ (§5) sends
+//! *DNS queries* as probes and **keeps incrementing the TTL after the
+//! target is reached**. Against a transparent forwarder this reveals two
+//! segments:
+//!
+//! 1. scanner → forwarder: ordinary Time Exceeded messages from routers,
+//!    then one from the *forwarder itself* (its IP stack answers when the
+//!    relay decrement kills the TTL);
+//! 2. forwarder → resolver: the relayed probe keeps the scanner's source
+//!    address, so Time Exceeded from routers *behind* the forwarder still
+//!    reaches the scanner; eventually the probe survives to the resolver
+//!    and a DNS answer arrives.
+//!
+//! Probe identity: one UDP source port per target (ICMP quotes only carry
+//! the UDP header, so the port is the only correlator available for
+//! Time Exceeded), plus a TTL-encoding transaction ID for DNS answers.
+
+use dnswire::{MessageBuilder, RrType};
+use netsim::{Ctx, Datagram, Host, IcmpMessage, NodeId, SimDuration, SimTime, Simulator, UdpSend};
+use odns::study;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// DNSRoute++ configuration.
+#[derive(Debug, Clone)]
+pub struct DnsRouteConfig {
+    /// Targets to trace (normally the transparent forwarders found by a
+    /// transactional scan — the tool "scans all transparent forwarders").
+    pub targets: Vec<Ipv4Addr>,
+    /// Highest TTL probed per target.
+    pub max_ttl: u8,
+    /// Wait per TTL step before moving on (an anonymous hop is recorded).
+    pub per_hop_timeout: SimDuration,
+    /// Stagger between starting consecutive targets.
+    pub start_gap: SimDuration,
+    /// First source port; each target owns `base_port + index`.
+    pub base_port: u16,
+    /// The defining DNSRoute++ behaviour: keep incrementing TTL after the
+    /// target answered Time Exceeded. Setting this to `false` degrades the
+    /// tool to classic traceroute — the ablation showing why "common
+    /// traceroute" cannot see behind a transparent forwarder (§5).
+    pub continue_past_target: bool,
+}
+
+impl DnsRouteConfig {
+    /// Defaults: TTL up to 30, 2 s per hop, continue past the target.
+    pub fn new(targets: Vec<Ipv4Addr>) -> Self {
+        assert!(
+            targets.len() <= 20_000,
+            "one source port per target: chunk scans beyond 20k targets into waves"
+        );
+        DnsRouteConfig {
+            targets,
+            max_ttl: 30,
+            per_hop_timeout: SimDuration::from_secs(2),
+            start_gap: SimDuration::from_micros(200),
+            base_port: 40_000,
+            continue_past_target: true,
+        }
+    }
+
+    /// The classic-traceroute ablation: stop at the target.
+    pub fn classic(targets: Vec<Ipv4Addr>) -> Self {
+        DnsRouteConfig { continue_past_target: false, ..Self::new(targets) }
+    }
+}
+
+/// The DNS answer terminating a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DnsEndpoint {
+    /// Probe TTL that elicited the answer.
+    pub ttl: u8,
+    /// Source of the DNS answer (the recursive resolver; for anycast
+    /// services this is the service address).
+    pub src: Ipv4Addr,
+    /// When it arrived.
+    pub at: SimTime,
+}
+
+/// One traced target.
+#[derive(Debug, Clone)]
+pub struct TraceResult {
+    /// The traced address.
+    pub target: Ipv4Addr,
+    /// Hop observations indexed by `ttl - 1`: `Some(router)` for a Time
+    /// Exceeded source, `None` for an anonymous (timed-out) hop.
+    pub hops: Vec<Option<Ipv4Addr>>,
+    /// TTL at which the *target itself* sent Time Exceeded — the signature
+    /// of a transparent forwarder at that distance.
+    pub target_seen_at: Option<u8>,
+    /// The DNS answer, if the sweep reached a resolver.
+    pub dns: Option<DnsEndpoint>,
+}
+
+impl TraceResult {
+    /// Path length forwarder → resolver in IP hops (Figure 6's metric):
+    /// the TTL distance between the forwarder's own Time Exceeded and the
+    /// DNS answer. `None` unless both were observed.
+    pub fn forwarder_to_resolver_hops(&self) -> Option<u8> {
+        match (self.target_seen_at, &self.dns) {
+            (Some(fwd), Some(dns)) if dns.ttl > fwd => Some(dns.ttl - fwd),
+            _ => None,
+        }
+    }
+
+    /// Router hops observed strictly between the forwarder and the DNS
+    /// endpoint (for AS-path work).
+    pub fn hops_beyond_target(&self) -> Vec<Option<Ipv4Addr>> {
+        match (self.target_seen_at, &self.dns) {
+            (Some(fwd), Some(dns)) => {
+                let lo = fwd as usize; // hops[fwd-1] is the forwarder itself
+                let hi = (dns.ttl as usize).saturating_sub(1);
+                self.hops.get(lo..hi).map(|s| s.to_vec()).unwrap_or_default()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Router hops before the target (classic traceroute part).
+    pub fn hops_before_target(&self) -> Vec<Option<Ipv4Addr>> {
+        let end = match self.target_seen_at {
+            Some(fwd) => (fwd as usize).saturating_sub(1),
+            None => self.hops.len(),
+        };
+        self.hops.get(..end).map(|s| s.to_vec()).unwrap_or_default()
+    }
+}
+
+#[derive(Debug)]
+struct TargetState {
+    target: Ipv4Addr,
+    port: u16,
+    current_ttl: u8,
+    hops: Vec<Option<Ipv4Addr>>,
+    target_seen_at: Option<u8>,
+    dns: Option<DnsEndpoint>,
+    done: bool,
+}
+
+/// The DNSRoute++ prober host.
+#[derive(Debug)]
+pub struct DnsRoutePlusPlus {
+    config: DnsRouteConfig,
+    states: Vec<TargetState>,
+    port_to_target: HashMap<u16, usize>,
+    started: usize,
+}
+
+/// Timer token space: `START_TOKEN + i` starts target `i`;
+/// `(i << 8) | ttl` is the per-hop timeout for target `i` at `ttl`.
+const START_BASE: u64 = 1 << 48;
+
+impl DnsRoutePlusPlus {
+    /// Build from config.
+    pub fn new(config: DnsRouteConfig) -> Self {
+        let states = config
+            .targets
+            .iter()
+            .enumerate()
+            .map(|(i, &target)| TargetState {
+                target,
+                port: config.base_port.wrapping_add(i as u16),
+                current_ttl: 0,
+                hops: Vec::new(),
+                target_seen_at: None,
+                dns: None,
+                done: false,
+            })
+            .collect::<Vec<_>>();
+        let port_to_target = states.iter().enumerate().map(|(i, s)| (s.port, i)).collect();
+        DnsRoutePlusPlus { config, states, port_to_target, started: 0 }
+    }
+
+    /// Extract results (after the simulation drained).
+    pub fn results(&self) -> Vec<TraceResult> {
+        self.states
+            .iter()
+            .map(|s| TraceResult {
+                target: s.target,
+                hops: s.hops.clone(),
+                target_seen_at: s.target_seen_at,
+                dns: s.dns,
+            })
+            .collect()
+    }
+
+    fn send_probe(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
+        let s = &mut self.states[idx];
+        if s.done || s.current_ttl >= self.config.max_ttl {
+            s.done = true;
+            return;
+        }
+        s.current_ttl += 1;
+        let ttl = s.current_ttl;
+        s.hops.push(None); // provisional anonymous hop for this TTL
+        debug_assert_eq!(s.hops.len(), ttl as usize);
+        let txid = (idx as u16).wrapping_shl(5) | u16::from(ttl & 0x1F);
+        let query = MessageBuilder::query(txid, study::study_qname(), RrType::A)
+            .recursion_desired(true)
+            .build();
+        ctx.send_udp(UdpSend {
+            src: None,
+            src_port: s.port,
+            dst: s.target,
+            dst_port: dnswire::DNS_PORT,
+            ttl: Some(ttl),
+            payload: query.encode(),
+        });
+        ctx.set_timer(self.config.per_hop_timeout, ((idx as u64) << 8) | u64::from(ttl));
+    }
+
+    fn advance(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
+        if self.states[idx].done {
+            return;
+        }
+        if self.states[idx].current_ttl >= self.config.max_ttl {
+            self.states[idx].done = true;
+            return;
+        }
+        self.send_probe(ctx, idx);
+    }
+}
+
+impl Host for DnsRoutePlusPlus {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
+        // A DNS answer: match by destination port (one per target).
+        let Some(&idx) = self.port_to_target.get(&dgram.dst_port) else {
+            return;
+        };
+        let Some(txid) = dnswire::peek_id(&dgram.payload) else {
+            return;
+        };
+        let ttl = (txid & 0x1F) as u8;
+        let s = &mut self.states[idx];
+        if s.done || s.dns.is_some() {
+            return;
+        }
+        s.dns = Some(DnsEndpoint { ttl, src: dgram.src, at: ctx.now() });
+        // The sweep's purpose is fulfilled once the resolver answered.
+        s.done = true;
+    }
+
+    fn on_icmp(&mut self, ctx: &mut Ctx<'_>, icmp: IcmpMessage) {
+        if icmp.kind != netsim::IcmpKind::TimeExceeded {
+            return;
+        }
+        let Some(quote) = icmp.quote else {
+            return;
+        };
+        let Some(&idx) = self.port_to_target.get(&quote.src_port) else {
+            return;
+        };
+        let s = &mut self.states[idx];
+        if s.done {
+            return;
+        }
+        let ttl = s.current_ttl;
+        // ICMP quotes carry only the UDP header, so the probe TTL cannot be
+        // recovered from the message; it is attributed to the current TTL.
+        // The per-hop timeout (seconds) dwarfs RTTs (milliseconds), so a
+        // late straggler for an older TTL is the only hazard — and it would
+        // find the slot already filled or the sweep advanced, so duplicates
+        // are dropped here rather than double-advancing.
+        let slot = s.hops.get_mut((ttl as usize).saturating_sub(1));
+        match slot {
+            Some(h) if h.is_none() => *h = Some(icmp.from),
+            _ => return,
+        }
+        if icmp.from == s.target && s.target_seen_at.is_none() {
+            s.target_seen_at = Some(ttl);
+            if !self.config.continue_past_target {
+                // Classic traceroute: the destination answered, stop — and
+                // thereby never see the forwarder→resolver segment.
+                s.done = true;
+                return;
+            }
+        }
+        self.advance(ctx, idx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token >= START_BASE {
+            let idx = (token - START_BASE) as usize;
+            if idx < self.states.len() {
+                self.started += 1;
+                self.send_probe(ctx, idx);
+            }
+            return;
+        }
+        let idx = (token >> 8) as usize;
+        let ttl = (token & 0xFF) as u8;
+        let Some(s) = self.states.get(idx) else {
+            return;
+        };
+        // Only a timeout for the *current* TTL advances the sweep; stale
+        // timers from already-answered hops are ignored.
+        if s.done || s.current_ttl != ttl {
+            return;
+        }
+        // Check whether this TTL got any reply; the hop slot tells us.
+        let answered = s.hops.get((ttl as usize) - 1).map(|h| h.is_some()).unwrap_or(false);
+        if !answered {
+            self.advance(ctx, idx);
+        }
+    }
+
+    netsim::impl_host_downcast!();
+}
+
+/// Install DNSRoute++ at `node`, run the sweep, and return all traces.
+pub fn run_dnsroute(sim: &mut Simulator, node: NodeId, config: DnsRouteConfig) -> Vec<TraceResult> {
+    let n = config.targets.len();
+    let gap = config.start_gap;
+    sim.install(node, DnsRoutePlusPlus::new(config));
+    for i in 0..n {
+        sim.schedule_timer(node, gap.saturating_mul(i as u64), START_BASE + i as u64);
+    }
+    sim.run();
+    sim.host_as::<DnsRoutePlusPlus>(node).expect("prober installed").results()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forwarder_to_resolver_hop_math() {
+        let t = TraceResult {
+            target: Ipv4Addr::new(203, 0, 113, 1),
+            hops: vec![
+                Some(Ipv4Addr::new(10, 0, 0, 1)),
+                Some(Ipv4Addr::new(203, 0, 113, 1)), // the forwarder at TTL 2
+                Some(Ipv4Addr::new(10, 1, 0, 1)),
+                Some(Ipv4Addr::new(10, 2, 0, 1)),
+            ],
+            target_seen_at: Some(2),
+            dns: Some(DnsEndpoint { ttl: 5, src: Ipv4Addr::new(8, 8, 8, 8), at: SimTime(0) }),
+        };
+        assert_eq!(t.forwarder_to_resolver_hops(), Some(3));
+        assert_eq!(
+            t.hops_beyond_target(),
+            vec![Some(Ipv4Addr::new(10, 1, 0, 1)), Some(Ipv4Addr::new(10, 2, 0, 1))]
+        );
+        assert_eq!(t.hops_before_target(), vec![Some(Ipv4Addr::new(10, 0, 0, 1))]);
+    }
+
+    #[test]
+    fn incomplete_traces_yield_none() {
+        let no_dns = TraceResult {
+            target: Ipv4Addr::new(203, 0, 113, 1),
+            hops: vec![Some(Ipv4Addr::new(10, 0, 0, 1))],
+            target_seen_at: Some(1),
+            dns: None,
+        };
+        assert_eq!(no_dns.forwarder_to_resolver_hops(), None);
+        let no_fwd = TraceResult {
+            target: Ipv4Addr::new(203, 0, 113, 1),
+            hops: vec![],
+            target_seen_at: None,
+            dns: Some(DnsEndpoint { ttl: 3, src: Ipv4Addr::new(8, 8, 8, 8), at: SimTime(0) }),
+        };
+        assert_eq!(no_fwd.forwarder_to_resolver_hops(), None);
+        assert!(no_fwd.hops_beyond_target().is_empty());
+    }
+
+    // End-to-end sweeps through real topologies live in the crate's
+    // integration tests (tests/traces.rs).
+}

@@ -1,0 +1,195 @@
+//! End-to-end DNSRoute++ sweeps through a multi-AS topology.
+//!
+//! Topology (AS-level):
+//!
+//! ```text
+//! AS100 (scanner) — AS200 (transit) — AS300 (eyeball, no SAV: forwarder)
+//!                          |
+//!                       AS400 (resolver)
+//! ```
+//!
+//! The forwarder in AS300 relays to the resolver in AS400; the probe path
+//! beyond the forwarder re-crosses AS200 — giving `AS_in == AS_out` for
+//! the relationship inference.
+
+use dnsroute::{infer_relationships, run_dnsroute, sanitize, DnsRouteConfig};
+use dnswire::{Message, MessageBuilder};
+use netsim::{
+    AsKind, AsSpec, CountryCode, Ctx, Datagram, Host, HostSpec, NodeId, Relationship, SimConfig,
+    SimDuration, Simulator, TopologyBuilder, UdpSend,
+};
+use odns::TransparentForwarder;
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+const SCANNER: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+const FORWARDER: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 7);
+const RESOLVER: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 1);
+const RECURSIVE_HOST: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 9);
+
+struct Canned;
+impl Host for Canned {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
+        let Ok(q) = Message::decode(&dgram.payload) else {
+            return;
+        };
+        let resp = MessageBuilder::response_to(&q)
+            .recursion_available(true)
+            .answer_a(q.questions[0].qname.clone(), 300, dgram.src)
+            .answer_a(q.questions[0].qname.clone(), 300, odns::study::CONTROL_A)
+            .build();
+        ctx.send_udp(UdpSend {
+            src: Some(dgram.dst),
+            src_port: 53,
+            dst: dgram.src,
+            dst_port: dgram.src_port,
+            ttl: None,
+            payload: resp.encode(),
+        });
+    }
+    netsim::impl_host_downcast!();
+}
+
+fn as_spec(asn: u32, sav: bool, routers: Vec<Ipv4Addr>) -> AsSpec {
+    AsSpec {
+        asn,
+        country: CountryCode::new("ZZZ"),
+        kind: AsKind::Transit,
+        sav_outbound: sav,
+        transit_routers: routers,
+    }
+}
+
+/// Build the four-AS world; returns (sim, scanner node).
+fn build_world() -> (Simulator, NodeId) {
+    let mut b = TopologyBuilder::new();
+    let a100 = b.add_as(as_spec(100, true, vec![Ipv4Addr::new(10, 100, 0, 1)]));
+    let a200 = b.add_as(as_spec(
+        200,
+        true,
+        vec![Ipv4Addr::new(10, 200, 0, 1), Ipv4Addr::new(10, 200, 0, 2)],
+    ));
+    let a300 = b.add_as(as_spec(300, false, vec![Ipv4Addr::new(10, 30, 0, 1)]));
+    let a400 = b.add_as(as_spec(400, true, vec![Ipv4Addr::new(10, 40, 0, 1)]));
+    b.connect(a100, a200, Relationship::Peer);
+    b.connect(a200, a300, Relationship::ProviderCustomer);
+    b.connect(a200, a400, Relationship::ProviderCustomer);
+
+    let scanner = b.add_host(a100, HostSpec::simple(SCANNER));
+    let forwarder = b.add_host(a300, HostSpec::simple(FORWARDER));
+    let recursive = b.add_host(a300, HostSpec::simple(RECURSIVE_HOST));
+    let resolver = b.add_host(a400, HostSpec::simple(RESOLVER));
+
+    let mut sim = Simulator::new(b.build().unwrap(), SimConfig::default());
+    sim.install(forwarder, TransparentForwarder::new(RESOLVER));
+    sim.install(recursive, odns::RecursiveForwarder::new(RESOLVER));
+    sim.install(resolver, Canned);
+    (sim, scanner)
+}
+
+#[test]
+fn transparent_forwarder_trace_reveals_hops_beyond() {
+    let (mut sim, scanner) = build_world();
+    let traces = run_dnsroute(&mut sim, scanner, DnsRouteConfig::new(vec![FORWARDER]));
+    assert_eq!(traces.len(), 1);
+    let t = &traces[0];
+
+    // Forwarder distance: AS100 router + 2×AS200 routers + AS300 router =
+    // 4 router hops, so the forwarder's own Time Exceeded fires at TTL 5.
+    assert_eq!(t.target_seen_at, Some(5), "hops: {:?}", t.hops);
+    assert_eq!(t.hops[4], Some(FORWARDER));
+
+    // DNS answer arrives from the resolver after the relay path:
+    // forwarder → AS300 router → 2×AS200 → AS400 router → resolver.
+    let dns = t.dns.expect("resolver answered");
+    assert_eq!(dns.src, RESOLVER);
+    assert!(dns.ttl > 5);
+
+    // Hops beyond the forwarder are visible — the DNSRoute++ claim.
+    let beyond: Vec<_> = t.hops_beyond_target().into_iter().flatten().collect();
+    assert!(
+        beyond.contains(&Ipv4Addr::new(10, 200, 0, 1)),
+        "transit router behind the forwarder visible: {beyond:?}"
+    );
+
+    // Figure 6 metric: forwarder → resolver distance in IP hops.
+    assert_eq!(t.forwarder_to_resolver_hops(), Some(dns.ttl - 5));
+}
+
+#[test]
+fn recursive_forwarder_trace_shows_nothing_beyond() {
+    let (mut sim, scanner) = build_world();
+    let traces = run_dnsroute(&mut sim, scanner, DnsRouteConfig::new(vec![RECURSIVE_HOST]));
+    let t = &traces[0];
+    // The recursive forwarder never sends Time Exceeded for the relay (it
+    // re-originates the query with a fresh TTL), so there is no forwarder
+    // signature; the DNS answer comes from the probed address itself.
+    assert_eq!(t.target_seen_at, None);
+    let dns = t.dns.expect("answered");
+    assert_eq!(dns.src, RECURSIVE_HOST);
+    assert!(t.hops_beyond_target().is_empty());
+
+    // Sanitization classifies this trace as not-a-transparent-forwarder.
+    let (paths, stats) = sanitize(&traces);
+    assert!(paths.is_empty());
+    assert_eq!(stats.rejected_no_signature, 1);
+}
+
+#[test]
+fn sanitized_path_feeds_relationship_inference() {
+    let (mut sim, scanner) = build_world();
+    let traces = run_dnsroute(&mut sim, scanner, DnsRouteConfig::new(vec![FORWARDER]));
+    let (paths, stats) = sanitize(&traces);
+    assert_eq!(stats.kept, 1);
+    let p = &paths[0];
+    assert_eq!(p.forwarder, FORWARDER);
+    assert_eq!(p.resolver, RESOLVER);
+
+    // Map IPs to ASNs using the simulator's ground truth.
+    let report = {
+        let topo = sim.topology();
+        infer_relationships(&paths, |ip| {
+            topo.as_of_ip(ip).map(|a| topo.as_spec(a).asn)
+        })
+    };
+    assert_eq!(report.usable_paths, 1);
+    assert_eq!(report.matching_paths, 1, "AS200 is both AS_in and AS_out");
+    let inferred: Vec<_> = report.inferred.iter().copied().collect();
+    assert_eq!(inferred[0].provider_asn, 200);
+    assert_eq!(inferred[0].customer_asn, 300);
+
+    // Against ground truth, the inferred pair is real.
+    let known: BTreeSet<(u32, u32)> =
+        sim.topology().provider_customer_pairs().iter().copied().collect();
+    let (hits, new_pairs) = report.against_baseline(&known);
+    assert_eq!(hits.len(), 1);
+    assert!(new_pairs.is_empty());
+    assert!((report.matching_share() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn sweep_handles_unresponsive_target() {
+    let (mut sim, scanner) = build_world();
+    // 198.18.0.1 is not assigned: every TTL step times out.
+    let mut cfg = DnsRouteConfig::new(vec![Ipv4Addr::new(198, 18, 0, 1)]);
+    cfg.max_ttl = 6;
+    cfg.per_hop_timeout = SimDuration::from_millis(100);
+    let traces = run_dnsroute(&mut sim, scanner, cfg);
+    let t = &traces[0];
+    assert_eq!(t.target_seen_at, None);
+    assert!(t.dns.is_none());
+    assert!(t.hops.iter().all(|h| h.is_none()), "all hops anonymous: {:?}", t.hops);
+}
+
+#[test]
+fn multiple_targets_trace_concurrently() {
+    let (mut sim, scanner) = build_world();
+    let traces =
+        run_dnsroute(&mut sim, scanner, DnsRouteConfig::new(vec![FORWARDER, RECURSIVE_HOST]));
+    assert_eq!(traces.len(), 2);
+    assert_eq!(traces[0].target, FORWARDER);
+    assert!(traces[0].target_seen_at.is_some());
+    assert_eq!(traces[1].target, RECURSIVE_HOST);
+    assert!(traces[1].target_seen_at.is_none());
+    assert!(traces[1].dns.is_some());
+}

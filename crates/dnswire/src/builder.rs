@@ -1,0 +1,148 @@
+//! Ergonomic construction of queries and responses.
+//!
+//! Every component in the workspace builds its DNS traffic through
+//! [`MessageBuilder`] so that headers, counts, and flags stay consistent.
+
+use crate::header::{Flags, Header, Rcode};
+use crate::message::Message;
+use crate::name::DnsName;
+use crate::question::{QClass, Question};
+use crate::rdata::{Record, RrType};
+use std::net::Ipv4Addr;
+
+/// Fluent builder for [`Message`].
+#[derive(Debug, Clone)]
+pub struct MessageBuilder {
+    msg: Message,
+}
+
+impl MessageBuilder {
+    /// Start a standard query for `qname`/`qtype` with transaction `id`.
+    pub fn query(id: u16, qname: DnsName, qtype: RrType) -> Self {
+        let msg = Message {
+            header: Header { id, flags: Flags::default(), ..Header::default() },
+            questions: vec![Question::new(qname, qtype)],
+            ..Message::default()
+        };
+        MessageBuilder { msg }
+    }
+
+    /// Start a query with an explicit class (e.g. `CH` for `version.bind`).
+    pub fn query_class(id: u16, qname: DnsName, qtype: RrType, qclass: QClass) -> Self {
+        let mut b = Self::query(id, qname, qtype);
+        b.msg.questions[0].qclass = qclass;
+        b
+    }
+
+    /// Start a response to `query` (same ID, question echoed, QR set).
+    pub fn response_to(query: &Message) -> Self {
+        MessageBuilder { msg: query.response_skeleton() }
+    }
+
+    /// Set the RD bit.
+    pub fn recursion_desired(mut self, rd: bool) -> Self {
+        self.msg.header.flags.recursion_desired = rd;
+        self
+    }
+
+    /// Set the RA bit (responses from recursive services).
+    pub fn recursion_available(mut self, ra: bool) -> Self {
+        self.msg.header.flags.recursion_available = ra;
+        self
+    }
+
+    /// Set the AA bit (authoritative responses).
+    pub fn authoritative(mut self, aa: bool) -> Self {
+        self.msg.header.flags.authoritative = aa;
+        self
+    }
+
+    /// Set the response code.
+    pub fn rcode(mut self, rcode: Rcode) -> Self {
+        self.msg.header.flags.rcode = rcode;
+        self
+    }
+
+    /// Append an answer record.
+    pub fn answer(mut self, record: Record) -> Self {
+        self.msg.answers.push(record);
+        self
+    }
+
+    /// Append an answer A record for `name`.
+    pub fn answer_a(self, name: DnsName, ttl: u32, addr: Ipv4Addr) -> Self {
+        self.answer(Record::a(name, ttl, addr))
+    }
+
+    /// Append an authority-section record.
+    pub fn authority(mut self, record: Record) -> Self {
+        self.msg.authorities.push(record);
+        self
+    }
+
+    /// Append an additional-section record.
+    pub fn additional(mut self, record: Record) -> Self {
+        self.msg.additionals.push(record);
+        self
+    }
+
+    /// Finish, yielding the message (counts are fixed up on encode).
+    pub fn build(self) -> Message {
+        self.msg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_builder_sets_fields() {
+        let q = MessageBuilder::query(7, DnsName::parse("a.example.").unwrap(), RrType::A)
+            .recursion_desired(true)
+            .build();
+        assert_eq!(q.header.id, 7);
+        assert!(q.header.flags.recursion_desired);
+        assert!(!q.header.flags.response);
+        assert_eq!(q.questions.len(), 1);
+    }
+
+    #[test]
+    fn response_builder_echoes_query() {
+        let q = MessageBuilder::query(9, DnsName::parse("b.example.").unwrap(), RrType::A).build();
+        let r = MessageBuilder::response_to(&q)
+            .recursion_available(true)
+            .answer_a(DnsName::parse("b.example.").unwrap(), 60, Ipv4Addr::new(198, 51, 100, 1))
+            .rcode(Rcode::NoError)
+            .build();
+        assert_eq!(r.header.id, 9);
+        assert!(r.is_response());
+        assert_eq!(r.answers.len(), 1);
+        assert_eq!(r.questions, q.questions);
+    }
+
+    #[test]
+    fn chaos_class_query() {
+        let q = MessageBuilder::query_class(
+            1,
+            DnsName::parse("version.bind.").unwrap(),
+            RrType::Txt,
+            QClass::Ch,
+        )
+        .build();
+        assert_eq!(q.questions[0].qclass, QClass::Ch);
+        let bytes = q.encode();
+        let back = Message::decode(&bytes).unwrap();
+        assert_eq!(back.questions[0].qclass, QClass::Ch);
+    }
+
+    #[test]
+    fn refused_response_shape() {
+        // What a restricted resolver sends to an off-net client — the reason
+        // transparent forwarders must point at *open* resolvers (§2).
+        let q = MessageBuilder::query(3, DnsName::parse("x.example.").unwrap(), RrType::A).build();
+        let r = MessageBuilder::response_to(&q).rcode(Rcode::Refused).build();
+        assert_eq!(r.header.flags.rcode, Rcode::Refused);
+        assert!(r.answers.is_empty());
+    }
+}

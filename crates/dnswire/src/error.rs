@@ -1,0 +1,100 @@
+//! Error type shared by every codec in this crate.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding DNS wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the structure was complete.
+    Truncated {
+        /// What was being decoded when the buffer ran out.
+        context: &'static str,
+    },
+    /// A domain name label exceeded 63 octets.
+    LabelTooLong(usize),
+    /// A domain name exceeded 255 octets on the wire.
+    NameTooLong(usize),
+    /// A compression pointer pointed forward or into itself.
+    BadCompressionPointer {
+        /// Offset of the offending pointer.
+        at: usize,
+        /// Target offset of the pointer.
+        target: usize,
+    },
+    /// Compression pointers formed a loop (or exceeded the hop budget).
+    CompressionLoop,
+    /// A label had the reserved `0b10`/`0b01` prefix (RFC 1035 allows only
+    /// `00` for literal labels and `11` for pointers).
+    ReservedLabelType(u8),
+    /// An empty label or a label containing a NUL byte was supplied.
+    InvalidLabel,
+    /// A textual name could not be parsed.
+    BadNameSyntax(String),
+    /// The message would exceed [`crate::MAX_MESSAGE_LEN`] when encoded.
+    MessageTooLong(usize),
+    /// RDATA length did not match the RDLENGTH field.
+    RdataLengthMismatch {
+        /// RDLENGTH as announced on the wire.
+        declared: usize,
+        /// Bytes actually consumed.
+        consumed: usize,
+    },
+    /// A TXT segment exceeded 255 bytes.
+    TxtSegmentTooLong(usize),
+    /// Trailing bytes after the message body. The transactional scanner
+    /// treats those as a middlebox distortion (§4.1).
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { context } => {
+                write!(f, "message truncated while decoding {context}")
+            }
+            WireError::LabelTooLong(n) => write!(f, "label of {n} octets exceeds 63"),
+            WireError::NameTooLong(n) => write!(f, "name of {n} octets exceeds 255"),
+            WireError::BadCompressionPointer { at, target } => {
+                write!(f, "compression pointer at {at} targets invalid offset {target}")
+            }
+            WireError::CompressionLoop => write!(f, "compression pointer loop detected"),
+            WireError::ReservedLabelType(b) => {
+                write!(f, "reserved label type bits 0b{:02b}", b >> 6)
+            }
+            WireError::InvalidLabel => write!(f, "invalid label content"),
+            WireError::BadNameSyntax(s) => write!(f, "cannot parse name from `{s}`"),
+            WireError::MessageTooLong(n) => write!(f, "encoded message of {n} bytes too long"),
+            WireError::RdataLengthMismatch { declared, consumed } => {
+                write!(f, "RDLENGTH {declared} but consumed {consumed}")
+            }
+            WireError::TxtSegmentTooLong(n) => write!(f, "TXT segment of {n} bytes exceeds 255"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WireError::Truncated { context: "header" };
+        assert!(e.to_string().contains("header"));
+        let e = WireError::BadCompressionPointer { at: 40, target: 90 };
+        assert!(e.to_string().contains("40"));
+        assert!(e.to_string().contains("90"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(WireError::CompressionLoop, WireError::CompressionLoop);
+        assert_ne!(
+            WireError::LabelTooLong(64),
+            WireError::NameTooLong(64),
+            "different variants must not compare equal"
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! Whole-message encode/decode (RFC 1035 §4.1).
+
+use crate::error::WireError;
+use crate::header::{Flags, Header};
+use crate::question::Question;
+use crate::rdata::Record;
+use crate::MAX_MESSAGE_LEN;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// A complete DNS message: header plus the four sections.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Message {
+    /// Header. On encode, the section counts are recomputed from the
+    /// actual section lengths, so callers never desynchronize them.
+    pub header: Header,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<Record>,
+    /// Authority section.
+    pub authorities: Vec<Record>,
+    /// Additional section.
+    pub additionals: Vec<Record>,
+}
+
+impl Message {
+    /// Encode to wire bytes with name compression.
+    ///
+    /// # Panics
+    /// Never panics; sections that cannot be encoded (oversized TXT) are a
+    /// programming error surfaced through [`Message::try_encode`]. This
+    /// convenience wrapper unwraps because all constructors in this
+    /// workspace validate contents on construction.
+    pub fn encode(&self) -> Vec<u8> {
+        self.try_encode().expect("message built by this workspace must encode")
+    }
+
+    /// Encode to wire bytes, reporting errors.
+    pub fn try_encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut buf = Vec::with_capacity(128);
+        let mut header = self.header;
+        header.qdcount = self.questions.len() as u16;
+        header.ancount = self.answers.len() as u16;
+        header.nscount = self.authorities.len() as u16;
+        header.arcount = self.additionals.len() as u16;
+        header.encode(&mut buf);
+        let mut offsets: HashMap<String, usize> = HashMap::new();
+        for q in &self.questions {
+            q.encode(&mut buf, &mut offsets);
+        }
+        for r in self.answers.iter().chain(&self.authorities).chain(&self.additionals) {
+            r.encode(&mut buf, &mut offsets)?;
+        }
+        if buf.len() > MAX_MESSAGE_LEN {
+            return Err(WireError::MessageTooLong(buf.len()));
+        }
+        Ok(buf)
+    }
+
+    /// Decode a message, requiring the buffer to contain exactly one
+    /// message (trailing bytes are an error — the transactional scanner
+    /// counts them as middlebox distortion).
+    pub fn decode(msg: &[u8]) -> Result<Self, WireError> {
+        let (m, consumed) = Self::decode_prefix(msg)?;
+        if consumed != msg.len() {
+            return Err(WireError::TrailingBytes(msg.len() - consumed));
+        }
+        Ok(m)
+    }
+
+    /// Decode a message from the front of `msg`, returning it together with
+    /// the number of bytes consumed.
+    pub fn decode_prefix(msg: &[u8]) -> Result<(Self, usize), WireError> {
+        if msg.len() > MAX_MESSAGE_LEN {
+            return Err(WireError::MessageTooLong(msg.len()));
+        }
+        let mut pos = 0usize;
+        let header = Header::decode(msg, &mut pos)?;
+        let mut questions = Vec::with_capacity(header.qdcount as usize);
+        for _ in 0..header.qdcount {
+            questions.push(Question::decode(msg, &mut pos)?);
+        }
+        let mut decode_section = |count: u16| -> Result<Vec<Record>, WireError> {
+            let mut out = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                out.push(Record::decode(msg, &mut pos)?);
+            }
+            Ok(out)
+        };
+        let answers = decode_section(header.ancount)?;
+        let authorities = decode_section(header.nscount)?;
+        let additionals = decode_section(header.arcount)?;
+        Ok((Message { header, questions, answers, authorities, additionals }, pos))
+    }
+
+    /// All IPv4 addresses found in answer-section A records, in order.
+    ///
+    /// The measurement method reads exactly two of these: the dynamic
+    /// client-reflecting record and the static control record (§4.1).
+    pub fn answer_a_addrs(&self) -> Vec<Ipv4Addr> {
+        self.answers.iter().filter_map(|r| r.a_addr()).collect()
+    }
+
+    /// True if this is a response (QR bit set).
+    pub fn is_response(&self) -> bool {
+        self.header.flags.response
+    }
+
+    /// Shorthand for the first question, if any.
+    pub fn question(&self) -> Option<&Question> {
+        self.questions.first()
+    }
+
+    /// Build the skeleton of a response to this query: same ID, same
+    /// question, QR set. Callers fill in answers and flags.
+    pub fn response_skeleton(&self) -> Message {
+        Message {
+            header: Header {
+                id: self.header.id,
+                flags: Flags {
+                    response: true,
+                    opcode: self.header.flags.opcode,
+                    recursion_desired: self.header.flags.recursion_desired,
+                    ..Flags::default()
+                },
+                ..Header::default()
+            },
+            questions: self.questions.clone(),
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// Approximate amplification factor of a response relative to a query,
+    /// in wire bytes (used by the misuse-potential study, §6).
+    pub fn wire_len(&self) -> usize {
+        self.try_encode().map(|b| b.len()).unwrap_or(0)
+    }
+}
+
+/// Extract `(id, qname)` cheaply from a raw packet without a full decode.
+/// Used on the scanner's hot receive path before full parsing.
+pub fn peek_id(msg: &[u8]) -> Option<u16> {
+    if msg.len() < 2 {
+        return None;
+    }
+    Some(u16::from_be_bytes([msg[0], msg[1]]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::DnsName;
+    use crate::rdata::RrType;
+
+    fn sample_response() -> Message {
+        let qname = DnsName::parse("odns-study.example.").unwrap();
+        let mut m = Message::default();
+        m.header.id = 10337;
+        m.header.flags.response = true;
+        m.header.flags.recursion_available = true;
+        m.questions.push(Question::new(qname.clone(), RrType::A));
+        // The two A records of the measurement method: dynamic + control.
+        m.answers.push(Record::a(qname.clone(), 300, Ipv4Addr::new(203, 1, 113, 50)));
+        m.answers.push(Record::a(qname, 300, Ipv4Addr::new(192, 0, 2, 200)));
+        m
+    }
+
+    #[test]
+    fn full_message_roundtrip() {
+        let m = sample_response();
+        let bytes = m.encode();
+        let back = Message::decode(&bytes).unwrap();
+        assert_eq!(back.header.id, 10337);
+        assert_eq!(back.questions, m.questions);
+        assert_eq!(back.answers, m.answers);
+    }
+
+    #[test]
+    fn counts_recomputed_on_encode() {
+        let mut m = sample_response();
+        m.header.ancount = 99; // deliberately wrong
+        let bytes = m.encode();
+        let back = Message::decode(&bytes).unwrap();
+        assert_eq!(back.header.ancount, 2);
+        assert_eq!(back.answers.len(), 2);
+    }
+
+    #[test]
+    fn answer_a_addrs_in_order() {
+        let m = sample_response();
+        assert_eq!(
+            m.answer_a_addrs(),
+            vec![Ipv4Addr::new(203, 1, 113, 50), Ipv4Addr::new(192, 0, 2, 200)]
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = sample_response().encode();
+        bytes.push(0xFF);
+        assert!(matches!(Message::decode(&bytes), Err(WireError::TrailingBytes(1))));
+        // But decode_prefix tolerates them and reports consumption.
+        let (m, consumed) = Message::decode_prefix(&bytes).unwrap();
+        assert_eq!(consumed, bytes.len() - 1);
+        assert_eq!(m.header.id, 10337);
+    }
+
+    #[test]
+    fn response_skeleton_copies_identity() {
+        let q = crate::builder::MessageBuilder::query(
+            42,
+            DnsName::parse("odns-study.example.").unwrap(),
+            RrType::A,
+        )
+        .recursion_desired(true)
+        .build();
+        let r = q.response_skeleton();
+        assert_eq!(r.header.id, 42);
+        assert!(r.header.flags.response);
+        assert!(r.header.flags.recursion_desired);
+        assert_eq!(r.questions, q.questions);
+        assert!(r.answers.is_empty());
+    }
+
+    #[test]
+    fn compression_shrinks_repeated_names() {
+        let m = sample_response();
+        let compressed = m.encode();
+        // Rebuild without compression to compare sizes.
+        let mut uncompressed = Vec::new();
+        let mut h = m.header;
+        h.qdcount = 1;
+        h.ancount = 2;
+        h.encode(&mut uncompressed);
+        for q in &m.questions {
+            // encode question but force fresh offsets each time to defeat reuse
+            let mut local = HashMap::new();
+            q.encode(&mut uncompressed, &mut local);
+        }
+        for r in &m.answers {
+            let mut local = HashMap::new();
+            r.encode(&mut uncompressed, &mut local).unwrap();
+        }
+        assert!(
+            compressed.len() < uncompressed.len(),
+            "compression must shrink: {} vs {}",
+            compressed.len(),
+            uncompressed.len()
+        );
+    }
+
+    #[test]
+    fn peek_id_matches_header() {
+        let m = sample_response();
+        let bytes = m.encode();
+        assert_eq!(peek_id(&bytes), Some(10337));
+        assert_eq!(peek_id(&[0x01]), None);
+    }
+
+    #[test]
+    fn oversized_message_rejected_on_decode() {
+        let big = vec![0u8; MAX_MESSAGE_LEN + 1];
+        assert!(matches!(Message::decode(&big), Err(WireError::MessageTooLong(_))));
+    }
+
+    #[test]
+    fn empty_message_is_header_only() {
+        let m = Message { header: Header { id: 7, ..Header::default() }, ..Message::default() };
+        let bytes = m.encode();
+        assert_eq!(bytes.len(), crate::header::HEADER_LEN);
+        let back = Message::decode(&bytes).unwrap();
+        assert_eq!(back.header.id, 7);
+    }
+}

@@ -1,0 +1,535 @@
+//! Domain names: label storage, textual parsing, wire encoding with
+//! compression, and loop-safe decoding.
+
+use crate::error::WireError;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Maximum length of a single label on the wire (RFC 1035 §2.3.4).
+pub const MAX_LABEL_LEN: usize = 63;
+/// Maximum length of a whole name on the wire, including length octets and
+/// the root terminator (RFC 1035 §2.3.4).
+pub const MAX_NAME_LEN: usize = 255;
+/// Budget of compression pointer hops tolerated during decode before we
+/// declare a loop. A valid name can never need more hops than labels.
+const MAX_POINTER_HOPS: usize = 128;
+
+/// A fully-qualified domain name.
+///
+/// Names are stored as a sequence of raw label byte-strings (DNS labels are
+/// arbitrary octets, not just ASCII). Comparison and hashing are
+/// case-insensitive for ASCII, matching resolver behaviour (RFC 1035 §2.3.3)
+/// — this matters for the study because caches key on names and some CPE
+/// devices randomize query-name case (the "0x20" hack).
+#[derive(Debug, Clone, Eq)]
+pub struct DnsName {
+    labels: Vec<Vec<u8>>,
+}
+
+impl DnsName {
+    /// The root name (`.`).
+    pub fn root() -> Self {
+        DnsName { labels: Vec::new() }
+    }
+
+    /// Parse a textual name such as `"odns-study.example."`.
+    ///
+    /// A single trailing dot is accepted and ignored; empty interior labels
+    /// (`"a..b"`) are rejected. The empty string and `"."` denote the root.
+    pub fn parse(s: &str) -> Result<Self, WireError> {
+        if s.is_empty() || s == "." {
+            return Ok(Self::root());
+        }
+        let trimmed = s.strip_suffix('.').unwrap_or(s);
+        let mut labels = Vec::new();
+        for part in trimmed.split('.') {
+            if part.is_empty() {
+                return Err(WireError::BadNameSyntax(s.to_string()));
+            }
+            if part.len() > MAX_LABEL_LEN {
+                return Err(WireError::LabelTooLong(part.len()));
+            }
+            labels.push(part.as_bytes().to_vec());
+        }
+        let name = DnsName { labels };
+        let wire = name.wire_len();
+        if wire > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong(wire));
+        }
+        Ok(name)
+    }
+
+    /// Construct from raw labels. Rejects empty or oversized labels.
+    pub fn from_labels<I, L>(labels: I) -> Result<Self, WireError>
+    where
+        I: IntoIterator<Item = L>,
+        L: AsRef<[u8]>,
+    {
+        let mut out = Vec::new();
+        for l in labels {
+            let l = l.as_ref();
+            if l.is_empty() {
+                return Err(WireError::InvalidLabel);
+            }
+            if l.len() > MAX_LABEL_LEN {
+                return Err(WireError::LabelTooLong(l.len()));
+            }
+            out.push(l.to_vec());
+        }
+        let name = DnsName { labels: out };
+        let wire = name.wire_len();
+        if wire > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong(wire));
+        }
+        Ok(name)
+    }
+
+    /// The labels of this name, leftmost (most specific) first.
+    pub fn labels(&self) -> &[Vec<u8>] {
+        &self.labels
+    }
+
+    /// Number of labels; the root has zero.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True for the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Length this name occupies on the wire when encoded without
+    /// compression: one length octet per label plus the label bytes, plus the
+    /// terminating zero octet.
+    pub fn wire_len(&self) -> usize {
+        self.labels.iter().map(|l| l.len() + 1).sum::<usize>() + 1
+    }
+
+    /// Returns the parent name (this name minus its leftmost label), or
+    /// `None` for the root.
+    pub fn parent(&self) -> Option<DnsName> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(DnsName { labels: self.labels[1..].to_vec() })
+        }
+    }
+
+    /// `child.is_subdomain_of(parent)` — true when `self` ends with all of
+    /// `other`'s labels (every name is a subdomain of the root and of
+    /// itself). Used for zone cut / delegation decisions in the resolver.
+    pub fn is_subdomain_of(&self, other: &DnsName) -> bool {
+        if other.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - other.labels.len();
+        self.labels[offset..]
+            .iter()
+            .zip(other.labels.iter())
+            .all(|(a, b)| eq_ignore_ascii_case(a, b))
+    }
+
+    /// Prepend a label, producing `label.self`.
+    pub fn prepend(&self, label: &[u8]) -> Result<DnsName, WireError> {
+        if label.is_empty() {
+            return Err(WireError::InvalidLabel);
+        }
+        if label.len() > MAX_LABEL_LEN {
+            return Err(WireError::LabelTooLong(label.len()));
+        }
+        let mut labels = Vec::with_capacity(self.labels.len() + 1);
+        labels.push(label.to_vec());
+        labels.extend(self.labels.iter().cloned());
+        let name = DnsName { labels };
+        let wire = name.wire_len();
+        if wire > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong(wire));
+        }
+        Ok(name)
+    }
+
+    /// Encode without compression, appending to `buf`.
+    pub fn encode_uncompressed(&self, buf: &mut Vec<u8>) {
+        for label in &self.labels {
+            buf.push(label.len() as u8);
+            buf.extend_from_slice(label);
+        }
+        buf.push(0);
+    }
+
+    /// Encode with RFC 1035 §4.1.4 compression.
+    ///
+    /// `offsets` maps previously-encoded suffixes (lower-cased textual form)
+    /// to their buffer offsets. Any suffix of this name already present is
+    /// replaced by a two-octet pointer; new suffixes that start below offset
+    /// 0x3FFF are recorded for later reuse.
+    pub fn encode_compressed(&self, buf: &mut Vec<u8>, offsets: &mut HashMap<String, usize>) {
+        for i in 0..self.labels.len() {
+            let suffix_key = Self::suffix_key(&self.labels[i..]);
+            if let Some(&off) = offsets.get(&suffix_key) {
+                debug_assert!(off <= 0x3FFF);
+                let pointer = 0xC000u16 | off as u16;
+                buf.extend_from_slice(&pointer.to_be_bytes());
+                return;
+            }
+            let here = buf.len();
+            if here <= 0x3FFF {
+                offsets.insert(suffix_key, here);
+            }
+            let label = &self.labels[i];
+            buf.push(label.len() as u8);
+            buf.extend_from_slice(label);
+        }
+        buf.push(0);
+    }
+
+    fn suffix_key(labels: &[Vec<u8>]) -> String {
+        let mut key = String::new();
+        for l in labels {
+            for &b in l {
+                key.push(b.to_ascii_lowercase() as char);
+            }
+            key.push('.');
+        }
+        key
+    }
+
+    /// Decode a name from `msg` starting at `*pos`, following compression
+    /// pointers. `*pos` is advanced past the name *in the original stream*
+    /// (pointers do not move it further). Pointer loops and forward pointers
+    /// are rejected.
+    pub fn decode(msg: &[u8], pos: &mut usize) -> Result<Self, WireError> {
+        let mut labels = Vec::new();
+        let mut cursor = *pos;
+        let mut followed_pointer = false;
+        let mut hops = 0usize;
+        let mut wire_len = 1usize; // terminating zero
+
+        loop {
+            let len_byte = *msg
+                .get(cursor)
+                .ok_or(WireError::Truncated { context: "name length octet" })?;
+            match len_byte & 0xC0 {
+                0x00 => {
+                    if len_byte == 0 {
+                        cursor += 1;
+                        if !followed_pointer {
+                            *pos = cursor;
+                        }
+                        return Ok(DnsName { labels });
+                    }
+                    let len = len_byte as usize;
+                    let start = cursor + 1;
+                    let end = start + len;
+                    if end > msg.len() {
+                        return Err(WireError::Truncated { context: "name label" });
+                    }
+                    wire_len += len + 1;
+                    if wire_len > MAX_NAME_LEN {
+                        return Err(WireError::NameTooLong(wire_len));
+                    }
+                    labels.push(msg[start..end].to_vec());
+                    cursor = end;
+                }
+                0xC0 => {
+                    let second = *msg
+                        .get(cursor + 1)
+                        .ok_or(WireError::Truncated { context: "pointer low byte" })?;
+                    let target = (((len_byte & 0x3F) as usize) << 8) | second as usize;
+                    if target >= cursor {
+                        // Forward (or self) pointers are malformed; real
+                        // resolvers reject them, and accepting them would
+                        // allow loops.
+                        return Err(WireError::BadCompressionPointer { at: cursor, target });
+                    }
+                    if !followed_pointer {
+                        *pos = cursor + 2;
+                        followed_pointer = true;
+                    }
+                    hops += 1;
+                    if hops > MAX_POINTER_HOPS {
+                        return Err(WireError::CompressionLoop);
+                    }
+                    cursor = target;
+                }
+                other => return Err(WireError::ReservedLabelType(other)),
+            }
+        }
+    }
+}
+
+fn eq_ignore_ascii_case(a: &[u8], b: &[u8]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.eq_ignore_ascii_case(y))
+}
+
+impl PartialEq for DnsName {
+    fn eq(&self, other: &Self) -> bool {
+        self.labels.len() == other.labels.len()
+            && self
+                .labels
+                .iter()
+                .zip(other.labels.iter())
+                .all(|(a, b)| eq_ignore_ascii_case(a, b))
+    }
+}
+
+impl Hash for DnsName {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for label in &self.labels {
+            state.write_usize(label.len());
+            for &b in label {
+                state.write_u8(b.to_ascii_lowercase());
+            }
+        }
+    }
+}
+
+impl PartialOrd for DnsName {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DnsName {
+    /// Canonical DNS ordering: compare label sequences right-to-left,
+    /// case-insensitively (RFC 4034 §6.1 style, simplified).
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let a = self.labels.iter().rev();
+        let b = other.labels.iter().rev();
+        for (la, lb) in a.zip(b) {
+            let la: Vec<u8> = la.iter().map(|c| c.to_ascii_lowercase()).collect();
+            let lb: Vec<u8> = lb.iter().map(|c| c.to_ascii_lowercase()).collect();
+            match la.cmp(&lb) {
+                std::cmp::Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        self.labels.len().cmp(&other.labels.len())
+    }
+}
+
+impl fmt::Display for DnsName {
+    /// Canonical dotted representation with a trailing dot; non-printable
+    /// bytes, dots, and backslashes inside labels are escaped as `\DDD`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return write!(f, ".");
+        }
+        for label in &self.labels {
+            for &b in label {
+                if b.is_ascii_graphic() && b != b'.' && b != b'\\' {
+                    write!(f, "{}", b as char)?;
+                } else {
+                    write!(f, "\\{:03}", b)?;
+                }
+            }
+            write!(f, ".")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let n = DnsName::parse("odns-study.example.").unwrap();
+        assert_eq!(n.to_string(), "odns-study.example.");
+        assert_eq!(n.label_count(), 2);
+        let n2 = DnsName::parse("odns-study.example").unwrap();
+        assert_eq!(n, n2, "trailing dot must not matter");
+    }
+
+    #[test]
+    fn root_parses_from_dot_and_empty() {
+        assert!(DnsName::parse(".").unwrap().is_root());
+        assert!(DnsName::parse("").unwrap().is_root());
+        assert_eq!(DnsName::root().to_string(), ".");
+        assert_eq!(DnsName::root().wire_len(), 1);
+    }
+
+    #[test]
+    fn empty_interior_label_rejected() {
+        assert!(matches!(DnsName::parse("a..b"), Err(WireError::BadNameSyntax(_))));
+    }
+
+    #[test]
+    fn oversized_label_rejected() {
+        let long = "x".repeat(64);
+        assert!(matches!(DnsName::parse(&long), Err(WireError::LabelTooLong(64))));
+        let ok = "x".repeat(63);
+        assert!(DnsName::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn oversized_name_rejected() {
+        // Four 63-byte labels = 4*64 + 1 = 257 > 255.
+        let l = "x".repeat(63);
+        let s = format!("{l}.{l}.{l}.{l}");
+        assert!(matches!(DnsName::parse(&s), Err(WireError::NameTooLong(_))));
+    }
+
+    #[test]
+    fn case_insensitive_eq_and_hash() {
+        use std::collections::hash_map::DefaultHasher;
+        let a = DnsName::parse("ODNS-Study.Example.").unwrap();
+        let b = DnsName::parse("odns-study.example.").unwrap();
+        assert_eq!(a, b);
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        let parent = DnsName::parse("example.").unwrap();
+        let child = DnsName::parse("odns-study.example.").unwrap();
+        let other = DnsName::parse("odns-study.test.").unwrap();
+        assert!(child.is_subdomain_of(&parent));
+        assert!(child.is_subdomain_of(&child));
+        assert!(child.is_subdomain_of(&DnsName::root()));
+        assert!(!parent.is_subdomain_of(&child));
+        assert!(!other.is_subdomain_of(&parent));
+    }
+
+    #[test]
+    fn parent_walks_to_root() {
+        let n = DnsName::parse("a.b.c.").unwrap();
+        let p1 = n.parent().unwrap();
+        assert_eq!(p1.to_string(), "b.c.");
+        let p2 = p1.parent().unwrap();
+        assert_eq!(p2.to_string(), "c.");
+        let p3 = p2.parent().unwrap();
+        assert!(p3.is_root());
+        assert!(p3.parent().is_none());
+    }
+
+    #[test]
+    fn prepend_builds_child() {
+        let base = DnsName::parse("example.").unwrap();
+        let child = base.prepend(b"203-0-113-7").unwrap();
+        assert_eq!(child.to_string(), "203-0-113-7.example.");
+    }
+
+    #[test]
+    fn uncompressed_encode_decode_roundtrip() {
+        let n = DnsName::parse("a.bc.def.").unwrap();
+        let mut buf = Vec::new();
+        n.encode_uncompressed(&mut buf);
+        assert_eq!(buf, b"\x01a\x02bc\x03def\x00");
+        let mut pos = 0;
+        let back = DnsName::decode(&buf, &mut pos).unwrap();
+        assert_eq!(back, n);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn compression_reuses_suffixes() {
+        let mut buf = Vec::new();
+        let mut offsets = HashMap::new();
+        let n1 = DnsName::parse("ns1.example.").unwrap();
+        let n2 = DnsName::parse("ns2.example.").unwrap();
+        n1.encode_compressed(&mut buf, &mut offsets);
+        let after_first = buf.len();
+        n2.encode_compressed(&mut buf, &mut offsets);
+        // Second encoding: "ns2" label (4 bytes) + 2-byte pointer.
+        assert_eq!(buf.len() - after_first, 4 + 2);
+        let mut pos = 0;
+        let d1 = DnsName::decode(&buf, &mut pos).unwrap();
+        assert_eq!(d1, n1);
+        let mut pos2 = pos;
+        let d2 = DnsName::decode(&buf, &mut pos2).unwrap();
+        assert_eq!(d2, n2);
+        assert_eq!(pos2, buf.len());
+    }
+
+    #[test]
+    fn whole_name_pointer() {
+        let mut buf = Vec::new();
+        let mut offsets = HashMap::new();
+        let n = DnsName::parse("cache.example.").unwrap();
+        n.encode_compressed(&mut buf, &mut offsets);
+        let first_len = buf.len();
+        n.encode_compressed(&mut buf, &mut offsets);
+        assert_eq!(buf.len() - first_len, 2, "identical name must become a bare pointer");
+        let mut pos = first_len;
+        let back = DnsName::decode(&buf, &mut pos).unwrap();
+        assert_eq!(back, n);
+    }
+
+    #[test]
+    fn decode_rejects_forward_pointer() {
+        // Pointer at offset 0 targeting offset 4 (forward).
+        let buf = [0xC0, 0x04, 0x00, 0x00, 0x00];
+        let mut pos = 0;
+        assert!(matches!(
+            DnsName::decode(&buf, &mut pos),
+            Err(WireError::BadCompressionPointer { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_self_pointer_loop() {
+        // Label "a", then pointer back to offset 2 which is the pointer itself.
+        let buf = [0x01, b'a', 0xC0, 0x02];
+        let mut pos = 2;
+        assert!(matches!(
+            DnsName::decode(&buf, &mut pos),
+            Err(WireError::BadCompressionPointer { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_reserved_label_bits() {
+        let buf = [0x80, 0x01, 0x00];
+        let mut pos = 0;
+        assert!(matches!(DnsName::decode(&buf, &mut pos), Err(WireError::ReservedLabelType(_))));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let buf = [0x05, b'a', b'b'];
+        let mut pos = 0;
+        assert!(matches!(DnsName::decode(&buf, &mut pos), Err(WireError::Truncated { .. })));
+        let empty: [u8; 0] = [];
+        let mut pos = 0;
+        assert!(matches!(DnsName::decode(&empty, &mut pos), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn decode_advances_pos_past_pointer_not_target() {
+        let mut buf = Vec::new();
+        let mut offsets = HashMap::new();
+        DnsName::parse("example.").unwrap().encode_compressed(&mut buf, &mut offsets);
+        let start_second = buf.len();
+        DnsName::parse("www.example.").unwrap().encode_compressed(&mut buf, &mut offsets);
+        let mut pos = start_second;
+        let n = DnsName::decode(&buf, &mut pos).unwrap();
+        assert_eq!(n.to_string(), "www.example.");
+        assert_eq!(pos, buf.len(), "pos must advance in the original stream only");
+    }
+
+    #[test]
+    fn display_escapes_non_printable() {
+        let n = DnsName::from_labels([&[0x01u8, b'.', b'z'][..]]).unwrap();
+        assert_eq!(n.to_string(), "\\001\\046z.");
+    }
+
+    #[test]
+    fn canonical_ordering_is_suffix_first() {
+        let a = DnsName::parse("a.example.").unwrap();
+        let b = DnsName::parse("b.example.").unwrap();
+        let e = DnsName::parse("example.").unwrap();
+        assert!(e < a, "parent sorts before child");
+        assert!(a < b);
+    }
+}

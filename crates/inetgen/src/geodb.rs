@@ -1,0 +1,188 @@
+//! The measurement-side mapping databases: Routeviews-style IP→ASN and
+//! whois/MaxMind-style ASN→country.
+//!
+//! The paper "successfully map\[s\] 99.9 % \[of\] IP addresses to ASes based
+//! on Routeviews dumps" and then maps ASes to countries "with whois data
+//! und MaxMind" (§4.2). The generator exports exactly such a database from
+//! its ground truth — including the 0.1 % coverage gap, modeled as a
+//! deterministic pseudo-random miss so analyses must tolerate unmapped
+//! addresses just like the real pipeline.
+
+use netsim::AsKind;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Per-ASN registry information.
+#[derive(Debug, Clone)]
+pub struct AsnInfo {
+    /// ISO-alpha-3 country code.
+    pub country: &'static str,
+    /// Network type (PeeringDB-style; `Unclassified` for the share the
+    /// paper had to classify manually).
+    pub kind: AsKind,
+}
+
+/// The lookup database handed to the analysis pipeline.
+#[derive(Debug, Default)]
+pub struct GeoDb {
+    /// /24-granular prefix table: `prefix24 → asn`.
+    prefix_to_asn: HashMap<u32, u32>,
+    /// ASN registry.
+    asn_info: HashMap<u32, AsnInfo>,
+    /// Anycast service addresses and their operating ASN (these are not
+    /// announced like unicast space; the study attributes them by
+    /// well-known address).
+    anycast: HashMap<Ipv4Addr, u32>,
+    /// 1-in-`miss_denominator` addresses are unmapped (0 disables).
+    miss_denominator: u32,
+}
+
+fn prefix24(ip: Ipv4Addr) -> u32 {
+    u32::from(ip) & 0xFFFF_FF00
+}
+
+impl GeoDb {
+    /// Empty database with the paper's 99.9 % coverage (1/1000 misses).
+    pub fn new() -> Self {
+        GeoDb { miss_denominator: 1000, ..GeoDb::default() }
+    }
+
+    /// Full-coverage variant (for tests needing exactness).
+    pub fn perfect() -> Self {
+        GeoDb { miss_denominator: 0, ..GeoDb::default() }
+    }
+
+    /// Register a /24 block as originated by `asn`.
+    pub fn add_prefix24(&mut self, block: Ipv4Addr, asn: u32) {
+        self.prefix_to_asn.insert(prefix24(block), asn);
+    }
+
+    /// Register a whole /16-aligned run of /24s (router infrastructure).
+    pub fn add_prefix16(&mut self, block: Ipv4Addr, asn: u32) {
+        let base = u32::from(block) & 0xFFFF_0000;
+        for i in 0..256u32 {
+            self.prefix_to_asn.insert(base | (i << 8), asn);
+        }
+    }
+
+    /// Register ASN registry data.
+    pub fn add_asn(&mut self, asn: u32, country: &'static str, kind: AsKind) {
+        self.asn_info.insert(asn, AsnInfo { country, kind });
+    }
+
+    /// Register an anycast service address.
+    pub fn add_anycast(&mut self, service: Ipv4Addr, asn: u32) {
+        self.anycast.insert(service, asn);
+    }
+
+    /// Deterministic pseudo-random miss: mimics route-collector gaps.
+    fn missing(&self, ip: Ipv4Addr) -> bool {
+        if self.miss_denominator == 0 {
+            return false;
+        }
+        // FNV-1a over the octets — stable across runs and platforms.
+        let mut h: u32 = 0x811C_9DC5;
+        for b in ip.octets() {
+            h ^= u32::from(b);
+            h = h.wrapping_mul(0x0100_0193);
+        }
+        h.is_multiple_of(self.miss_denominator)
+    }
+
+    /// Origin ASN for an address, Routeviews-style.
+    pub fn asn_of(&self, ip: Ipv4Addr) -> Option<u32> {
+        if let Some(&asn) = self.anycast.get(&ip) {
+            return Some(asn);
+        }
+        if self.missing(ip) {
+            return None;
+        }
+        self.prefix_to_asn.get(&prefix24(ip)).copied()
+    }
+
+    /// Country for an ASN, whois/MaxMind-style.
+    pub fn country_of_asn(&self, asn: u32) -> Option<&'static str> {
+        self.asn_info.get(&asn).map(|i| i.country)
+    }
+
+    /// Network kind for an ASN, PeeringDB-style.
+    pub fn kind_of_asn(&self, asn: u32) -> Option<AsKind> {
+        self.asn_info.get(&asn).map(|i| i.kind)
+    }
+
+    /// Country for an address (composition of the two mappings).
+    pub fn country_of(&self, ip: Ipv4Addr) -> Option<&'static str> {
+        self.country_of_asn(self.asn_of(ip)?)
+    }
+
+    /// Number of registered /24 prefixes.
+    pub fn prefix_count(&self) -> usize {
+        self.prefix_to_asn.len()
+    }
+
+    /// Number of registered ASNs.
+    pub fn asn_count(&self) -> usize {
+        self.asn_info.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_lookup() {
+        let mut db = GeoDb::perfect();
+        db.add_prefix24(Ipv4Addr::new(203, 0, 113, 0), 65001);
+        db.add_asn(65001, "BRA", AsKind::EyeballIsp);
+        assert_eq!(db.asn_of(Ipv4Addr::new(203, 0, 113, 77)), Some(65001));
+        assert_eq!(db.asn_of(Ipv4Addr::new(203, 0, 114, 1)), None);
+        assert_eq!(db.country_of(Ipv4Addr::new(203, 0, 113, 5)), Some("BRA"));
+        assert_eq!(db.kind_of_asn(65001), Some(AsKind::EyeballIsp));
+    }
+
+    #[test]
+    fn prefix16_registers_run() {
+        let mut db = GeoDb::perfect();
+        db.add_prefix16(Ipv4Addr::new(10, 7, 0, 0), 64601);
+        assert_eq!(db.asn_of(Ipv4Addr::new(10, 7, 200, 9)), Some(64601));
+        assert_eq!(db.asn_of(Ipv4Addr::new(10, 8, 0, 1)), None);
+        assert_eq!(db.prefix_count(), 256);
+    }
+
+    #[test]
+    fn anycast_resolves_even_with_misses() {
+        let mut db = GeoDb::new();
+        db.add_anycast(Ipv4Addr::new(8, 8, 8, 8), 15169);
+        assert_eq!(db.asn_of(Ipv4Addr::new(8, 8, 8, 8)), Some(15169));
+    }
+
+    #[test]
+    fn miss_rate_is_about_one_permille() {
+        let mut db = GeoDb::new();
+        // Register everything in 11.0.0.0/8's first 4096 /24s.
+        for i in 0..4096u32 {
+            db.add_prefix24(Ipv4Addr::from(0x0B00_0000 + (i << 8)), 65000);
+        }
+        let mut misses = 0u32;
+        let mut total = 0u32;
+        for i in 0..4096u32 {
+            for host in [1u32, 99, 200] {
+                let ip = Ipv4Addr::from(0x0B00_0000 + (i << 8) + host);
+                total += 1;
+                if db.asn_of(ip).is_none() {
+                    misses += 1;
+                }
+            }
+        }
+        let rate = f64::from(misses) / f64::from(total);
+        assert!((0.0002..0.003).contains(&rate), "miss rate {rate} (misses {misses}/{total})");
+    }
+
+    #[test]
+    fn misses_are_deterministic() {
+        let db = GeoDb::new();
+        let ip = Ipv4Addr::new(11, 22, 33, 44);
+        assert_eq!(db.missing(ip), db.missing(ip));
+    }
+}

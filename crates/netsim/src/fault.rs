@@ -1,0 +1,242 @@
+//! Fault injection and rate limiting.
+//!
+//! Following the smoltcp example-harness idiom, adverse network conditions
+//! are first-class: packet drop, duplication, and latency jitter are
+//! configured globally and drawn from the simulator's seeded RNG, so a
+//! faulty run is exactly reproducible. The token bucket implements the
+//! paper's sensor rate limiting ("one request every 5 minutes per source
+//! /24", §3.1) and the authoritative server's 20k pps budget (§4.1).
+
+use crate::time::{SimDuration, SimTime};
+use rand::Rng;
+
+/// Global fault-injection configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability a packet is silently dropped in transit.
+    pub drop_probability: f64,
+    /// Probability a delivered packet is duplicated (second copy arrives
+    /// one jitter interval later).
+    pub duplicate_probability: f64,
+    /// Probability a packet is corrupted in transit (the smoltcp examples'
+    /// `--corrupt-chance`). The Internet checksum provably catches every
+    /// single-bit error, so the receiving UDP stack discards such packets:
+    /// corruption manifests as a distinct drop class. (Content-altering
+    /// middleboxes that *recompute* checksums are modeled separately via
+    /// `odns::Manipulation`.)
+    pub corrupt_probability: f64,
+    /// Maximum uniform extra latency added per packet. Zero disables
+    /// jitter. Jitter also produces reordering between back-to-back sends.
+    pub max_jitter: SimDuration,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            corrupt_probability: 0.0,
+            max_jitter: SimDuration::ZERO,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// No faults at all (the default).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A lossy profile for failure-injection tests: `p` drop probability
+    /// with proportionate duplication/corruption and mild jitter.
+    pub fn lossy(p: f64) -> Self {
+        FaultConfig {
+            drop_probability: p,
+            duplicate_probability: p / 4.0,
+            corrupt_probability: p / 8.0,
+            max_jitter: SimDuration::from_millis(5),
+        }
+    }
+
+    /// Decide whether to drop, using the simulator RNG.
+    pub fn should_drop<R: Rng>(&self, rng: &mut R) -> bool {
+        self.drop_probability > 0.0 && rng.gen_bool(self.drop_probability.clamp(0.0, 1.0))
+    }
+
+    /// Decide whether to duplicate.
+    pub fn should_duplicate<R: Rng>(&self, rng: &mut R) -> bool {
+        self.duplicate_probability > 0.0 && rng.gen_bool(self.duplicate_probability.clamp(0.0, 1.0))
+    }
+
+    /// Decide whether a packet is corrupted in transit (and therefore
+    /// discarded by the receiver's checksum verification).
+    pub fn should_corrupt<R: Rng>(&self, rng: &mut R) -> bool {
+        self.corrupt_probability > 0.0 && rng.gen_bool(self.corrupt_probability.clamp(0.0, 1.0))
+    }
+
+    /// Draw a jitter value in `[0, max_jitter]`.
+    pub fn jitter<R: Rng>(&self, rng: &mut R) -> SimDuration {
+        if self.max_jitter == SimDuration::ZERO {
+            SimDuration::ZERO
+        } else {
+            SimDuration(rng.gen_range(0..=self.max_jitter.as_micros()))
+        }
+    }
+}
+
+/// A deterministic token bucket driven by simulated time.
+///
+/// `capacity` tokens maximum; `refill_per_period` tokens added every
+/// `period`. Each admitted request takes one token.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    capacity: u64,
+    tokens: u64,
+    refill_per_period: u64,
+    period: SimDuration,
+    last_refill: SimTime,
+}
+
+impl TokenBucket {
+    /// New bucket, starting full.
+    pub fn new(capacity: u64, refill_per_period: u64, period: SimDuration) -> Self {
+        assert!(period.as_micros() > 0, "refill period must be positive");
+        TokenBucket { capacity, tokens: capacity, refill_per_period, period, last_refill: SimTime::ZERO }
+    }
+
+    /// The paper's sensor policy: one answer per 5 minutes (per bucket; the
+    /// caller keys buckets by source /24).
+    pub fn one_per_5min() -> Self {
+        TokenBucket::new(1, 1, SimDuration::from_secs(300))
+    }
+
+    /// A packets-per-second budget, e.g. the authoritative server's 20k pps.
+    pub fn per_second(pps: u64) -> Self {
+        TokenBucket::new(pps, pps, SimDuration::from_secs(1))
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        if now <= self.last_refill {
+            return;
+        }
+        let elapsed = now - self.last_refill;
+        let periods = elapsed.as_micros() / self.period.as_micros();
+        if periods > 0 {
+            let added = periods.saturating_mul(self.refill_per_period);
+            self.tokens = (self.tokens.saturating_add(added)).min(self.capacity);
+            self.last_refill += SimDuration(periods * self.period.as_micros());
+        }
+    }
+
+    /// Try to admit one request at time `now`.
+    pub fn try_take(&mut self, now: SimTime) -> bool {
+        self.refill(now);
+        if self.tokens > 0 {
+            self.tokens -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (after refilling to `now`).
+    pub fn available(&mut self, now: SimTime) -> u64 {
+        self.refill(now);
+        self.tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_faults_do_nothing() {
+        let f = FaultConfig::none();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(!f.should_drop(&mut rng));
+            assert!(!f.should_duplicate(&mut rng));
+            assert_eq!(f.jitter(&mut rng), SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn drop_rate_roughly_matches_probability() {
+        let f = FaultConfig { drop_probability: 0.3, ..FaultConfig::none() };
+        let mut rng = SmallRng::seed_from_u64(42);
+        let drops = (0..10_000).filter(|_| f.should_drop(&mut rng)).count();
+        assert!((2_500..3_500).contains(&drops), "got {drops} drops out of 10000");
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let f = FaultConfig { max_jitter: SimDuration::from_millis(3), ..FaultConfig::none() };
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(f.jitter(&mut rng) <= SimDuration::from_millis(3));
+        }
+    }
+
+    #[test]
+    fn fault_decisions_deterministic_for_same_seed() {
+        let f = FaultConfig::lossy(0.2);
+        let mut a = SmallRng::seed_from_u64(99);
+        let mut b = SmallRng::seed_from_u64(99);
+        for _ in 0..500 {
+            assert_eq!(f.should_drop(&mut a), f.should_drop(&mut b));
+            assert_eq!(f.jitter(&mut a), f.jitter(&mut b));
+        }
+    }
+
+    #[test]
+    fn bucket_serves_capacity_then_blocks() {
+        let mut b = TokenBucket::new(3, 3, SimDuration::from_secs(1));
+        let t0 = SimTime::ZERO;
+        assert!(b.try_take(t0));
+        assert!(b.try_take(t0));
+        assert!(b.try_take(t0));
+        assert!(!b.try_take(t0), "fourth request in the same instant must be rejected");
+    }
+
+    #[test]
+    fn bucket_refills_after_period() {
+        let mut b = TokenBucket::new(1, 1, SimDuration::from_secs(300));
+        assert!(b.try_take(SimTime::ZERO));
+        assert!(!b.try_take(SimTime::ZERO + SimDuration::from_secs(299)));
+        assert!(b.try_take(SimTime::ZERO + SimDuration::from_secs(300)));
+        assert!(!b.try_take(SimTime::ZERO + SimDuration::from_secs(300)));
+    }
+
+    #[test]
+    fn bucket_never_exceeds_capacity() {
+        let mut b = TokenBucket::new(2, 2, SimDuration::from_secs(1));
+        // Long idle: refill many periods, but cap at capacity.
+        assert_eq!(b.available(SimTime::ZERO + SimDuration::from_secs(100)), 2);
+        assert!(b.try_take(SimTime::ZERO + SimDuration::from_secs(100)));
+        assert!(b.try_take(SimTime::ZERO + SimDuration::from_secs(100)));
+        assert!(!b.try_take(SimTime::ZERO + SimDuration::from_secs(100)));
+    }
+
+    #[test]
+    fn five_minute_policy_matches_paper() {
+        let mut b = TokenBucket::one_per_5min();
+        assert!(b.try_take(SimTime::ZERO));
+        // A scan retry 20 seconds later is ignored.
+        assert!(!b.try_take(SimTime::ZERO + SimDuration::from_secs(20)));
+        // The next periodic campaign pass (hours later) is served.
+        assert!(b.try_take(SimTime::ZERO + SimDuration::from_secs(3600)));
+    }
+
+    #[test]
+    fn per_second_budget() {
+        let mut b = TokenBucket::per_second(2);
+        let t = SimTime::ZERO;
+        assert!(b.try_take(t));
+        assert!(b.try_take(t));
+        assert!(!b.try_take(t));
+        assert!(b.try_take(t + SimDuration::from_secs(1)));
+    }
+}

@@ -1,0 +1,163 @@
+//! The [`Host`] trait — how protocol logic attaches to simulated nodes —
+//! and the per-event [`Ctx`] handed to handlers.
+
+use crate::packet::{Datagram, IcmpMessage, DEFAULT_TTL};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{NodeId, Topology};
+use std::any::Any;
+use std::net::Ipv4Addr;
+
+/// A UDP send request issued by a host.
+#[derive(Debug, Clone)]
+pub struct UdpSend {
+    /// Source address. `None` uses the node's primary IP. A `Some` value
+    /// that the node does not own is *spoofing* and is subject to the
+    /// sending AS's outbound SAV policy — the transparent forwarder's relay
+    /// sets this to the original client's address (§2).
+    pub src: Option<Ipv4Addr>,
+    /// UDP source port.
+    pub src_port: u16,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// UDP destination port.
+    pub dst_port: u16,
+    /// Initial TTL; `None` uses [`DEFAULT_TTL`]. DNSRoute++ sweeps this
+    /// field; a transparent forwarder sets it to `arrival_ttl - 1`.
+    pub ttl: Option<u8>,
+    /// Payload bytes (typically an encoded DNS message).
+    pub payload: Vec<u8>,
+}
+
+impl UdpSend {
+    /// Plain send from the node's primary address with default TTL.
+    pub fn new(src_port: u16, dst: Ipv4Addr, dst_port: u16, payload: Vec<u8>) -> Self {
+        UdpSend { src: None, src_port, dst, dst_port, ttl: None, payload }
+    }
+
+    /// Effective TTL.
+    pub fn effective_ttl(&self) -> u8 {
+        self.ttl.unwrap_or(DEFAULT_TTL)
+    }
+}
+
+/// Action buffer collected during one handler invocation and executed by
+/// the simulator afterwards.
+#[derive(Debug)]
+pub(crate) enum Action {
+    SendUdp(UdpSend),
+    SetTimer { delay: SimDuration, token: u64 },
+    SendPortUnreachable { original: Datagram },
+    SendTimeExceeded { original: Datagram },
+}
+
+/// Context passed to every host handler. Sends and timers are buffered and
+/// executed after the handler returns, keeping handlers pure with respect
+/// to the event queue.
+pub struct Ctx<'a> {
+    pub(crate) now: SimTime,
+    pub(crate) node: NodeId,
+    pub(crate) topo: &'a Topology,
+    pub(crate) actions: Vec<Action>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node this handler runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The node's primary IP address.
+    pub fn primary_ip(&self) -> Ipv4Addr {
+        self.topo.host_spec(self.node).ip
+    }
+
+    /// Read access to the topology (for ACL checks, AS lookups, …).
+    pub fn topology(&self) -> &Topology {
+        self.topo
+    }
+
+    /// Queue a UDP send.
+    pub fn send_udp(&mut self, send: UdpSend) {
+        self.actions.push(Action::SendUdp(send));
+    }
+
+    /// Queue a timer that fires `delay` from now, delivering `token` to
+    /// [`Host::on_timer`].
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.actions.push(Action::SetTimer { delay, token });
+    }
+
+    /// Queue an ICMP port-unreachable in response to `original` (what a
+    /// host with no listener on the probed port does).
+    pub fn send_port_unreachable(&mut self, original: &Datagram) {
+        self.actions.push(Action::SendPortUnreachable { original: original.clone() });
+    }
+
+    /// Queue an ICMP time-exceeded in response to `original`. A transparent
+    /// forwarder does this when a query arrives whose remaining TTL does not
+    /// survive the relay decrement — "the IP stack of the transparent
+    /// forwarder replies when the TTL is exceeded, which stops forwarding"
+    /// (§5). This is what makes the forwarder itself visible to DNSRoute++.
+    pub fn send_time_exceeded(&mut self, original: &Datagram) {
+        self.actions.push(Action::SendTimeExceeded { original: original.clone() });
+    }
+}
+
+/// Protocol logic attached to a node.
+///
+/// Handlers receive a [`Ctx`] for issuing sends and timers. Implementations
+/// must provide `as_any`/`as_any_mut` so results can be extracted after a
+/// run (see [`crate::sim::Simulator::host_as`]); the
+/// [`crate::impl_host_downcast`] macro writes them for you.
+pub trait Host: 'static {
+    /// A UDP datagram arrived for one of this node's addresses.
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram);
+
+    /// An ICMP message arrived (Time Exceeded, Port Unreachable, …).
+    fn on_icmp(&mut self, ctx: &mut Ctx<'_>, icmp: IcmpMessage) {
+        let _ = (ctx, icmp);
+    }
+
+    /// A timer set through [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let _ = (ctx, token);
+    }
+
+    /// Downcast support (usually via [`crate::impl_host_downcast`]).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Implements [`Host::as_any`]/[`Host::as_any_mut`] for a type.
+#[macro_export]
+macro_rules! impl_host_downcast {
+    () => {
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn udp_send_defaults() {
+        let s = UdpSend::new(4000, Ipv4Addr::new(1, 2, 3, 4), 53, vec![1]);
+        assert_eq!(s.src, None);
+        assert_eq!(s.effective_ttl(), DEFAULT_TTL);
+        let spoofed = UdpSend { src: Some(Ipv4Addr::new(9, 9, 9, 9)), ttl: Some(3), ..s };
+        assert_eq!(spoofed.effective_ttl(), 3);
+    }
+}

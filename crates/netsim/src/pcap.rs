@@ -1,0 +1,211 @@
+//! Minimal libpcap-format writer and reader (LINKTYPE_RAW: raw IPv4).
+//!
+//! The paper's scan server runs `dumpcap` alongside `zmap` and all analysis
+//! happens offline on the pcap (§A.2, `dns-scan-server`). We reproduce that
+//! pipeline: the scanner's capture tap produces real pcap bytes, and the
+//! analysis crate re-parses them — so the correlation step works on exactly
+//! the information a real capture would contain.
+
+use crate::time::SimTime;
+
+/// libpcap global-header magic, little-endian, microsecond timestamps.
+const MAGIC_LE_US: u32 = 0xA1B2_C3D4;
+/// LINKTYPE_RAW: packets begin directly with an IPv4/IPv6 header.
+const LINKTYPE_RAW: u32 = 101;
+
+/// A single captured packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapturedPacket {
+    /// Capture timestamp.
+    pub ts: SimTime,
+    /// Raw IPv4 bytes (starting at the IP header).
+    pub data: Vec<u8>,
+}
+
+/// Errors from the pcap reader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PcapError {
+    /// Stream shorter than a global header.
+    TooShort,
+    /// Unknown magic number.
+    BadMagic(u32),
+    /// Unsupported link type.
+    BadLinkType(u32),
+    /// A record header claimed more bytes than remain.
+    TruncatedRecord,
+}
+
+impl std::fmt::Display for PcapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PcapError::TooShort => write!(f, "pcap stream shorter than global header"),
+            PcapError::BadMagic(m) => write!(f, "bad pcap magic 0x{m:08x}"),
+            PcapError::BadLinkType(l) => write!(f, "unsupported pcap linktype {l}"),
+            PcapError::TruncatedRecord => write!(f, "truncated pcap record"),
+        }
+    }
+}
+
+impl std::error::Error for PcapError {}
+
+/// Streaming pcap writer producing bytes in memory.
+#[derive(Debug)]
+pub struct PcapWriter {
+    buf: Vec<u8>,
+    packets: usize,
+}
+
+impl Default for PcapWriter {
+    /// Same as [`PcapWriter::new`]: the global header is always emitted.
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PcapWriter {
+    /// Create a writer with the global header already emitted.
+    pub fn new() -> Self {
+        let mut buf = Vec::with_capacity(4096);
+        buf.extend_from_slice(&MAGIC_LE_US.to_le_bytes());
+        buf.extend_from_slice(&2u16.to_le_bytes()); // version major
+        buf.extend_from_slice(&4u16.to_le_bytes()); // version minor
+        buf.extend_from_slice(&0i32.to_le_bytes()); // thiszone
+        buf.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
+        buf.extend_from_slice(&65535u32.to_le_bytes()); // snaplen
+        buf.extend_from_slice(&LINKTYPE_RAW.to_le_bytes());
+        PcapWriter { buf, packets: 0 }
+    }
+
+    /// Append one packet record.
+    pub fn write(&mut self, ts: SimTime, data: &[u8]) {
+        let us = ts.as_micros();
+        let secs = (us / 1_000_000) as u32;
+        let micros = (us % 1_000_000) as u32;
+        self.buf.extend_from_slice(&secs.to_le_bytes());
+        self.buf.extend_from_slice(&micros.to_le_bytes());
+        self.buf.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(data);
+        self.packets += 1;
+    }
+
+    /// Number of records written so far.
+    pub fn packet_count(&self) -> usize {
+        self.packets
+    }
+
+    /// Finish, yielding the full pcap byte stream.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the bytes written so far without consuming the writer.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Parse a pcap byte stream produced by [`PcapWriter`] (or any LE,
+/// microsecond, LINKTYPE_RAW pcap).
+pub fn read_pcap(bytes: &[u8]) -> Result<Vec<CapturedPacket>, PcapError> {
+    if bytes.len() < 24 {
+        return Err(PcapError::TooShort);
+    }
+    let magic = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    if magic != MAGIC_LE_US {
+        return Err(PcapError::BadMagic(magic));
+    }
+    let linktype = u32::from_le_bytes([bytes[20], bytes[21], bytes[22], bytes[23]]);
+    if linktype != LINKTYPE_RAW {
+        return Err(PcapError::BadLinkType(linktype));
+    }
+    let mut out = Vec::new();
+    let mut pos = 24usize;
+    while pos < bytes.len() {
+        if pos + 16 > bytes.len() {
+            return Err(PcapError::TruncatedRecord);
+        }
+        let secs = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]]);
+        let micros =
+            u32::from_le_bytes([bytes[pos + 4], bytes[pos + 5], bytes[pos + 6], bytes[pos + 7]]);
+        let incl =
+            u32::from_le_bytes([bytes[pos + 8], bytes[pos + 9], bytes[pos + 10], bytes[pos + 11]])
+                as usize;
+        pos += 16;
+        if pos + incl > bytes.len() {
+            return Err(PcapError::TruncatedRecord);
+        }
+        out.push(CapturedPacket {
+            ts: SimTime(u64::from(secs) * 1_000_000 + u64::from(micros)),
+            data: bytes[pos..pos + incl].to_vec(),
+        });
+        pos += incl;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_capture_roundtrip() {
+        let w = PcapWriter::new();
+        assert_eq!(w.packet_count(), 0);
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 24);
+        assert_eq!(read_pcap(&bytes).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn packets_roundtrip_with_timestamps() {
+        let mut w = PcapWriter::new();
+        w.write(SimTime(1_500_042), &[1, 2, 3]);
+        w.write(SimTime(2_000_000), &[4, 5, 6, 7]);
+        assert_eq!(w.packet_count(), 2);
+        let recs = read_pcap(&w.finish()).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].ts, SimTime(1_500_042));
+        assert_eq!(recs[0].data, vec![1, 2, 3]);
+        assert_eq!(recs[1].ts, SimTime(2_000_000));
+        assert_eq!(recs[1].data, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = PcapWriter::new().finish();
+        bytes[0] = 0x00;
+        assert!(matches!(read_pcap(&bytes), Err(PcapError::BadMagic(_))));
+    }
+
+    #[test]
+    fn truncated_record_rejected() {
+        let mut w = PcapWriter::new();
+        w.write(SimTime(1), &[0xAA; 10]);
+        let mut bytes = w.finish();
+        bytes.truncate(bytes.len() - 3);
+        assert_eq!(read_pcap(&bytes), Err(PcapError::TruncatedRecord));
+    }
+
+    #[test]
+    fn wire_packets_survive_pcap() {
+        use crate::packet::Datagram;
+        use std::net::Ipv4Addr;
+        let d = Datagram {
+            src: Ipv4Addr::new(192, 0, 2, 1),
+            dst: Ipv4Addr::new(203, 0, 113, 9),
+            src_port: 40000,
+            dst_port: 53,
+            ttl: 61,
+            payload: vec![9; 12],
+        };
+        let wire = crate::wire::encode_udp(&d, 77);
+        let mut w = PcapWriter::new();
+        w.write(SimTime(5), &wire);
+        let recs = read_pcap(&w.finish()).unwrap();
+        match crate::wire::decode(&recs[0].data).unwrap() {
+            crate::wire::DecodedPacket::Udp(back) => assert_eq!(back, d),
+            other => panic!("expected UDP, got {other:?}"),
+        }
+    }
+}

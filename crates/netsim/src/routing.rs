@@ -1,0 +1,453 @@
+//! Path computation: AS-level BFS expanded to router-level hop lists.
+//!
+//! A route is resolved once per packet as:
+//!
+//! ```text
+//! src host ── [src access routers] ── [transit routers of every AS on the
+//! AS path, in traversal order] ── [dst access routers, reversed] ── dst host
+//! ```
+//!
+//! TTL expiry is then evaluated arithmetically against the hop list, so a
+//! 30-probe DNSRoute++ TTL sweep costs no more events than 30 plain sends.
+//! Anycast destinations resolve to the instance whose AS is closest (in AS
+//! hops) to the source AS — the mechanism behind Figure 6's ranking of
+//! Cloudflare < Google < OpenDNS path lengths: more PoPs means a closer
+//! nearest PoP.
+
+use crate::time::SimDuration;
+use crate::topology::{AsId, IpOwner, NodeId, Topology};
+use std::collections::{HashMap, VecDeque};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Per-router forwarding latency (one way).
+const HOP_LATENCY: SimDuration = SimDuration(1_000);
+/// Extra latency for crossing an AS boundary (peering/transit link).
+const AS_CROSS_LATENCY: SimDuration = SimDuration(4_000);
+
+/// One router hop on a path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// Router address (sources ICMP Time Exceeded when TTL dies here).
+    pub ip: Ipv4Addr,
+    /// AS the router belongs to.
+    pub as_id: AsId,
+    /// Cumulative one-way latency from the source to this router.
+    pub latency: SimDuration,
+}
+
+/// A fully resolved unidirectional path.
+#[derive(Debug, Clone)]
+pub struct Path {
+    /// Destination node (for anycast: the selected instance).
+    pub dst_node: NodeId,
+    /// Router hops in order; does not include the destination host.
+    pub hops: Vec<Hop>,
+    /// Total one-way latency source → destination host.
+    pub total_latency: SimDuration,
+    /// AS-level path (src AS first, dst AS last).
+    pub as_path: Vec<AsId>,
+}
+
+impl Path {
+    /// Number of IP hops a probe must survive to be *delivered*: each
+    /// router decrements once; the destination host does not decrement.
+    /// A packet sent with TTL `t` is delivered iff `t > self.hops.len()`,
+    /// and the remaining TTL on arrival is `t - self.hops.len()`.
+    pub fn router_hops(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Where a packet with initial TTL `t` dies, if it does: the index of
+    /// the router that drops it and emits Time Exceeded.
+    pub fn expiry_hop(&self, ttl: u8) -> Option<&Hop> {
+        let t = ttl as usize;
+        if t == 0 {
+            return self.hops.first();
+        }
+        if t <= self.hops.len() {
+            Some(&self.hops[t - 1])
+        } else {
+            None
+        }
+    }
+}
+
+/// Why a route could not be resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// Destination IP is not assigned to any host or anycast group.
+    NoSuchHost,
+    /// Destination is a router address (we only deliver to hosts).
+    RouterAddress,
+    /// The AS graph has no path between the endpoints.
+    Unreachable,
+}
+
+/// Route resolver with an AS-path cache.
+///
+/// The cache key is `(src AS, dst AS)`; an Internet-wide scan reuses the
+/// scanner-AS entry for every target in the same destination AS.
+#[derive(Debug, Default)]
+pub struct RouteResolver {
+    as_path_cache: HashMap<(AsId, AsId), Option<Arc<Vec<AsId>>>>,
+    distance_cache: HashMap<AsId, Arc<Vec<Option<u32>>>>,
+}
+
+impl RouteResolver {
+    /// Fresh resolver with an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached AS-path entries.
+    pub fn cache_len(&self) -> usize {
+        self.as_path_cache.len()
+    }
+
+    /// Shortest AS path (inclusive of endpoints) via BFS with deterministic
+    /// tie-breaking (adjacency lists are sorted at topology build).
+    pub fn as_path(&mut self, topo: &Topology, src: AsId, dst: AsId) -> Option<Arc<Vec<AsId>>> {
+        if let Some(cached) = self.as_path_cache.get(&(src, dst)) {
+            return cached.clone();
+        }
+        let result = bfs_as_path(topo, src, dst).map(Arc::new);
+        self.as_path_cache.insert((src, dst), result.clone());
+        result
+    }
+
+    /// AS-hop distance between two ASes (0 when identical).
+    pub fn as_distance(&mut self, topo: &Topology, src: AsId, dst: AsId) -> Option<usize> {
+        self.as_path(topo, src, dst).map(|p| p.len() - 1)
+    }
+
+    /// BFS distances from `src` to every AS, cached. One BFS serves every
+    /// anycast PoP-selection query from the same source AS — the hot path
+    /// of an Internet-wide census.
+    pub fn distances_from(&mut self, topo: &Topology, src: AsId) -> Arc<Vec<Option<u32>>> {
+        if let Some(d) = self.distance_cache.get(&src) {
+            return d.clone();
+        }
+        let n = topo.as_count();
+        let mut dist: Vec<Option<u32>> = vec![None; n];
+        if (src.0 as usize) < n {
+            dist[src.0 as usize] = Some(0);
+            let mut queue = VecDeque::new();
+            queue.push_back(src);
+            while let Some(cur) = queue.pop_front() {
+                if cur != src && !provides_transit(topo, cur) {
+                    continue; // valley-free: see bfs_as_path
+                }
+                let d = dist[cur.0 as usize].expect("visited");
+                for &(next, _) in topo.as_neighbors(cur) {
+                    if dist[next.0 as usize].is_none() {
+                        dist[next.0 as usize] = Some(d + 1);
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        let arc = Arc::new(dist);
+        self.distance_cache.insert(src, arc.clone());
+        arc
+    }
+
+    /// Select the anycast instance nearest to `src_as` (min AS distance,
+    /// then lowest node id for determinism).
+    pub fn select_anycast_instance(
+        &mut self,
+        topo: &Topology,
+        src_as: AsId,
+        service_ip: Ipv4Addr,
+    ) -> Option<NodeId> {
+        let group = topo.anycast_group(service_ip)?;
+        let distances = self.distances_from(topo, src_as);
+        let mut best: Option<(u32, NodeId)> = None;
+        for &inst in &group.instances {
+            let inst_as = topo.as_of_node(inst);
+            if let Some(d) = distances[inst_as.0 as usize] {
+                let candidate = (d, inst);
+                if best.is_none_or(|b| candidate < b) {
+                    best = Some(candidate);
+                }
+            }
+        }
+        best.map(|(_, n)| n)
+    }
+
+    /// Resolve the full router-level path from host `src_node` to IP `dst`.
+    pub fn resolve(
+        &mut self,
+        topo: &Topology,
+        src_node: NodeId,
+        dst: Ipv4Addr,
+    ) -> Result<Path, RouteError> {
+        let src_as = topo.as_of_node(src_node);
+        let dst_node = match topo.owner_of_ip(dst) {
+            None => return Err(RouteError::NoSuchHost),
+            Some(IpOwner::Router(_)) => return Err(RouteError::RouterAddress),
+            Some(IpOwner::Host(n)) => n,
+            Some(IpOwner::Anycast) => self
+                .select_anycast_instance(topo, src_as, dst)
+                .ok_or(RouteError::Unreachable)?,
+        };
+        let dst_as = topo.as_of_node(dst_node);
+        let as_path = self.as_path(topo, src_as, dst_as).ok_or(RouteError::Unreachable)?;
+
+        let src_spec = topo.host_spec(src_node);
+        let dst_spec = topo.host_spec(dst_node);
+
+        let mut hops = Vec::new();
+        let mut latency = src_spec.link_latency;
+        // Out through the source's access routers (host-side first).
+        for r in src_spec.access_routers.iter().rev() {
+            latency = latency + HOP_LATENCY;
+            hops.push(Hop { ip: *r, as_id: src_as, latency });
+        }
+        // Across each AS on the path, through its transit routers.
+        for (i, &as_id) in as_path.iter().enumerate() {
+            if i > 0 {
+                latency = latency + AS_CROSS_LATENCY;
+            }
+            for r in &topo.as_spec(as_id).transit_routers {
+                latency = latency + HOP_LATENCY;
+                hops.push(Hop { ip: *r, as_id, latency });
+            }
+        }
+        // In through the destination's access routers (core-side first).
+        for r in dst_spec.access_routers.iter() {
+            latency = latency + HOP_LATENCY;
+            hops.push(Hop { ip: *r, as_id: dst_as, latency });
+        }
+        let total_latency = latency + dst_spec.link_latency;
+
+        Ok(Path { dst_node, hops, total_latency, as_path: as_path.to_vec() })
+    }
+}
+
+/// Whether an AS may carry traffic it neither sources nor sinks. Only
+/// transit networks do — content networks (Cloudflare's omnipresent
+/// peering!) and eyeball ISPs never provide transit, the "valley-free"
+/// property of inter-domain routing. Without this rule a heavily-peered
+/// content AS becomes a universal shortcut and every path collapses.
+fn provides_transit(topo: &Topology, a: AsId) -> bool {
+    matches!(topo.as_spec(a).kind, crate::topology::AsKind::Transit)
+}
+
+fn bfs_as_path(topo: &Topology, src: AsId, dst: AsId) -> Option<Vec<AsId>> {
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let n = topo.as_count();
+    if (src.0 as usize) >= n || (dst.0 as usize) >= n {
+        return None;
+    }
+    let mut prev: Vec<Option<AsId>> = vec![None; n];
+    let mut visited = vec![false; n];
+    visited[src.0 as usize] = true;
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    while let Some(cur) = queue.pop_front() {
+        // The source always forwards its own traffic; everything else on
+        // the path must be a transit network.
+        if cur != src && !provides_transit(topo, cur) {
+            continue;
+        }
+        for &(next, _) in topo.as_neighbors(cur) {
+            if !visited[next.0 as usize] {
+                visited[next.0 as usize] = true;
+                prev[next.0 as usize] = Some(cur);
+                if next == dst {
+                    let mut path = vec![dst];
+                    let mut at = dst;
+                    while let Some(p) = prev[at.0 as usize] {
+                        path.push(p);
+                        at = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use crate::topology::{AsKind, AsSpec, CountryCode, HostSpec, Relationship, TopologyBuilder};
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(a, b, c, d)
+    }
+
+    fn as_spec(asn: u32, routers: Vec<Ipv4Addr>) -> AsSpec {
+        AsSpec {
+            asn,
+            country: CountryCode::new("ZZZ"),
+            kind: AsKind::Transit,
+            sav_outbound: false,
+            transit_routers: routers,
+        }
+    }
+
+    /// Chain topology: AS0 — AS1 — AS2 — AS3, host in AS0 and AS3.
+    fn chain() -> (Topology, NodeId, NodeId, Ipv4Addr) {
+        let mut b = TopologyBuilder::new();
+        let a0 = b.add_as(as_spec(100, vec![ip(10, 0, 0, 1)]));
+        let a1 = b.add_as(as_spec(101, vec![ip(10, 1, 0, 1), ip(10, 1, 0, 2)]));
+        let a2 = b.add_as(as_spec(102, vec![ip(10, 2, 0, 1)]));
+        let a3 = b.add_as(as_spec(103, vec![ip(10, 3, 0, 1)]));
+        b.connect(a0, a1, Relationship::ProviderCustomer);
+        b.connect(a1, a2, Relationship::Peer);
+        b.connect(a2, a3, Relationship::ProviderCustomer);
+        let src = b.add_host(
+            a0,
+            HostSpec {
+                ip: ip(192, 0, 2, 1),
+                extra_ips: vec![],
+                access_routers: vec![ip(10, 0, 9, 1)],
+                link_latency: SimDuration::from_millis(2),
+            },
+        );
+        let dst_ip = ip(203, 0, 113, 1);
+        let dst = b.add_host(
+            a3,
+            HostSpec {
+                ip: dst_ip,
+                extra_ips: vec![],
+                access_routers: vec![ip(10, 3, 9, 1)],
+                link_latency: SimDuration::from_millis(2),
+            },
+        );
+        (b.build().unwrap(), src, dst, dst_ip)
+    }
+
+    #[test]
+    fn chain_path_hops_in_order() {
+        let (t, src, dst, dst_ip) = chain();
+        let mut r = RouteResolver::new();
+        let p = r.resolve(&t, src, dst_ip).unwrap();
+        assert_eq!(p.dst_node, dst);
+        let hop_ips: Vec<_> = p.hops.iter().map(|h| h.ip).collect();
+        assert_eq!(
+            hop_ips,
+            vec![
+                ip(10, 0, 9, 1), // src access
+                ip(10, 0, 0, 1), // AS0 transit
+                ip(10, 1, 0, 1), // AS1 transit
+                ip(10, 1, 0, 2),
+                ip(10, 2, 0, 1), // AS2 transit
+                ip(10, 3, 0, 1), // AS3 transit
+                ip(10, 3, 9, 1), // dst access
+            ]
+        );
+        assert_eq!(p.as_path.len(), 4);
+        assert_eq!(p.router_hops(), 7);
+    }
+
+    #[test]
+    fn expiry_hop_semantics() {
+        let (t, src, _dst, dst_ip) = chain();
+        let mut r = RouteResolver::new();
+        let p = r.resolve(&t, src, dst_ip).unwrap();
+        // TTL 1 dies at the first router.
+        assert_eq!(p.expiry_hop(1).unwrap().ip, ip(10, 0, 9, 1));
+        // TTL equal to router count dies at the last router.
+        assert_eq!(p.expiry_hop(7).unwrap().ip, ip(10, 3, 9, 1));
+        // TTL beyond router count is delivered.
+        assert!(p.expiry_hop(8).is_none());
+    }
+
+    #[test]
+    fn latency_is_monotone_along_path() {
+        let (t, src, _dst, dst_ip) = chain();
+        let mut r = RouteResolver::new();
+        let p = r.resolve(&t, src, dst_ip).unwrap();
+        for w in p.hops.windows(2) {
+            assert!(w[0].latency < w[1].latency);
+        }
+        assert!(p.total_latency > p.hops.last().unwrap().latency);
+    }
+
+    #[test]
+    fn cache_reuses_as_paths() {
+        let (t, src, _dst, dst_ip) = chain();
+        let mut r = RouteResolver::new();
+        let _ = r.resolve(&t, src, dst_ip).unwrap();
+        let before = r.cache_len();
+        let _ = r.resolve(&t, src, dst_ip).unwrap();
+        assert_eq!(r.cache_len(), before, "second resolve must hit the cache");
+    }
+
+    #[test]
+    fn unknown_destination_errors() {
+        let (t, src, _dst, _dst_ip) = chain();
+        let mut r = RouteResolver::new();
+        assert!(matches!(r.resolve(&t, src, ip(198, 18, 0, 1)), Err(RouteError::NoSuchHost)));
+        assert!(matches!(r.resolve(&t, src, ip(10, 1, 0, 1)), Err(RouteError::RouterAddress)));
+    }
+
+    #[test]
+    fn disconnected_as_unreachable() {
+        let mut b = TopologyBuilder::new();
+        let a0 = b.add_as(as_spec(100, vec![]));
+        let a1 = b.add_as(as_spec(101, vec![]));
+        let src = b.add_host(a0, HostSpec::simple(ip(192, 0, 2, 1)));
+        let _dst = b.add_host(a1, HostSpec::simple(ip(203, 0, 113, 1)));
+        let t = b.build().unwrap();
+        let mut r = RouteResolver::new();
+        assert!(matches!(r.resolve(&t, src, ip(203, 0, 113, 1)), Err(RouteError::Unreachable)));
+    }
+
+    #[test]
+    fn intra_as_path_has_no_crossing() {
+        let mut b = TopologyBuilder::new();
+        let a0 = b.add_as(as_spec(100, vec![ip(10, 0, 0, 1)]));
+        let src = b.add_host(a0, HostSpec::simple(ip(192, 0, 2, 1)));
+        let _dst = b.add_host(a0, HostSpec::simple(ip(192, 0, 2, 2)));
+        let t = b.build().unwrap();
+        let mut r = RouteResolver::new();
+        let p = r.resolve(&t, src, ip(192, 0, 2, 2)).unwrap();
+        assert_eq!(p.as_path.len(), 1);
+        assert_eq!(p.router_hops(), 1);
+    }
+
+    /// Anycast: with a near PoP (1 AS hop) and a far PoP (3 AS hops), the
+    /// near one must be selected — the Figure 6 mechanism.
+    #[test]
+    fn anycast_selects_nearest_pop() {
+        let mut b = TopologyBuilder::new();
+        let a0 = b.add_as(as_spec(100, vec![ip(10, 0, 0, 1)]));
+        let a1 = b.add_as(as_spec(101, vec![ip(10, 1, 0, 1)]));
+        let a2 = b.add_as(as_spec(102, vec![ip(10, 2, 0, 1)]));
+        let a3 = b.add_as(as_spec(103, vec![ip(10, 3, 0, 1)]));
+        b.connect(a0, a1, Relationship::Peer);
+        b.connect(a1, a2, Relationship::Peer);
+        b.connect(a2, a3, Relationship::Peer);
+        let src = b.add_host(a0, HostSpec::simple(ip(192, 0, 2, 1)));
+        let near = b.add_host(a1, HostSpec::simple(ip(198, 51, 100, 1)));
+        let far = b.add_host(a3, HostSpec::simple(ip(198, 51, 100, 2)));
+        let svc = ip(8, 8, 8, 8);
+        b.add_anycast_instance(svc, far);
+        b.add_anycast_instance(svc, near);
+        let t = b.build().unwrap();
+        let mut r = RouteResolver::new();
+        let p = r.resolve(&t, src, svc).unwrap();
+        assert_eq!(p.dst_node, near);
+        // From the far host's perspective the far PoP instance wins.
+        let p2 = r.resolve(&t, far, svc).unwrap();
+        assert_eq!(p2.dst_node, far);
+    }
+
+    #[test]
+    fn as_distance_zero_for_same_as() {
+        let (t, src, _, _) = chain();
+        let mut r = RouteResolver::new();
+        let a = t.as_of_node(src);
+        assert_eq!(r.as_distance(&t, a, a), Some(0));
+    }
+}

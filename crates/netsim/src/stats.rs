@@ -1,0 +1,146 @@
+//! Simulation-wide counters.
+
+use std::fmt;
+
+/// Why a packet was dropped instead of delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// The sender's AS enforces outbound source-address validation and the
+    /// source IP was spoofed — the filter that *prevents* transparent
+    /// forwarding in well-run networks (§2).
+    SavOutbound,
+    /// No route between the endpoints.
+    NoRoute,
+    /// Destination IP not assigned to any host.
+    NoSuchHost,
+    /// TTL reached zero in transit (an ICMP Time Exceeded was emitted).
+    TtlExpired,
+    /// Random fault injection.
+    Fault,
+}
+
+/// Counters maintained by the simulator. All fields are cumulative.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// UDP datagrams submitted by hosts.
+    pub udp_sent: u64,
+    /// UDP datagrams delivered to hosts.
+    pub udp_delivered: u64,
+    /// UDP datagrams sent with a spoofed source that were *permitted*
+    /// (sender's AS does not filter) — every transparent-forwarder relay
+    /// increments this.
+    pub spoofed_sent: u64,
+    /// Drops by reason.
+    pub dropped_sav: u64,
+    /// No-route drops.
+    pub dropped_no_route: u64,
+    /// Unassigned-destination drops.
+    pub dropped_no_such_host: u64,
+    /// TTL expiries (each also generates an ICMP Time Exceeded).
+    pub dropped_ttl: u64,
+    /// Fault-injection drops.
+    pub dropped_fault: u64,
+    /// ICMP messages delivered.
+    pub icmp_delivered: u64,
+    /// ICMP messages whose destination did not exist (e.g. errors toward a
+    /// spoofed, unassigned victim address).
+    pub icmp_undeliverable: u64,
+    /// Duplicates injected by fault config.
+    pub duplicates_injected: u64,
+    /// Payload corruptions injected by fault config.
+    pub corrupted: u64,
+    /// Total UDP payload bytes delivered (amplification accounting).
+    pub udp_bytes_delivered: u64,
+    /// Timer events fired.
+    pub timers_fired: u64,
+    /// Total events processed.
+    pub events_processed: u64,
+}
+
+impl SimStats {
+    /// Record a drop.
+    pub fn record_drop(&mut self, reason: DropReason) {
+        match reason {
+            DropReason::SavOutbound => self.dropped_sav += 1,
+            DropReason::NoRoute => self.dropped_no_route += 1,
+            DropReason::NoSuchHost => self.dropped_no_such_host += 1,
+            DropReason::TtlExpired => self.dropped_ttl += 1,
+            DropReason::Fault => self.dropped_fault += 1,
+        }
+    }
+
+    /// Total drops across all reasons.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped_sav
+            + self.dropped_no_route
+            + self.dropped_no_such_host
+            + self.dropped_ttl
+            + self.dropped_fault
+    }
+
+    /// Delivery ratio over UDP (delivered / sent), 1.0 when nothing sent.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.udp_sent == 0 {
+            1.0
+        } else {
+            self.udp_delivered as f64 / self.udp_sent as f64
+        }
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "udp: sent={} delivered={} spoofed={} bytes={}",
+            self.udp_sent, self.udp_delivered, self.spoofed_sent, self.udp_bytes_delivered)?;
+        writeln!(
+            f,
+            "drops: sav={} no_route={} no_host={} ttl={} fault={}",
+            self.dropped_sav,
+            self.dropped_no_route,
+            self.dropped_no_such_host,
+            self.dropped_ttl,
+            self.dropped_fault
+        )?;
+        write!(
+            f,
+            "icmp: delivered={} undeliverable={} | dup={} timers={} events={}",
+            self.icmp_delivered,
+            self.icmp_undeliverable,
+            self.duplicates_injected,
+            self.timers_fired,
+            self.events_processed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_drop_routes_to_right_counter() {
+        let mut s = SimStats::default();
+        s.record_drop(DropReason::SavOutbound);
+        s.record_drop(DropReason::TtlExpired);
+        s.record_drop(DropReason::TtlExpired);
+        assert_eq!(s.dropped_sav, 1);
+        assert_eq!(s.dropped_ttl, 2);
+        assert_eq!(s.total_dropped(), 3);
+    }
+
+    #[test]
+    fn delivery_ratio_handles_zero() {
+        let s = SimStats::default();
+        assert_eq!(s.delivery_ratio(), 1.0);
+        let s = SimStats { udp_sent: 4, udp_delivered: 3, ..SimStats::default() };
+        assert!((s.delivery_ratio() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_key_counters() {
+        let s = SimStats { udp_sent: 5, dropped_sav: 2, ..SimStats::default() };
+        let text = s.to_string();
+        assert!(text.contains("sent=5"));
+        assert!(text.contains("sav=2"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Simulated time. All timestamps are microseconds since simulation start.
+//!
+//! The simulator is a discrete-event system: time only advances when the
+//! event queue pops an event, which makes every run bit-for-bit reproducible
+//! from its seed — a property the paper's real-world measurements cannot
+//! have, and the main reason this reproduction can assert exact expectations
+//! in tests.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (microseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time (microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Microseconds since the epoch.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole milliseconds since the epoch.
+    pub fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds since the epoch, as a float (for reports only — never for
+    /// ordering decisions).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Duration elapsed since `earlier`. Saturates at zero.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// From microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// From milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// From seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Microsecond count.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Millisecond count (truncating).
+    pub fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating multiply by an integer factor.
+    pub fn saturating_mul(self, factor: u64) -> Self {
+        SimDuration(self.0.saturating_mul(factor))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{}ms", self.as_millis())
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_millis(5);
+        assert_eq!(t.as_micros(), 5_000);
+        let t2 = t + SimDuration::from_secs(1);
+        assert_eq!(t2.as_millis(), 1_005);
+        assert_eq!((t2 - t).as_millis(), 1_000);
+        assert_eq!(t.since(t2), SimDuration::ZERO, "since saturates");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime(1) < SimTime(2));
+        assert!(SimDuration::from_millis(1) < SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(SimDuration::from_micros(17).to_string(), "17us");
+        assert_eq!(SimDuration::from_millis(20).to_string(), "20ms");
+        assert_eq!(SimDuration::from_secs(3).to_string(), "3.000s");
+        assert_eq!(SimTime(1_500_000).to_string(), "1.500000s");
+    }
+
+    #[test]
+    fn saturation_does_not_wrap() {
+        let huge = SimTime(u64::MAX);
+        let later = huge + SimDuration::from_secs(10);
+        assert_eq!(later, huge);
+    }
+}

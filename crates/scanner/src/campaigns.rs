@@ -1,0 +1,268 @@
+//! Emulations of the popular scanning campaigns: Shadowserver, Censys,
+//! Shodan.
+//!
+//! The §3 controlled experiment reverse-engineers three observable
+//! behaviours, which are all this module models:
+//!
+//! * **Shadowserver** evaluates responses *independently of requests* (a
+//!   stateless, response-based pipeline): whatever address answers with a
+//!   plausible DNS response is reported as an ODNS component. It therefore
+//!   reports Sensor 2's replying address `IP3` — and aggregates all
+//!   responses from one resolver into a single entry, hiding every
+//!   transparent forwarder behind it (Table 3, Table 5).
+//! * **Censys** and **Shodan** use connected-socket semantics: a response
+//!   is only accepted if its source matches the probed target (their
+//!   "sanitizing step"), so mismatched responses are dropped entirely —
+//!   they miss both `IP3` and all transparent forwarders.
+//!
+//! All three emulations probe with real DNS queries through the simulator;
+//! only the *processing* differs.
+
+use dnswire::{Message, MessageBuilder, RrType};
+use netsim::{Ctx, Datagram, Host, NodeId, SimDuration, Simulator, UdpSend};
+use odns::study;
+use std::collections::{BTreeSet, HashMap};
+use std::net::Ipv4Addr;
+
+/// The three campaigns of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Campaign {
+    /// The Shadowserver Foundation's open-resolver scan.
+    Shadowserver,
+    /// Censys.
+    Censys,
+    /// Shodan.
+    Shodan,
+}
+
+impl Campaign {
+    /// All campaigns in the paper's order.
+    pub fn all() -> [Campaign; 3] {
+        [Campaign::Shadowserver, Campaign::Censys, Campaign::Shodan]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Campaign::Shadowserver => "Shadowserver",
+            Campaign::Censys => "Censys",
+            Campaign::Shodan => "Shodan",
+        }
+    }
+
+    /// Whether this campaign sanitizes source-mismatched responses
+    /// (connected-socket semantics).
+    pub fn sanitizes_source(self) -> bool {
+        match self {
+            Campaign::Shadowserver => false,
+            Campaign::Censys | Campaign::Shodan => true,
+        }
+    }
+}
+
+impl std::fmt::Display for Campaign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Campaign scan configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Which campaign's processing to apply.
+    pub campaign: Campaign,
+    /// Targets to probe.
+    pub targets: Vec<Ipv4Addr>,
+    /// Probe pacing.
+    pub inter_probe_gap: SimDuration,
+    /// Base source port.
+    pub base_port: u16,
+}
+
+impl CampaignConfig {
+    /// Config with defaults.
+    pub fn new(campaign: Campaign, targets: Vec<Ipv4Addr>) -> Self {
+        CampaignConfig {
+            campaign,
+            targets,
+            inter_probe_gap: SimDuration::from_micros(50),
+            base_port: 41_000,
+        }
+    }
+}
+
+/// What a campaign publishes after its pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CampaignReport {
+    /// Addresses reported as ODNS components. A `BTreeSet` because real
+    /// campaign feeds aggregate by responder — this single line is why
+    /// transparent forwarders vanish from them.
+    pub odns: BTreeSet<Ipv4Addr>,
+    /// Responses dropped by the source-sanitizing step (Censys/Shodan).
+    pub sanitized_out: u64,
+    /// Responses that did not parse or carried no A record.
+    pub invalid: u64,
+}
+
+/// A campaign scanner host.
+#[derive(Debug)]
+pub struct CampaignScanner {
+    config: CampaignConfig,
+    cursor: usize,
+    /// `(port, txid)` → probed target, for the connected-socket check.
+    sent: HashMap<(u16, u16), Ipv4Addr>,
+    /// The report being accumulated.
+    pub report: CampaignReport,
+}
+
+const PACE_TOKEN: u64 = u64::MAX;
+
+impl CampaignScanner {
+    /// Build from config.
+    pub fn new(config: CampaignConfig) -> Self {
+        CampaignScanner { config, cursor: 0, sent: HashMap::new(), report: CampaignReport::default() }
+    }
+
+    fn probe_tuple(&self, index: usize) -> (u16, u16) {
+        ((self.config.base_port as usize + (index >> 16)) as u16, (index & 0xFFFF) as u16)
+    }
+}
+
+impl Host for CampaignScanner {
+    fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, dgram: Datagram) {
+        let Ok(msg) = Message::decode(&dgram.payload) else {
+            self.report.invalid += 1;
+            return;
+        };
+        if !msg.is_response() || msg.answer_a_addrs().is_empty() {
+            // Campaigns require at least one plausible A record.
+            self.report.invalid += 1;
+            return;
+        }
+        if self.config.campaign.sanitizes_source() {
+            // Connected-socket semantics: find the probe this response
+            // claims to belong to and require the source to match it.
+            let key = (dgram.dst_port, msg.header.id);
+            match self.sent.get(&key) {
+                Some(&target) if target == dgram.src => {
+                    self.report.odns.insert(dgram.src);
+                }
+                _ => {
+                    self.report.sanitized_out += 1;
+                }
+            }
+        } else {
+            // Shadowserver: whoever answers is an ODNS component.
+            self.report.odns.insert(dgram.src);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token != PACE_TOKEN {
+            return;
+        }
+        if self.cursor < self.config.targets.len() {
+            let i = self.cursor;
+            self.cursor += 1;
+            let target = self.config.targets[i];
+            let (port, txid) = self.probe_tuple(i);
+            self.sent.insert((port, txid), target);
+            let query = MessageBuilder::query(txid, study::study_qname(), RrType::A)
+                .recursion_desired(true)
+                .build();
+            ctx.send_udp(UdpSend::new(port, target, dnswire::DNS_PORT, query.encode()));
+            if self.cursor < self.config.targets.len() {
+                ctx.set_timer(self.config.inter_probe_gap, PACE_TOKEN);
+            }
+        }
+    }
+
+    netsim::impl_host_downcast!();
+}
+
+/// Install and run a campaign pass, returning its report.
+pub fn run_campaign(sim: &mut Simulator, node: NodeId, config: CampaignConfig) -> CampaignReport {
+    sim.install(node, CampaignScanner::new(config));
+    sim.schedule_timer(node, SimDuration::ZERO, PACE_TOKEN);
+    sim.run();
+    sim.host_as::<CampaignScanner>(node).expect("campaign installed").report.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::testkit::playground;
+    use netsim::SimConfig;
+    use odns::{RecursiveForwarder, TransparentForwarder};
+
+    const SCANNER: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+    const TRANSP: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 1);
+    const RECFWD: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 2);
+    const RESOLVER: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 1);
+
+    /// Canned resolver answering from its own address.
+    struct Canned;
+    impl Host for Canned {
+        fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
+            let q = Message::decode(&dgram.payload).unwrap();
+            let resp = MessageBuilder::response_to(&q)
+                .recursion_available(true)
+                .answer_a(q.questions[0].qname.clone(), 300, dgram.dst)
+                .answer_a(q.questions[0].qname.clone(), 300, study::CONTROL_A)
+                .build();
+            ctx.send_udp(UdpSend {
+                src: Some(dgram.dst),
+                src_port: 53,
+                dst: dgram.src,
+                dst_port: dgram.src_port,
+                ttl: None,
+                payload: resp.encode(),
+            });
+        }
+        netsim::impl_host_downcast!();
+    }
+
+    fn scenario(campaign: Campaign) -> CampaignReport {
+        let (topo, nodes) = playground(&[SCANNER, TRANSP, RECFWD, RESOLVER]);
+        let mut sim = Simulator::new(topo, SimConfig::default());
+        sim.install(nodes[1], TransparentForwarder::new(RESOLVER));
+        sim.install(nodes[2], RecursiveForwarder::new(RESOLVER));
+        sim.install(nodes[3], Canned);
+        run_campaign(
+            &mut sim,
+            nodes[0],
+            CampaignConfig::new(campaign, vec![TRANSP, RECFWD, RESOLVER]),
+        )
+    }
+
+    #[test]
+    fn shadowserver_reports_responders_missing_transparent_forwarders() {
+        let report = scenario(Campaign::Shadowserver);
+        // The transparent forwarder's response arrives from RESOLVER, so
+        // Shadowserver reports {RECFWD, RESOLVER} — TRANSP is invisible
+        // and RESOLVER's two responses collapse into one entry.
+        assert!(report.odns.contains(&RECFWD));
+        assert!(report.odns.contains(&RESOLVER));
+        assert!(!report.odns.contains(&TRANSP), "transparent forwarder must be missed");
+        assert_eq!(report.odns.len(), 2);
+    }
+
+    #[test]
+    fn censys_and_shodan_sanitize_mismatched_sources() {
+        for campaign in [Campaign::Censys, Campaign::Shodan] {
+            let report = scenario(campaign);
+            assert!(report.odns.contains(&RECFWD));
+            assert!(report.odns.contains(&RESOLVER));
+            assert!(!report.odns.contains(&TRANSP));
+            assert_eq!(report.sanitized_out, 1, "{campaign}: the relayed answer is dropped");
+        }
+    }
+
+    #[test]
+    fn campaign_properties() {
+        assert!(!Campaign::Shadowserver.sanitizes_source());
+        assert!(Campaign::Censys.sanitizes_source());
+        assert!(Campaign::Shodan.sanitizes_source());
+        assert_eq!(Campaign::Shadowserver.to_string(), "Shadowserver");
+    }
+}

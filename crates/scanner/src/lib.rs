@@ -1,0 +1,36 @@
+//! # scanner — measurement tooling for the transparent-forwarders study
+//!
+//! Four instruments, mirroring the paper's artifact layout:
+//!
+//! * [`TransactionalScanner`] (`dns-scan-server` in the artifacts) — the
+//!   paper's method: unique `(port, TXID)` per probe, full transaction
+//!   recording, offline correlation with a 20 s timeout, classification
+//!   into the three ODNS component classes (§4.1);
+//! * [`CampaignScanner`] — emulations of Shadowserver, Censys, and Shodan
+//!   with their observable response-processing behaviours (§3);
+//! * [`HoneypotSensor`] (`dns-honeypot-sensors`) — the three sensors of
+//!   the controlled experiment (§3.1);
+//! * [`FingerprintScanner`] — Shodan-style banner grabbing for the device
+//!   attribution of Appendix E.
+//!
+//! The classification rules live in [`mod@classify`] and are shared with the
+//! analysis crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaigns;
+pub mod classify;
+pub mod fingerprint;
+pub mod records;
+pub mod sensors;
+pub mod transactional;
+
+pub use campaigns::{run_campaign, Campaign, CampaignConfig, CampaignReport, CampaignScanner};
+pub use classify::{classify, ClassifierConfig, Discard, OdnsClass, Verdict};
+pub use fingerprint::{
+    attribute_vendor, run_fingerprint_scan, FingerprintConfig, FingerprintScanner, HostEvidence,
+};
+pub use records::{ProbeRecord, ResponseRecord, ScanOutcome, Transaction};
+pub use sensors::{sensor_reply_matches, HoneypotSensor, SensorAddresses, SensorKind, SensorStats};
+pub use transactional::{run_scan, ProbeNaming, ScanConfig, TransactionalScanner};

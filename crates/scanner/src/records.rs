@@ -1,0 +1,178 @@
+//! Probe and transaction records — the scanner's raw material.
+//!
+//! The paper's method (§4.1) records the *complete DNS transaction*:
+//! source/destination addresses, client port, and DNS header ID at send
+//! time, then correlates responses offline. These types are that record.
+
+use dnswire::Message;
+use netsim::SimTime;
+use std::net::Ipv4Addr;
+
+/// One probe as sent by the transactional scanner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeRecord {
+    /// Index in the target list.
+    pub index: usize,
+    /// The probed address (`IP_target` of the classification rules).
+    pub target: Ipv4Addr,
+    /// Send timestamp.
+    pub sent_at: SimTime,
+    /// Scanner-side source port — unique per in-flight probe.
+    pub src_port: u16,
+    /// DNS transaction ID — the second half of the unique tuple.
+    pub txid: u16,
+}
+
+/// One response as received by the scanner (pre-correlation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseRecord {
+    /// Arrival timestamp.
+    pub received_at: SimTime,
+    /// IP source of the response (`IP_response`).
+    pub src: Ipv4Addr,
+    /// Port it arrived on (matches the probe's `src_port` if genuine).
+    pub dst_port: u16,
+    /// Raw payload (parsed lazily; middlebox distortions must survive).
+    pub payload: Vec<u8>,
+}
+
+impl ResponseRecord {
+    /// Decode the DNS payload, if well-formed.
+    pub fn message(&self) -> Option<Message> {
+        Message::decode(&self.payload).ok()
+    }
+}
+
+/// A correlated transaction: a probe and the response matched to it by
+/// `(port, txid)` within the timeout window.
+#[derive(Debug, Clone)]
+pub struct Transaction {
+    /// The probe.
+    pub probe: ProbeRecord,
+    /// The matched response, if any arrived in time.
+    pub response: Option<ResponseRecord>,
+}
+
+impl Transaction {
+    /// `IP_response`, if answered.
+    pub fn response_src(&self) -> Option<Ipv4Addr> {
+        self.response.as_ref().map(|r| r.src)
+    }
+
+    /// Round-trip time, if answered.
+    pub fn rtt(&self) -> Option<netsim::SimDuration> {
+        self.response.as_ref().map(|r| r.received_at - self.probe.sent_at)
+    }
+
+    /// Answer-section A record addresses, if answered and well-formed.
+    pub fn answer_addrs(&self) -> Vec<Ipv4Addr> {
+        self.response
+            .as_ref()
+            .and_then(|r| r.message())
+            .map(|m| m.answer_a_addrs())
+            .unwrap_or_default()
+    }
+}
+
+/// Outcome of a whole scan run.
+#[derive(Debug, Clone, Default)]
+pub struct ScanOutcome {
+    /// All correlated transactions, in probe order.
+    pub transactions: Vec<Transaction>,
+    /// Responses that matched no outstanding probe (late, duplicated, or
+    /// unsolicited).
+    pub unmatched_responses: usize,
+    /// Responses that arrived after the per-probe timeout.
+    pub late_responses: usize,
+}
+
+impl ScanOutcome {
+    /// Transactions that received a response.
+    pub fn answered(&self) -> impl Iterator<Item = &Transaction> {
+        self.transactions.iter().filter(|t| t.response.is_some())
+    }
+
+    /// Number of answered probes.
+    pub fn answered_count(&self) -> usize {
+        self.answered().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnswire::{DnsName, MessageBuilder, RrType};
+    use netsim::SimDuration;
+
+    fn probe(i: usize) -> ProbeRecord {
+        ProbeRecord {
+            index: i,
+            target: Ipv4Addr::new(203, 0, 113, i as u8),
+            sent_at: SimTime(1_000),
+            src_port: 34000,
+            txid: i as u16,
+        }
+    }
+
+    #[test]
+    fn transaction_accessors() {
+        let qname = DnsName::parse("odns-study.example.").unwrap();
+        let resp = MessageBuilder::query(0, qname.clone(), RrType::A).build().response_skeleton();
+        let resp = {
+            let mut m = resp;
+            m.answers.push(dnswire::Record::a(qname, 300, Ipv4Addr::new(8, 8, 8, 8)));
+            m
+        };
+        let t = Transaction {
+            probe: probe(0),
+            response: Some(ResponseRecord {
+                received_at: SimTime(41_000),
+                src: Ipv4Addr::new(8, 8, 8, 8),
+                dst_port: 34000,
+                payload: resp.encode(),
+            }),
+        };
+        assert_eq!(t.response_src(), Some(Ipv4Addr::new(8, 8, 8, 8)));
+        assert_eq!(t.rtt(), Some(SimDuration::from_micros(40_000)));
+        assert_eq!(t.answer_addrs(), vec![Ipv4Addr::new(8, 8, 8, 8)]);
+    }
+
+    #[test]
+    fn unanswered_transaction() {
+        let t = Transaction { probe: probe(1), response: None };
+        assert_eq!(t.response_src(), None);
+        assert_eq!(t.rtt(), None);
+        assert!(t.answer_addrs().is_empty());
+    }
+
+    #[test]
+    fn malformed_payload_yields_no_addrs() {
+        let t = Transaction {
+            probe: probe(2),
+            response: Some(ResponseRecord {
+                received_at: SimTime(2_000),
+                src: Ipv4Addr::new(1, 1, 1, 1),
+                dst_port: 34000,
+                payload: vec![0xDE, 0xAD],
+            }),
+        };
+        assert!(t.answer_addrs().is_empty());
+        assert!(t.response.as_ref().unwrap().message().is_none());
+    }
+
+    #[test]
+    fn outcome_counting() {
+        let mut o = ScanOutcome::default();
+        o.transactions.push(Transaction { probe: probe(0), response: None });
+        o.transactions.push(Transaction {
+            probe: probe(1),
+            response: Some(ResponseRecord {
+                received_at: SimTime(5),
+                src: Ipv4Addr::new(9, 9, 9, 9),
+                dst_port: 1,
+                payload: vec![],
+            }),
+        });
+        assert_eq!(o.answered_count(), 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for the scanner's correlation and classification.
+//!
+//! Invariants:
+//! * probe `(port, TXID)` tuples are unique over any index range;
+//! * correlation is insensitive to response arrival order;
+//! * each probe matches at most one response; extras count as unmatched;
+//! * the classifier is total over answered transactions and never panics.
+
+use dnswire::{DnsName, MessageBuilder, Record, RrType};
+use netsim::SimTime;
+use proptest::prelude::*;
+use scanner::records::{ProbeRecord, ResponseRecord};
+use scanner::{classify, ClassifierConfig, ScanConfig, TransactionalScanner};
+use std::net::Ipv4Addr;
+
+fn response_payload(txid: u16, addrs: &[Ipv4Addr]) -> Vec<u8> {
+    let qname = DnsName::parse("odns-study.example.").unwrap();
+    let q = MessageBuilder::query(txid, qname.clone(), RrType::A).build();
+    let mut m = MessageBuilder::response_to(&q).recursion_available(true).build();
+    for a in addrs {
+        m.answers.push(Record::a(qname.clone(), 300, *a));
+    }
+    m.encode()
+}
+
+/// Build a scanner state with `n` probes and responses for a subset, then
+/// shuffle responses by the given permutation seed.
+fn scanner_with(n: usize, answered: &[usize], shuffle_seed: u64) -> TransactionalScanner {
+    let targets: Vec<Ipv4Addr> =
+        (0..n).map(|i| Ipv4Addr::new(203, 0, (i >> 8) as u8, (i & 0xFF) as u8)).collect();
+    let cfg = ScanConfig::new(targets.clone());
+    let mut s = TransactionalScanner::new(cfg);
+    for (i, t) in targets.iter().enumerate() {
+        let (port, txid) = probe_tuple(i);
+        s.probes.push(ProbeRecord { index: i, target: *t, sent_at: SimTime(i as u64), src_port: port, txid });
+    }
+    let mut responses = Vec::new();
+    for &i in answered {
+        if i >= n {
+            continue;
+        }
+        let (port, txid) = probe_tuple(i);
+        responses.push(ResponseRecord {
+            received_at: SimTime(1000 + i as u64),
+            src: Ipv4Addr::new(8, 8, 8, 8),
+            dst_port: port,
+            payload: response_payload(txid, &[Ipv4Addr::new(8, 8, 8, 8), odns::study::CONTROL_A]),
+        });
+    }
+    // Deterministic shuffle.
+    let mut state = shuffle_seed | 1;
+    for i in (1..responses.len()).rev() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        responses.swap(i, j);
+    }
+    s.responses = responses;
+    s
+}
+
+/// `probe_tuple` is a pure function of the default config.
+fn probe_tuple(i: usize) -> (u16, u16) {
+    ScanConfig::new(vec![]).probe_tuple(i)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn correlation_order_independent(
+        n in 1usize..80,
+        answered in proptest::collection::btree_set(0usize..80, 0..40),
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+    ) {
+        let answered: Vec<usize> = answered.into_iter().filter(|i| *i < n).collect();
+        let a = scanner_with(n, &answered, seed_a).outcome();
+        let b = scanner_with(n, &answered, seed_b).outcome();
+        prop_assert_eq!(a.answered_count(), answered.len());
+        prop_assert_eq!(b.answered_count(), answered.len());
+        for (ta, tb) in a.transactions.iter().zip(&b.transactions) {
+            prop_assert_eq!(ta.response_src(), tb.response_src());
+        }
+    }
+
+    #[test]
+    fn duplicates_counted_never_double_matched(
+        n in 1usize..40,
+        dup_of in 0usize..40,
+        copies in 2usize..5,
+    ) {
+        let idx = dup_of % n;
+        let mut s = scanner_with(n, &[idx], 1);
+        // Add extra copies of the same response.
+        let original = s.responses[0].clone();
+        for _ in 1..copies {
+            s.responses.push(original.clone());
+        }
+        let o = s.outcome();
+        prop_assert_eq!(o.answered_count(), 1);
+        prop_assert_eq!(o.unmatched_responses, copies - 1);
+    }
+
+    #[test]
+    fn classifier_total_and_panic_free(
+        target in any::<[u8; 4]>(),
+        src in any::<[u8; 4]>(),
+        addrs in proptest::collection::vec(any::<[u8; 4]>(), 0..4),
+        strict in any::<bool>(),
+    ) {
+        let target = Ipv4Addr::from(target);
+        let src = Ipv4Addr::from(src);
+        let addr_list: Vec<Ipv4Addr> = addrs.into_iter().map(Ipv4Addr::from).collect();
+        let (port, txid) = ScanConfig::new(vec![]).probe_tuple(0);
+        let t = scanner::Transaction {
+            probe: ProbeRecord { index: 0, target, sent_at: SimTime(0), src_port: port, txid },
+            response: Some(ResponseRecord {
+                received_at: SimTime(1),
+                src,
+                dst_port: port,
+                payload: response_payload(txid, &addr_list),
+            }),
+        };
+        let cfg = ClassifierConfig { strict, ..ClassifierConfig::default() };
+        let v = classify(&t, &cfg); // must not panic
+        if let Some(class) = v.class() {
+            // Classified ⇒ the class is consistent with the rules.
+            match class {
+                scanner::OdnsClass::TransparentForwarder => prop_assert_ne!(target, src),
+                _ => prop_assert_eq!(target, src),
+            }
+        }
+    }
+
+    #[test]
+    fn probe_tuple_uniqueness_over_ranges(start in 0usize..500_000, len in 1usize..5_000) {
+        let cfg = ScanConfig::new(vec![]);
+        let mut seen = std::collections::HashSet::with_capacity(len);
+        for i in start..start + len {
+            prop_assert!(seen.insert(cfg.probe_tuple(i)), "collision at {i}");
+        }
+    }
+}

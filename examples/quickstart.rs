@@ -1,0 +1,47 @@
+//! Quickstart: generate a small Internet, run the transactional census,
+//! and print the ODNS composition (a miniature Table 1).
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use scanner::{ClassifierConfig, OdnsClass};
+
+fn main() {
+    println!("== Transparent Forwarders quickstart ==");
+    println!("Generating a 1:1000-scale Internet (deterministic, seeded)...");
+    let config = inetgen::GenConfig { scale: 1_000, ..inetgen::GenConfig::default() };
+    let mut internet = inetgen::generate(&config);
+    println!(
+        "  {} ODNS hosts planted across {} countries; {} scan targets (incl. duds)",
+        internet.truth.hosts.len(),
+        internet.truth.countries.len(),
+        internet.targets.len()
+    );
+
+    println!("\nRunning the transactional scan (unique port/TXID per probe)...");
+    let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
+
+    println!("\n{}", analysis::report::table1(&census).render());
+
+    println!("Scan hygiene:");
+    println!("  probes without response : {}", census.discarded(scanner::Discard::NoResponse));
+    println!(
+        "  manipulated responses    : {}",
+        census.discarded(scanner::Discard::ControlRecordViolated)
+    );
+    println!("  unmatched/duplicate      : {}", census.unmatched_responses);
+
+    let share = census.share(OdnsClass::TransparentForwarder);
+    println!(
+        "\nTransparent forwarders are {:.1}% of the ODNS — the share stateless\n\
+         campaigns (Shadowserver, Censys, Shodan) cannot see. Paper: 26%.",
+        share * 100.0
+    );
+
+    println!("\nTop countries by ODNS components:");
+    let summary = analysis::report::country_summary(&census);
+    for line in summary.render().lines().take(12) {
+        println!("  {line}");
+    }
+}

@@ -1,0 +1,109 @@
+//! The central end-to-end property: the transactional scanning pipeline
+//! must *re-discover* the planted ODNS population through wire-level
+//! measurement alone — transparent forwarders included, which is exactly
+//! what response-only campaigns cannot do (§3/§4).
+
+use inetgen::{generate, GenConfig, PlantedClass};
+use scanner::{ClassifierConfig, OdnsClass};
+
+#[test]
+fn census_recovers_planted_population() {
+    let config = GenConfig::test_small();
+    let mut internet = generate(&config);
+
+    let planted_transparent = internet.truth.count(PlantedClass::TransparentForwarder);
+    let planted_recursive = internet.truth.count(PlantedClass::RecursiveForwarder);
+    let planted_resolvers = internet.truth.count(PlantedClass::RecursiveResolver);
+    let planted_manipulated = internet.truth.count(PlantedClass::ManipulatedForwarder);
+    assert!(planted_transparent > 100, "world too small: {planted_transparent}");
+
+    let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
+
+    let found_transparent = census.count(OdnsClass::TransparentForwarder);
+    let found_recursive = census.count(OdnsClass::RecursiveForwarder);
+    let found_resolvers = census.count(OdnsClass::RecursiveResolver);
+
+    // Transparent forwarders: every planted one must be discovered (their
+    // networks have no SAV by construction, and the sim is lossless here).
+    assert_eq!(
+        found_transparent, planted_transparent,
+        "all planted transparent forwarders must be found"
+    );
+    assert_eq!(found_recursive, planted_recursive);
+    assert_eq!(found_resolvers, planted_resolvers);
+
+    // Manipulated hosts answered but failed the control-record check.
+    assert!(
+        census.discarded(scanner::Discard::ControlRecordViolated) >= planted_manipulated,
+        "manipulated responders must be discarded, not classified"
+    );
+
+    // Table 1's share: ~26 % transparent.
+    let share = census.share(OdnsClass::TransparentForwarder);
+    assert!((0.18..0.35).contains(&share), "transparent share {share}");
+
+    // Dud targets never respond.
+    assert!(
+        census.discarded(scanner::Discard::NoResponse) > 0,
+        "dud targets must stay silent"
+    );
+}
+
+#[test]
+fn classification_is_correct_per_host_not_just_in_aggregate() {
+    let config = GenConfig::test_small();
+    let mut internet = generate(&config);
+    let truth: std::collections::HashMap<std::net::Ipv4Addr, PlantedClass> =
+        internet.truth.hosts.iter().map(|h| (h.ip, h.class)).collect();
+
+    let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
+
+    let mut mismatches = Vec::new();
+    for row in &census.rows {
+        let Some(found) = row.class() else { continue };
+        let Some(&planted) = truth.get(&row.target) else {
+            mismatches.push(format!("{}: classified {found} but nothing planted", row.target));
+            continue;
+        };
+        let expected = match planted {
+            PlantedClass::TransparentForwarder => OdnsClass::TransparentForwarder,
+            PlantedClass::RecursiveForwarder => OdnsClass::RecursiveForwarder,
+            PlantedClass::RecursiveResolver => OdnsClass::RecursiveResolver,
+            PlantedClass::ManipulatedForwarder => {
+                mismatches.push(format!("{}: manipulated host classified as {found}", row.target));
+                continue;
+            }
+        };
+        if found != expected {
+            mismatches.push(format!("{}: planted {planted:?}, classified {found}", row.target));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "{} misclassifications, first few: {:#?}",
+        mismatches.len(),
+        mismatches.iter().take(5).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn relaxed_classifier_counts_like_shadowserver() {
+    // §4.2: "Omitting this step in our method leads to similar numbers
+    // than Shadowserver" — without the strict two-record requirement the
+    // manipulated hosts are classified instead of discarded.
+    let config = GenConfig::test_small();
+
+    let mut strict_world = generate(&config);
+    let strict = analysis::run_census(&mut strict_world, &ClassifierConfig::default());
+
+    let mut relaxed_world = generate(&config);
+    let relaxed = analysis::run_census(&mut relaxed_world, &ClassifierConfig::relaxed());
+
+    let planted_manipulated = strict_world.truth.count(PlantedClass::ManipulatedForwarder);
+    assert!(planted_manipulated > 0, "world must contain manipulated hosts");
+    assert_eq!(
+        relaxed.odns_total(),
+        strict.odns_total() + planted_manipulated,
+        "relaxed mode counts exactly the manipulated responders on top"
+    );
+}

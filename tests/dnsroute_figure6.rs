@@ -1,0 +1,145 @@
+//! Figure 6 end-to-end: census → DNSRoute++ over the discovered
+//! transparent forwarders → sanitized paths → per-project hop CDFs.
+//! The paper's headline shape: Cloudflare's anycast is closest (6.3 hops
+//! mean), Google next (7.9), OpenDNS farthest (9.3).
+
+use dnsroute::{run_dnsroute, sanitize, DnsRouteConfig};
+use inetgen::{generate, CountrySelection, GenConfig};
+use odns::ResolverProject;
+use scanner::ClassifierConfig;
+use std::collections::BTreeSet;
+
+#[test]
+fn path_length_ordering_cloudflare_google_opendns() {
+    // A mid-size world with plenty of forwarders across several countries.
+    let config = GenConfig {
+        countries: CountrySelection::Codes(vec!["BRA", "IND", "USA", "TUR", "ARG"]),
+        scale: 1_500,
+        dud_fraction: 0.0,
+        ..GenConfig::default()
+    };
+    let mut internet = generate(&config);
+    let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
+    let targets = census.transparent_targets();
+    assert!(targets.len() > 100, "need a meaningful sweep: {}", targets.len());
+
+    let traces =
+        run_dnsroute(&mut internet.sim, internet.fixtures.scanner, DnsRouteConfig::new(targets));
+    let (paths, stats) = sanitize(&traces);
+    assert!(stats.kept > 100, "sanitization kept {} of {}", stats.kept, stats.total());
+
+    let (projects, _other) = analysis::figure6_by_project(&paths, &internet.geo);
+    let mean = |p: ResolverProject| -> Option<f64> {
+        projects.iter().find(|x| x.project == p).map(|x| x.mean_hops())
+    };
+    let cf = mean(ResolverProject::Cloudflare).expect("cloudflare paths");
+    let google = mean(ResolverProject::Google).expect("google paths");
+    let opendns = mean(ResolverProject::OpenDns).expect("opendns paths");
+
+    assert!(
+        cf < google && google < opendns,
+        "Figure 6 ordering must hold: CF {cf:.1} < Google {google:.1} < OpenDNS {opendns:.1}"
+    );
+    // Absolute hops vary with the sampled AS structure (small worlds are
+    // high-variance); the paper-matching property is the ordering plus
+    // plausible magnitudes.
+    assert!((3.0..9.0).contains(&cf), "Cloudflare mean {cf:.1} plausible");
+    assert!((4.0..11.0).contains(&google), "Google mean {google:.1} plausible");
+    assert!((5.0..14.0).contains(&opendns), "OpenDNS mean {opendns:.1} plausible");
+
+    // CDFs are well-formed and distinguishable at the median.
+    for p in &projects {
+        let cdf = p.cdf();
+        assert!(!cdf.is_empty());
+        assert!(cdf.at(f64::from(u8::MAX)) == 1.0);
+    }
+}
+
+#[test]
+fn classic_traceroute_ablation_sees_nothing_beyond() {
+    // §5's motivation: "In contrast to common traceroute, DNSRoute++ ...
+    // continues incrementing the TTL when the target is reached." Degrade
+    // it to classic traceroute and the forwarder→resolver segment (and
+    // thus Figure 6 entirely) disappears.
+    let config = GenConfig {
+        countries: CountrySelection::Codes(vec!["BRA"]),
+        scale: 2_000,
+        dud_fraction: 0.0,
+        ..GenConfig::default()
+    };
+    let mut internet = generate(&config);
+    let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
+    let targets = census.transparent_targets();
+    assert!(targets.len() > 20);
+
+    let classic = run_dnsroute(
+        &mut internet.sim,
+        internet.fixtures.scanner,
+        dnsroute::DnsRouteConfig::classic(targets.clone()),
+    );
+    // The forwarders are still located...
+    let located = classic.iter().filter(|t| t.target_seen_at.is_some()).count();
+    assert_eq!(located, targets.len(), "classic traceroute still finds the targets");
+    // ...but nothing beyond them is ever observed.
+    for t in &classic {
+        assert!(t.dns.is_none(), "{}: classic mode must never reach the resolver", t.target);
+        assert!(t.hops_beyond_target().is_empty());
+    }
+    let (paths, stats) = sanitize(&classic);
+    assert!(paths.is_empty(), "no Figure 6 data without continuing past the target");
+    assert_eq!(stats.rejected_no_answer, targets.len());
+
+    // The full tool on the same world sees every path.
+    let mut internet2 = generate(&config);
+    let census2 = analysis::run_census(&mut internet2, &ClassifierConfig::default());
+    let full = run_dnsroute(
+        &mut internet2.sim,
+        internet2.fixtures.scanner,
+        DnsRouteConfig::new(census2.transparent_targets()),
+    );
+    let (paths, _) = sanitize(&full);
+    assert_eq!(paths.len(), targets.len());
+}
+
+#[test]
+fn as_relationship_inference_over_real_sweep() {
+    let config = GenConfig {
+        countries: CountrySelection::Codes(vec!["BRA", "TUR"]),
+        scale: 2_000,
+        dud_fraction: 0.0,
+        ..GenConfig::default()
+    };
+    let mut internet = generate(&config);
+    let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
+    let targets = census.transparent_targets();
+    let traces =
+        run_dnsroute(&mut internet.sim, internet.fixtures.scanner, DnsRouteConfig::new(targets));
+    let (paths, _) = sanitize(&traces);
+    assert!(!paths.is_empty());
+
+    // CAIDA-like baseline: 85 % of the true provider-customer pairs are
+    // "already classified"; the remainder can be newly discovered.
+    let truth: Vec<(u32, u32)> = internet.sim.topology().provider_customer_pairs().to_vec();
+    let known: BTreeSet<(u32, u32)> =
+        truth.iter().take(truth.len() * 85 / 100).copied().collect();
+
+    let (report, known_hits, new_pairs) =
+        analysis::as_relationship_report(&paths, &internet.geo, &known);
+    assert!(report.usable_paths > 0);
+    let share = report.matching_share();
+    assert!(
+        (0.3..=1.0).contains(&share),
+        "a majority-ish of paths should have AS_in == AS_out (paper: 62 %), got {share:.2}"
+    );
+    // Every inferred pair is real (no false positives against ground truth).
+    let truth_set: BTreeSet<(u32, u32)> = truth.into_iter().collect();
+    for r in &report.inferred {
+        assert!(
+            truth_set.contains(&(r.provider_asn, r.customer_asn)),
+            "inferred pair {}→{} must exist in ground truth",
+            r.provider_asn,
+            r.customer_asn
+        );
+    }
+    assert!(known_hits + new_pairs > 0);
+}

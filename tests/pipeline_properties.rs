@@ -1,0 +1,71 @@
+//! Property tests over the whole pipeline: the recovery guarantee must
+//! hold for *any* seed, not just the default — the measurement method is
+//! what's validated, not one lucky world.
+
+use inetgen::{generate, CountrySelection, GenConfig, PlantedClass};
+use proptest::prelude::*;
+use scanner::{ClassifierConfig, OdnsClass};
+
+fn tiny_config(seed: u64) -> GenConfig {
+    GenConfig {
+        seed,
+        countries: CountrySelection::Codes(vec!["BRA", "TUR", "MUS"]),
+        scale: 2_500,
+        dud_fraction: 0.05,
+        ..GenConfig::default()
+    }
+}
+
+proptest! {
+    // End-to-end worlds are expensive; a handful of seeds is plenty to
+    // catch seed-dependent logic errors.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn census_recovery_holds_for_any_seed(seed in any::<u64>()) {
+        let config = tiny_config(seed);
+        let mut internet = generate(&config);
+        let planted_t = internet.truth.count(PlantedClass::TransparentForwarder);
+        let planted_r = internet.truth.count(PlantedClass::RecursiveForwarder);
+        let planted_v = internet.truth.count(PlantedClass::RecursiveResolver);
+
+        let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
+        prop_assert_eq!(census.count(OdnsClass::TransparentForwarder), planted_t);
+        prop_assert_eq!(census.count(OdnsClass::RecursiveForwarder), planted_r);
+        prop_assert_eq!(census.count(OdnsClass::RecursiveResolver), planted_v);
+    }
+
+    #[test]
+    fn dnsroute_locates_every_discovered_forwarder(seed in any::<u64>()) {
+        let config = tiny_config(seed);
+        let mut internet = generate(&config);
+        let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
+        let targets = census.transparent_targets();
+        if targets.is_empty() {
+            return Ok(());
+        }
+        let traces = dnsroute::run_dnsroute(
+            &mut internet.sim,
+            internet.fixtures.scanner,
+            dnsroute::DnsRouteConfig::new(targets.clone()),
+        );
+        let (paths, stats) = dnsroute::sanitize(&traces);
+        prop_assert_eq!(stats.kept, targets.len(), "every forwarder must yield a clean path");
+        for p in &paths {
+            prop_assert!(p.hop_count >= 2, "{}: a relay implies at least 2 hops", p.forwarder);
+            prop_assert!(p.hop_count <= 25);
+        }
+    }
+
+    #[test]
+    fn geo_database_is_consistent_with_truth(seed in any::<u64>()) {
+        let config = tiny_config(seed);
+        let internet = generate(&config);
+        for h in internet.truth.hosts.iter().take(500) {
+            if let Some(asn) = internet.geo.asn_of(h.ip) {
+                prop_assert_eq!(asn, h.asn);
+                prop_assert_eq!(internet.geo.country_of_asn(asn), Some(h.country));
+            }
+        }
+    }
+}
