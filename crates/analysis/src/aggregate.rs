@@ -1,7 +1,7 @@
 //! Per-country aggregation: the data behind Figures 3 and 4.
 
-use crate::census::Census;
 use crate::cdf::Cdf;
+use crate::census::Census;
 use scanner::OdnsClass;
 use std::collections::HashMap;
 
@@ -70,7 +70,9 @@ pub fn rank_by_transparent(census: &Census) -> Vec<(&'static str, CountryStats)>
         .filter_map(|(c, s)| c.map(|code| (code, s)))
         .collect();
     v.sort_by(|a, b| {
-        b.1.transparent_forwarders.cmp(&a.1.transparent_forwarders).then(a.0.cmp(b.0))
+        b.1.transparent_forwarders
+            .cmp(&a.1.transparent_forwarders)
+            .then(a.0.cmp(b.0))
     });
     v
 }
@@ -85,18 +87,33 @@ pub fn figure3_cumulative(census: &Census) -> (Vec<(usize, f64)>, f64) {
     let mut cum = 0usize;
     for (i, (_, stats)) in ranked.iter().enumerate() {
         cum += stats.transparent_forwarders;
-        points.push((i + 1, if total == 0 { 0.0 } else { cum as f64 / total as f64 }));
+        points.push((
+            i + 1,
+            if total == 0 {
+                0.0
+            } else {
+                cum as f64 / total as f64
+            },
+        ));
     }
-    let zero_countries = ranked.iter().filter(|(_, s)| s.transparent_forwarders == 0).count();
-    let zero_share =
-        if ranked.is_empty() { 0.0 } else { zero_countries as f64 / ranked.len() as f64 };
+    let zero_countries = ranked
+        .iter()
+        .filter(|(_, s)| s.transparent_forwarders == 0)
+        .count();
+    let zero_share = if ranked.is_empty() {
+        0.0
+    } else {
+        zero_countries as f64 / ranked.len() as f64
+    };
     (points, zero_share)
 }
 
 /// CDF of per-country transparent counts (for summary statistics).
 pub fn transparent_count_cdf(census: &Census) -> Cdf {
     Cdf::from_samples(
-        rank_by_transparent(census).into_iter().map(|(_, s)| s.transparent_forwarders as f64),
+        rank_by_transparent(census)
+            .into_iter()
+            .map(|(_, s)| s.transparent_forwarders as f64),
     )
 }
 
@@ -126,14 +143,19 @@ mod tests {
     fn census() -> Census {
         let mut c = Census::default();
         for _ in 0..8 {
-            c.rows.push(row(Some("BRA"), 650, OdnsClass::TransparentForwarder));
+            c.rows
+                .push(row(Some("BRA"), 650, OdnsClass::TransparentForwarder));
         }
-        c.rows.push(row(Some("BRA"), 651, OdnsClass::TransparentForwarder));
-        c.rows.push(row(Some("BRA"), 650, OdnsClass::RecursiveForwarder));
+        c.rows
+            .push(row(Some("BRA"), 651, OdnsClass::TransparentForwarder));
+        c.rows
+            .push(row(Some("BRA"), 650, OdnsClass::RecursiveForwarder));
         for _ in 0..3 {
-            c.rows.push(row(Some("DEU"), 700, OdnsClass::RecursiveForwarder));
+            c.rows
+                .push(row(Some("DEU"), 700, OdnsClass::RecursiveForwarder));
         }
-        c.rows.push(row(Some("DEU"), 700, OdnsClass::RecursiveResolver));
+        c.rows
+            .push(row(Some("DEU"), 700, OdnsClass::RecursiveResolver));
         c.rows.push(row(None, 999, OdnsClass::RecursiveForwarder));
         c
     }
@@ -165,6 +187,9 @@ mod tests {
         let (points, zero_share) = figure3_cumulative(&census());
         assert_eq!(points.len(), 2);
         assert!((points[1].1 - 1.0).abs() < 1e-9);
-        assert!((zero_share - 0.5).abs() < 1e-9, "DEU has no transparent forwarders");
+        assert!(
+            (zero_share - 0.5).abs() < 1e-9,
+            "DEU has no transparent forwarders"
+        );
     }
 }

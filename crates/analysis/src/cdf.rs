@@ -11,7 +11,10 @@ impl Cdf {
     /// Build from samples (order irrelevant; NaNs rejected).
     pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Self {
         let mut values: Vec<f64> = samples.into_iter().collect();
-        assert!(values.iter().all(|v| !v.is_nan()), "CDF over NaN is meaningless");
+        assert!(
+            values.iter().all(|v| !v.is_nan()),
+            "CDF over NaN is meaningless"
+        );
         values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         Cdf { values }
     }

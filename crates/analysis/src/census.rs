@@ -55,9 +55,11 @@ impl Census {
             .map(|t| {
                 let verdict = classify(t, config);
                 let (response_src, a_resolver) = match verdict {
-                    Verdict::Classified { response_src, a_resolver, .. } => {
-                        (Some(response_src), Some(a_resolver))
-                    }
+                    Verdict::Classified {
+                        response_src,
+                        a_resolver,
+                        ..
+                    } => (Some(response_src), Some(a_resolver)),
                     Verdict::Discarded(_) => (None, None),
                 };
                 let asn = geo.asn_of(t.probe.target);
@@ -71,7 +73,11 @@ impl Census {
                 }
             })
             .collect();
-        Census { rows, unmatched_responses: 0, late_responses: 0 }
+        Census {
+            rows,
+            unmatched_responses: 0,
+            late_responses: 0,
+        }
     }
 
     /// Rows classified as `class`.
@@ -91,12 +97,17 @@ impl Census {
 
     /// Count of discarded probes by reason.
     pub fn discarded(&self, reason: Discard) -> usize {
-        self.rows.iter().filter(|r| r.verdict == Verdict::Discarded(reason)).count()
+        self.rows
+            .iter()
+            .filter(|r| r.verdict == Verdict::Discarded(reason))
+            .count()
     }
 
     /// The transparent forwarders' addresses (DNSRoute++ targets).
     pub fn transparent_targets(&self) -> Vec<Ipv4Addr> {
-        self.of_class(OdnsClass::TransparentForwarder).map(|r| r.target).collect()
+        self.of_class(OdnsClass::TransparentForwarder)
+            .map(|r| r.target)
+            .collect()
     }
 
     /// Share of a class among all ODNS components, in [0, 1].
@@ -154,6 +165,80 @@ pub fn run_census(internet: &mut Internet, config: &ClassifierConfig) -> Census 
     census
 }
 
+/// Run a `shards`-way sharded census: generate one world shard per
+/// partition member, drive every shard's transactional scan on a worker
+/// thread pool, merge the raw record streams, and classify the merged
+/// transactions in a single offline pass.
+///
+/// Generation *and* scanning happen on the workers — each shard's
+/// simulator lives and dies on one thread — so the wall-clock cost of a
+/// large census divides by the worker count. Classification counts are
+/// independent of `shards`: per-country generation derives only from
+/// `(seed, country)` (see [`inetgen::generate_shard`]), and the merge
+/// rebases probe indices without touching any transaction. `shards = 1`
+/// reproduces [`run_census`] over [`inetgen::generate`] exactly.
+pub fn run_census_sharded(
+    gen_config: &inetgen::GenConfig,
+    shards: u32,
+    config: &ClassifierConfig,
+) -> Census {
+    assert!(shards >= 1, "a census needs at least one shard");
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get() as u32)
+        .unwrap_or(1)
+        .min(shards)
+        .max(1);
+
+    // Worker w handles shards w, w + workers, w + 2·workers, …
+    let mut per_shard: Vec<(scanner::ShardRecords, inetgen::GeoDb)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut collected = Vec::new();
+                    let mut index = w;
+                    while index < shards {
+                        let spec = inetgen::ShardSpec::new(index, shards);
+                        let mut world = inetgen::generate_shard(gen_config, spec);
+                        let scan = ScanConfig::new(world.targets.clone());
+                        let (probes, responses) =
+                            scanner::run_scan_raw(&mut world.sim, world.fixtures.scanner, scan);
+                        collected.push((
+                            scanner::ShardRecords::new(index, probes, responses),
+                            world.geo,
+                        ));
+                        index += workers;
+                    }
+                    collected
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("census worker panicked"))
+            .collect()
+    });
+
+    // Deterministic merge order regardless of worker scheduling.
+    per_shard.sort_by_key(|(records, _)| records.shard);
+    let mut geo: Option<inetgen::GeoDb> = None;
+    let mut streams = Vec::with_capacity(per_shard.len());
+    for (records, shard_geo) in per_shard {
+        match &mut geo {
+            None => geo = Some(shard_geo),
+            Some(merged) => merged.merge(shard_geo),
+        }
+        streams.push(records);
+    }
+    let geo = geo.expect("at least one shard");
+
+    // Correlate with the same window the per-shard scans used.
+    let outcome = scanner::merge_shard_records(streams, ScanConfig::DEFAULT_TIMEOUT);
+    let mut census = Census::from_transactions(&outcome.transactions, &geo, config);
+    census.unmatched_responses = outcome.unmatched_responses;
+    census.late_responses = outcome.late_responses;
+    census
+}
+
 /// Run a Shadowserver-style campaign pass over the same Internet and
 /// aggregate its reported ODNS addresses per country. Returned map:
 /// country → reported count. Used for the Table 5 comparison.
@@ -196,7 +281,13 @@ mod tests {
             resp.answers.push(Record::a(qname.clone(), 300, *a));
         }
         Transaction {
-            probe: ProbeRecord { index: 0, target, sent_at: netsim::SimTime(0), src_port: 33000, txid: 5 },
+            probe: ProbeRecord {
+                index: 0,
+                target,
+                sent_at: netsim::SimTime(0),
+                src_port: 33000,
+                txid: 5,
+            },
             response: Some(ResponseRecord {
                 received_at: netsim::SimTime(100),
                 src: response_src,
@@ -237,9 +328,16 @@ mod tests {
         let target = Ipv4Addr::new(203, 0, 113, 1);
         let resolver = Ipv4Addr::new(8, 8, 8, 8);
         let classified = tx(target, resolver, &[resolver, odns::study::CONTROL_A]);
-        let discarded = tx(Ipv4Addr::new(203, 0, 113, 2), Ipv4Addr::new(203, 0, 113, 2), &[]);
-        let census =
-            Census::from_transactions(&[classified, discarded], &geo(), &ClassifierConfig::default());
+        let discarded = tx(
+            Ipv4Addr::new(203, 0, 113, 2),
+            Ipv4Addr::new(203, 0, 113, 2),
+            &[],
+        );
+        let census = Census::from_transactions(
+            &[classified, discarded],
+            &geo(),
+            &ClassifierConfig::default(),
+        );
         let csv = census.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3, "header + 2 rows:\n{csv}");

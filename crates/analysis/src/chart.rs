@@ -26,7 +26,13 @@ pub fn render_cdf(label: &str, cdf: &Cdf, width: usize, height: usize) -> String
         out.extend(row.iter());
         out.push('\n');
     }
-    out.push_str(&format!("      {:<w$.1}{:>w2$.1}\n", lo, hi, w = width / 2, w2 = width - width / 2));
+    out.push_str(&format!(
+        "      {:<w$.1}{:>w2$.1}\n",
+        lo,
+        hi,
+        w = width / 2,
+        w2 = width - width / 2
+    ));
     out
 }
 
@@ -81,9 +87,18 @@ mod tests {
     fn stacked_bar_has_exact_width_and_order() {
         let bar = render_stacked_bar(
             &[
-                Segment { glyph: 'G', share: 0.5 },
-                Segment { glyph: 'C', share: 0.25 },
-                Segment { glyph: '.', share: 0.25 },
+                Segment {
+                    glyph: 'G',
+                    share: 0.5,
+                },
+                Segment {
+                    glyph: 'C',
+                    share: 0.25,
+                },
+                Segment {
+                    glyph: '.',
+                    share: 0.25,
+                },
             ],
             20,
         );
@@ -95,7 +110,16 @@ mod tests {
     #[test]
     fn stacked_bar_handles_rounding() {
         let bar = render_stacked_bar(
-            &[Segment { glyph: 'a', share: 1.0 / 3.0 }, Segment { glyph: 'b', share: 2.0 / 3.0 }],
+            &[
+                Segment {
+                    glyph: 'a',
+                    share: 1.0 / 3.0,
+                },
+                Segment {
+                    glyph: 'b',
+                    share: 2.0 / 3.0,
+                },
+            ],
             10,
         );
         assert_eq!(bar.len(), 10);

@@ -59,7 +59,9 @@ impl CountryConsolidation {
 pub fn figure5_by_country(census: &Census) -> HashMap<&'static str, CountryConsolidation> {
     let mut map: HashMap<&'static str, CountryConsolidation> = HashMap::new();
     for row in census.of_class(OdnsClass::TransparentForwarder) {
-        let (Some(country), Some(src)) = (row.country, row.response_src) else { continue };
+        let (Some(country), Some(src)) = (row.country, row.response_src) else {
+            continue;
+        };
         let entry = map.entry(country).or_default();
         *entry.counts.entry(ResolverSource::of(src)).or_insert(0) += 1;
         entry.total += 1;
@@ -95,7 +97,9 @@ pub fn table4_other_share(census: &Census, geo: &GeoDb, n: usize) -> Vec<OtherSh
     }
     let mut per_country: HashMap<&'static str, Acc> = HashMap::new();
     for row in census.of_class(OdnsClass::TransparentForwarder) {
-        let (Some(country), Some(src)) = (row.country, row.response_src) else { continue };
+        let (Some(country), Some(src)) = (row.country, row.response_src) else {
+            continue;
+        };
         if ResolverSource::of(src) != ResolverSource::Other {
             continue;
         }
@@ -114,7 +118,11 @@ pub fn table4_other_share(census: &Census, geo: &GeoDb, n: usize) -> Vec<OtherSh
         // auth's immediate client, reflected in A_resolver) belongs to a
         // big-4 project even though the response came from elsewhere.
         if let Some(a_resolver) = row.a_resolver {
-            if geo.asn_of(a_resolver).and_then(ResolverProject::from_asn).is_some() {
+            if geo
+                .asn_of(a_resolver)
+                .and_then(ResolverProject::from_asn)
+                .is_some()
+            {
                 acc.indirect += 1;
             }
         }
@@ -133,7 +141,11 @@ pub fn table4_other_share(census: &Census, geo: &GeoDb, n: usize) -> Vec<OtherSh
             distinct_other_resolvers: acc.resolvers.len(),
         })
         .collect();
-    rows.sort_by(|a, b| b.other_transparent.cmp(&a.other_transparent).then(a.country.cmp(b.country)));
+    rows.sort_by(|a, b| {
+        b.other_transparent
+            .cmp(&a.other_transparent)
+            .then(a.country.cmp(b.country))
+    });
     rows.truncate(n);
     rows
 }
@@ -145,11 +157,7 @@ mod tests {
     use scanner::Verdict;
     use std::net::Ipv4Addr;
 
-    fn row(
-        country: &'static str,
-        response_src: Ipv4Addr,
-        a_resolver: Ipv4Addr,
-    ) -> CensusRow {
+    fn row(country: &'static str, response_src: Ipv4Addr, a_resolver: Ipv4Addr) -> CensusRow {
         CensusRow {
             target: Ipv4Addr::new(203, 0, 113, 1),
             verdict: Verdict::Classified {
@@ -218,7 +226,11 @@ mod tests {
     #[test]
     fn project_responses_not_in_other() {
         let mut c = Census::default();
-        c.rows.push(row("IND", Ipv4Addr::new(8, 8, 8, 8), Ipv4Addr::new(8, 8, 4, 1)));
+        c.rows.push(row(
+            "IND",
+            Ipv4Addr::new(8, 8, 8, 8),
+            Ipv4Addr::new(8, 8, 4, 1),
+        ));
         let t4 = table4_other_share(&c, &geo(), 10);
         assert!(t4.is_empty());
     }

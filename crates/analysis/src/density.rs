@@ -84,7 +84,9 @@ mod tests {
     use super::*;
 
     fn ips_with_density(prefix_octet: u8, count: usize) -> Vec<Ipv4Addr> {
-        (0..count).map(|i| Ipv4Addr::new(11, 1, prefix_octet, (i + 1) as u8)).collect()
+        (0..count)
+            .map(|i| Ipv4Addr::new(11, 1, prefix_octet, (i + 1) as u8))
+            .collect()
     }
 
     #[test]

@@ -37,7 +37,10 @@ pub fn vendor_summary(
     evidence: &HashMap<Ipv4Addr, HostEvidence>,
     hosts: &[Ipv4Addr],
 ) -> VendorSummary {
-    let mut summary = VendorSummary { total: hosts.len(), ..VendorSummary::default() };
+    let mut summary = VendorSummary {
+        total: hosts.len(),
+        ..VendorSummary::default()
+    };
     for ip in hosts {
         match evidence.get(ip).and_then(attribute_vendor) {
             Some(v) => *summary.counts.entry(v).or_insert(0) += 1,
@@ -105,7 +108,10 @@ pub fn top_as_summary(census: &Census, geo: &GeoDb, n: usize) -> TopAsSummary {
     let rows = top_ases_by_transparent(census, geo, n);
     let covered: usize = rows.iter().map(|r| r.transparent).sum();
     let total_transparent = census.count(OdnsClass::TransparentForwarder);
-    let mut s = TopAsSummary { total: rows.len(), ..TopAsSummary::default() };
+    let mut s = TopAsSummary {
+        total: rows.len(),
+        ..TopAsSummary::default()
+    };
     for r in &rows {
         match r.kind {
             Some(AsKind::EyeballIsp) => s.eyeball += 1,
@@ -116,8 +122,11 @@ pub fn top_as_summary(census: &Census, geo: &GeoDb, n: usize) -> TopAsSummary {
             s.four_octet += 1;
         }
     }
-    s.coverage =
-        if total_transparent == 0 { 0.0 } else { covered as f64 / total_transparent as f64 };
+    s.coverage = if total_transparent == 0 {
+        0.0
+    } else {
+        covered as f64 / total_transparent as f64
+    };
     s
 }
 

@@ -36,12 +36,14 @@ pub mod table;
 
 pub use aggregate::{by_country, figure3_cumulative, rank_by_transparent, CountryStats};
 pub use cdf::Cdf;
-pub use census::{run_census, run_shadowserver_census, Census, CensusRow};
+pub use census::{run_census, run_census_sharded, run_shadowserver_census, Census, CensusRow};
 pub use consolidation::{
     figure5_by_country, table4_other_share, CountryConsolidation, OtherShareRow, ResolverSource,
 };
 pub use density::PrefixDensity;
-pub use devices::{top_as_summary, top_ases_by_transparent, vendor_summary, TopAsSummary, VendorSummary};
+pub use devices::{
+    top_as_summary, top_ases_by_transparent, vendor_summary, TopAsSummary, VendorSummary,
+};
 pub use paths::{as_relationship_report, figure6_by_project, ProjectPaths};
 pub use pcap_ingest::{outcome_from_pcap, IngestError};
 pub use ranking::{table5_ranking, RankingRow};

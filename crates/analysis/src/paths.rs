@@ -97,14 +97,25 @@ mod tests {
         let google = ResolverProject::Google.service_ip();
         let cf = ResolverProject::Cloudflare.service_ip();
         let local = Ipv4Addr::new(11, 9, 9, 9);
-        let paths = vec![path(google, 8, 1), path(google, 6, 2), path(cf, 4, 3), path(local, 3, 4)];
+        let paths = vec![
+            path(google, 8, 1),
+            path(google, 6, 2),
+            path(cf, 4, 3),
+            path(local, 3, 4),
+        ];
         let (projects, other) = figure6_by_project(&paths, &geo);
         assert_eq!(other.len(), 1);
-        let google_paths = projects.iter().find(|p| p.project == ResolverProject::Google).unwrap();
+        let google_paths = projects
+            .iter()
+            .find(|p| p.project == ResolverProject::Google)
+            .unwrap();
         assert_eq!(google_paths.hop_counts.len(), 2);
         assert_eq!(google_paths.mean_hops(), 7.0);
         assert_eq!(google_paths.asn_count, 1);
-        let cf_paths = projects.iter().find(|p| p.project == ResolverProject::Cloudflare).unwrap();
+        let cf_paths = projects
+            .iter()
+            .find(|p| p.project == ResolverProject::Cloudflare)
+            .unwrap();
         assert_eq!(cf_paths.mean_hops(), 4.0);
     }
 
@@ -124,7 +135,11 @@ mod tests {
         let (report, known_hits, new_pairs) =
             as_relationship_report(std::slice::from_ref(&p), &geo, &known);
         assert_eq!(report.matching_paths, 1);
-        assert_eq!((known_hits, new_pairs), (0, 1), "unknown to CAIDA: newly discovered");
+        assert_eq!(
+            (known_hits, new_pairs),
+            (0, 1),
+            "unknown to CAIDA: newly discovered"
+        );
         known.insert((64611, 65005));
         let (_, known_hits, new_pairs) = as_relationship_report(&[p], &geo, &known);
         assert_eq!((known_hits, new_pairs), (1, 0));

@@ -10,8 +10,7 @@
 use netsim::pcap::{read_pcap, PcapError};
 use netsim::wire::{decode, DecodedPacket};
 use netsim::SimDuration;
-use scanner::records::{ProbeRecord, ResponseRecord, ScanOutcome, Transaction};
-use std::collections::HashMap;
+use scanner::records::{ProbeRecord, ResponseRecord, ScanOutcome};
 
 /// Errors during capture ingestion.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,7 +43,9 @@ pub fn outcome_from_pcap(pcap: &[u8], timeout: SimDuration) -> Result<ScanOutcom
         };
         if d.dst_port == dnswire::DNS_PORT {
             // Outgoing probe (the tap records the scanner's own sends).
-            let Some(txid) = dnswire::peek_id(&d.payload) else { continue };
+            let Some(txid) = dnswire::peek_id(&d.payload) else {
+                continue;
+            };
             probes.push(ProbeRecord {
                 index: probes.len(),
                 target: d.dst,
@@ -62,34 +63,9 @@ pub fn outcome_from_pcap(pcap: &[u8], timeout: SimDuration) -> Result<ScanOutcom
         }
     }
 
-    let mut index: HashMap<(u16, u16), usize> = HashMap::with_capacity(probes.len());
-    for (i, p) in probes.iter().enumerate() {
-        index.insert((p.src_port, p.txid), i);
-    }
-    let mut transactions: Vec<Transaction> =
-        probes.iter().map(|p| Transaction { probe: p.clone(), response: None }).collect();
-    let mut unmatched = 0usize;
-    let mut late = 0usize;
-    for r in responses {
-        let Some(txid) = dnswire::peek_id(&r.payload) else {
-            unmatched += 1;
-            continue;
-        };
-        match index.get(&(r.dst_port, txid)) {
-            Some(&i) => {
-                let t = &mut transactions[i];
-                if r.received_at - t.probe.sent_at > timeout {
-                    late += 1;
-                } else if t.response.is_some() {
-                    unmatched += 1;
-                } else {
-                    t.response = Some(r);
-                }
-            }
-            None => unmatched += 1,
-        }
-    }
-    Ok(ScanOutcome { transactions, unmatched_responses: unmatched, late_responses: late })
+    // Same offline pass as the live scanner and the sharded merge — one
+    // implementation of the matching semantics for all three paths.
+    Ok(scanner::correlate_owned(probes, responses, timeout))
 }
 
 #[cfg(test)]
@@ -106,7 +82,9 @@ mod tests {
     const RESOLVER: Ipv4Addr = Ipv4Addr::new(8, 8, 8, 8);
 
     fn query_bytes(txid: u16) -> Vec<u8> {
-        MessageBuilder::query(txid, odns::study::study_qname(), RrType::A).build().encode()
+        MessageBuilder::query(txid, odns::study::study_qname(), RrType::A)
+            .build()
+            .encode()
     }
 
     fn response_bytes(txid: u16) -> Vec<u8> {

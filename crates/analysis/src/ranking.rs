@@ -24,7 +24,8 @@ impl RankingRow {
     /// Rank difference (positive = the country rises once transparent
     /// forwarders are counted), `None` when absent from the other view.
     pub fn rank_delta(&self) -> Option<isize> {
-        self.shadow_rank.map(|s| s as isize - self.our_rank as isize)
+        self.shadow_rank
+            .map(|s| s as isize - self.our_rank as isize)
     }
 
     /// Count difference (ours − Shadowserver's).
@@ -52,7 +53,10 @@ pub fn table5_ranking(
         let mut v: Vec<(&'static str, usize)> =
             shadowserver.iter().map(|(c, n)| (*c, *n)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
-        v.into_iter().enumerate().map(|(i, (c, n))| (c, (i + 1, n))).collect()
+        v.into_iter()
+            .enumerate()
+            .map(|(i, (c, n))| (c, (i + 1, n)))
+            .collect()
     };
 
     ours.into_iter()
@@ -63,7 +67,13 @@ pub fn table5_ranking(
                 Some((r, n)) => (Some(*r), *n),
                 None => (None, 0),
             };
-            RankingRow { country, our_rank: i + 1, our_count, shadow_rank, shadow_count }
+            RankingRow {
+                country,
+                our_rank: i + 1,
+                our_count,
+                shadow_rank,
+                shadow_count,
+            }
         })
         .collect()
 }
@@ -96,9 +106,15 @@ mod tests {
     fn ranking_join_and_deltas() {
         let mut census = Census::default();
         // BRA: 10 ODNS of which 8 transparent; DEU: 5, none transparent.
-        census.rows.extend(rows("BRA", 8, OdnsClass::TransparentForwarder));
-        census.rows.extend(rows("BRA", 2, OdnsClass::RecursiveForwarder));
-        census.rows.extend(rows("DEU", 5, OdnsClass::RecursiveForwarder));
+        census
+            .rows
+            .extend(rows("BRA", 8, OdnsClass::TransparentForwarder));
+        census
+            .rows
+            .extend(rows("BRA", 2, OdnsClass::RecursiveForwarder));
+        census
+            .rows
+            .extend(rows("DEU", 5, OdnsClass::RecursiveForwarder));
         // Shadowserver sees only non-transparent components.
         let mut shadow = HashMap::new();
         shadow.insert("BRA", 2usize);
@@ -121,7 +137,9 @@ mod tests {
     #[test]
     fn missing_from_shadowserver() {
         let mut census = Census::default();
-        census.rows.extend(rows("MUS", 3, OdnsClass::TransparentForwarder));
+        census
+            .rows
+            .extend(rows("MUS", 3, OdnsClass::TransparentForwarder));
         let table = table5_ranking(&census, &HashMap::new(), 5);
         assert_eq!(table[0].shadow_rank, None);
         assert_eq!(table[0].rank_delta(), None);
@@ -132,7 +150,9 @@ mod tests {
     fn top_n_truncation() {
         let mut census = Census::default();
         for (i, c) in ["AAA", "BBB", "CCC"].iter().enumerate() {
-            census.rows.extend(rows(c, 3 - i, OdnsClass::RecursiveForwarder));
+            census
+                .rows
+                .extend(rows(c, 3 - i, OdnsClass::RecursiveForwarder));
         }
         let table = table5_ranking(&census, &HashMap::new(), 2);
         assert_eq!(table.len(), 2);

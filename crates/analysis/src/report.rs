@@ -20,9 +20,17 @@ pub fn table1(census: &Census) -> TextTable {
     let total = census.odns_total();
     for class in OdnsClass::all() {
         let n = census.count(class);
-        t.row([class.name().to_string(), n.to_string(), pct(n as f64, total as f64)]);
+        t.row([
+            class.name().to_string(),
+            n.to_string(),
+            pct(n as f64, total as f64),
+        ]);
     }
-    t.row(["All ODNSes".to_string(), total.to_string(), "100.0%".to_string()]);
+    t.row([
+        "All ODNSes".to_string(),
+        total.to_string(),
+        "100.0%".to_string(),
+    ]);
     t
 }
 
@@ -35,24 +43,40 @@ pub fn figure3(census: &Census) -> (TextTable, f64, f64) {
             t.row([rank.to_string(), format!("{:.3}", share)]);
         }
     }
-    let top10 = points.get(9).map(|(_, s)| *s).unwrap_or_else(|| {
-        points.last().map(|(_, s)| *s).unwrap_or(0.0)
-    });
+    let top10 = points
+        .get(9)
+        .map(|(_, s)| *s)
+        .unwrap_or_else(|| points.last().map(|(_, s)| *s).unwrap_or(0.0));
     (t, top10, zero_share)
 }
 
 /// Figure 4: the top-`n` countries with component shares.
 pub fn figure4(census: &Census, n: usize) -> TextTable {
     let mut t = TextTable::new([
-        "Country", "#ASes", "Transparent", "% Transp", "% RecFwd", "% Resolver", "Bar",
+        "Country",
+        "#ASes",
+        "Transparent",
+        "% Transp",
+        "% RecFwd",
+        "% Resolver",
+        "Bar",
     ]);
     for (code, stats) in rank_by_transparent(census).into_iter().take(n) {
         let total = stats.total() as f64;
         let bar = render_stacked_bar(
             &[
-                Segment { glyph: 'T', share: stats.transparent_forwarders as f64 / total },
-                Segment { glyph: 'f', share: stats.recursive_forwarders as f64 / total },
-                Segment { glyph: 'r', share: stats.resolvers as f64 / total },
+                Segment {
+                    glyph: 'T',
+                    share: stats.transparent_forwarders as f64 / total,
+                },
+                Segment {
+                    glyph: 'f',
+                    share: stats.recursive_forwarders as f64 / total,
+                },
+                Segment {
+                    glyph: 'r',
+                    share: stats.resolvers as f64 / total,
+                },
             ],
             24,
         );
@@ -73,10 +97,19 @@ pub fn figure4(census: &Census, n: usize) -> TextTable {
 /// transparent forwarders).
 pub fn figure5(census: &Census, n: usize) -> TextTable {
     let consolidation = figure5_by_country(census);
-    let mut t =
-        TextTable::new(["Country", "Google", "Cloudflare", "Quad9", "OpenDNS", "Other", "Bar"]);
+    let mut t = TextTable::new([
+        "Country",
+        "Google",
+        "Cloudflare",
+        "Quad9",
+        "OpenDNS",
+        "Other",
+        "Bar",
+    ]);
     for (code, _) in rank_by_transparent(census).into_iter().take(n) {
-        let Some(c) = consolidation.get(code) else { continue };
+        let Some(c) = consolidation.get(code) else {
+            continue;
+        };
         let shares = [
             c.share(ResolverSource::Project(ResolverProject::Google)),
             c.share(ResolverSource::Project(ResolverProject::Cloudflare)),
@@ -86,11 +119,26 @@ pub fn figure5(census: &Census, n: usize) -> TextTable {
         ];
         let bar = render_stacked_bar(
             &[
-                Segment { glyph: 'G', share: shares[0] },
-                Segment { glyph: 'C', share: shares[1] },
-                Segment { glyph: 'q', share: shares[2] },
-                Segment { glyph: 'o', share: shares[3] },
-                Segment { glyph: '.', share: shares[4] },
+                Segment {
+                    glyph: 'G',
+                    share: shares[0],
+                },
+                Segment {
+                    glyph: 'C',
+                    share: shares[1],
+                },
+                Segment {
+                    glyph: 'q',
+                    share: shares[2],
+                },
+                Segment {
+                    glyph: 'o',
+                    share: shares[3],
+                },
+                Segment {
+                    glyph: '.',
+                    share: shares[4],
+                },
             ],
             24,
         );
@@ -119,7 +167,9 @@ pub fn table4(census: &Census, geo: &GeoDb, n: usize) -> TextTable {
     for row in table4_other_share(census, geo, n) {
         t.row([
             row.country.to_string(),
-            row.top_asn.map(|a| a.to_string()).unwrap_or_else(|| "n/a".into()),
+            row.top_asn
+                .map(|a| a.to_string())
+                .unwrap_or_else(|| "n/a".into()),
             row.other_transparent.to_string(),
             pct(row.indirect_share, 1.0),
             row.distinct_other_resolvers.to_string(),
@@ -129,11 +179,7 @@ pub fn table4(census: &Census, geo: &GeoDb, n: usize) -> TextTable {
 }
 
 /// Table 5: top-`n` country ranking vs the Shadowserver-style view.
-pub fn table5(
-    census: &Census,
-    shadowserver: &HashMap<&'static str, usize>,
-    n: usize,
-) -> TextTable {
+pub fn table5(census: &Census, shadowserver: &HashMap<&'static str, usize>, n: usize) -> TextTable {
     let mut t = TextTable::new([
         "Country", "Rank", "#ODNS", "SS Rank", "SS #ODNS", "ΔRank", "ΔCount",
     ]);
@@ -142,9 +188,13 @@ pub fn table5(
             row.country.to_string(),
             row.our_rank.to_string(),
             row.our_count.to_string(),
-            row.shadow_rank.map(|r| r.to_string()).unwrap_or_else(|| "n/a".into()),
+            row.shadow_rank
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "n/a".into()),
             row.shadow_count.to_string(),
-            row.rank_delta().map(|d| format!("{d:+}")).unwrap_or_else(|| "n/a".into()),
+            row.rank_delta()
+                .map(|d| format!("{d:+}"))
+                .unwrap_or_else(|| "n/a".into()),
             format!("{:+}", row.count_delta()),
         ]);
     }
@@ -155,17 +205,32 @@ pub fn table5(
 pub fn figure8(census: &Census) -> (TextTable, PrefixDensity) {
     let density = PrefixDensity::from_ips(census.transparent_targets());
     let mut t = TextTable::new(["Metric", "Value"]);
-    t.row(["Transparent forwarders".to_string(), density.total().to_string()]);
-    t.row(["Covering /24 prefixes".to_string(), density.prefix_count().to_string()]);
+    t.row([
+        "Transparent forwarders".to_string(),
+        density.total().to_string(),
+    ]);
+    t.row([
+        "Covering /24 prefixes".to_string(),
+        density.prefix_count().to_string(),
+    ]);
     t.row([
         "Share in sparse prefixes (<=25)".to_string(),
-        pct(density.share_in_density_at_most(crate::density::SPARSE_MAX), 1.0),
+        pct(
+            density.share_in_density_at_most(crate::density::SPARSE_MAX),
+            1.0,
+        ),
     ]);
     t.row([
         "Share in full prefixes (>=254)".to_string(),
-        pct(density.share_in_density_at_least(crate::density::FULL_MIN), 1.0),
+        pct(
+            density.share_in_density_at_least(crate::density::FULL_MIN),
+            1.0,
+        ),
     ]);
-    t.row(["Completely populated prefixes".to_string(), density.full_prefixes().to_string()]);
+    t.row([
+        "Completely populated prefixes".to_string(),
+        density.full_prefixes().to_string(),
+    ]);
     (t, density)
 }
 
@@ -199,7 +264,11 @@ mod tests {
         let mut c = Census::default();
         let mk = |country: &'static str, class: OdnsClass, src: Ipv4Addr, last: u8| CensusRow {
             target: Ipv4Addr::new(11, 0, 0, last),
-            verdict: Verdict::Classified { class, a_resolver: src, response_src: src },
+            verdict: Verdict::Classified {
+                class,
+                a_resolver: src,
+                response_src: src,
+            },
             asn: Some(650),
             country: Some(country),
             response_src: Some(src),
@@ -214,9 +283,19 @@ mod tests {
             ));
         }
         for i in 0..3 {
-            c.rows.push(mk("BRA", OdnsClass::RecursiveForwarder, Ipv4Addr::new(11, 0, 0, 99), 10 + i));
+            c.rows.push(mk(
+                "BRA",
+                OdnsClass::RecursiveForwarder,
+                Ipv4Addr::new(11, 0, 0, 99),
+                10 + i,
+            ));
         }
-        c.rows.push(mk("BRA", OdnsClass::RecursiveResolver, Ipv4Addr::new(11, 0, 0, 99), 20));
+        c.rows.push(mk(
+            "BRA",
+            OdnsClass::RecursiveResolver,
+            Ipv4Addr::new(11, 0, 0, 99),
+            20,
+        ));
         c
     }
 

@@ -17,7 +17,10 @@ fn ablation_sanitization() {
         "Ablation 1 — strict vs relaxed response sanitization",
         "§4.2: omitting the control-record check 'leads to similar numbers than Shadowserver'",
     );
-    let config = GenConfig { scale: 500, ..GenConfig::default() };
+    let config = GenConfig {
+        scale: 500,
+        ..GenConfig::default()
+    };
 
     let mut strict_world = inetgen::generate(&config);
     let strict = analysis::run_census(&mut strict_world, &ClassifierConfig::default());
@@ -29,12 +32,16 @@ fn ablation_sanitization() {
     t.row([
         "strict (this work)".to_string(),
         strict.odns_total().to_string(),
-        strict.discarded(scanner::Discard::ControlRecordViolated).to_string(),
+        strict
+            .discarded(scanner::Discard::ControlRecordViolated)
+            .to_string(),
     ]);
     t.row([
         "relaxed (Shadowserver-like)".to_string(),
         relaxed.odns_total().to_string(),
-        relaxed.discarded(scanner::Discard::ControlRecordViolated).to_string(),
+        relaxed
+            .discarded(scanner::Discard::ControlRecordViolated)
+            .to_string(),
     ]);
     println!("{}", t.render());
     assert_eq!(
@@ -84,13 +91,20 @@ fn ablation_classic_traceroute() {
     t.row([
         "classic traceroute".to_string(),
         targets.len().to_string(),
-        classic.iter().filter(|x| x.target_seen_at.is_some()).count().to_string(),
+        classic
+            .iter()
+            .filter(|x| x.target_seen_at.is_some())
+            .count()
+            .to_string(),
         classic_paths.len().to_string(),
     ]);
     t.row([
         "DNSRoute++".to_string(),
         targets.len().to_string(),
-        full.iter().filter(|x| x.target_seen_at.is_some()).count().to_string(),
+        full.iter()
+            .filter(|x| x.target_seen_at.is_some())
+            .count()
+            .to_string(),
         full_paths.len().to_string(),
     ]);
     println!("{}", t.render());
@@ -115,7 +129,10 @@ fn bench_ablations(c: &mut Criterion) {
                 outcome
                     .transactions
                     .iter()
-                    .filter(|t| scanner::classify(t, &strict).class() == Some(OdnsClass::TransparentForwarder))
+                    .filter(|t| {
+                        scanner::classify(t, &strict).class()
+                            == Some(OdnsClass::TransparentForwarder)
+                    })
                     .count(),
             )
         })
@@ -126,7 +143,10 @@ fn bench_ablations(c: &mut Criterion) {
                 outcome
                     .transactions
                     .iter()
-                    .filter(|t| scanner::classify(t, &relaxed).class() == Some(OdnsClass::TransparentForwarder))
+                    .filter(|t| {
+                        scanner::classify(t, &relaxed).class()
+                            == Some(OdnsClass::TransparentForwarder)
+                    })
                     .count(),
             )
         })

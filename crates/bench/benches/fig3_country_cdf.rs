@@ -27,8 +27,14 @@ fn regenerate() {
         top10_share * 100.0,
         zero_share * 100.0
     );
-    assert!((0.80..0.97).contains(&top10_share), "top-10 share {top10_share}");
-    assert!((0.15..0.35).contains(&zero_share), "zero share {zero_share}");
+    assert!(
+        (0.80..0.97).contains(&top10_share),
+        "top-10 share {top10_share}"
+    );
+    assert!(
+        (0.15..0.35).contains(&zero_share),
+        "zero share {zero_share}"
+    );
 }
 
 fn bench_fig3(c: &mut Criterion) {

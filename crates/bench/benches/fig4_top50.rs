@@ -26,15 +26,25 @@ fn regenerate() {
         "Brazil's transparent share {:.2} must be near the paper's >80%",
         bra.transparent_share()
     );
-    let ind = ranked.iter().find(|(c, _)| *c == "IND").expect("India present").1;
-    assert!(ind.transparent_share() > 0.70, "India {:.2}", ind.transparent_share());
+    let ind = ranked
+        .iter()
+        .find(|(c, _)| *c == "IND")
+        .expect("India present")
+        .1;
+    assert!(
+        ind.transparent_share() > 0.70,
+        "India {:.2}",
+        ind.transparent_share()
+    );
     // Emerging markets among the top-10 (paper: 8 of the 9 >10k countries).
     let emerging_top10 = ranked
         .iter()
         .take(10)
         .filter(|(code, _)| inetgen::by_code(code).map(|p| p.emerging).unwrap_or(false))
         .count();
-    println!("\nemerging markets in the top-10: {emerging_top10} (paper: 8 of 9 over-10k countries)");
+    println!(
+        "\nemerging markets in the top-10: {emerging_top10} (paper: 8 of 9 over-10k countries)"
+    );
     assert!(emerging_top10 >= 6);
 }
 

@@ -23,10 +23,16 @@ fn regenerate() {
     let f5 = analysis::figure5_by_country(&census);
     let ind = f5.get("IND").expect("India in census");
     let g = ind.share(analysis::ResolverSource::Project(ResolverProject::Google));
-    assert!(g > 0.75, "India's Google share {g:.2} must reproduce the near-total reliance");
+    assert!(
+        g > 0.75,
+        "India's Google share {g:.2} must reproduce the near-total reliance"
+    );
     let tur = f5.get("TUR").expect("Turkey in census");
     let other = tur.share(analysis::ResolverSource::Other);
-    assert!(other > 0.75, "Turkey's 'other' share {other:.2} must dominate");
+    assert!(
+        other > 0.75,
+        "Turkey's 'other' share {other:.2} must dominate"
+    );
     println!(
         "\nIND Google share {:.0}% (paper: almost all)   TUR other share {:.0}% (paper: ~90%)",
         g * 100.0,

@@ -21,13 +21,21 @@ fn regenerate() {
     let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
     let targets = census.transparent_targets();
     println!("tracing {} transparent forwarders...", targets.len());
-    let traces =
-        run_dnsroute(&mut internet.sim, internet.fixtures.scanner, DnsRouteConfig::new(targets));
+    let traces = run_dnsroute(
+        &mut internet.sim,
+        internet.fixtures.scanner,
+        DnsRouteConfig::new(targets),
+    );
     let (paths, stats) = sanitize(&traces);
-    println!("sanitization: kept {} of {} traces", stats.kept, stats.total());
+    println!(
+        "sanitization: kept {} of {} traces",
+        stats.kept,
+        stats.total()
+    );
 
     let (projects, other) = analysis::figure6_by_project(&paths, &internet.geo);
-    let mut t = analysis::TextTable::new(["Project", "Paths", "Fwd ASNs", "Mean hops", "Median", "p90"]);
+    let mut t =
+        analysis::TextTable::new(["Project", "Paths", "Fwd ASNs", "Mean hops", "Median", "p90"]);
     for p in &projects {
         let cdf = p.cdf();
         t.row([
@@ -39,19 +47,41 @@ fn regenerate() {
             format!("{:.0}", cdf.quantile(0.9).unwrap_or(0.0)),
         ]);
     }
-    t.row(["(other/local)".to_string(), other.len().to_string(), String::new(), String::new(), String::new(), String::new()]);
+    t.row([
+        "(other/local)".to_string(),
+        other.len().to_string(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
     println!("{}", t.render());
     for p in &projects {
-        println!("{}", analysis::chart::render_cdf(p.project.name(), &p.cdf(), 56, 8));
+        println!(
+            "{}",
+            analysis::chart::render_cdf(p.project.name(), &p.cdf(), 56, 8)
+        );
     }
 
     let mean = |proj: ResolverProject| -> f64 {
-        projects.iter().find(|p| p.project == proj).map(|p| p.mean_hops()).unwrap_or(f64::NAN)
+        projects
+            .iter()
+            .find(|p| p.project == proj)
+            .map(|p| p.mean_hops())
+            .unwrap_or(f64::NAN)
     };
-    let (cf, g, od) =
-        (mean(ResolverProject::Cloudflare), mean(ResolverProject::Google), mean(ResolverProject::OpenDns));
-    assert!(cf < g && g < od, "ordering must reproduce: {cf:.1} < {g:.1} < {od:.1}");
-    println!("means: Cloudflare {cf:.1} < Google {g:.1} < OpenDNS {od:.1}  (paper: 6.3 < 7.9 < 9.3)");
+    let (cf, g, od) = (
+        mean(ResolverProject::Cloudflare),
+        mean(ResolverProject::Google),
+        mean(ResolverProject::OpenDns),
+    );
+    assert!(
+        cf < g && g < od,
+        "ordering must reproduce: {cf:.1} < {g:.1} < {od:.1}"
+    );
+    println!(
+        "means: Cloudflare {cf:.1} < Google {g:.1} < OpenDNS {od:.1}  (paper: 6.3 < 7.9 < 9.3)"
+    );
 
     let truth: Vec<(u32, u32)> = internet.sim.topology().provider_customer_pairs().to_vec();
     let known: BTreeSet<(u32, u32)> = truth.iter().take(truth.len() * 85 / 100).copied().collect();
@@ -72,8 +102,11 @@ fn bench_fig6(c: &mut Criterion) {
     let mut internet = path_world();
     let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
     let targets: Vec<_> = census.transparent_targets().into_iter().take(150).collect();
-    let traces =
-        run_dnsroute(&mut internet.sim, internet.fixtures.scanner, DnsRouteConfig::new(targets));
+    let traces = run_dnsroute(
+        &mut internet.sim,
+        internet.fixtures.scanner,
+        DnsRouteConfig::new(targets),
+    );
     let geo = internet.geo;
     let mut group = c.benchmark_group("fig6");
     group.bench_function("sanitize_traces", |b| {

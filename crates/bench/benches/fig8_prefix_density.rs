@@ -18,7 +18,10 @@ fn regenerate() {
     let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
     let (table, density) = analysis::report::figure8(&census);
     println!("{}", table.render());
-    println!("{}", analysis::chart::render_cdf("forwarders per /24", &density.cdf(), 56, 10));
+    println!(
+        "{}",
+        analysis::chart::render_cdf("forwarders per /24", &density.cdf(), 56, 10)
+    );
 
     let sparse = density.share_in_density_at_most(analysis::density::SPARSE_MAX);
     let full = density.share_in_density_at_least(analysis::density::FULL_MIN);
@@ -35,12 +38,19 @@ fn regenerate() {
         "full-prefix share {full:.2} must be substantial (paper: 36%; scaled worlds \
          under-shoot because countries smaller than one /24 cannot host a middlebox)"
     );
-    assert!(density.full_prefixes() > 0, "middleboxes must appear at this scale");
+    assert!(
+        density.full_prefixes() > 0,
+        "middleboxes must appear at this scale"
+    );
 
     // §6 device attribution belongs to this world: half the MikroTik
     // population sits in whole-/24 middleboxes, so the ~23 % share only
     // converges once middleboxes exist.
-    let sample: Vec<_> = census.transparent_targets().into_iter().take(1_500).collect();
+    let sample: Vec<_> = census
+        .transparent_targets()
+        .into_iter()
+        .take(1_500)
+        .collect();
     let evidence = scanner::run_fingerprint_scan(
         &mut internet.sim,
         internet.fixtures.campaign_scanners[1],
@@ -52,7 +62,10 @@ fn regenerate() {
         "device fingerprinting at density scale: MikroTik {:.1}% of transparent forwarders (paper: ~23%)",
         mikrotik * 100.0
     );
-    assert!((0.12..0.35).contains(&mikrotik), "MikroTik share {mikrotik:.2}");
+    assert!(
+        (0.12..0.35).contains(&mikrotik),
+        "MikroTik share {mikrotik:.2}"
+    );
 }
 
 fn bench_density(c: &mut Criterion) {

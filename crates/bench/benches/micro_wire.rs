@@ -26,15 +26,21 @@ fn bench_dns_codec(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("dns_codec");
     group.throughput(criterion::Throughput::Elements(1));
-    group.bench_function("encode_query", |b| b.iter(|| black_box(query.encode().len())));
-    group.bench_function("encode_response_2a", |b| b.iter(|| black_box(response.encode().len())));
+    group.bench_function("encode_query", |b| {
+        b.iter(|| black_box(query.encode().len()))
+    });
+    group.bench_function("encode_response_2a", |b| {
+        b.iter(|| black_box(response.encode().len()))
+    });
     group.bench_function("decode_query", |b| {
         b.iter(|| black_box(Message::decode(&query_bytes).unwrap().header.id))
     });
     group.bench_function("decode_response_2a", |b| {
         b.iter(|| black_box(Message::decode(&response_bytes).unwrap().answers.len()))
     });
-    group.bench_function("peek_id", |b| b.iter(|| black_box(dnswire::peek_id(&response_bytes))));
+    group.bench_function("peek_id", |b| {
+        b.iter(|| black_box(dnswire::peek_id(&response_bytes)))
+    });
     group.finish();
 }
 

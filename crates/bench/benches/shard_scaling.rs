@@ -1,0 +1,98 @@
+//! Shard-count scaling of the census engine.
+//!
+//! Sweeps K over a large (≥50 k-target) census and reports wall-clock
+//! time and speedup versus K=1, then measures a smaller repeatable
+//! configuration with criterion. Two effects compound:
+//!
+//! * **parallelism** — shards run on a worker-thread pool, so on an
+//!   N-core machine up to N shards progress at once;
+//! * **locality** — even on one core, K smaller simulators beat one big
+//!   one: the event heap's `log E` factor shrinks, and per-shard routing
+//!   caches and host tables stay small and hot.
+//!
+//! Classification counts are verified identical across the sweep — the
+//! engine's determinism contract — so every measured configuration does
+//! exactly the same logical work.
+
+use bench::{banner, criterion};
+use criterion::{black_box, Criterion};
+use inetgen::GenConfig;
+use scanner::{ClassifierConfig, OdnsClass};
+use std::time::Instant;
+
+/// ≥50 k scan targets: 2.125 M ODNS hosts at 1:40 plus 10 % duds.
+const HEADLINE_SCALE: u32 = 40;
+
+fn headline_sweep() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    banner(
+        "shard scaling — the sharded parallel census engine",
+        "engine scaling (no paper artifact); method of §4.1 at census scale",
+    );
+    println!("machine: {cores} worker thread(s) available\n");
+
+    let config = GenConfig {
+        scale: HEADLINE_SCALE,
+        ..GenConfig::default()
+    };
+    let mut baseline: Option<(f64, usize, usize)> = None;
+    for k in [1u32, 2, 4, 8] {
+        let t0 = Instant::now();
+        let census = analysis::run_census_sharded(&config, k, &ClassifierConfig::default());
+        let secs = t0.elapsed().as_secs_f64();
+        let targets = census.rows.len();
+        let transparent = census.count(OdnsClass::TransparentForwarder);
+        let odns = census.odns_total();
+        match baseline {
+            None => {
+                assert!(
+                    targets >= 50_000,
+                    "headline census must probe ≥50k targets, got {targets}"
+                );
+                println!(
+                    "K=1: {targets} targets, {odns} ODNS ({transparent} transparent) in {secs:.2}s  [baseline]"
+                );
+                baseline = Some((secs, odns, transparent));
+            }
+            Some((base_secs, base_odns, base_transparent)) => {
+                assert_eq!(odns, base_odns, "K={k} changed ODNS count");
+                assert_eq!(
+                    transparent, base_transparent,
+                    "K={k} changed transparent count"
+                );
+                println!(
+                    "K={k}: {targets} targets, {odns} ODNS ({transparent} transparent) in {secs:.2}s  speedup ×{:.2}",
+                    base_secs / secs
+                );
+            }
+        }
+    }
+}
+
+fn bench_shard_counts(c: &mut Criterion) {
+    // A smaller world keeps criterion iterations in the hundreds of
+    // milliseconds; shape matches the headline sweep.
+    let config = GenConfig {
+        scale: 400,
+        ..GenConfig::default()
+    };
+    let mut group = c.benchmark_group("shard_scaling");
+    for k in [1u32, 2, 4, 8] {
+        group.bench_function(format!("census_scale400_k{k}"), |b| {
+            b.iter(|| {
+                let census = analysis::run_census_sharded(&config, k, &ClassifierConfig::default());
+                black_box(census.odns_total())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    headline_sweep();
+    let mut c = criterion();
+    bench_shard_counts(&mut c);
+    c.final_summary();
+}

@@ -9,13 +9,14 @@ use criterion::{black_box, Criterion};
 use scanner::{ClassifierConfig, OdnsClass};
 
 fn regenerate() {
-    banner("Table 1 — ODNS composition", "32K (2%) / 1.5M (72%) / 0.6M (26%), 2.125M total");
+    banner(
+        "Table 1 — ODNS composition",
+        "32K (2%) / 1.5M (72%) / 0.6M (26%), 2.125M total",
+    );
     let mut internet = bench_world();
     let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
     println!("{}", analysis::report::table1(&census).render());
-    println!(
-        "paper shares: resolvers 2% | recursive fwd 72% | transparent 26%  (scale 1:500)"
-    );
+    println!("paper shares: resolvers 2% | recursive fwd 72% | transparent 26%  (scale 1:500)");
 
     // §6 device attribution over the discovered transparent forwarders.
     let targets = census.transparent_targets();

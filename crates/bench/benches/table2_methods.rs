@@ -39,7 +39,11 @@ fn run_method(naming: ProbeNaming) -> MethodResult {
     } else {
         1.0 - (auth_queries as f64 / answered as f64).min(1.0)
     };
-    MethodResult { answered, auth_queries, cache_absorption }
+    MethodResult {
+        answered,
+        auth_queries,
+        cache_absorption,
+    }
 }
 
 fn regenerate() {

@@ -19,16 +19,18 @@ fn sensor_world() -> inetgen::Internet {
     let mut internet = inetgen::generate(&config);
     let a = internet.fixtures.sensor_addrs;
     let google = odns::ResolverProject::Google.service_ip();
-    internet
-        .sim
-        .install(internet.fixtures.sensor1, HoneypotSensor::new(SensorKind::RecursiveResolver, google));
+    internet.sim.install(
+        internet.fixtures.sensor1,
+        HoneypotSensor::new(SensorKind::RecursiveResolver, google),
+    );
     internet.sim.install(
         internet.fixtures.sensor2,
         HoneypotSensor::new(SensorKind::InteriorForwarder { reply_from: a.ip3 }, google),
     );
-    internet
-        .sim
-        .install(internet.fixtures.sensor3, HoneypotSensor::new(SensorKind::ExteriorForwarder, google));
+    internet.sim.install(
+        internet.fixtures.sensor3,
+        HoneypotSensor::new(SensorKind::ExteriorForwarder, google),
+    );
     internet
 }
 

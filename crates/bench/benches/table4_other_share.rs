@@ -16,7 +16,10 @@ fn regenerate() {
     );
     let mut internet = bench_world();
     let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
-    println!("{}", analysis::report::table4(&census, &internet.geo, 10).render());
+    println!(
+        "{}",
+        analysis::report::table4(&census, &internet.geo, 10).render()
+    );
 
     let rows = analysis::table4_other_share(&census, &internet.geo, 10);
     if let Some(tur) = rows.iter().find(|r| r.country == "TUR") {
@@ -31,7 +34,9 @@ fn regenerate() {
             "Turkey's consolidation onto very few local resolvers must reproduce"
         );
     }
-    let chains = rows.iter().find(|r| r.country == "BRA" || r.country == "IND");
+    let chains = rows
+        .iter()
+        .find(|r| r.country == "BRA" || r.country == "IND");
     if let Some(c) = chains {
         assert!(
             c.indirect_share > 0.2,

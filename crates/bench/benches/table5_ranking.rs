@@ -18,7 +18,10 @@ fn regenerate() {
     let mut internet = bench_world();
     let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
     let shadow = analysis::run_shadowserver_census(&mut internet);
-    println!("{}", analysis::report::table5(&census, &shadow, 20).render());
+    println!(
+        "{}",
+        analysis::report::table5(&census, &shadow, 20).render()
+    );
 
     let rows = analysis::table5_ranking(&census, &shadow, 60);
     let find = |code: &str| rows.iter().find(|r| r.country == code);

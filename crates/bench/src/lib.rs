@@ -12,7 +12,10 @@ use inetgen::{CountrySelection, GenConfig, Internet};
 /// The standard bench world: the full country table at 1:500 scale
 /// (≈4.3k ODNS hosts). Deterministic.
 pub fn bench_world() -> Internet {
-    inetgen::generate(&GenConfig { scale: 500, ..GenConfig::default() })
+    inetgen::generate(&GenConfig {
+        scale: 500,
+        ..GenConfig::default()
+    })
 }
 
 /// A focused world for path experiments: the six headline countries at a

@@ -103,7 +103,12 @@ impl StudyAuthServer {
     /// Build from config.
     pub fn new(config: AuthConfig) -> Self {
         let bucket = config.rate_limit_pps.map(TokenBucket::per_second);
-        StudyAuthServer { config, bucket, log: Vec::new(), stats: AuthStats::default() }
+        StudyAuthServer {
+            config,
+            bucket,
+            log: Vec::new(),
+            stats: AuthStats::default(),
+        }
     }
 
     /// Server with the default study configuration.
@@ -148,10 +153,14 @@ impl StudyAuthServer {
                 RrType::A | RrType::Any => {
                     // Dynamic client-reflecting record first, control second
                     // (Figure 7's layout).
-                    builder = builder.answer(Record::a(qname.clone(), self.config.answer_ttl, client));
+                    builder =
+                        builder.answer(Record::a(qname.clone(), self.config.answer_ttl, client));
                     if self.config.include_control_record {
-                        builder = builder
-                            .answer(Record::a(qname.clone(), self.config.answer_ttl, self.config.control_a));
+                        builder = builder.answer(Record::a(
+                            qname.clone(),
+                            self.config.answer_ttl,
+                            self.config.control_a,
+                        ));
                     }
                     if q.qtype == RrType::Any {
                         // ANY also returns the SOA — a little extra
@@ -174,7 +183,10 @@ impl StudyAuthServer {
                 }
             }
         } else {
-            builder.rcode(Rcode::NxDomain).authority(self.soa_record()).build()
+            builder
+                .rcode(Rcode::NxDomain)
+                .authority(self.soa_record())
+                .build()
         }
     }
 }
@@ -261,7 +273,12 @@ mod tests {
 
     #[test]
     fn static_name_gets_dynamic_plus_control() {
-        let (resp, ex) = ask(StudyAuthServer::with_defaults(), study::STUDY_QNAME, RrType::A, 777);
+        let (resp, ex) = ask(
+            StudyAuthServer::with_defaults(),
+            study::STUDY_QNAME,
+            RrType::A,
+            777,
+        );
         assert_eq!(resp.header.id, 777);
         assert!(resp.header.flags.authoritative);
         assert_eq!(resp.answer_a_addrs(), vec![CLIENT_IP, study::CONTROL_A]);
@@ -276,7 +293,12 @@ mod tests {
     fn encoded_name_is_logged_with_target() {
         let target = Ipv4Addr::new(203, 0, 113, 1);
         let name = study::encode_target_name(target);
-        let (resp, ex) = ask(StudyAuthServer::with_defaults(), &name.to_string(), RrType::A, 1);
+        let (resp, ex) = ask(
+            StudyAuthServer::with_defaults(),
+            &name.to_string(),
+            RrType::A,
+            1,
+        );
         assert_eq!(resp.answer_a_addrs()[0], CLIENT_IP);
         let s: &StudyAuthServer = ex.subject();
         assert_eq!(s.log[0].encoded_target, Some(target));
@@ -289,12 +311,21 @@ mod tests {
             ..AuthConfig::default()
         });
         let (resp, _ex) = ask(server, study::STUDY_QNAME, RrType::A, 2);
-        assert_eq!(resp.answer_a_addrs(), vec![CLIENT_IP], "single record in ablation mode");
+        assert_eq!(
+            resp.answer_a_addrs(),
+            vec![CLIENT_IP],
+            "single record in ablation mode"
+        );
     }
 
     #[test]
     fn out_of_zone_refused() {
-        let (resp, ex) = ask(StudyAuthServer::with_defaults(), "google.com.", RrType::A, 3);
+        let (resp, ex) = ask(
+            StudyAuthServer::with_defaults(),
+            "google.com.",
+            RrType::A,
+            3,
+        );
         assert_eq!(resp.header.flags.rcode, Rcode::Refused);
         let s: &StudyAuthServer = ex.subject();
         assert_eq!(s.stats.out_of_zone, 1);
@@ -302,8 +333,12 @@ mod tests {
 
     #[test]
     fn unknown_in_zone_name_nxdomain_with_soa() {
-        let (resp, ex) =
-            ask(StudyAuthServer::with_defaults(), "nope.odns-study.example.", RrType::A, 4);
+        let (resp, ex) = ask(
+            StudyAuthServer::with_defaults(),
+            "nope.odns-study.example.",
+            RrType::A,
+            4,
+        );
         assert_eq!(resp.header.flags.rcode, Rcode::NxDomain);
         assert_eq!(resp.authorities.len(), 1, "SOA for negative caching");
         let s: &StudyAuthServer = ex.subject();
@@ -312,8 +347,18 @@ mod tests {
 
     #[test]
     fn any_query_amplifies() {
-        let (a, _) = ask(StudyAuthServer::with_defaults(), study::STUDY_QNAME, RrType::A, 5);
-        let (any, _) = ask(StudyAuthServer::with_defaults(), study::STUDY_QNAME, RrType::Any, 6);
+        let (a, _) = ask(
+            StudyAuthServer::with_defaults(),
+            study::STUDY_QNAME,
+            RrType::A,
+            5,
+        );
+        let (any, _) = ask(
+            StudyAuthServer::with_defaults(),
+            study::STUDY_QNAME,
+            RrType::Any,
+            6,
+        );
         assert!(
             any.wire_len() > a.wire_len(),
             "ANY response must be larger: {} vs {}",
@@ -324,7 +369,12 @@ mod tests {
 
     #[test]
     fn txt_answered_for_static_name() {
-        let (resp, _) = ask(StudyAuthServer::with_defaults(), study::STUDY_QNAME, RrType::Txt, 7);
+        let (resp, _) = ask(
+            StudyAuthServer::with_defaults(),
+            study::STUDY_QNAME,
+            RrType::Txt,
+            7,
+        );
         assert_eq!(resp.answers.len(), 1);
         assert_eq!(resp.answers[0].rtype(), RrType::Txt);
     }
@@ -337,10 +387,17 @@ mod tests {
         });
         let mut ex = Exchange::new(AUTH_IP, CLIENT_IP, server);
         for i in 0..5u16 {
-            ex.send_at(SimDuration::from_micros(u64::from(i)), query_send(study::STUDY_QNAME, RrType::A, i));
+            ex.send_at(
+                SimDuration::from_micros(u64::from(i)),
+                query_send(study::STUDY_QNAME, RrType::A, i),
+            );
         }
         ex.run();
-        assert_eq!(ex.received().len(), 2, "only the budget is served in one second");
+        assert_eq!(
+            ex.received().len(),
+            2,
+            "only the budget is served in one second"
+        );
         let s: &StudyAuthServer = ex.subject();
         assert_eq!(s.stats.rate_limited, 3);
         assert_eq!(s.stats.queries_received, 5);
@@ -349,7 +406,10 @@ mod tests {
     #[test]
     fn non_dns_port_gets_port_unreachable() {
         let mut ex = Exchange::new(AUTH_IP, CLIENT_IP, StudyAuthServer::with_defaults());
-        ex.send_at(SimDuration::ZERO, UdpSend::new(40000, AUTH_IP, 9999, vec![1, 2, 3]));
+        ex.send_at(
+            SimDuration::ZERO,
+            UdpSend::new(40000, AUTH_IP, 9999, vec![1, 2, 3]),
+        );
         ex.run();
         assert!(ex.received().is_empty());
         assert_eq!(ex.icmp().len(), 1);
@@ -360,12 +420,19 @@ mod tests {
     fn responses_and_garbage_ignored() {
         let mut ex = Exchange::new(AUTH_IP, CLIENT_IP, StudyAuthServer::with_defaults());
         // A response message (QR=1) must not be answered.
-        let bogus = MessageBuilder::query(9, DnsName::parse(study::STUDY_QNAME).unwrap(), RrType::A)
-            .build()
-            .response_skeleton();
-        ex.send_at(SimDuration::ZERO, UdpSend::new(1000, AUTH_IP, 53, bogus.encode()));
+        let bogus =
+            MessageBuilder::query(9, DnsName::parse(study::STUDY_QNAME).unwrap(), RrType::A)
+                .build()
+                .response_skeleton();
+        ex.send_at(
+            SimDuration::ZERO,
+            UdpSend::new(1000, AUTH_IP, 53, bogus.encode()),
+        );
         // Garbage bytes must not crash or be answered.
-        ex.send_at(SimDuration::from_millis(1), UdpSend::new(1001, AUTH_IP, 53, vec![0xFF; 9]));
+        ex.send_at(
+            SimDuration::from_millis(1),
+            UdpSend::new(1001, AUTH_IP, 53, vec![0xFF; 9]),
+        );
         ex.run();
         assert!(ex.received().is_empty());
         let s: &StudyAuthServer = ex.subject();

@@ -84,7 +84,12 @@ impl DnsCache {
     /// A cache holding at most `capacity` entries.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
-        DnsCache { map: HashMap::new(), order: VecDeque::new(), capacity, stats: CacheStats::default() }
+        DnsCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+            stats: CacheStats::default(),
+        }
     }
 
     /// Current number of live-or-expired entries held.
@@ -101,7 +106,10 @@ impl DnsCache {
     /// with record TTLs rewritten to the *remaining* lifetime — exactly
     /// what a resolver serves from cache, and what Figure 7 observes.
     pub fn get(&mut self, name: &DnsName, rtype: RrType, now: SimTime) -> Option<CachedAnswer> {
-        let key = CacheKey { name: name.clone(), rtype };
+        let key = CacheKey {
+            name: name.clone(),
+            rtype,
+        };
         match self.map.get(&key) {
             None => {
                 self.stats.misses += 1;
@@ -120,7 +128,10 @@ impl DnsCache {
                     CachedAnswer::Positive(records) => CachedAnswer::Positive(
                         records
                             .iter()
-                            .map(|r| Record { ttl: remaining as u32, ..r.clone() })
+                            .map(|r| Record {
+                                ttl: remaining as u32,
+                                ..r.clone()
+                            })
                             .collect(),
                     ),
                     CachedAnswer::Negative(rcode) => CachedAnswer::Negative(*rcode),
@@ -150,7 +161,18 @@ impl DnsCache {
             }
         }
         let expires = now + netsim::SimDuration::from_secs(u64::from(ttl_secs));
-        if self.map.insert(key.clone(), Entry { answer, inserted: now, expires }).is_none() {
+        if self
+            .map
+            .insert(
+                key.clone(),
+                Entry {
+                    answer,
+                    inserted: now,
+                    expires,
+                },
+            )
+            .is_none()
+        {
             self.order.push_back(key);
         }
         self.stats.insertions += 1;
@@ -158,7 +180,10 @@ impl DnsCache {
 
     /// Age of the entry for `name`/`rtype` at `now`, if present and live.
     pub fn age(&self, name: &DnsName, rtype: RrType, now: SimTime) -> Option<u64> {
-        let key = CacheKey { name: name.clone(), rtype };
+        let key = CacheKey {
+            name: name.clone(),
+            rtype,
+        };
         let e = self.map.get(&key)?;
         if now >= e.expires {
             None
@@ -224,8 +249,18 @@ mod tests {
     #[test]
     fn negative_caching() {
         let mut c = DnsCache::new(8);
-        c.insert(name("nx.example."), RrType::A, CachedAnswer::Negative(Rcode::NxDomain), 60, SimTime::ZERO);
-        match c.get(&name("nx.example."), RrType::A, SimTime::ZERO + SimDuration::from_secs(1)) {
+        c.insert(
+            name("nx.example."),
+            RrType::A,
+            CachedAnswer::Negative(Rcode::NxDomain),
+            60,
+            SimTime::ZERO,
+        );
+        match c.get(
+            &name("nx.example."),
+            RrType::A,
+            SimTime::ZERO + SimDuration::from_secs(1),
+        ) {
             Some(CachedAnswer::Negative(Rcode::NxDomain)) => {}
             other => panic!("expected negative, got {other:?}"),
         }
@@ -246,7 +281,11 @@ mod tests {
         }
         assert_eq!(c.len(), 2);
         assert_eq!(c.stats.evictions, 1);
-        assert_eq!(c.get(&name("h0.example."), RrType::A, t), None, "oldest evicted");
+        assert_eq!(
+            c.get(&name("h0.example."), RrType::A, t),
+            None,
+            "oldest evicted"
+        );
         assert!(c.get(&name("h2.example."), RrType::A, t).is_some());
     }
 
@@ -264,14 +303,24 @@ mod tests {
         );
         for i in 0..200u32 {
             c.insert(
-                name(&format!("{}-{}-{}-{}.scan.odns-study.example.", i % 256, i / 256, 0, 1)),
+                name(&format!(
+                    "{}-{}-{}-{}.scan.odns-study.example.",
+                    i % 256,
+                    i / 256,
+                    0,
+                    1
+                )),
                 RrType::A,
                 CachedAnswer::Positive(vec![a_record("x.", 300)]),
                 300,
                 t,
             );
         }
-        assert_eq!(c.get(&name("popular.example."), RrType::A, t), None, "legit entry evicted");
+        assert_eq!(
+            c.get(&name("popular.example."), RrType::A, t),
+            None,
+            "legit entry evicted"
+        );
         assert!(c.stats.evictions >= 100);
     }
 

@@ -39,7 +39,13 @@ impl Vendor {
 
     /// All vendors, for iteration in generators and reports.
     pub fn all() -> [Vendor; 5] {
-        [Vendor::MikroTik, Vendor::GenericCpe, Vendor::DLink, Vendor::Zyxel, Vendor::Huawei]
+        [
+            Vendor::MikroTik,
+            Vendor::GenericCpe,
+            Vendor::DLink,
+            Vendor::Zyxel,
+            Vendor::Huawei,
+        ]
     }
 }
 
@@ -75,7 +81,11 @@ impl DeviceProfile {
 
     /// A quiet generic CPE: no banner ports at all.
     pub fn generic() -> Self {
-        DeviceProfile { vendor: Vendor::GenericCpe, open_ports: vec![], banner: String::new() }
+        DeviceProfile {
+            vendor: Vendor::GenericCpe,
+            open_ports: vec![],
+            banner: String::new(),
+        }
     }
 
     /// A vendor profile exposing the shared management port.
@@ -132,8 +142,15 @@ mod tests {
 
     #[test]
     fn mikrotik_banner_on_open_port() {
-        let mut ex = Exchange::new(DEV_IP, SCANNER_IP, Probeable(Some(DeviceProfile::mikrotik())));
-        ex.send_at(SimDuration::ZERO, UdpSend::new(40000, DEV_IP, MIKROTIK_MNDP_PORT, vec![0]));
+        let mut ex = Exchange::new(
+            DEV_IP,
+            SCANNER_IP,
+            Probeable(Some(DeviceProfile::mikrotik())),
+        );
+        ex.send_at(
+            SimDuration::ZERO,
+            UdpSend::new(40000, DEV_IP, MIKROTIK_MNDP_PORT, vec![0]),
+        );
         ex.run();
         assert_eq!(ex.received().len(), 1);
         let banner = String::from_utf8_lossy(&ex.received()[0].1.payload).to_string();
@@ -142,8 +159,15 @@ mod tests {
 
     #[test]
     fn closed_port_unreachable() {
-        let mut ex = Exchange::new(DEV_IP, SCANNER_IP, Probeable(Some(DeviceProfile::mikrotik())));
-        ex.send_at(SimDuration::ZERO, UdpSend::new(40000, DEV_IP, 9999, vec![0]));
+        let mut ex = Exchange::new(
+            DEV_IP,
+            SCANNER_IP,
+            Probeable(Some(DeviceProfile::mikrotik())),
+        );
+        ex.send_at(
+            SimDuration::ZERO,
+            UdpSend::new(40000, DEV_IP, 9999, vec![0]),
+        );
         ex.run();
         assert!(ex.received().is_empty());
         assert_eq!(ex.icmp().len(), 1);
@@ -153,7 +177,10 @@ mod tests {
     #[test]
     fn no_profile_is_all_closed() {
         let mut ex = Exchange::new(DEV_IP, SCANNER_IP, Probeable(None));
-        ex.send_at(SimDuration::ZERO, UdpSend::new(40000, DEV_IP, MIKROTIK_MNDP_PORT, vec![0]));
+        ex.send_at(
+            SimDuration::ZERO,
+            UdpSend::new(40000, DEV_IP, MIKROTIK_MNDP_PORT, vec![0]),
+        );
         ex.run();
         assert!(ex.received().is_empty());
         assert_eq!(ex.icmp().len(), 1);

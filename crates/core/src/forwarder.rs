@@ -120,7 +120,11 @@ impl RecursiveForwarder {
 
     fn alloc_port(&mut self) -> u16 {
         let p = self.next_port;
-        self.next_port = if self.next_port >= 65000 { 2048 } else { self.next_port + 1 };
+        self.next_port = if self.next_port >= 65000 {
+            2048
+        } else {
+            self.next_port + 1
+        };
         p
     }
 }
@@ -274,7 +278,11 @@ pub struct TransparentForwarder {
 impl TransparentForwarder {
     /// A transparent forwarder relaying to `resolver`.
     pub fn new(resolver: Ipv4Addr) -> Self {
-        TransparentForwarder { resolver, device: None, stats: TransparentForwarderStats::default() }
+        TransparentForwarder {
+            resolver,
+            device: None,
+            stats: TransparentForwarderStats::default(),
+        }
     }
 
     /// Attach a device profile (open ports / banners) for fingerprinting.
@@ -336,10 +344,14 @@ mod tests {
     const RESOLVER_IP: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 1);
 
     fn query_bytes(txid: u16) -> Vec<u8> {
-        MessageBuilder::query(txid, DnsName::parse("odns-study.example.").unwrap(), RrType::A)
-            .recursion_desired(true)
-            .build()
-            .encode()
+        MessageBuilder::query(
+            txid,
+            DnsName::parse("odns-study.example.").unwrap(),
+            RrType::A,
+        )
+        .recursion_desired(true)
+        .build()
+        .encode()
     }
 
     /// A resolver stand-in that answers every query with a fixed A record.
@@ -351,7 +363,11 @@ mod tests {
             let query = Message::decode(&dgram.payload).unwrap();
             let resp = MessageBuilder::response_to(&query)
                 .recursion_available(true)
-                .answer_a(query.questions[0].qname.clone(), 300, Ipv4Addr::new(7, 7, 7, 7))
+                .answer_a(
+                    query.questions[0].qname.clone(),
+                    300,
+                    Ipv4Addr::new(7, 7, 7, 7),
+                )
                 .build();
             ctx.send_udp(UdpSend {
                 src: Some(dgram.dst),
@@ -380,19 +396,31 @@ mod tests {
         netsim::testkit::install_script(
             &mut sim,
             client,
-            vec![(SimDuration::ZERO, UdpSend::new(34000, FWD_IP, 53, query_bytes(77)))],
+            vec![(
+                SimDuration::ZERO,
+                UdpSend::new(34000, FWD_IP, 53, query_bytes(77)),
+            )],
         );
         sim.run();
 
         let resolver_host: &CannedResolver = sim.host_as(resolver).unwrap();
         assert_eq!(resolver_host.seen.len(), 1);
-        assert_eq!(resolver_host.seen[0].src, CLIENT_IP, "source spoofed to the client");
-        assert_eq!(resolver_host.seen[0].src_port, 34000, "client port preserved");
+        assert_eq!(
+            resolver_host.seen[0].src, CLIENT_IP,
+            "source spoofed to the client"
+        );
+        assert_eq!(
+            resolver_host.seen[0].src_port, 34000,
+            "client port preserved"
+        );
 
         let client_host: &netsim::testkit::ScriptedClient = sim.host_as(client).unwrap();
         assert_eq!(client_host.datagrams.len(), 1);
         let (_, d) = &client_host.datagrams[0];
-        assert_eq!(d.src, RESOLVER_IP, "answer comes from the resolver, not the probed IP");
+        assert_eq!(
+            d.src, RESOLVER_IP,
+            "answer comes from the resolver, not the probed IP"
+        );
         let resp = Message::decode(&d.payload).unwrap();
         assert_eq!(resp.header.id, 77);
 
@@ -411,7 +439,10 @@ mod tests {
         netsim::testkit::install_script(
             &mut sim,
             nodes[0],
-            vec![(SimDuration::ZERO, UdpSend::new(34000, FWD_IP, 53, query_bytes(1)))],
+            vec![(
+                SimDuration::ZERO,
+                UdpSend::new(34000, FWD_IP, 53, query_bytes(1)),
+            )],
         );
         sim.run();
         let resolver_host: &CannedResolver = sim.host_as(nodes[2]).unwrap();
@@ -460,13 +491,19 @@ mod tests {
         netsim::testkit::install_script(
             &mut sim,
             client,
-            vec![(SimDuration::ZERO, UdpSend::new(34000, FWD_IP, 53, query_bytes(42)))],
+            vec![(
+                SimDuration::ZERO,
+                UdpSend::new(34000, FWD_IP, 53, query_bytes(42)),
+            )],
         );
         sim.run();
 
         let resolver_host: &CannedResolver = sim.host_as(resolver).unwrap();
         assert_eq!(resolver_host.seen.len(), 1);
-        assert_eq!(resolver_host.seen[0].src, FWD_IP, "source rewritten to the forwarder");
+        assert_eq!(
+            resolver_host.seen[0].src, FWD_IP,
+            "source rewritten to the forwarder"
+        );
 
         let client_host: &netsim::testkit::ScriptedClient = sim.host_as(client).unwrap();
         assert_eq!(client_host.datagrams.len(), 1);
@@ -487,13 +524,23 @@ mod tests {
             &mut sim,
             client,
             vec![
-                (SimDuration::ZERO, UdpSend::new(34000, FWD_IP, 53, query_bytes(1))),
-                (SimDuration::from_secs(10), UdpSend::new(34001, FWD_IP, 53, query_bytes(2))),
+                (
+                    SimDuration::ZERO,
+                    UdpSend::new(34000, FWD_IP, 53, query_bytes(1)),
+                ),
+                (
+                    SimDuration::from_secs(10),
+                    UdpSend::new(34001, FWD_IP, 53, query_bytes(2)),
+                ),
             ],
         );
         sim.run();
         let resolver_host: &CannedResolver = sim.host_as(resolver).unwrap();
-        assert_eq!(resolver_host.seen.len(), 1, "second query absorbed by cache");
+        assert_eq!(
+            resolver_host.seen.len(),
+            1,
+            "second query absorbed by cache"
+        );
         let client_host: &netsim::testkit::ScriptedClient = sim.host_as(client).unwrap();
         assert_eq!(client_host.datagrams.len(), 2);
         let second = Message::decode(&client_host.datagrams[1].1.payload).unwrap();
@@ -507,19 +554,29 @@ mod tests {
         // Two clients query the recursive forwarder with the *same* DNS
         // transaction ID; the forwarder's per-query upstream port keeps the
         // answers apart.
-        let (topo, nodes) = playground(&[CLIENT_IP, Ipv4Addr::new(192, 0, 2, 2), FWD_IP, RESOLVER_IP]);
+        let (topo, nodes) =
+            playground(&[CLIENT_IP, Ipv4Addr::new(192, 0, 2, 2), FWD_IP, RESOLVER_IP]);
         let mut sim = Simulator::new(topo, SimConfig::default());
-        sim.install(nodes[2], RecursiveForwarder::new(RESOLVER_IP).without_cache());
+        sim.install(
+            nodes[2],
+            RecursiveForwarder::new(RESOLVER_IP).without_cache(),
+        );
         sim.install(nodes[3], CannedResolver { seen: vec![] });
         netsim::testkit::install_script(
             &mut sim,
             nodes[0],
-            vec![(SimDuration::ZERO, UdpSend::new(40001, FWD_IP, 53, query_bytes(99)))],
+            vec![(
+                SimDuration::ZERO,
+                UdpSend::new(40001, FWD_IP, 53, query_bytes(99)),
+            )],
         );
         netsim::testkit::install_script(
             &mut sim,
             nodes[1],
-            vec![(SimDuration::from_micros(10), UdpSend::new(40002, FWD_IP, 53, query_bytes(99)))],
+            vec![(
+                SimDuration::from_micros(10),
+                UdpSend::new(40002, FWD_IP, 53, query_bytes(99)),
+            )],
         );
         sim.run();
         for client in [nodes[0], nodes[1]] {
@@ -543,12 +600,19 @@ mod tests {
         netsim::testkit::install_script(
             &mut sim,
             client,
-            vec![(SimDuration::ZERO, UdpSend::new(34000, FWD_IP, 53, query_bytes(8)))],
+            vec![(
+                SimDuration::ZERO,
+                UdpSend::new(34000, FWD_IP, 53, query_bytes(8)),
+            )],
         );
         sim.run();
         let client_host: &netsim::testkit::ScriptedClient = sim.host_as(client).unwrap();
         let resp = Message::decode(&client_host.datagrams[0].1.payload).unwrap();
-        assert_eq!(resp.answer_a_addrs(), vec![inject], "all A records replaced");
+        assert_eq!(
+            resp.answer_a_addrs(),
+            vec![inject],
+            "all A records replaced"
+        );
     }
 
     #[test]

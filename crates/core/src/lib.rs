@@ -34,8 +34,8 @@ pub mod forwarder;
 pub mod public;
 pub mod ratelimit;
 pub mod recursive;
-pub mod study;
 pub mod stub;
+pub mod study;
 pub mod zone;
 
 pub use auth::{AuthConfig, AuthLogEntry, AuthStats, StudyAuthServer};
@@ -51,4 +51,5 @@ pub use public::{
 pub use ratelimit::{prefix24, prefix24_to_string, LimiterPolicy, PrefixRateLimiter};
 pub use recursive::{in_prefix, AccessPolicy, RecursiveResolver, ResolverConfig, ResolverStats};
 pub use stub::{StubClient, StubResult};
+pub use study::{install_study_stack, StudyNodes};
 pub use zone::{extract_referral, DelegatingServer, Delegation, Referral};

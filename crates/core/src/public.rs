@@ -59,7 +59,9 @@ impl ResolverProject {
 
     /// Project owning a service address, if any.
     pub fn from_service_ip(ip: Ipv4Addr) -> Option<ResolverProject> {
-        ResolverProject::all().into_iter().find(|p| p.service_ip() == ip)
+        ResolverProject::all()
+            .into_iter()
+            .find(|p| p.service_ip() == ip)
     }
 
     /// Project owning an ASN, if any.
@@ -131,7 +133,10 @@ pub fn install_resolver_instances(
     roots: Vec<Ipv4Addr>,
 ) {
     for &node in &deployment.instances {
-        sim.install(node, RecursiveResolver::new(ResolverConfig::open(roots.clone())));
+        sim.install(
+            node,
+            RecursiveResolver::new(ResolverConfig::open(roots.clone())),
+        );
     }
 }
 
@@ -141,10 +146,22 @@ mod tests {
 
     #[test]
     fn service_ips_are_well_known() {
-        assert_eq!(ResolverProject::Google.service_ip(), Ipv4Addr::new(8, 8, 8, 8));
-        assert_eq!(ResolverProject::Cloudflare.service_ip(), Ipv4Addr::new(1, 1, 1, 1));
-        assert_eq!(ResolverProject::Quad9.service_ip(), Ipv4Addr::new(9, 9, 9, 9));
-        assert_eq!(ResolverProject::OpenDns.service_ip(), Ipv4Addr::new(208, 67, 222, 222));
+        assert_eq!(
+            ResolverProject::Google.service_ip(),
+            Ipv4Addr::new(8, 8, 8, 8)
+        );
+        assert_eq!(
+            ResolverProject::Cloudflare.service_ip(),
+            Ipv4Addr::new(1, 1, 1, 1)
+        );
+        assert_eq!(
+            ResolverProject::Quad9.service_ip(),
+            Ipv4Addr::new(9, 9, 9, 9)
+        );
+        assert_eq!(
+            ResolverProject::OpenDns.service_ip(),
+            Ipv4Addr::new(208, 67, 222, 222)
+        );
     }
 
     #[test]
@@ -153,7 +170,10 @@ mod tests {
             assert_eq!(ResolverProject::from_service_ip(p.service_ip()), Some(p));
             assert_eq!(ResolverProject::from_asn(p.asn()), Some(p));
         }
-        assert_eq!(ResolverProject::from_service_ip(Ipv4Addr::new(192, 0, 2, 1)), None);
+        assert_eq!(
+            ResolverProject::from_service_ip(Ipv4Addr::new(192, 0, 2, 1)),
+            None
+        );
         assert_eq!(ResolverProject::from_asn(65000), None);
     }
 

@@ -34,7 +34,11 @@ pub struct LimiterPolicy {
 impl LimiterPolicy {
     /// The paper's sensor policy: 1 answer / 5 min / source /24.
     pub fn one_per_5min() -> Self {
-        LimiterPolicy { capacity: 1, refill: 1, period: SimDuration::from_secs(300) }
+        LimiterPolicy {
+            capacity: 1,
+            refill: 1,
+            period: SimDuration::from_secs(300),
+        }
     }
 }
 
@@ -52,7 +56,12 @@ pub struct PrefixRateLimiter {
 impl PrefixRateLimiter {
     /// New limiter with the given per-prefix policy.
     pub fn new(policy: LimiterPolicy) -> Self {
-        PrefixRateLimiter { policy, buckets: HashMap::new(), admitted: 0, rejected: 0 }
+        PrefixRateLimiter {
+            policy,
+            buckets: HashMap::new(),
+            admitted: 0,
+            rejected: 0,
+        }
     }
 
     /// The sensor default (1 per 5 minutes per /24).
@@ -89,8 +98,14 @@ mod tests {
 
     #[test]
     fn prefix_key_math() {
-        assert_eq!(prefix24(Ipv4Addr::new(203, 0, 113, 77)), u32::from(Ipv4Addr::new(203, 0, 113, 0)));
-        assert_eq!(prefix24_to_string(prefix24(Ipv4Addr::new(10, 1, 2, 3))), "10.1.2.0/24");
+        assert_eq!(
+            prefix24(Ipv4Addr::new(203, 0, 113, 77)),
+            u32::from(Ipv4Addr::new(203, 0, 113, 0))
+        );
+        assert_eq!(
+            prefix24_to_string(prefix24(Ipv4Addr::new(10, 1, 2, 3))),
+            "10.1.2.0/24"
+        );
     }
 
     #[test]

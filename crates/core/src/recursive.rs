@@ -89,7 +89,10 @@ impl ResolverConfig {
 
     /// A restricted resolver serving only `nets`.
     pub fn restricted(roots: Vec<Ipv4Addr>, nets: Vec<(Ipv4Addr, u8)>) -> Self {
-        ResolverConfig { acl: AccessPolicy::RestrictedTo(nets), ..Self::open(roots) }
+        ResolverConfig {
+            acl: AccessPolicy::RestrictedTo(nets),
+            ..Self::open(roots)
+        }
     }
 }
 
@@ -188,7 +191,11 @@ impl RecursiveResolver {
 
     fn alloc_ids(&mut self) -> (u16, u16) {
         let port = self.next_port;
-        self.next_port = if self.next_port >= 65000 { 1024 } else { self.next_port + 1 };
+        self.next_port = if self.next_port >= 65000 {
+            1024
+        } else {
+            self.next_port + 1
+        };
         let txid = self.next_txid;
         self.next_txid = self.next_txid.wrapping_add(1).max(1);
         (port, txid)
@@ -276,7 +283,9 @@ impl RecursiveResolver {
 
         if !self.config.acl.allows(dgram.src) {
             self.stats.refused += 1;
-            let resp = MessageBuilder::response_to(&query).rcode(Rcode::Refused).build();
+            let resp = MessageBuilder::response_to(&query)
+                .rcode(Rcode::Refused)
+                .build();
             ctx.send_udp(UdpSend {
                 src: Some(dgram.dst),
                 src_port: dnswire::DNS_PORT,
@@ -314,7 +323,9 @@ impl RecursiveResolver {
         }
 
         let Some(&root) = self.config.roots.first() else {
-            let resp = MessageBuilder::response_to(&query).rcode(Rcode::ServFail).build();
+            let resp = MessageBuilder::response_to(&query)
+                .rcode(Rcode::ServFail)
+                .build();
             self.stats.servfail += 1;
             ctx.send_udp(UdpSend {
                 src: Some(dgram.dst),
@@ -410,7 +421,13 @@ impl RecursiveResolver {
                     let t = &self.tasks[task_idx];
                     (t.qname.clone(), t.qtype)
                 };
-                self.cache.insert(qname, qtype, CachedAnswer::Negative(Rcode::NxDomain), ttl, ctx.now());
+                self.cache.insert(
+                    qname,
+                    qtype,
+                    CachedAnswer::Negative(Rcode::NxDomain),
+                    ttl,
+                    ctx.now(),
+                );
                 self.finish(ctx, task_idx, TaskOutcome::Rcode(Rcode::NxDomain));
             }
             Rcode::NoError => {
@@ -489,8 +506,14 @@ mod tests {
         assert!(in_prefix(Ipv4Addr::new(203, 0, 113, 77), net, 24));
         assert!(!in_prefix(Ipv4Addr::new(203, 0, 114, 1), net, 24));
         assert!(in_prefix(Ipv4Addr::new(203, 0, 114, 1), net, 16));
-        assert!(in_prefix(Ipv4Addr::new(9, 9, 9, 9), net, 0), "len 0 matches all");
-        assert!(!in_prefix(Ipv4Addr::new(9, 9, 9, 9), net, 33), "invalid length matches none");
+        assert!(
+            in_prefix(Ipv4Addr::new(9, 9, 9, 9), net, 0),
+            "len 0 matches all"
+        );
+        assert!(
+            !in_prefix(Ipv4Addr::new(9, 9, 9, 9), net, 33),
+            "invalid length matches none"
+        );
     }
 
     #[test]

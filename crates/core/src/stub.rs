@@ -38,7 +38,14 @@ pub struct StubClient {
 impl StubClient {
     /// A stub pointed at `server` querying `qname`.
     pub fn new(server: Ipv4Addr, qname: DnsName) -> Self {
-        StubClient { server, qname, qtype: RrType::A, next_txid: 100, base_port: 40_000, results: Vec::new() }
+        StubClient {
+            server,
+            qname,
+            qtype: RrType::A,
+            next_txid: 100,
+            base_port: 40_000,
+            results: Vec::new(),
+        }
     }
 
     /// Number of answered queries.
@@ -81,7 +88,12 @@ impl Host for StubClient {
             answer: None,
             qname: self.qname.clone(),
         });
-        ctx.send_udp(UdpSend::new(port, self.server, dnswire::DNS_PORT, query.encode()));
+        ctx.send_udp(UdpSend::new(
+            port,
+            self.server,
+            dnswire::DNS_PORT,
+            query.encode(),
+        ));
     }
 
     netsim::impl_host_downcast!();
@@ -119,7 +131,10 @@ mod tests {
             netsim::impl_host_downcast!();
         }
 
-        sim.install(nodes[0], StubClient::new(server_ip, DnsName::parse("x.example.").unwrap()));
+        sim.install(
+            nodes[0],
+            StubClient::new(server_ip, DnsName::parse("x.example.").unwrap()),
+        );
         sim.install(nodes[1], Answerer);
         sim.schedule_timer(nodes[0], SimDuration::ZERO, 0);
         sim.schedule_timer(nodes[0], SimDuration::from_secs(1), 1);

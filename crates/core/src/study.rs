@@ -5,7 +5,10 @@
 //! competing *query-based* method encodes the probed target's address into
 //! the query name; both are implemented so Table 2 can be reproduced.
 
+use crate::auth::{AuthConfig, StudyAuthServer};
+use crate::zone::{DelegatingServer, Delegation};
 use dnswire::DnsName;
+use netsim::{NodeId, Simulator};
 use std::net::Ipv4Addr;
 
 /// The DNS zone the study controls (placeholder TLD per RFC 2606).
@@ -44,7 +47,10 @@ pub fn study_qname() -> DnsName {
 /// `a-b-c-d.scan.odns-study.example.`.
 pub fn encode_target_name(target: Ipv4Addr) -> DnsName {
     let o = target.octets();
-    let s = format!("{}-{}-{}-{}.{}.{}", o[0], o[1], o[2], o[3], SCAN_LABEL, STUDY_ZONE);
+    let s = format!(
+        "{}-{}-{}-{}.{}.{}",
+        o[0], o[1], o[2], o[3], SCAN_LABEL, STUDY_ZONE
+    );
     DnsName::parse(&s).expect("encoded name parses")
 }
 
@@ -75,6 +81,46 @@ pub fn decode_target_name(name: &DnsName) -> Option<Ipv4Addr> {
     Some(Ipv4Addr::from(octets))
 }
 
+/// Node/address layout of one study-server stack (root → TLD → study
+/// authoritative). A sharded census deploys one full stack per shard so
+/// every shard's recursive resolution is self-contained.
+#[derive(Debug, Clone, Copy)]
+pub struct StudyNodes {
+    /// Root name-server node.
+    pub root: NodeId,
+    /// TLD (`example.`) server node.
+    pub tld: NodeId,
+    /// TLD server address (delegation glue installed at the root).
+    pub tld_ip: Ipv4Addr,
+    /// Study authoritative node.
+    pub auth: NodeId,
+    /// Study authoritative address (delegation glue installed at the TLD).
+    pub auth_ip: Ipv4Addr,
+}
+
+/// Install the study's full delegation chain at `nodes`: a root server
+/// delegating `example.` to the TLD, the TLD delegating the study zone to
+/// the authoritative, and the authoritative server itself configured with
+/// `auth_config`. Recursive resolution of the study name is genuinely
+/// iterative through this chain, in every simulator it is installed in.
+pub fn install_study_stack(sim: &mut Simulator, nodes: StudyNodes, auth_config: AuthConfig) {
+    let mut root = DelegatingServer::root();
+    root.delegate(Delegation {
+        zone: DnsName::parse("example.").expect("static zone parses"),
+        ns_name: DnsName::parse("a.nic.example.").expect("static name parses"),
+        ns_ip: nodes.tld_ip,
+    });
+    sim.install(nodes.root, root);
+    let mut tld = DelegatingServer::new(DnsName::parse("example.").expect("static zone parses"));
+    tld.delegate(Delegation {
+        zone: study_zone(),
+        ns_name: DnsName::parse("ns1.odns-study.example.").expect("static name parses"),
+        ns_ip: nodes.auth_ip,
+    });
+    sim.install(nodes.tld, tld);
+    sim.install(nodes.auth, StudyAuthServer::new(auth_config));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,7 +141,10 @@ mod tests {
 
     #[test]
     fn decode_rejects_foreign_names() {
-        assert_eq!(decode_target_name(&DnsName::parse("google.com.").unwrap()), None);
+        assert_eq!(
+            decode_target_name(&DnsName::parse("google.com.").unwrap()),
+            None
+        );
         assert_eq!(decode_target_name(&study_qname()), None);
         assert_eq!(
             decode_target_name(&DnsName::parse("1-2-3.scan.odns-study.example.").unwrap()),

@@ -40,7 +40,12 @@ pub struct DelegatingServer {
 impl DelegatingServer {
     /// Create a server authoritative for `origin`.
     pub fn new(origin: DnsName) -> Self {
-        DelegatingServer { origin, delegations: Vec::new(), ns_ttl: 172_800, queries_served: 0 }
+        DelegatingServer {
+            origin,
+            delegations: Vec::new(),
+            ns_ttl: 172_800,
+            queries_served: 0,
+        }
     }
 
     /// A root server (origin `.`).
@@ -65,7 +70,9 @@ impl DelegatingServer {
     fn respond(&self, query: &Message) -> Message {
         let q = query.question().expect("caller checked");
         if !q.qname.is_subdomain_of(&self.origin) {
-            return MessageBuilder::response_to(query).rcode(Rcode::Refused).build();
+            return MessageBuilder::response_to(query)
+                .rcode(Rcode::Refused)
+                .build();
         }
         match self.find_delegation(&q.qname) {
             Some(d) => MessageBuilder::response_to(query)
@@ -131,14 +138,14 @@ pub fn extract_referral(m: &Message) -> Option<Referral> {
         RData::Ns(name) => Some((r.name.clone(), name.clone())),
         _ => None,
     })?;
-    let glue = m.additionals.iter().find_map(|r| {
-        if r.name == ns.1 {
-            r.a_addr()
-        } else {
-            None
-        }
-    })?;
-    Some(Referral { zone: ns.0, ns_ip: glue })
+    let glue = m
+        .additionals
+        .iter()
+        .find_map(|r| if r.name == ns.1 { r.a_addr() } else { None })?;
+    Some(Referral {
+        zone: ns.0,
+        ns_ip: glue,
+    })
 }
 
 #[cfg(test)]
@@ -164,7 +171,10 @@ mod tests {
     fn ask(server: DelegatingServer, qname: &str) -> Message {
         let mut ex = Exchange::new(ROOT_IP, CLIENT_IP, server);
         let q = MessageBuilder::query(1, DnsName::parse(qname).unwrap(), RrType::A).build();
-        ex.send_at(SimDuration::ZERO, UdpSend::new(5000, ROOT_IP, 53, q.encode()));
+        ex.send_at(
+            SimDuration::ZERO,
+            UdpSend::new(5000, ROOT_IP, 53, q.encode()),
+        );
         ex.run();
         Message::decode(&ex.received()[0].1.payload).unwrap()
     }
@@ -200,7 +210,10 @@ mod tests {
         });
         let resp = ask(s, "odns-study.example.");
         let referral = extract_referral(&resp).unwrap();
-        assert_eq!(referral.zone, DnsName::parse("odns-study.example.").unwrap());
+        assert_eq!(
+            referral.zone,
+            DnsName::parse("odns-study.example.").unwrap()
+        );
         assert_eq!(referral.ns_ip, Ipv4Addr::new(198, 41, 2, 4));
     }
 

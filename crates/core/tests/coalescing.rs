@@ -18,7 +18,14 @@ const ROOT: Ipv4Addr = Ipv4Addr::new(198, 41, 0, 4);
 const TLD: Ipv4Addr = Ipv4Addr::new(198, 41, 1, 4);
 const AUTH: Ipv4Addr = Ipv4Addr::new(198, 41, 2, 4);
 
-fn world(clients: usize) -> (Simulator, Vec<netsim::NodeId>, netsim::NodeId, netsim::NodeId) {
+fn world(
+    clients: usize,
+) -> (
+    Simulator,
+    Vec<netsim::NodeId>,
+    netsim::NodeId,
+    netsim::NodeId,
+) {
     let mut ips = vec![RESOLVER, ROOT, TLD, AUTH];
     for i in 0..clients {
         ips.push(Ipv4Addr::new(192, 0, 2, (i + 1) as u8));
@@ -41,7 +48,10 @@ fn world(clients: usize) -> (Simulator, Vec<netsim::NodeId>, netsim::NodeId, net
     });
     sim.install(nodes[2], tld);
     sim.install(nodes[3], StudyAuthServer::new(AuthConfig::default()));
-    sim.install(nodes[0], RecursiveResolver::new(ResolverConfig::open(vec![ROOT])));
+    sim.install(
+        nodes[0],
+        RecursiveResolver::new(ResolverConfig::open(vec![ROOT])),
+    );
     let clients_nodes = nodes[4..].to_vec();
     (sim, clients_nodes, nodes[0], nodes[3])
 }
@@ -79,7 +89,10 @@ fn concurrent_identical_queries_share_one_resolution() {
     }
     // ...but the authority saw exactly one query.
     let auth_host: &StudyAuthServer = sim.host_as(auth).unwrap();
-    assert_eq!(auth_host.stats.queries_received, 1, "one resolution for the herd");
+    assert_eq!(
+        auth_host.stats.queries_received, 1,
+        "one resolution for the herd"
+    );
     let r: &RecursiveResolver = sim.host_as(resolver).unwrap();
     assert_eq!(r.stats.client_queries, n as u64);
     assert_eq!(r.stats.coalesced, n as u64 - 1);
@@ -95,7 +108,12 @@ fn coalesced_clients_get_correct_transaction_ids() {
             c,
             vec![(
                 SimDuration::from_micros(i as u64 * 10),
-                UdpSend::new(40_000 + i as u16, RESOLVER, 53, study_query(1000 + i as u16)),
+                UdpSend::new(
+                    40_000 + i as u16,
+                    RESOLVER,
+                    53,
+                    study_query(1000 + i as u16),
+                ),
             )],
         );
     }
@@ -103,7 +121,11 @@ fn coalesced_clients_get_correct_transaction_ids() {
     for (i, &c) in clients.iter().enumerate() {
         let sc: &ScriptedClient = sim.host_as(c).unwrap();
         let m = Message::decode(&sc.datagrams[0].1.payload).unwrap();
-        assert_eq!(m.header.id, 1000 + i as u16, "each client's own TXID echoed");
+        assert_eq!(
+            m.header.id,
+            1000 + i as u16,
+            "each client's own TXID echoed"
+        );
         assert_eq!(sc.datagrams[0].1.dst_port, 40_000 + i as u16);
     }
 }
@@ -115,12 +137,24 @@ fn different_names_do_not_coalesce() {
         .recursion_desired(true)
         .build()
         .encode();
-    let q2 = MessageBuilder::query(2, DnsName::parse("nope.odns-study.example.").unwrap(), RrType::A)
-        .recursion_desired(true)
-        .build()
-        .encode();
-    install_script(&mut sim, clients[0], vec![(SimDuration::ZERO, UdpSend::new(34000, RESOLVER, 53, q1))]);
-    install_script(&mut sim, clients[1], vec![(SimDuration::ZERO, UdpSend::new(34001, RESOLVER, 53, q2))]);
+    let q2 = MessageBuilder::query(
+        2,
+        DnsName::parse("nope.odns-study.example.").unwrap(),
+        RrType::A,
+    )
+    .recursion_desired(true)
+    .build()
+    .encode();
+    install_script(
+        &mut sim,
+        clients[0],
+        vec![(SimDuration::ZERO, UdpSend::new(34000, RESOLVER, 53, q1))],
+    );
+    install_script(
+        &mut sim,
+        clients[1],
+        vec![(SimDuration::ZERO, UdpSend::new(34001, RESOLVER, 53, q2))],
+    );
     sim.run();
     let r: &RecursiveResolver = sim.host_as(resolver).unwrap();
     assert_eq!(r.stats.coalesced, 0);
@@ -133,16 +167,25 @@ fn sequential_queries_hit_cache_not_coalescing() {
     install_script(
         &mut sim,
         clients[0],
-        vec![(SimDuration::ZERO, UdpSend::new(34000, RESOLVER, 53, study_query(1)))],
+        vec![(
+            SimDuration::ZERO,
+            UdpSend::new(34000, RESOLVER, 53, study_query(1)),
+        )],
     );
     install_script(
         &mut sim,
         clients[1],
-        vec![(SimDuration::from_secs(5), UdpSend::new(34001, RESOLVER, 53, study_query(2)))],
+        vec![(
+            SimDuration::from_secs(5),
+            UdpSend::new(34001, RESOLVER, 53, study_query(2)),
+        )],
     );
     sim.run();
     let r: &RecursiveResolver = sim.host_as(resolver).unwrap();
-    assert_eq!(r.stats.coalesced, 0, "second query is late: cache, not coalescing");
+    assert_eq!(
+        r.stats.coalesced, 0,
+        "second query is late: cache, not coalescing"
+    );
     assert_eq!(r.stats.cache_answers, 1);
     let auth_host: &StudyAuthServer = sim.host_as(auth).unwrap();
     assert_eq!(auth_host.stats.queries_received, 1);

@@ -57,7 +57,10 @@ fn full_chain_resolves_with_two_a_records() {
     install_script(
         &mut sim,
         nodes[0],
-        vec![(SimDuration::ZERO, UdpSend::new(34000, RESOLVER, 53, study_query(1000)))],
+        vec![(
+            SimDuration::ZERO,
+            UdpSend::new(34000, RESOLVER, 53, study_query(1000)),
+        )],
     );
     assert!(sim.run());
 
@@ -79,7 +82,10 @@ fn full_chain_resolves_with_two_a_records() {
     assert_eq!(root.queries_served, 1);
     let auth: &StudyAuthServer = sim.host_as(nodes[4]).unwrap();
     assert_eq!(auth.stats.queries_received, 1);
-    assert_eq!(auth.log[0].client, RESOLVER, "auth sees the resolver, not the client");
+    assert_eq!(
+        auth.log[0].client, RESOLVER,
+        "auth sees the resolver, not the client"
+    );
 }
 
 #[test]
@@ -89,8 +95,14 @@ fn second_query_served_from_cache_with_decayed_ttl() {
         &mut sim,
         nodes[0],
         vec![
-            (SimDuration::ZERO, UdpSend::new(34000, RESOLVER, 53, study_query(1))),
-            (SimDuration::from_secs(250), UdpSend::new(34001, RESOLVER, 53, study_query(2))),
+            (
+                SimDuration::ZERO,
+                UdpSend::new(34000, RESOLVER, 53, study_query(1)),
+            ),
+            (
+                SimDuration::from_secs(250),
+                UdpSend::new(34001, RESOLVER, 53, study_query(2)),
+            ),
         ],
     );
     sim.run();
@@ -121,7 +133,10 @@ fn restricted_resolver_refuses_external_scanner() {
     install_script(
         &mut sim,
         nodes[0],
-        vec![(SimDuration::ZERO, UdpSend::new(34000, RESOLVER, 53, study_query(9)))],
+        vec![(
+            SimDuration::ZERO,
+            UdpSend::new(34000, RESOLVER, 53, study_query(9)),
+        )],
     );
     sim.run();
     let client: &ScriptedClient = sim.host_as(nodes[0]).unwrap();
@@ -130,22 +145,35 @@ fn restricted_resolver_refuses_external_scanner() {
     assert!(resp.answers.is_empty());
     let resolver: &RecursiveResolver = sim.host_as(nodes[1]).unwrap();
     assert_eq!(resolver.stats.refused, 1);
-    assert_eq!(resolver.stats.upstream_queries, 0, "no recursion for refused clients");
+    assert_eq!(
+        resolver.stats.upstream_queries, 0,
+        "no recursion for refused clients"
+    );
 }
 
 #[test]
 fn nxdomain_is_negatively_cached() {
     let (mut sim, nodes) = hierarchy(ResolverConfig::open(vec![ROOT]));
-    let bad = MessageBuilder::query(5, DnsName::parse("missing.odns-study.example.").unwrap(), RrType::A)
-        .recursion_desired(true)
-        .build()
-        .encode();
+    let bad = MessageBuilder::query(
+        5,
+        DnsName::parse("missing.odns-study.example.").unwrap(),
+        RrType::A,
+    )
+    .recursion_desired(true)
+    .build()
+    .encode();
     install_script(
         &mut sim,
         nodes[0],
         vec![
-            (SimDuration::ZERO, UdpSend::new(34000, RESOLVER, 53, bad.clone())),
-            (SimDuration::from_secs(10), UdpSend::new(34001, RESOLVER, 53, bad)),
+            (
+                SimDuration::ZERO,
+                UdpSend::new(34000, RESOLVER, 53, bad.clone()),
+            ),
+            (
+                SimDuration::from_secs(10),
+                UdpSend::new(34001, RESOLVER, 53, bad),
+            ),
         ],
     );
     sim.run();
@@ -156,7 +184,10 @@ fn nxdomain_is_negatively_cached() {
         assert_eq!(m.header.flags.rcode, Rcode::NxDomain);
     }
     let auth: &StudyAuthServer = sim.host_as(nodes[4]).unwrap();
-    assert_eq!(auth.stats.queries_received, 1, "negative cache absorbed the repeat");
+    assert_eq!(
+        auth.stats.queries_received, 1,
+        "negative cache absorbed the repeat"
+    );
 }
 
 #[test]
@@ -174,11 +205,17 @@ fn unresolvable_name_gets_servfail_eventually() {
         ns_ip: Ipv4Addr::new(100, 64, 9, 9), // unassigned: queries vanish
     });
     sim.install(nodes[2], root);
-    sim.install(nodes[1], RecursiveResolver::new(ResolverConfig::open(vec![ROOT])));
+    sim.install(
+        nodes[1],
+        RecursiveResolver::new(ResolverConfig::open(vec![ROOT])),
+    );
     install_script(
         &mut sim,
         nodes[0],
-        vec![(SimDuration::ZERO, UdpSend::new(34000, RESOLVER, 53, study_query(3)))],
+        vec![(
+            SimDuration::ZERO,
+            UdpSend::new(34000, RESOLVER, 53, study_query(3)),
+        )],
     );
     sim.run();
     let client: &ScriptedClient = sim.host_as(nodes[0]).unwrap();

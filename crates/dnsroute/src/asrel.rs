@@ -84,7 +84,11 @@ where
             .filter_map(|&ip| asn_of(ip))
             .find(|&a| a != fwd_asn);
         // AS_out: first hop beyond the forwarder in a different AS.
-        let as_out = p.via.iter().filter_map(|&ip| asn_of(ip)).find(|&a| a != fwd_asn);
+        let as_out = p
+            .via
+            .iter()
+            .filter_map(|&ip| asn_of(ip))
+            .find(|&a| a != fwd_asn);
         let (Some(a_in), Some(a_out)) = (as_in, as_out) else {
             report.unmapped += 1;
             continue;
@@ -138,7 +142,10 @@ mod tests {
         assert_eq!(r.matching_paths, 1);
         assert_eq!(
             r.inferred.iter().copied().collect::<Vec<_>>(),
-            vec![InferredRelationship { provider_asn: 101, customer_asn: 105 }]
+            vec![InferredRelationship {
+                provider_asn: 101,
+                customer_asn: 105
+            }]
         );
         assert!((r.matching_share() - 1.0).abs() < 1e-9);
     }
@@ -155,14 +162,25 @@ mod tests {
     #[test]
     fn intra_as_hops_skipped_when_finding_boundaries() {
         // Hops inside the forwarder's own AS must not count as AS_in/out.
-        let p = path(vec![ip(1, 1), ip(5, 1)], ip(5, 99), vec![ip(5, 2), ip(1, 7)]);
+        let p = path(
+            vec![ip(1, 1), ip(5, 1)],
+            ip(5, 99),
+            vec![ip(5, 2), ip(1, 7)],
+        );
         let r = infer_relationships(&[p], asn_of);
-        assert_eq!(r.matching_paths, 1, "AS 101 surrounds the forwarder's AS 105");
+        assert_eq!(
+            r.matching_paths, 1,
+            "AS 101 surrounds the forwarder's AS 105"
+        );
     }
 
     #[test]
     fn unmapped_ips_counted() {
-        let p = path(vec![Ipv4Addr::new(172, 16, 0, 1)], ip(5, 99), vec![ip(1, 1)]);
+        let p = path(
+            vec![Ipv4Addr::new(172, 16, 0, 1)],
+            ip(5, 99),
+            vec![ip(1, 1)],
+        );
         let r = infer_relationships(&[p], asn_of);
         assert_eq!(r.usable_paths, 0);
         assert_eq!(r.unmapped, 1);
@@ -178,7 +196,13 @@ mod tests {
         let (hits, new_pairs) = r.against_baseline(&known);
         assert_eq!(hits.len(), 1);
         assert_eq!(new_pairs.len(), 1);
-        assert_eq!(new_pairs[0], InferredRelationship { provider_asn: 102, customer_asn: 106 });
+        assert_eq!(
+            new_pairs[0],
+            InferredRelationship {
+                provider_asn: 102,
+                customer_asn: 106
+            }
+        );
     }
 
     #[test]

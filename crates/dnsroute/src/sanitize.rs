@@ -122,7 +122,11 @@ mod tests {
             target: ip(99),
             hops: vec![Some(ip(1)), Some(ip(99)), Some(ip(2)), Some(ip(3))],
             target_seen_at: Some(2),
-            dns: Some(DnsEndpoint { ttl: 5, src: Ipv4Addr::new(8, 8, 8, 8), at: SimTime(0) }),
+            dns: Some(DnsEndpoint {
+                ttl: 5,
+                src: Ipv4Addr::new(8, 8, 8, 8),
+                at: SimTime(0),
+            }),
         }
     }
 
@@ -160,7 +164,11 @@ mod tests {
     #[test]
     fn anomalous_ttl_rejected() {
         let mut t = good_trace();
-        t.dns = Some(DnsEndpoint { ttl: 2, src: Ipv4Addr::new(8, 8, 8, 8), at: SimTime(0) });
+        t.dns = Some(DnsEndpoint {
+            ttl: 2,
+            src: Ipv4Addr::new(8, 8, 8, 8),
+            at: SimTime(0),
+        });
         assert_eq!(check_trace(&t), Err(TraceReject::Anomalous));
     }
 

@@ -63,7 +63,10 @@ impl DnsRouteConfig {
 
     /// The classic-traceroute ablation: stop at the target.
     pub fn classic(targets: Vec<Ipv4Addr>) -> Self {
-        DnsRouteConfig { continue_past_target: false, ..Self::new(targets) }
+        DnsRouteConfig {
+            continue_past_target: false,
+            ..Self::new(targets)
+        }
     }
 }
 
@@ -112,7 +115,10 @@ impl TraceResult {
             (Some(fwd), Some(dns)) => {
                 let lo = fwd as usize; // hops[fwd-1] is the forwarder itself
                 let hi = (dns.ttl as usize).saturating_sub(1);
-                self.hops.get(lo..hi).map(|s| s.to_vec()).unwrap_or_default()
+                self.hops
+                    .get(lo..hi)
+                    .map(|s| s.to_vec())
+                    .unwrap_or_default()
             }
             _ => Vec::new(),
         }
@@ -169,8 +175,17 @@ impl DnsRoutePlusPlus {
                 done: false,
             })
             .collect::<Vec<_>>();
-        let port_to_target = states.iter().enumerate().map(|(i, s)| (s.port, i)).collect();
-        DnsRoutePlusPlus { config, states, port_to_target, started: 0 }
+        let port_to_target = states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.port, i))
+            .collect();
+        DnsRoutePlusPlus {
+            config,
+            states,
+            port_to_target,
+            started: 0,
+        }
     }
 
     /// Extract results (after the simulation drained).
@@ -208,7 +223,10 @@ impl DnsRoutePlusPlus {
             ttl: Some(ttl),
             payload: query.encode(),
         });
-        ctx.set_timer(self.config.per_hop_timeout, ((idx as u64) << 8) | u64::from(ttl));
+        ctx.set_timer(
+            self.config.per_hop_timeout,
+            ((idx as u64) << 8) | u64::from(ttl),
+        );
     }
 
     fn advance(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
@@ -237,7 +255,11 @@ impl Host for DnsRoutePlusPlus {
         if s.done || s.dns.is_some() {
             return;
         }
-        s.dns = Some(DnsEndpoint { ttl, src: dgram.src, at: ctx.now() });
+        s.dns = Some(DnsEndpoint {
+            ttl,
+            src: dgram.src,
+            at: ctx.now(),
+        });
         // The sweep's purpose is fulfilled once the resolver answered.
         s.done = true;
     }
@@ -300,7 +322,11 @@ impl Host for DnsRoutePlusPlus {
             return;
         }
         // Check whether this TTL got any reply; the hop slot tells us.
-        let answered = s.hops.get((ttl as usize) - 1).map(|h| h.is_some()).unwrap_or(false);
+        let answered = s
+            .hops
+            .get((ttl as usize) - 1)
+            .map(|h| h.is_some())
+            .unwrap_or(false);
         if !answered {
             self.advance(ctx, idx);
         }
@@ -318,7 +344,9 @@ pub fn run_dnsroute(sim: &mut Simulator, node: NodeId, config: DnsRouteConfig) -
         sim.schedule_timer(node, gap.saturating_mul(i as u64), START_BASE + i as u64);
     }
     sim.run();
-    sim.host_as::<DnsRoutePlusPlus>(node).expect("prober installed").results()
+    sim.host_as::<DnsRoutePlusPlus>(node)
+        .expect("prober installed")
+        .results()
 }
 
 #[cfg(test)]
@@ -336,14 +364,24 @@ mod tests {
                 Some(Ipv4Addr::new(10, 2, 0, 1)),
             ],
             target_seen_at: Some(2),
-            dns: Some(DnsEndpoint { ttl: 5, src: Ipv4Addr::new(8, 8, 8, 8), at: SimTime(0) }),
+            dns: Some(DnsEndpoint {
+                ttl: 5,
+                src: Ipv4Addr::new(8, 8, 8, 8),
+                at: SimTime(0),
+            }),
         };
         assert_eq!(t.forwarder_to_resolver_hops(), Some(3));
         assert_eq!(
             t.hops_beyond_target(),
-            vec![Some(Ipv4Addr::new(10, 1, 0, 1)), Some(Ipv4Addr::new(10, 2, 0, 1))]
+            vec![
+                Some(Ipv4Addr::new(10, 1, 0, 1)),
+                Some(Ipv4Addr::new(10, 2, 0, 1))
+            ]
         );
-        assert_eq!(t.hops_before_target(), vec![Some(Ipv4Addr::new(10, 0, 0, 1))]);
+        assert_eq!(
+            t.hops_before_target(),
+            vec![Some(Ipv4Addr::new(10, 0, 0, 1))]
+        );
     }
 
     #[test]
@@ -359,7 +397,11 @@ mod tests {
             target: Ipv4Addr::new(203, 0, 113, 1),
             hops: vec![],
             target_seen_at: None,
-            dns: Some(DnsEndpoint { ttl: 3, src: Ipv4Addr::new(8, 8, 8, 8), at: SimTime(0) }),
+            dns: Some(DnsEndpoint {
+                ttl: 3,
+                src: Ipv4Addr::new(8, 8, 8, 8),
+                at: SimTime(0),
+            }),
         };
         assert_eq!(no_fwd.forwarder_to_resolver_hops(), None);
         assert!(no_fwd.hops_beyond_target().is_empty());

@@ -148,9 +148,7 @@ fn sanitized_path_feeds_relationship_inference() {
     // Map IPs to ASNs using the simulator's ground truth.
     let report = {
         let topo = sim.topology();
-        infer_relationships(&paths, |ip| {
-            topo.as_of_ip(ip).map(|a| topo.as_spec(a).asn)
-        })
+        infer_relationships(&paths, |ip| topo.as_of_ip(ip).map(|a| topo.as_spec(a).asn))
     };
     assert_eq!(report.usable_paths, 1);
     assert_eq!(report.matching_paths, 1, "AS200 is both AS_in and AS_out");
@@ -159,8 +157,12 @@ fn sanitized_path_feeds_relationship_inference() {
     assert_eq!(inferred[0].customer_asn, 300);
 
     // Against ground truth, the inferred pair is real.
-    let known: BTreeSet<(u32, u32)> =
-        sim.topology().provider_customer_pairs().iter().copied().collect();
+    let known: BTreeSet<(u32, u32)> = sim
+        .topology()
+        .provider_customer_pairs()
+        .iter()
+        .copied()
+        .collect();
     let (hits, new_pairs) = report.against_baseline(&known);
     assert_eq!(hits.len(), 1);
     assert!(new_pairs.is_empty());
@@ -178,14 +180,21 @@ fn sweep_handles_unresponsive_target() {
     let t = &traces[0];
     assert_eq!(t.target_seen_at, None);
     assert!(t.dns.is_none());
-    assert!(t.hops.iter().all(|h| h.is_none()), "all hops anonymous: {:?}", t.hops);
+    assert!(
+        t.hops.iter().all(|h| h.is_none()),
+        "all hops anonymous: {:?}",
+        t.hops
+    );
 }
 
 #[test]
 fn multiple_targets_trace_concurrently() {
     let (mut sim, scanner) = build_world();
-    let traces =
-        run_dnsroute(&mut sim, scanner, DnsRouteConfig::new(vec![FORWARDER, RECURSIVE_HOST]));
+    let traces = run_dnsroute(
+        &mut sim,
+        scanner,
+        DnsRouteConfig::new(vec![FORWARDER, RECURSIVE_HOST]),
+    );
     assert_eq!(traces.len(), 2);
     assert_eq!(traces[0].target, FORWARDER);
     assert!(traces[0].target_seen_at.is_some());

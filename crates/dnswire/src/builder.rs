@@ -20,7 +20,11 @@ impl MessageBuilder {
     /// Start a standard query for `qname`/`qtype` with transaction `id`.
     pub fn query(id: u16, qname: DnsName, qtype: RrType) -> Self {
         let msg = Message {
-            header: Header { id, flags: Flags::default(), ..Header::default() },
+            header: Header {
+                id,
+                flags: Flags::default(),
+                ..Header::default()
+            },
             questions: vec![Question::new(qname, qtype)],
             ..Message::default()
         };
@@ -36,7 +40,9 @@ impl MessageBuilder {
 
     /// Start a response to `query` (same ID, question echoed, QR set).
     pub fn response_to(query: &Message) -> Self {
-        MessageBuilder { msg: query.response_skeleton() }
+        MessageBuilder {
+            msg: query.response_skeleton(),
+        }
     }
 
     /// Set the RD bit.
@@ -112,7 +118,11 @@ mod tests {
         let q = MessageBuilder::query(9, DnsName::parse("b.example.").unwrap(), RrType::A).build();
         let r = MessageBuilder::response_to(&q)
             .recursion_available(true)
-            .answer_a(DnsName::parse("b.example.").unwrap(), 60, Ipv4Addr::new(198, 51, 100, 1))
+            .answer_a(
+                DnsName::parse("b.example.").unwrap(),
+                60,
+                Ipv4Addr::new(198, 51, 100, 1),
+            )
             .rcode(Rcode::NoError)
             .build();
         assert_eq!(r.header.id, 9);
@@ -141,7 +151,9 @@ mod tests {
         // What a restricted resolver sends to an off-net client — the reason
         // transparent forwarders must point at *open* resolvers (§2).
         let q = MessageBuilder::query(3, DnsName::parse("x.example.").unwrap(), RrType::A).build();
-        let r = MessageBuilder::response_to(&q).rcode(Rcode::Refused).build();
+        let r = MessageBuilder::response_to(&q)
+            .rcode(Rcode::Refused)
+            .build();
         assert_eq!(r.header.flags.rcode, Rcode::Refused);
         assert!(r.answers.is_empty());
     }

@@ -55,7 +55,10 @@ impl fmt::Display for WireError {
             WireError::LabelTooLong(n) => write!(f, "label of {n} octets exceeds 63"),
             WireError::NameTooLong(n) => write!(f, "name of {n} octets exceeds 255"),
             WireError::BadCompressionPointer { at, target } => {
-                write!(f, "compression pointer at {at} targets invalid offset {target}")
+                write!(
+                    f,
+                    "compression pointer at {at} targets invalid offset {target}"
+                )
             }
             WireError::CompressionLoop => write!(f, "compression pointer loop detected"),
             WireError::ReservedLabelType(b) => {

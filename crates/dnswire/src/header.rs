@@ -273,7 +273,11 @@ mod tests {
     fn header_encode_decode_roundtrip() {
         let h = Header {
             id: 0xBEEF,
-            flags: Flags { response: true, recursion_available: true, ..Flags::default() },
+            flags: Flags {
+                response: true,
+                recursion_available: true,
+                ..Flags::default()
+            },
             qdcount: 1,
             ancount: 2,
             nscount: 0,
@@ -292,7 +296,10 @@ mod tests {
     fn header_decode_truncated() {
         let buf = [0u8; 11];
         let mut pos = 0;
-        assert!(matches!(Header::decode(&buf, &mut pos), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            Header::decode(&buf, &mut pos),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     #[test]
@@ -312,6 +319,9 @@ mod tests {
         };
         let mut buf = Vec::new();
         h.encode(&mut buf);
-        assert_eq!(buf, vec![0x12, 0x34, 0x81, 0x83, 0x00, 0x01, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(
+            buf,
+            vec![0x12, 0x34, 0x81, 0x83, 0x00, 0x01, 0, 0, 0, 0, 0, 0]
+        );
     }
 }

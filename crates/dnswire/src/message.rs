@@ -33,7 +33,8 @@ impl Message {
     /// convenience wrapper unwraps because all constructors in this
     /// workspace validate contents on construction.
     pub fn encode(&self) -> Vec<u8> {
-        self.try_encode().expect("message built by this workspace must encode")
+        self.try_encode()
+            .expect("message built by this workspace must encode")
     }
 
     /// Encode to wire bytes, reporting errors.
@@ -49,7 +50,12 @@ impl Message {
         for q in &self.questions {
             q.encode(&mut buf, &mut offsets);
         }
-        for r in self.answers.iter().chain(&self.authorities).chain(&self.additionals) {
+        for r in self
+            .answers
+            .iter()
+            .chain(&self.authorities)
+            .chain(&self.additionals)
+        {
             r.encode(&mut buf, &mut offsets)?;
         }
         if buf.len() > MAX_MESSAGE_LEN {
@@ -91,7 +97,16 @@ impl Message {
         let answers = decode_section(header.ancount)?;
         let authorities = decode_section(header.nscount)?;
         let additionals = decode_section(header.arcount)?;
-        Ok((Message { header, questions, answers, authorities, additionals }, pos))
+        Ok((
+            Message {
+                header,
+                questions,
+                answers,
+                authorities,
+                additionals,
+            },
+            pos,
+        ))
     }
 
     /// All IPv4 addresses found in answer-section A records, in order.
@@ -163,8 +178,13 @@ mod tests {
         m.header.flags.recursion_available = true;
         m.questions.push(Question::new(qname.clone(), RrType::A));
         // The two A records of the measurement method: dynamic + control.
-        m.answers.push(Record::a(qname.clone(), 300, Ipv4Addr::new(203, 1, 113, 50)));
-        m.answers.push(Record::a(qname, 300, Ipv4Addr::new(192, 0, 2, 200)));
+        m.answers.push(Record::a(
+            qname.clone(),
+            300,
+            Ipv4Addr::new(203, 1, 113, 50),
+        ));
+        m.answers
+            .push(Record::a(qname, 300, Ipv4Addr::new(192, 0, 2, 200)));
         m
     }
 
@@ -193,7 +213,10 @@ mod tests {
         let m = sample_response();
         assert_eq!(
             m.answer_a_addrs(),
-            vec![Ipv4Addr::new(203, 1, 113, 50), Ipv4Addr::new(192, 0, 2, 200)]
+            vec![
+                Ipv4Addr::new(203, 1, 113, 50),
+                Ipv4Addr::new(192, 0, 2, 200)
+            ]
         );
     }
 
@@ -201,7 +224,10 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut bytes = sample_response().encode();
         bytes.push(0xFF);
-        assert!(matches!(Message::decode(&bytes), Err(WireError::TrailingBytes(1))));
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::TrailingBytes(1))
+        ));
         // But decode_prefix tolerates them and reports consumption.
         let (m, consumed) = Message::decode_prefix(&bytes).unwrap();
         assert_eq!(consumed, bytes.len() - 1);
@@ -263,12 +289,21 @@ mod tests {
     #[test]
     fn oversized_message_rejected_on_decode() {
         let big = vec![0u8; MAX_MESSAGE_LEN + 1];
-        assert!(matches!(Message::decode(&big), Err(WireError::MessageTooLong(_))));
+        assert!(matches!(
+            Message::decode(&big),
+            Err(WireError::MessageTooLong(_))
+        ));
     }
 
     #[test]
     fn empty_message_is_header_only() {
-        let m = Message { header: Header { id: 7, ..Header::default() }, ..Message::default() };
+        let m = Message {
+            header: Header {
+                id: 7,
+                ..Header::default()
+            },
+            ..Message::default()
+        };
         let bytes = m.encode();
         assert_eq!(bytes.len(), crate::header::HEADER_LEN);
         let back = Message::decode(&bytes).unwrap();

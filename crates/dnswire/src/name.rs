@@ -113,7 +113,9 @@ impl DnsName {
         if self.labels.is_empty() {
             None
         } else {
-            Some(DnsName { labels: self.labels[1..].to_vec() })
+            Some(DnsName {
+                labels: self.labels[1..].to_vec(),
+            })
         }
     }
 
@@ -208,9 +210,9 @@ impl DnsName {
         let mut wire_len = 1usize; // terminating zero
 
         loop {
-            let len_byte = *msg
-                .get(cursor)
-                .ok_or(WireError::Truncated { context: "name length octet" })?;
+            let len_byte = *msg.get(cursor).ok_or(WireError::Truncated {
+                context: "name length octet",
+            })?;
             match len_byte & 0xC0 {
                 0x00 => {
                     if len_byte == 0 {
@@ -224,7 +226,9 @@ impl DnsName {
                     let start = cursor + 1;
                     let end = start + len;
                     if end > msg.len() {
-                        return Err(WireError::Truncated { context: "name label" });
+                        return Err(WireError::Truncated {
+                            context: "name label",
+                        });
                     }
                     wire_len += len + 1;
                     if wire_len > MAX_NAME_LEN {
@@ -234,9 +238,9 @@ impl DnsName {
                     cursor = end;
                 }
                 0xC0 => {
-                    let second = *msg
-                        .get(cursor + 1)
-                        .ok_or(WireError::Truncated { context: "pointer low byte" })?;
+                    let second = *msg.get(cursor + 1).ok_or(WireError::Truncated {
+                        context: "pointer low byte",
+                    })?;
                     let target = (((len_byte & 0x3F) as usize) << 8) | second as usize;
                     if target >= cursor {
                         // Forward (or self) pointers are malformed; real
@@ -357,13 +361,19 @@ mod tests {
 
     #[test]
     fn empty_interior_label_rejected() {
-        assert!(matches!(DnsName::parse("a..b"), Err(WireError::BadNameSyntax(_))));
+        assert!(matches!(
+            DnsName::parse("a..b"),
+            Err(WireError::BadNameSyntax(_))
+        ));
     }
 
     #[test]
     fn oversized_label_rejected() {
         let long = "x".repeat(64);
-        assert!(matches!(DnsName::parse(&long), Err(WireError::LabelTooLong(64))));
+        assert!(matches!(
+            DnsName::parse(&long),
+            Err(WireError::LabelTooLong(64))
+        ));
         let ok = "x".repeat(63);
         assert!(DnsName::parse(&ok).is_ok());
     }
@@ -460,7 +470,11 @@ mod tests {
         n.encode_compressed(&mut buf, &mut offsets);
         let first_len = buf.len();
         n.encode_compressed(&mut buf, &mut offsets);
-        assert_eq!(buf.len() - first_len, 2, "identical name must become a bare pointer");
+        assert_eq!(
+            buf.len() - first_len,
+            2,
+            "identical name must become a bare pointer"
+        );
         let mut pos = first_len;
         let back = DnsName::decode(&buf, &mut pos).unwrap();
         assert_eq!(back, n);
@@ -492,30 +506,47 @@ mod tests {
     fn decode_rejects_reserved_label_bits() {
         let buf = [0x80, 0x01, 0x00];
         let mut pos = 0;
-        assert!(matches!(DnsName::decode(&buf, &mut pos), Err(WireError::ReservedLabelType(_))));
+        assert!(matches!(
+            DnsName::decode(&buf, &mut pos),
+            Err(WireError::ReservedLabelType(_))
+        ));
     }
 
     #[test]
     fn decode_rejects_truncation() {
         let buf = [0x05, b'a', b'b'];
         let mut pos = 0;
-        assert!(matches!(DnsName::decode(&buf, &mut pos), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            DnsName::decode(&buf, &mut pos),
+            Err(WireError::Truncated { .. })
+        ));
         let empty: [u8; 0] = [];
         let mut pos = 0;
-        assert!(matches!(DnsName::decode(&empty, &mut pos), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            DnsName::decode(&empty, &mut pos),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     #[test]
     fn decode_advances_pos_past_pointer_not_target() {
         let mut buf = Vec::new();
         let mut offsets = HashMap::new();
-        DnsName::parse("example.").unwrap().encode_compressed(&mut buf, &mut offsets);
+        DnsName::parse("example.")
+            .unwrap()
+            .encode_compressed(&mut buf, &mut offsets);
         let start_second = buf.len();
-        DnsName::parse("www.example.").unwrap().encode_compressed(&mut buf, &mut offsets);
+        DnsName::parse("www.example.")
+            .unwrap()
+            .encode_compressed(&mut buf, &mut offsets);
         let mut pos = start_second;
         let n = DnsName::decode(&buf, &mut pos).unwrap();
         assert_eq!(n.to_string(), "www.example.");
-        assert_eq!(pos, buf.len(), "pos must advance in the original stream only");
+        assert_eq!(
+            pos,
+            buf.len(),
+            "pos must advance in the original stream only"
+        );
     }
 
     #[test]

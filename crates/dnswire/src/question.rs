@@ -73,7 +73,11 @@ pub struct Question {
 impl Question {
     /// Convenience constructor for the usual `IN` class.
     pub fn new(qname: DnsName, qtype: RrType) -> Self {
-        Question { qname, qtype, qclass: QClass::In }
+        Question {
+            qname,
+            qtype,
+            qclass: QClass::In,
+        }
     }
 
     /// Encode with compression, appending to `buf`.
@@ -87,12 +91,18 @@ impl Question {
     pub fn decode(msg: &[u8], pos: &mut usize) -> Result<Self, WireError> {
         let qname = DnsName::decode(msg, pos)?;
         if msg.len() < *pos + 4 {
-            return Err(WireError::Truncated { context: "question fixed part" });
+            return Err(WireError::Truncated {
+                context: "question fixed part",
+            });
         }
         let qtype = RrType::from_u16(u16::from_be_bytes([msg[*pos], msg[*pos + 1]]));
         let qclass = QClass::from_u16(u16::from_be_bytes([msg[*pos + 2], msg[*pos + 3]]));
         *pos += 4;
-        Ok(Question { qname, qtype, qclass })
+        Ok(Question {
+            qname,
+            qtype,
+            qclass,
+        })
     }
 }
 
@@ -131,7 +141,10 @@ mod tests {
         DnsName::parse("x.").unwrap().encode_uncompressed(&mut buf);
         buf.extend_from_slice(&[0, 1, 0]); // one byte short
         let mut pos = 0;
-        assert!(matches!(Question::decode(&buf, &mut pos), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            Question::decode(&buf, &mut pos),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     #[test]

@@ -212,7 +212,10 @@ impl RData {
                 buf.extend_from_slice(&soa.expire.to_be_bytes());
                 buf.extend_from_slice(&soa.minimum.to_be_bytes());
             }
-            RData::Mx { preference, exchange } => {
+            RData::Mx {
+                preference,
+                exchange,
+            } => {
                 buf.extend_from_slice(&preference.to_be_bytes());
                 exchange.encode_uncompressed(buf);
             }
@@ -245,7 +248,10 @@ impl RData {
         let out = match rtype {
             RrType::A => {
                 if rdlength != 4 {
-                    return Err(WireError::RdataLengthMismatch { declared: rdlength, consumed: 4 });
+                    return Err(WireError::RdataLengthMismatch {
+                        declared: rdlength,
+                        consumed: 4,
+                    });
                 }
                 let o = &msg[start..start + 4];
                 *pos += 4;
@@ -258,10 +264,17 @@ impl RData {
                 let mname = DnsName::decode(msg, pos)?;
                 let rname = DnsName::decode(msg, pos)?;
                 if msg.len() < *pos + 20 {
-                    return Err(WireError::Truncated { context: "SOA numbers" });
+                    return Err(WireError::Truncated {
+                        context: "SOA numbers",
+                    });
                 }
                 let g = |i: usize| {
-                    u32::from_be_bytes([msg[*pos + i], msg[*pos + i + 1], msg[*pos + i + 2], msg[*pos + i + 3]])
+                    u32::from_be_bytes([
+                        msg[*pos + i],
+                        msg[*pos + i + 1],
+                        msg[*pos + i + 2],
+                        msg[*pos + i + 3],
+                    ])
                 };
                 let soa = SoaData {
                     mname,
@@ -277,12 +290,17 @@ impl RData {
             }
             RrType::Mx => {
                 if msg.len() < *pos + 2 {
-                    return Err(WireError::Truncated { context: "MX preference" });
+                    return Err(WireError::Truncated {
+                        context: "MX preference",
+                    });
                 }
                 let preference = u16::from_be_bytes([msg[*pos], msg[*pos + 1]]);
                 *pos += 2;
                 let exchange = DnsName::decode(msg, pos)?;
-                RData::Mx { preference, exchange }
+                RData::Mx {
+                    preference,
+                    exchange,
+                }
             }
             RrType::Txt => {
                 let mut segments = Vec::new();
@@ -290,7 +308,9 @@ impl RData {
                     let len = msg[*pos] as usize;
                     *pos += 1;
                     if *pos + len > end {
-                        return Err(WireError::Truncated { context: "TXT segment" });
+                        return Err(WireError::Truncated {
+                            context: "TXT segment",
+                        });
                     }
                     segments.push(msg[*pos..*pos + len].to_vec());
                     *pos += len;
@@ -305,11 +325,17 @@ impl RData {
             other => {
                 let data = msg[start..end].to_vec();
                 *pos = end;
-                RData::Unknown { rtype: other.to_u16(), data }
+                RData::Unknown {
+                    rtype: other.to_u16(),
+                    data,
+                }
             }
         };
         if *pos != end {
-            return Err(WireError::RdataLengthMismatch { declared: rdlength, consumed: *pos - start });
+            return Err(WireError::RdataLengthMismatch {
+                declared: rdlength,
+                consumed: *pos - start,
+            });
         }
         Ok(out)
     }
@@ -333,12 +359,22 @@ pub struct Record {
 impl Record {
     /// Construct an A record — the workhorse of the measurement method.
     pub fn a(name: DnsName, ttl: u32, addr: Ipv4Addr) -> Self {
-        Record { name, class: Class::In, ttl, rdata: RData::A(addr) }
+        Record {
+            name,
+            class: Class::In,
+            ttl,
+            rdata: RData::A(addr),
+        }
     }
 
     /// Construct a TXT record from one string segment.
     pub fn txt(name: DnsName, ttl: u32, text: &str) -> Self {
-        Record { name, class: Class::In, ttl, rdata: RData::Txt(vec![text.as_bytes().to_vec()]) }
+        Record {
+            name,
+            class: Class::In,
+            ttl,
+            rdata: RData::Txt(vec![text.as_bytes().to_vec()]),
+        }
     }
 
     /// The record's RR type.
@@ -355,7 +391,11 @@ impl Record {
     }
 
     /// Encode with name compression, appending to `buf`.
-    pub fn encode(&self, buf: &mut Vec<u8>, offsets: &mut HashMap<String, usize>) -> Result<(), WireError> {
+    pub fn encode(
+        &self,
+        buf: &mut Vec<u8>,
+        offsets: &mut HashMap<String, usize>,
+    ) -> Result<(), WireError> {
         self.name.encode_compressed(buf, offsets);
         buf.extend_from_slice(&self.rtype().to_u16().to_be_bytes());
         buf.extend_from_slice(&self.class.to_u16().to_be_bytes());
@@ -375,7 +415,9 @@ impl Record {
     pub fn decode(msg: &[u8], pos: &mut usize) -> Result<Self, WireError> {
         let name = DnsName::decode(msg, pos)?;
         if msg.len() < *pos + 10 {
-            return Err(WireError::Truncated { context: "record fixed part" });
+            return Err(WireError::Truncated {
+                context: "record fixed part",
+            });
         }
         let rtype = RrType::from_u16(u16::from_be_bytes([msg[*pos], msg[*pos + 1]]));
         let class = Class::from_u16(u16::from_be_bytes([msg[*pos + 2], msg[*pos + 3]]));
@@ -383,7 +425,12 @@ impl Record {
         let rdlength = u16::from_be_bytes([msg[*pos + 8], msg[*pos + 9]]) as usize;
         *pos += 10;
         let rdata = RData::decode(rtype, msg, pos, rdlength)?;
-        Ok(Record { name, class, ttl, rdata })
+        Ok(Record {
+            name,
+            class,
+            ttl,
+            rdata,
+        })
     }
 }
 
@@ -396,7 +443,10 @@ impl fmt::Display for Record {
             RData::Cname(n) => write!(f, "IN CNAME {n}"),
             RData::Ptr(n) => write!(f, "IN PTR {n}"),
             RData::Soa(s) => write!(f, "IN SOA {} {} {}", s.mname, s.rname, s.serial),
-            RData::Mx { preference, exchange } => write!(f, "IN MX {preference} {exchange}"),
+            RData::Mx {
+                preference,
+                exchange,
+            } => write!(f, "IN MX {preference} {exchange}"),
             RData::Txt(segs) => {
                 write!(f, "IN TXT")?;
                 for s in segs {
@@ -426,7 +476,11 @@ mod tests {
 
     #[test]
     fn a_record_roundtrip() {
-        let r = Record::a(DnsName::parse("odns-study.example.").unwrap(), 300, Ipv4Addr::new(203, 1, 113, 50));
+        let r = Record::a(
+            DnsName::parse("odns-study.example.").unwrap(),
+            300,
+            Ipv4Addr::new(203, 1, 113, 50),
+        );
         assert_eq!(roundtrip(&r), r);
         assert_eq!(r.a_addr(), Some(Ipv4Addr::new(203, 1, 113, 50)));
     }
@@ -489,7 +543,10 @@ mod tests {
         };
         let mut buf = Vec::new();
         let mut offsets = HashMap::new();
-        assert!(matches!(r.encode(&mut buf, &mut offsets), Err(WireError::TxtSegmentTooLong(256))));
+        assert!(matches!(
+            r.encode(&mut buf, &mut offsets),
+            Err(WireError::TxtSegmentTooLong(256))
+        ));
     }
 
     #[test]
@@ -498,7 +555,10 @@ mod tests {
             name: DnsName::parse("odd.example.").unwrap(),
             class: Class::In,
             ttl: 60,
-            rdata: RData::Unknown { rtype: 99, data: vec![0xDE, 0xAD, 0xBE, 0xEF] },
+            rdata: RData::Unknown {
+                rtype: 99,
+                data: vec![0xDE, 0xAD, 0xBE, 0xEF],
+            },
         };
         let back = roundtrip(&r);
         assert_eq!(back, r);
@@ -508,7 +568,10 @@ mod tests {
     #[test]
     fn mx_and_ns_and_cname_roundtrip() {
         for rdata in [
-            RData::Mx { preference: 10, exchange: DnsName::parse("mail.example.").unwrap() },
+            RData::Mx {
+                preference: 10,
+                exchange: DnsName::parse("mail.example.").unwrap(),
+            },
             RData::Ns(DnsName::parse("ns1.example.").unwrap()),
             RData::Cname(DnsName::parse("alias.example.").unwrap()),
             RData::Ptr(DnsName::parse("host.example.").unwrap()),
@@ -533,7 +596,11 @@ mod tests {
 
     #[test]
     fn display_matches_zone_file_style() {
-        let r = Record::a(DnsName::parse("odns-study.example.").unwrap(), 300, Ipv4Addr::new(192, 0, 2, 200));
+        let r = Record::a(
+            DnsName::parse("odns-study.example.").unwrap(),
+            300,
+            Ipv4Addr::new(192, 0, 2, 200),
+        );
         assert_eq!(r.to_string(), "odns-study.example. 300 IN A 192.0.2.200");
     }
 }

@@ -42,13 +42,30 @@ fn arb_rdata() -> impl Strategy<Value = RData> {
         arb_name().prop_map(RData::Ns),
         arb_name().prop_map(RData::Cname),
         arb_name().prop_map(RData::Ptr),
-        (arb_name(), arb_name(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()).prop_map(
-            |(mname, rname, serial, refresh, retry, expire, minimum)| {
-                RData::Soa(SoaData { mname, rname, serial, refresh, retry, expire, minimum })
-            }
-        ),
-        (any::<u16>(), arb_name())
-            .prop_map(|(preference, exchange)| RData::Mx { preference, exchange }),
+        (
+            arb_name(),
+            arb_name(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| {
+                RData::Soa(SoaData {
+                    mname,
+                    rname,
+                    serial,
+                    refresh,
+                    retry,
+                    expire,
+                    minimum,
+                })
+            }),
+        (any::<u16>(), arb_name()).prop_map(|(preference, exchange)| RData::Mx {
+            preference,
+            exchange
+        }),
         proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..4)
             .prop_map(RData::Txt),
         (256u16..9999, proptest::collection::vec(any::<u8>(), 0..32))
@@ -70,7 +87,14 @@ fn arb_full_record() -> impl Strategy<Value = Record> {
 }
 
 fn arb_flags() -> impl Strategy<Value = Flags> {
-    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), 0u8..16)
+    (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        0u8..16,
+    )
         .prop_map(|(response, aa, tc, rd, ra, rcode)| Flags {
             response,
             opcode: Opcode::Query,
@@ -94,10 +118,18 @@ fn arb_message() -> impl Strategy<Value = Message> {
         proptest::collection::vec(arb_full_record(), 0..3),
     )
         .prop_map(|(id, flags, qs, ans, auth, add)| Message {
-            header: Header { id, flags, ..Header::default() },
+            header: Header {
+                id,
+                flags,
+                ..Header::default()
+            },
             questions: qs
                 .into_iter()
-                .map(|(qname, qtype)| Question { qname, qtype, qclass: QClass::In })
+                .map(|(qname, qtype)| Question {
+                    qname,
+                    qtype,
+                    qclass: QClass::In,
+                })
                 .collect(),
             answers: ans,
             authorities: auth,

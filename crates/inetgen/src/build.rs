@@ -22,15 +22,15 @@
 use crate::config::{CountrySelection, GenConfig};
 use crate::countries::{CountryProfile, Region, COUNTRIES};
 use crate::geodb::GeoDb;
-use dnswire::DnsName;
+use crate::shard::{shard_of_country, ShardSpec};
+use netsim::shard::derive_seed;
 use netsim::{
     AsId, AsKind, AsSpec, CountryCode, HostSpec, NodeId, Relationship, SimConfig, SimDuration,
     Simulator, TopologyBuilder,
 };
 use odns::{
-    AuthConfig, DelegatingServer, Delegation, DeviceProfile, Manipulation, RecursiveForwarder,
-    RecursiveResolver, ResolverConfig, ResolverProject, StudyAuthServer, TransparentForwarder,
-    Vendor,
+    AuthConfig, DeviceProfile, Manipulation, RecursiveForwarder, RecursiveResolver, ResolverConfig,
+    ResolverProject, StudyNodes, TransparentForwarder, Vendor,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -181,54 +181,163 @@ const TLD_IP: Ipv4Addr = Ipv4Addr::new(198, 41, 1, 4);
 const AUTH_IP: Ipv4Addr = Ipv4Addr::new(198, 41, 2, 4);
 const VICTIM_IP: Ipv4Addr = Ipv4Addr::new(198, 51, 99, 1);
 
+/// Population space starts at 11.0.0.0; fixture/special ranges live
+/// elsewhere (1/8, 8/8, 9/8, 10/8, 192/8, 198/8, 203/8, 208/8), so no
+/// collisions.
+const POPULATION_BASE: u32 = 0x0B00_0000;
+
+/// /24 blocks reserved per country. Every country owns a fixed region of
+/// `COUNTRY_BLOCK_SPAN` consecutive /24s starting at
+/// `POPULATION_BASE + index · COUNTRY_BLOCK_SPAN · 256`, where `index` is
+/// its position in [`COUNTRIES`]. Fixed disjoint regions are what make a
+/// country's addresses independent of which other countries share its
+/// shard — the prefix partition a sharded census relies on. The span
+/// covers the worst case (Brazil's sparse transparent prefixes at
+/// `scale = 1` can burn one block per host: 0.26 · 250 000 ≈ 65 k
+/// blocks).
+const COUNTRY_BLOCK_SPAN: u32 = 0x1_8000;
+
+// The 11/8..125/8 pool holds 0x73_0000 /24 blocks — room for 76 country
+// regions. Grow the pool before growing the calibration table past that.
+const _: () = assert!(
+    COUNTRIES.len() <= 76,
+    "country regions exceed the population pool"
+);
+
+/// Per-country /24 allocator over the country's fixed region.
 struct Allocator {
     next_block: u32,
+    limit: u32,
 }
 
 impl Allocator {
-    fn new() -> Self {
-        // Population space starts at 11.0.0.0 and grows upward in /24
-        // steps; fixture/special ranges live elsewhere (1/8, 8/8, 9/8,
-        // 10/8, 192/8, 198/8, 203/8, 208/8), so no collisions.
-        Allocator { next_block: 0x0B00_0000 }
+    fn for_country(global_index: usize) -> Self {
+        let base = POPULATION_BASE + global_index as u32 * COUNTRY_BLOCK_SPAN * 0x100;
+        let limit = base + COUNTRY_BLOCK_SPAN * 0x100;
+        assert!(
+            limit <= 0x7E00_0000,
+            "country region exceeded the 11/8..125/8 pool"
+        );
+        Allocator {
+            next_block: base,
+            limit,
+        }
     }
 
     fn next(&mut self) -> u32 {
         let b = self.next_block;
         self.next_block += 0x100;
-        assert!(self.next_block < 0x7E00_0000, "population exceeded the 11/8..125/8 pool");
+        assert!(
+            self.next_block <= self.limit,
+            "population exceeded the country's /24 region"
+        );
         b
     }
 }
 
+/// Router-space (10/8) allocator: one /24 block per `take` call, from a
+/// fixed per-owner region so that a country's router addresses never
+/// depend on which other ASes exist in the same topology.
+struct RouterAlloc {
+    next: u32,
+    limit: u32,
+}
+
+/// Router blocks reserved for the backbone + fixtures (they use ~20).
+const BACKBONE_ROUTER_BLOCKS: u32 = 64;
+
+impl RouterAlloc {
+    fn backbone() -> Self {
+        RouterAlloc {
+            next: 0,
+            limit: BACKBONE_ROUTER_BLOCKS,
+        }
+    }
+
+    fn for_country(global_index: usize) -> Self {
+        // Regions sized by the country's full-scale AS count — the hard
+        // ceiling on how many ASes `scaled_ases` can ever request.
+        let base = BACKBONE_ROUTER_BLOCKS
+            + COUNTRIES[..global_index]
+                .iter()
+                .map(|c| u32::from(c.as_count))
+                .sum::<u32>();
+        let limit = base + u32::from(COUNTRIES[global_index].as_count);
+        assert!(limit <= 0x1_0000, "router space exhausted");
+        RouterAlloc { next: base, limit }
+    }
+
+    fn take(&mut self, n: usize) -> Vec<Ipv4Addr> {
+        let block = self.next;
+        self.next += 1;
+        assert!(self.next <= self.limit, "router region exhausted");
+        (0..n)
+            .map(|i| Ipv4Addr::new(10, (block >> 8) as u8, (block & 0xFF) as u8, (i + 1) as u8))
+            .collect()
+    }
+}
+
+/// First 16-bit ASN for a country's region (again sized by `as_count`).
+fn country_asn16_base(global_index: usize) -> u32 {
+    20_000
+        + COUNTRIES[..global_index]
+            .iter()
+            .map(|c| u32::from(c.as_count))
+            .sum::<u32>()
+}
+
+/// 32-bit ASN regions: 10 000 per country, far above any `as_count`.
+const ASN32_BASE: u32 = 4_200_000_000;
+const ASN32_SPAN: u32 = 10_000;
+
+/// RNG stream tags for [`derive_seed`] — one namespace per purpose, so a
+/// country stream can never collide with a shard's target stream.
+const COUNTRY_STREAM: u64 = 0xC0_0000_0000;
+const TARGET_STREAM: u64 = 0x7A_0000_0000;
+
 enum HostPlan {
-    Transparent { resolver: Ipv4Addr, device: Option<DeviceProfile> },
-    Recursive { resolver: Ipv4Addr, manipulation: Manipulation, device: Option<DeviceProfile> },
+    Transparent {
+        resolver: Ipv4Addr,
+        device: Option<DeviceProfile>,
+    },
+    Recursive {
+        resolver: Ipv4Addr,
+        manipulation: Manipulation,
+        device: Option<DeviceProfile>,
+    },
     Resolver,
 }
 
-/// Generate a simulated Internet per `config`.
+/// Generate a simulated Internet per `config` — the single-simulator
+/// world. Exactly shard 0 of a 1-way partition, so the sharded and
+/// unsharded paths share every line of generation code.
 pub fn generate(config: &GenConfig) -> Internet {
-    let mut rng = SmallRng::seed_from_u64(config.seed);
+    generate_shard(config, ShardSpec::solo())
+}
+
+/// Generate one shard of a `spec.count`-way partition of the world.
+///
+/// The shard is a complete, self-contained Internet: the structural
+/// backbone, public resolver projects, and fixture networks (scanner,
+/// study servers, sensors, victim) are replicated in every shard, while
+/// the per-country ODNS population is split by
+/// [`shard_of_country`]. Per-country RNG streams derive only from
+/// `(config.seed, country index)`, so the same country is planted
+/// byte-identically no matter the partition — `spec.count = 1` *is* the
+/// classic single-simulator world.
+pub fn generate_shard(config: &GenConfig, spec: ShardSpec) -> Internet {
     let mut b = TopologyBuilder::new();
     let mut geo = GeoDb::new();
-    let mut alloc = Allocator::new();
     let mut plans: Vec<(NodeId, HostPlan)> = Vec::new();
     let mut truth = GroundTruth::default();
 
     // ---- Structural backbone -------------------------------------------------
     // Every AS gets its own /24 of router space inside 10/8 so the geo
     // database can map any hop to exactly one ASN (DNSRoute++ depends on
-    // this being unambiguous).
-    let mut router_block_counter = 0u32;
-    let mut make_routers = |n: usize| -> Vec<Ipv4Addr> {
-        let block = router_block_counter;
-        router_block_counter += 1;
-        assert!(block < 0x1_0000, "router space exhausted");
-        (0..n)
-            .map(|i| Ipv4Addr::new(10, (block >> 8) as u8, (block & 0xFF) as u8, (i + 1) as u8))
-            .collect()
-    };
+    // this being unambiguous). The backbone draws no randomness: it is
+    // byte-identical in every shard.
+    let mut backbone_routers = RouterAlloc::backbone();
+    let mut make_routers = |n: usize| -> Vec<Ipv4Addr> { backbone_routers.take(n) };
 
     let tier1: Vec<AsId> = (0..4)
         .map(|i| {
@@ -303,8 +412,16 @@ pub fn generate(config: &GenConfig) -> Internet {
         sav_outbound: true,
         transit_routers: make_routers(2),
     });
-    b.connect(quad9_as, regional[Region::Europe.index()], Relationship::Peer);
-    b.connect(quad9_as, regional[Region::NorthAmerica.index()], Relationship::Peer);
+    b.connect(
+        quad9_as,
+        regional[Region::Europe.index()],
+        Relationship::Peer,
+    );
+    b.connect(
+        quad9_as,
+        regional[Region::NorthAmerica.index()],
+        Relationship::Peer,
+    );
     b.connect(quad9_as, tier1[2], Relationship::Peer);
 
     let opendns_as = b.add_as(AsSpec {
@@ -315,13 +432,29 @@ pub fn generate(config: &GenConfig) -> Internet {
         transit_routers: make_routers(3),
     });
     b.connect(tier1[3], opendns_as, Relationship::ProviderCustomer);
-    b.connect(opendns_as, regional[Region::NorthAmerica.index()], Relationship::Peer);
+    b.connect(
+        opendns_as,
+        regional[Region::NorthAmerica.index()],
+        Relationship::Peer,
+    );
 
     let project_egress = [
-        (ResolverProject::Google, google_as, Ipv4Addr::new(8, 8, 4, 1)),
-        (ResolverProject::Cloudflare, cloudflare_as, Ipv4Addr::new(1, 0, 0, 1)),
+        (
+            ResolverProject::Google,
+            google_as,
+            Ipv4Addr::new(8, 8, 4, 1),
+        ),
+        (
+            ResolverProject::Cloudflare,
+            cloudflare_as,
+            Ipv4Addr::new(1, 0, 0, 1),
+        ),
         (ResolverProject::Quad9, quad9_as, Ipv4Addr::new(9, 9, 9, 10)),
-        (ResolverProject::OpenDns, opendns_as, Ipv4Addr::new(208, 67, 220, 1)),
+        (
+            ResolverProject::OpenDns,
+            opendns_as,
+            Ipv4Addr::new(208, 67, 220, 1),
+        ),
     ];
     let mut project_nodes = Vec::new();
     for (project, as_id, egress) in project_egress {
@@ -350,7 +483,11 @@ pub fn generate(config: &GenConfig) -> Internet {
         transit_routers: make_routers(1),
     });
     b.connect(tier1[0], scanner_as, Relationship::ProviderCustomer);
-    b.connect(scanner_as, regional[Region::Europe.index()], Relationship::Peer);
+    b.connect(
+        scanner_as,
+        regional[Region::Europe.index()],
+        Relationship::Peer,
+    );
     let scanner = b.add_host(scanner_as, HostSpec::simple(SCANNER_IP));
     let campaign_scanners = [
         b.add_host(scanner_as, HostSpec::simple(Ipv4Addr::new(192, 0, 2, 11))),
@@ -387,7 +524,11 @@ pub fn generate(config: &GenConfig) -> Internet {
         sav_outbound: false,
         transit_routers: make_routers(1),
     });
-    b.connect(regional[Region::Europe.index()], sensor_as, Relationship::ProviderCustomer);
+    b.connect(
+        regional[Region::Europe.index()],
+        sensor_as,
+        Relationship::ProviderCustomer,
+    );
     b.connect(sensor_as, google_as, Relationship::Peer);
     let sensor_addrs = scanner_addrs::SensorAddrs {
         ip1: Ipv4Addr::new(203, 0, 113, 11),
@@ -416,31 +557,51 @@ pub fn generate(config: &GenConfig) -> Internet {
         sav_outbound: true,
         transit_routers: make_routers(1),
     });
-    b.connect(regional[Region::Europe.index()], victim_as, Relationship::ProviderCustomer);
+    b.connect(
+        regional[Region::Europe.index()],
+        victim_as,
+        Relationship::ProviderCustomer,
+    );
     let victim = b.add_host(victim_as, HostSpec::simple(VICTIM_IP));
     geo.add_prefix24(VICTIM_IP, 64498);
     geo.add_asn(64498, "DEU", AsKind::EyeballIsp);
 
     // ---- Per-country population ----------------------------------------------
-    let selected: Vec<&CountryProfile> = match &config.countries {
-        CountrySelection::All => COUNTRIES.iter().collect(),
+    // Selection keeps each country's index in the full COUNTRIES table:
+    // that index — not the position within the selection — keys its
+    // address region, ASN region, router region, and RNG stream, so a
+    // country is planted identically whatever subset or shard it is in.
+    let selected: Vec<(usize, &CountryProfile)> = match &config.countries {
+        CountrySelection::All => COUNTRIES.iter().enumerate().collect(),
         CountrySelection::TopByTransparent(n) => {
-            let mut v: Vec<_> = COUNTRIES.iter().collect();
-            v.sort_by_key(|c| std::cmp::Reverse(c.transparent));
-            v.into_iter().take(*n).collect()
+            let mut v: Vec<(usize, &CountryProfile)> = COUNTRIES.iter().enumerate().collect();
+            v.sort_by_key(|(_, c)| std::cmp::Reverse(c.transparent));
+            v.truncate(*n);
+            v
         }
-        CountrySelection::Codes(codes) => {
-            COUNTRIES.iter().filter(|c| codes.contains(&c.code)).collect()
-        }
+        CountrySelection::Codes(codes) => COUNTRIES
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| codes.contains(&c.code))
+            .collect(),
     };
+    let selected: Vec<(usize, &CountryProfile)> = selected
+        .into_iter()
+        .filter(|(i, _)| shard_of_country(*i, spec.count) == spec.index)
+        .collect();
 
-    let mut asn_counter_32bit = 4_200_000_000u32;
-    let mut asn_counter_16bit = 20_000u32;
-    let mut local_pools: HashMap<&'static str, Vec<Ipv4Addr>> = HashMap::new();
-    let mut chain_heads: HashMap<&'static str, Vec<Ipv4Addr>> = HashMap::new();
-
-    for profile in &selected {
+    for &(global_index, profile) in &selected {
         truth.countries.push(profile.code);
+        // Everything this country draws comes from its own stream and its
+        // own fixed regions — the sharding determinism contract.
+        let mut rng = SmallRng::seed_from_u64(derive_seed(
+            config.seed,
+            COUNTRY_STREAM | global_index as u64,
+        ));
+        let mut alloc = Allocator::for_country(global_index);
+        let mut routers = RouterAlloc::for_country(global_index);
+        let mut asn_counter_32bit = ASN32_BASE + global_index as u32 * ASN32_SPAN;
+        let mut asn_counter_16bit = country_asn16_base(global_index);
         let n_ases = config.scaled_ases(profile.as_count) as usize;
         let mut country_ases = Vec::with_capacity(n_ases);
         for _ in 0..n_ases {
@@ -465,10 +626,18 @@ pub fn generate(config: &GenConfig) -> Internet {
                 // ASes hosting transparent forwarders cannot filter
                 // spoofed egress; model the country's eyeball space as
                 // mostly SAV-free when it hosts transparents.
-                sav_outbound: if profile.transparent > 0 { false } else { rng.gen_bool(0.5) },
-                transit_routers: make_routers(1),
+                sav_outbound: if profile.transparent > 0 {
+                    false
+                } else {
+                    rng.gen_bool(0.5)
+                },
+                transit_routers: routers.take(1),
             });
-            b.connect(regional[profile.region.index()], as_id, Relationship::ProviderCustomer);
+            b.connect(
+                regional[profile.region.index()],
+                as_id,
+                Relationship::ProviderCustomer,
+            );
             if rng.gen_bool(0.3) {
                 let t = tier1[rng.gen_range(0..tier1.len())];
                 b.connect(t, as_id, Relationship::ProviderCustomer);
@@ -489,8 +658,9 @@ pub fn generate(config: &GenConfig) -> Internet {
 
         // Zipf-ish AS weights: the first AS dominates (Table 4's "Top ASN"
         // concentration).
-        let weights: Vec<f64> =
-            (0..country_ases.len()).map(|i| 1.0 / (i as f64 + 1.0).powf(1.1)).collect();
+        let weights: Vec<f64> = (0..country_ases.len())
+            .map(|i| 1.0 / (i as f64 + 1.0).powf(1.1))
+            .collect();
         let weight_sum: f64 = weights.iter().sum();
         let pick_as = |rng: &mut SmallRng| -> (AsId, u32) {
             let mut x = rng.gen_range(0.0..weight_sum);
@@ -504,8 +674,9 @@ pub fn generate(config: &GenConfig) -> Internet {
         };
 
         // --- Resolvers (incl. the local "other" pool) ---
-        let n_resolvers =
-            config.scaled(profile.resolvers, &mut rng).max(u32::from(profile.other.local_resolvers.min(2)));
+        let n_resolvers = config
+            .scaled(profile.resolvers, &mut rng)
+            .max(u32::from(profile.other.local_resolvers.min(2)));
         let mut pool = Vec::new();
         let mut placed = 0u32;
         while placed < n_resolvers {
@@ -538,15 +709,13 @@ pub fn generate(config: &GenConfig) -> Internet {
             // have a live upstream.
             pool.push(ResolverProject::Google.service_ip());
         }
-        local_pools.insert(profile.code, pool.clone());
 
         // --- Chain heads: country-local recursive forwarders that relay
         //     to Google — the "indirect consolidation" hop (Table 4) ---
         let n_transparent = config.scaled(profile.transparent, &mut rng);
         let other_share = f64::from(profile.mix.other()) / 100.0;
         let indirect = f64::from(profile.other.indirect_pct) / 100.0;
-        let expected_chain_clients =
-            (n_transparent as f64 * other_share * indirect).round() as u32;
+        let expected_chain_clients = (n_transparent as f64 * other_share * indirect).round() as u32;
         let n_chain_heads = if expected_chain_clients > 0 {
             (expected_chain_clients / 80).max(1)
         } else {
@@ -579,34 +748,32 @@ pub fn generate(config: &GenConfig) -> Internet {
             });
             heads.push(ip);
         }
-        chain_heads.insert(profile.code, heads);
 
         // --- Transparent forwarders with the Figure 8 density model ---
-        let pick_resolver = |rng: &mut SmallRng,
-                             pool: &[Ipv4Addr],
-                             heads: &[Ipv4Addr]|
-         -> Ipv4Addr {
-            let x = rng.gen_range(0..100u32);
-            let m = &profile.mix;
-            let g = u32::from(m.google);
-            let c = g + u32::from(m.cloudflare);
-            let q = c + u32::from(m.quad9);
-            let o = q + u32::from(m.opendns);
-            if x < g {
-                ResolverProject::Google.service_ip()
-            } else if x < c {
-                ResolverProject::Cloudflare.service_ip()
-            } else if x < q {
-                ResolverProject::Quad9.service_ip()
-            } else if x < o {
-                ResolverProject::OpenDns.service_ip()
-            } else if !heads.is_empty() && rng.gen_range(0..100) < u32::from(profile.other.indirect_pct)
-            {
-                heads[rng.gen_range(0..heads.len())]
-            } else {
-                pool[rng.gen_range(0..pool.len())]
-            }
-        };
+        let pick_resolver =
+            |rng: &mut SmallRng, pool: &[Ipv4Addr], heads: &[Ipv4Addr]| -> Ipv4Addr {
+                let x = rng.gen_range(0..100u32);
+                let m = &profile.mix;
+                let g = u32::from(m.google);
+                let c = g + u32::from(m.cloudflare);
+                let q = c + u32::from(m.quad9);
+                let o = q + u32::from(m.opendns);
+                if x < g {
+                    ResolverProject::Google.service_ip()
+                } else if x < c {
+                    ResolverProject::Cloudflare.service_ip()
+                } else if x < q {
+                    ResolverProject::Quad9.service_ip()
+                } else if x < o {
+                    ResolverProject::OpenDns.service_ip()
+                } else if !heads.is_empty()
+                    && rng.gen_range(0..100u32) < u32::from(profile.other.indirect_pct)
+                {
+                    heads[rng.gen_range(0..heads.len())]
+                } else {
+                    pool[rng.gen_range(0..pool.len())]
+                }
+            };
 
         let pick_vendor = |rng: &mut SmallRng, middlebox: bool| -> Option<DeviceProfile> {
             if !config.with_devices {
@@ -630,7 +797,7 @@ pub fn generate(config: &GenConfig) -> Internet {
             })
         };
 
-        let heads_ref = chain_heads.get(profile.code).cloned().unwrap_or_default();
+        let heads_ref = heads;
         // Full /24 middleboxes: 36 % of transparent addresses at full
         // scale. Probabilistic rounding of the fractional part keeps the
         // *expected* share on target even when single countries are too
@@ -756,7 +923,11 @@ pub fn generate(config: &GenConfig) -> Internet {
                 let vendor = device.as_ref().map(|d| d.vendor);
                 plans.push((
                     node,
-                    HostPlan::Recursive { resolver, manipulation: Manipulation::None, device },
+                    HostPlan::Recursive {
+                        resolver,
+                        manipulation: Manipulation::None,
+                        device,
+                    },
                 ));
                 truth.hosts.push(PlantedHost {
                     ip,
@@ -831,26 +1002,24 @@ pub fn generate(config: &GenConfig) -> Internet {
         }
     }
 
-    let mut sim = Simulator::new(topo, SimConfig { seed: config.seed ^ 0x5117, ..SimConfig::default() });
+    let mut sim = Simulator::new(topo, SimConfig::for_shard(config.seed, spec.index));
 
-    // Study infrastructure.
-    let mut root = DelegatingServer::root();
-    root.delegate(Delegation {
-        zone: DnsName::parse("example.").expect("static"),
-        ns_name: DnsName::parse("a.nic.example.").expect("static"),
-        ns_ip: TLD_IP,
-    });
-    sim.install(root_node, root);
-    let mut tld = DelegatingServer::new(DnsName::parse("example.").expect("static"));
-    tld.delegate(Delegation {
-        zone: odns::study::study_zone(),
-        ns_name: DnsName::parse("ns1.odns-study.example.").expect("static"),
-        ns_ip: AUTH_IP,
-    });
-    sim.install(tld_node, tld);
-    sim.install(
-        auth_node,
-        StudyAuthServer::new(AuthConfig { keep_log: false, rate_limit_pps: None, ..AuthConfig::default() }),
+    // Study infrastructure: every shard deploys its own full root → TLD →
+    // authoritative stack, so recursive resolution never crosses shards.
+    odns::install_study_stack(
+        &mut sim,
+        StudyNodes {
+            root: root_node,
+            tld: tld_node,
+            tld_ip: TLD_IP,
+            auth: auth_node,
+            auth_ip: AUTH_IP,
+        },
+        AuthConfig {
+            keep_log: false,
+            rate_limit_pps: None,
+            ..AuthConfig::default()
+        },
     );
 
     // Public resolvers.
@@ -874,7 +1043,11 @@ pub fn generate(config: &GenConfig) -> Internet {
                 }
                 sim.install(node, fwd);
             }
-            HostPlan::Recursive { resolver, manipulation, device } => {
+            HostPlan::Recursive {
+                resolver,
+                manipulation,
+                device,
+            } => {
                 let mut fwd = RecursiveForwarder::new(resolver).with_manipulation(manipulation);
                 if let Some(d) = device {
                     fwd = fwd.with_device(d);
@@ -894,20 +1067,27 @@ pub fn generate(config: &GenConfig) -> Internet {
     }
 
     // ---- Scan target list -------------------------------------------------------
+    // Duds and shuffle order draw from a per-shard stream: the shard's
+    // probe order is deterministic, and reordering never changes *which*
+    // hosts are probed — only the offline correlation sees the order.
+    let mut trng = SmallRng::seed_from_u64(derive_seed(
+        config.seed,
+        TARGET_STREAM | u64::from(spec.index),
+    ));
     let mut targets: Vec<Ipv4Addr> = truth.hosts.iter().map(|h| h.ip).collect();
     let dud_count = (targets.len() as f64 * config.dud_fraction) as usize;
     for _ in 0..dud_count {
         // 170/8 is never allocated by the generator: guaranteed silence.
         targets.push(Ipv4Addr::new(
             170,
-            rng.gen_range(0..=255),
-            rng.gen_range(0..=255),
-            rng.gen_range(1..=254),
+            trng.gen_range(0..=255),
+            trng.gen_range(0..=255),
+            trng.gen_range(1..=254),
         ));
     }
-    // Fisher-Yates with the generator RNG: deterministic shuffle.
+    // Fisher-Yates with the shard's target RNG: deterministic shuffle.
     for i in (1..targets.len()).rev() {
-        let j = rng.gen_range(0..=i);
+        let j = trng.gen_range(0..=i);
         targets.swap(i, j);
     }
 

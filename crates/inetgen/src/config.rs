@@ -53,7 +53,12 @@ impl Default for GenConfig {
 impl GenConfig {
     /// A small configuration for unit/integration tests (≈1k ODNS hosts).
     pub fn test_small() -> Self {
-        GenConfig { scale: 2_000, as_divisor: 60, dud_fraction: 0.05, ..Self::default() }
+        GenConfig {
+            scale: 2_000,
+            as_divisor: 60,
+            dud_fraction: 0.05,
+            ..Self::default()
+        }
     }
 
     /// A denser configuration for the prefix-density experiment: whole
@@ -61,7 +66,11 @@ impl GenConfig {
     /// in countries whose scaled population clears several hundred hosts,
     /// so Figure 8 runs closer to full scale than the other experiments.
     pub fn density_scale() -> Self {
-        GenConfig { scale: 60, as_divisor: 25, ..Self::default() }
+        GenConfig {
+            scale: 60,
+            as_divisor: 25,
+            ..Self::default()
+        }
     }
 
     /// Scale a full-scale count down, probabilistically rounding the
@@ -93,17 +102,28 @@ mod tests {
 
     #[test]
     fn scaled_preserves_expectation() {
-        let cfg = GenConfig { scale: 100, ..GenConfig::default() };
+        let cfg = GenConfig {
+            scale: 100,
+            ..GenConfig::default()
+        };
         let mut rng = SmallRng::seed_from_u64(7);
         let trials = 10_000;
-        let total: u64 = (0..trials).map(|_| u64::from(cfg.scaled(250, &mut rng))).sum();
+        let total: u64 = (0..trials)
+            .map(|_| u64::from(cfg.scaled(250, &mut rng)))
+            .sum();
         let mean = total as f64 / trials as f64;
-        assert!((2.3..2.7).contains(&mean), "mean {mean} should approximate 2.5");
+        assert!(
+            (2.3..2.7).contains(&mean),
+            "mean {mean} should approximate 2.5"
+        );
     }
 
     #[test]
     fn scale_one_is_identity() {
-        let cfg = GenConfig { scale: 1, ..GenConfig::default() };
+        let cfg = GenConfig {
+            scale: 1,
+            ..GenConfig::default()
+        };
         let mut rng = SmallRng::seed_from_u64(7);
         assert_eq!(cfg.scaled(123_456, &mut rng), 123_456);
     }
@@ -117,7 +137,10 @@ mod tests {
 
     #[test]
     fn deterministic_for_same_seed() {
-        let cfg = GenConfig { scale: 100, ..GenConfig::default() };
+        let cfg = GenConfig {
+            scale: 100,
+            ..GenConfig::default()
+        };
         let mut a = SmallRng::seed_from_u64(9);
         let mut b = SmallRng::seed_from_u64(9);
         for full in [1u32, 99, 100, 101, 12345] {

@@ -123,7 +123,8 @@ pub struct CountryProfile {
 impl CountryProfile {
     /// Recursive forwarders = total − transparent − resolvers.
     pub fn recursive_forwarders(&self) -> u32 {
-        self.odns_total.saturating_sub(self.transparent + self.resolvers)
+        self.odns_total
+            .saturating_sub(self.transparent + self.resolvers)
     }
 
     /// Hosts whose responses are manipulated in-path: counted by
@@ -131,7 +132,8 @@ impl CountryProfile {
     /// strict sanitization. Derived so the emulated Shadowserver pass
     /// reproduces Table 5: `shadow ≈ (total − transparent) + manipulated`.
     pub fn manipulated(&self) -> u32 {
-        self.shadow_total.saturating_sub(self.odns_total.saturating_sub(self.transparent))
+        self.shadow_total
+            .saturating_sub(self.odns_total.saturating_sub(self.transparent))
     }
 
     /// Share of the ODNS that is transparent forwarders, in percent.
@@ -145,11 +147,19 @@ impl CountryProfile {
 }
 
 const fn mix(google: u8, cloudflare: u8, quad9: u8, opendns: u8) -> ResolverMix {
-    ResolverMix { google, cloudflare, quad9, opendns }
+    ResolverMix {
+        google,
+        cloudflare,
+        quad9,
+        opendns,
+    }
 }
 
 const fn other(local_resolvers: u8, indirect_pct: u8) -> OtherProfile {
-    OtherProfile { local_resolvers, indirect_pct }
+    OtherProfile {
+        local_resolvers,
+        indirect_pct,
+    }
 }
 
 macro_rules! country {
@@ -276,18 +286,31 @@ mod tests {
         let transparent: u64 = COUNTRIES.iter().map(|c| u64::from(c.transparent)).sum();
         let resolvers: u64 = COUNTRIES.iter().map(|c| u64::from(c.resolvers)).sum();
         // Table 1: 2.125 M total, 26 % transparent, 2 % resolvers.
-        assert!((1_900_000..2_300_000).contains(&total), "total ODNS {total}");
+        assert!(
+            (1_900_000..2_300_000).contains(&total),
+            "total ODNS {total}"
+        );
         let t_share = transparent as f64 / total as f64;
-        assert!((0.22..0.30).contains(&t_share), "transparent share {t_share}");
+        assert!(
+            (0.22..0.30).contains(&t_share),
+            "transparent share {t_share}"
+        );
         let r_share = resolvers as f64 / total as f64;
-        assert!((0.010..0.030).contains(&r_share), "resolver share {r_share}");
+        assert!(
+            (0.010..0.030).contains(&r_share),
+            "resolver share {r_share}"
+        );
     }
 
     #[test]
     fn top10_hold_about_ninety_percent() {
         let ordered = by_transparent_desc();
         let total: u64 = COUNTRIES.iter().map(|c| u64::from(c.transparent)).sum();
-        let top10: u64 = ordered.iter().take(10).map(|c| u64::from(c.transparent)).sum();
+        let top10: u64 = ordered
+            .iter()
+            .take(10)
+            .map(|c| u64::from(c.transparent))
+            .sum();
         let share = top10 as f64 / total as f64;
         assert!((0.85..0.95).contains(&share), "top-10 share {share}");
     }
@@ -300,8 +323,11 @@ mod tests {
 
     #[test]
     fn five_countries_over_90_percent() {
-        let over90: Vec<_> =
-            COUNTRIES.iter().filter(|c| c.transparent_share_pct() > 90.0).map(|c| c.code).collect();
+        let over90: Vec<_> = COUNTRIES
+            .iter()
+            .filter(|c| c.transparent_share_pct() > 90.0)
+            .map(|c| c.code)
+            .collect();
         assert_eq!(over90.len(), 5, "got {over90:?}");
         // Four are in the top-50 by transparent count; FSM is the fifth.
         assert!(over90.contains(&"FSM"));
@@ -309,8 +335,16 @@ mod tests {
 
     #[test]
     fn nine_countries_over_10k_eight_emerging() {
-        let over10k: Vec<_> = COUNTRIES.iter().filter(|c| c.transparent > 10_000).collect();
-        assert_eq!(over10k.len(), 9, "{:?}", over10k.iter().map(|c| c.code).collect::<Vec<_>>());
+        let over10k: Vec<_> = COUNTRIES
+            .iter()
+            .filter(|c| c.transparent > 10_000)
+            .collect();
+        assert_eq!(
+            over10k.len(),
+            9,
+            "{:?}",
+            over10k.iter().map(|c| c.code).collect::<Vec<_>>()
+        );
         let emerging = over10k.iter().filter(|c| c.emerging).count();
         assert_eq!(emerging, 8, "all but the USA are emerging markets");
     }
@@ -319,7 +353,10 @@ mod tests {
     fn about_a_quarter_of_countries_have_no_transparent_forwarders() {
         let zero = COUNTRIES.iter().filter(|c| c.transparent == 0).count();
         let share = zero as f64 / COUNTRIES.len() as f64;
-        assert!((0.18..0.30).contains(&share), "zero-transparent share {share}");
+        assert!(
+            (0.18..0.30).contains(&share),
+            "zero-transparent share {share}"
+        );
     }
 
     #[test]
@@ -327,9 +364,16 @@ mod tests {
         let chn = by_code("CHN").unwrap();
         // Table 5: Shadowserver counts ~85k more hosts in China than the
         // strict method; those are the manipulated responders.
-        assert!(chn.manipulated() > 80_000, "manipulated {}", chn.manipulated());
+        assert!(
+            chn.manipulated() > 80_000,
+            "manipulated {}",
+            chn.manipulated()
+        );
         let bra = by_code("BRA").unwrap();
-        assert!(bra.manipulated() < 5_000, "Brazil is dominated by missing transparents");
+        assert!(
+            bra.manipulated() < 5_000,
+            "Brazil is dominated by missing transparents"
+        );
     }
 
     #[test]
@@ -338,22 +382,40 @@ mod tests {
             let sum = c.mix.google + c.mix.cloudflare + c.mix.quad9 + c.mix.opendns;
             assert!(sum <= 100, "{}: mix sums to {sum}", c.code);
             assert_eq!(c.mix.other(), 100 - sum);
-            assert!(c.other.local_resolvers >= 1, "{}: needs at least one local resolver", c.code);
-            assert!(c.other.local_resolvers <= 10, "{}: 1-10 local resolvers (§4.2)", c.code);
+            assert!(
+                c.other.local_resolvers >= 1,
+                "{}: needs at least one local resolver",
+                c.code
+            );
+            assert!(
+                c.other.local_resolvers <= 10,
+                "{}: 1-10 local resolvers (§4.2)",
+                c.code
+            );
             assert!(c.other.indirect_pct <= 100);
-            assert!(c.recursive_forwarders() > 0, "{}: no recursive forwarders", c.code);
+            assert!(
+                c.recursive_forwarders() > 0,
+                "{}: no recursive forwarders",
+                c.code
+            );
         }
     }
 
     #[test]
     fn india_relays_overwhelmingly_to_google() {
-        assert!(by_code("IND").unwrap().mix.google >= 85, "Figure 5: almost all of India → Google");
+        assert!(
+            by_code("IND").unwrap().mix.google >= 85,
+            "Figure 5: almost all of India → Google"
+        );
     }
 
     #[test]
     fn turkey_uses_one_local_resolver() {
         let tur = by_code("TUR").unwrap();
-        assert_eq!(tur.other.local_resolvers, 1, "195.175.39.69 serves almost all of Turkey");
+        assert_eq!(
+            tur.other.local_resolvers, 1,
+            "195.175.39.69 serves almost all of Turkey"
+        );
         assert!(tur.mix.other() >= 85);
     }
 

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 /// Per-ASN registry information.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AsnInfo {
     /// ISO-alpha-3 country code.
     pub country: &'static str,
@@ -44,12 +44,18 @@ fn prefix24(ip: Ipv4Addr) -> u32 {
 impl GeoDb {
     /// Empty database with the paper's 99.9 % coverage (1/1000 misses).
     pub fn new() -> Self {
-        GeoDb { miss_denominator: 1000, ..GeoDb::default() }
+        GeoDb {
+            miss_denominator: 1000,
+            ..GeoDb::default()
+        }
     }
 
     /// Full-coverage variant (for tests needing exactness).
     pub fn perfect() -> Self {
-        GeoDb { miss_denominator: 0, ..GeoDb::default() }
+        GeoDb {
+            miss_denominator: 0,
+            ..GeoDb::default()
+        }
     }
 
     /// Register a /24 block as originated by `asn`.
@@ -115,6 +121,42 @@ impl GeoDb {
         self.country_of_asn(self.asn_of(ip)?)
     }
 
+    /// Absorb another database — the merge step of a sharded census.
+    ///
+    /// Shard databases are disjoint over population space by
+    /// construction (each country owns a fixed prefix region) and agree
+    /// exactly on the replicated backbone/fixture/anycast entries, so
+    /// merging is a plain union. Overlapping keys must map identically;
+    /// a mismatch means the shards were generated from different seeds.
+    pub fn merge(&mut self, other: GeoDb) {
+        assert_eq!(
+            self.miss_denominator, other.miss_denominator,
+            "shard GeoDbs disagree on coverage model"
+        );
+        for (prefix, asn) in other.prefix_to_asn {
+            let old = self.prefix_to_asn.insert(prefix, asn);
+            assert!(
+                old.is_none_or(|o| o == asn),
+                "shard GeoDbs disagree on prefix {}: {old:?} vs {asn}",
+                Ipv4Addr::from(prefix)
+            );
+        }
+        for (asn, info) in other.asn_info {
+            let old = self.asn_info.insert(asn, info.clone());
+            assert!(
+                old.as_ref().is_none_or(|o| *o == info),
+                "shard GeoDbs disagree on ASN {asn}: {old:?} vs {info:?}"
+            );
+        }
+        for (service, asn) in other.anycast {
+            let old = self.anycast.insert(service, asn);
+            assert!(
+                old.is_none_or(|o| o == asn),
+                "shard GeoDbs disagree on anycast {service}: {old:?} vs {asn}"
+            );
+        }
+    }
+
     /// Number of registered /24 prefixes.
     pub fn prefix_count(&self) -> usize {
         self.prefix_to_asn.len()
@@ -176,7 +218,10 @@ mod tests {
             }
         }
         let rate = f64::from(misses) / f64::from(total);
-        assert!((0.0002..0.003).contains(&rate), "miss rate {rate} (misses {misses}/{total})");
+        assert!(
+            (0.0002..0.003).contains(&rate),
+            "miss rate {rate} (misses {misses}/{total})"
+        );
     }
 
     #[test]

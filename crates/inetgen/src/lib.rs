@@ -26,10 +26,16 @@ pub mod build;
 pub mod config;
 pub mod countries;
 pub mod geodb;
+pub mod shard;
 pub mod validate;
 
-pub use build::{generate, Fixtures, GroundTruth, Internet, PlantedClass, PlantedHost};
+pub use build::{
+    generate, generate_shard, Fixtures, GroundTruth, Internet, PlantedClass, PlantedHost,
+};
 pub use config::{CountrySelection, GenConfig};
-pub use countries::{by_code, by_transparent_desc, CountryProfile, OtherProfile, Region, ResolverMix, COUNTRIES};
+pub use countries::{
+    by_code, by_transparent_desc, CountryProfile, OtherProfile, Region, ResolverMix, COUNTRIES,
+};
 pub use geodb::{AsnInfo, GeoDb};
+pub use shard::{generate_partition, shard_of_country, ShardSpec};
 pub use validate::{check_marginals, Deviation};

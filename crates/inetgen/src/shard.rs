@@ -1,0 +1,99 @@
+//! Prefix-sharded world generation.
+//!
+//! A sharded census partitions the synthetic Internet into `K` disjoint
+//! shards and builds one self-contained [`crate::Internet`] (with its own
+//! [`netsim::Simulator`]) per shard. The partition key is the country:
+//! every country owns a fixed, disjoint region of probe-address space
+//! (see `build::Allocator`), so assigning countries to shards *is* a
+//! disjoint prefix partition.
+//!
+//! Determinism contract: every per-country random decision is drawn from
+//! a stream derived only from `(config.seed, country index)` via
+//! [`netsim::shard::derive_seed`] — never from the shard count or from
+//! other countries. Re-partitioning the same seed therefore replants the
+//! byte-identical population in every country, which is what makes the
+//! sharded census produce identical classification counts for any `K`
+//! (`generate(config)` is exactly `generate_shard(config,
+//! ShardSpec::solo())`).
+
+use crate::build::{generate_shard, Internet};
+use crate::config::GenConfig;
+
+/// Which shard of how many a generated world is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardSpec {
+    /// This shard's index, in `0..count`.
+    pub index: u32,
+    /// Total number of shards in the partition.
+    pub count: u32,
+}
+
+impl ShardSpec {
+    /// The unsharded (single-simulator) world.
+    pub fn solo() -> Self {
+        ShardSpec { index: 0, count: 1 }
+    }
+
+    /// Shard `index` of `count`.
+    pub fn new(index: u32, count: u32) -> Self {
+        assert!(count >= 1, "a partition needs at least one shard");
+        assert!(
+            index < count,
+            "shard index {index} out of range for {count} shards"
+        );
+        ShardSpec { index, count }
+    }
+
+    /// All shards of a `count`-way partition.
+    pub fn partition(count: u32) -> Vec<ShardSpec> {
+        (0..count).map(|i| ShardSpec::new(i, count)).collect()
+    }
+}
+
+/// Which shard a country (by its index in [`crate::COUNTRIES`]) belongs
+/// to. Round-robin keeps the large head countries spread across shards so
+/// shard workloads stay balanced.
+pub fn shard_of_country(global_index: usize, shard_count: u32) -> u32 {
+    (global_index as u32) % shard_count.max(1)
+}
+
+/// Generate every shard of a `count`-way partition, sequentially. Worker
+/// pools that want generation *and* scanning off-thread should instead
+/// call [`crate::generate_shard`] from their own threads.
+pub fn generate_partition(config: &GenConfig, count: u32) -> Vec<Internet> {
+    ShardSpec::partition(count)
+        .into_iter()
+        .map(|s| generate_shard(config, s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solo_is_shard_zero_of_one() {
+        assert_eq!(ShardSpec::solo(), ShardSpec::new(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_index() {
+        let _ = ShardSpec::new(3, 3);
+    }
+
+    #[test]
+    fn every_country_lands_in_exactly_one_shard() {
+        for k in [1u32, 2, 3, 8] {
+            for idx in 0..crate::COUNTRIES.len() {
+                let s = shard_of_country(idx, k);
+                assert!(s < k);
+            }
+            // Round-robin: all shards non-empty once indexes >= k exist.
+            let hit: std::collections::HashSet<u32> = (0..crate::COUNTRIES.len())
+                .map(|i| shard_of_country(i, k))
+                .collect();
+            assert_eq!(hit.len(), k as usize);
+        }
+    }
+}

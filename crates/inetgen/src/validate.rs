@@ -31,7 +31,11 @@ pub fn check_marginals(
         let expected = expected_full / scale;
         let allowed = (expected * tolerance).max(min_abs);
         if (observed - expected).abs() > allowed {
-            deviations.push(Deviation { what, expected, observed });
+            deviations.push(Deviation {
+                what,
+                expected,
+                observed,
+            });
         }
     };
 
@@ -57,7 +61,11 @@ pub fn check_marginals(
         .iter()
         .map(|c| f64::from(by_code(c).expect("in table").transparent))
         .sum();
-    check("global transparent".to_string(), expected_transparent, total_transparent);
+    check(
+        "global transparent".to_string(),
+        expected_transparent,
+        total_transparent,
+    );
 
     deviations
 }
@@ -96,7 +104,10 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = generate(&GenConfig::test_small());
-        let b = generate(&GenConfig { seed: 7, ..GenConfig::test_small() });
+        let b = generate(&GenConfig {
+            seed: 7,
+            ..GenConfig::test_small()
+        });
         assert_ne!(a.targets, b.targets);
     }
 
@@ -110,7 +121,10 @@ mod tests {
         assert!(total > 500.0, "population too small: {total}");
         let t_share = t / total;
         let r_share = r / total;
-        assert!((0.20..0.33).contains(&t_share), "transparent share {t_share}");
+        assert!(
+            (0.20..0.33).contains(&t_share),
+            "transparent share {t_share}"
+        );
         assert!((0.62..0.80).contains(&r_share), "recursive share {r_share}");
     }
 
@@ -133,7 +147,11 @@ mod tests {
     #[test]
     fn targets_include_duds() {
         let internet = generate(&GenConfig::test_small());
-        let duds = internet.targets.iter().filter(|t| t.octets()[0] == 170).count();
+        let duds = internet
+            .targets
+            .iter()
+            .filter(|t| t.octets()[0] == 170)
+            .count();
         assert!(duds > 0, "dud targets must be mixed in");
         assert!(internet.targets.len() > internet.truth.hosts.len());
     }

@@ -101,7 +101,13 @@ impl TokenBucket {
     /// New bucket, starting full.
     pub fn new(capacity: u64, refill_per_period: u64, period: SimDuration) -> Self {
         assert!(period.as_micros() > 0, "refill period must be positive");
-        TokenBucket { capacity, tokens: capacity, refill_per_period, period, last_refill: SimTime::ZERO }
+        TokenBucket {
+            capacity,
+            tokens: capacity,
+            refill_per_period,
+            period,
+            last_refill: SimTime::ZERO,
+        }
     }
 
     /// The paper's sensor policy: one answer per 5 minutes (per bucket; the
@@ -165,15 +171,24 @@ mod tests {
 
     #[test]
     fn drop_rate_roughly_matches_probability() {
-        let f = FaultConfig { drop_probability: 0.3, ..FaultConfig::none() };
+        let f = FaultConfig {
+            drop_probability: 0.3,
+            ..FaultConfig::none()
+        };
         let mut rng = SmallRng::seed_from_u64(42);
         let drops = (0..10_000).filter(|_| f.should_drop(&mut rng)).count();
-        assert!((2_500..3_500).contains(&drops), "got {drops} drops out of 10000");
+        assert!(
+            (2_500..3_500).contains(&drops),
+            "got {drops} drops out of 10000"
+        );
     }
 
     #[test]
     fn jitter_bounded() {
-        let f = FaultConfig { max_jitter: SimDuration::from_millis(3), ..FaultConfig::none() };
+        let f = FaultConfig {
+            max_jitter: SimDuration::from_millis(3),
+            ..FaultConfig::none()
+        };
         let mut rng = SmallRng::seed_from_u64(7);
         for _ in 0..1000 {
             assert!(f.jitter(&mut rng) <= SimDuration::from_millis(3));
@@ -198,7 +213,10 @@ mod tests {
         assert!(b.try_take(t0));
         assert!(b.try_take(t0));
         assert!(b.try_take(t0));
-        assert!(!b.try_take(t0), "fourth request in the same instant must be rejected");
+        assert!(
+            !b.try_take(t0),
+            "fourth request in the same instant must be rejected"
+        );
     }
 
     #[test]

@@ -31,7 +31,14 @@ pub struct UdpSend {
 impl UdpSend {
     /// Plain send from the node's primary address with default TTL.
     pub fn new(src_port: u16, dst: Ipv4Addr, dst_port: u16, payload: Vec<u8>) -> Self {
-        UdpSend { src: None, src_port, dst, dst_port, ttl: None, payload }
+        UdpSend {
+            src: None,
+            src_port,
+            dst,
+            dst_port,
+            ttl: None,
+            payload,
+        }
     }
 
     /// Effective TTL.
@@ -95,7 +102,9 @@ impl<'a> Ctx<'a> {
     /// Queue an ICMP port-unreachable in response to `original` (what a
     /// host with no listener on the probed port does).
     pub fn send_port_unreachable(&mut self, original: &Datagram) {
-        self.actions.push(Action::SendPortUnreachable { original: original.clone() });
+        self.actions.push(Action::SendPortUnreachable {
+            original: original.clone(),
+        });
     }
 
     /// Queue an ICMP time-exceeded in response to `original`. A transparent
@@ -104,7 +113,9 @@ impl<'a> Ctx<'a> {
     /// forwarder replies when the TTL is exceeded, which stops forwarding"
     /// (§5). This is what makes the forwarder itself visible to DNSRoute++.
     pub fn send_time_exceeded(&mut self, original: &Datagram) {
-        self.actions.push(Action::SendTimeExceeded { original: original.clone() });
+        self.actions.push(Action::SendTimeExceeded {
+            original: original.clone(),
+        });
     }
 }
 
@@ -114,7 +125,10 @@ impl<'a> Ctx<'a> {
 /// must provide `as_any`/`as_any_mut` so results can be extracted after a
 /// run (see [`crate::sim::Simulator::host_as`]); the
 /// [`crate::impl_host_downcast`] macro writes them for you.
-pub trait Host: 'static {
+///
+/// Hosts are `Send` so a fully populated [`crate::Simulator`] can move to
+/// a worker thread — sharded censuses drive one simulator per thread.
+pub trait Host: Send + 'static {
     /// A UDP datagram arrived for one of this node's addresses.
     fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram);
 
@@ -157,7 +171,11 @@ mod tests {
         let s = UdpSend::new(4000, Ipv4Addr::new(1, 2, 3, 4), 53, vec![1]);
         assert_eq!(s.src, None);
         assert_eq!(s.effective_ttl(), DEFAULT_TTL);
-        let spoofed = UdpSend { src: Some(Ipv4Addr::new(9, 9, 9, 9)), ttl: Some(3), ..s };
+        let spoofed = UdpSend {
+            src: Some(Ipv4Addr::new(9, 9, 9, 9)),
+            ttl: Some(3),
+            ..s
+        };
         assert_eq!(spoofed.effective_ttl(), 3);
     }
 }

@@ -58,6 +58,7 @@ mod time;
 mod topology;
 
 pub mod pcap;
+pub mod shard;
 pub mod testkit;
 pub mod wire;
 

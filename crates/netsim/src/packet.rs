@@ -136,7 +136,11 @@ impl fmt::Display for IcmpMessage {
         let (t, c) = self.kind.type_code();
         write!(f, "icmp {}>{} type={t} code={c}", self.from, self.to)?;
         if let Some(q) = &self.quote {
-            write!(f, " quoting {}:{}>{}:{}", q.src, q.src_port, q.dst, q.dst_port)?;
+            write!(
+                f,
+                " quoting {}:{}>{}:{}",
+                q.src, q.src_port, q.dst, q.dst_port
+            )?;
         }
         Ok(())
     }
@@ -184,6 +188,9 @@ mod tests {
             ttl: 7,
             payload: vec![1, 2, 3],
         };
-        assert_eq!(d.to_string(), "192.0.2.1:34000 > 203.0.113.1:53 ttl=7 len=3");
+        assert_eq!(
+            d.to_string(),
+            "192.0.2.1:34000 > 203.0.113.1:53 ttl=7 len=3"
+        );
     }
 }

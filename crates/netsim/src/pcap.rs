@@ -83,8 +83,10 @@ impl PcapWriter {
         let micros = (us % 1_000_000) as u32;
         self.buf.extend_from_slice(&secs.to_le_bytes());
         self.buf.extend_from_slice(&micros.to_le_bytes());
-        self.buf.extend_from_slice(&(data.len() as u32).to_le_bytes());
-        self.buf.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(data.len() as u32).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(data.len() as u32).to_le_bytes());
         self.buf.extend_from_slice(data);
         self.packets += 1;
     }
@@ -126,11 +128,18 @@ pub fn read_pcap(bytes: &[u8]) -> Result<Vec<CapturedPacket>, PcapError> {
             return Err(PcapError::TruncatedRecord);
         }
         let secs = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]]);
-        let micros =
-            u32::from_le_bytes([bytes[pos + 4], bytes[pos + 5], bytes[pos + 6], bytes[pos + 7]]);
-        let incl =
-            u32::from_le_bytes([bytes[pos + 8], bytes[pos + 9], bytes[pos + 10], bytes[pos + 11]])
-                as usize;
+        let micros = u32::from_le_bytes([
+            bytes[pos + 4],
+            bytes[pos + 5],
+            bytes[pos + 6],
+            bytes[pos + 7],
+        ]);
+        let incl = u32::from_le_bytes([
+            bytes[pos + 8],
+            bytes[pos + 9],
+            bytes[pos + 10],
+            bytes[pos + 11],
+        ]) as usize;
         pos += 16;
         if pos + incl > bytes.len() {
             return Err(PcapError::TruncatedRecord);

@@ -192,7 +192,9 @@ impl RouteResolver {
                 .ok_or(RouteError::Unreachable)?,
         };
         let dst_as = topo.as_of_node(dst_node);
-        let as_path = self.as_path(topo, src_as, dst_as).ok_or(RouteError::Unreachable)?;
+        let as_path = self
+            .as_path(topo, src_as, dst_as)
+            .ok_or(RouteError::Unreachable)?;
 
         let src_spec = topo.host_spec(src_node);
         let dst_spec = topo.host_spec(dst_node);
@@ -202,7 +204,11 @@ impl RouteResolver {
         // Out through the source's access routers (host-side first).
         for r in src_spec.access_routers.iter().rev() {
             latency = latency + HOP_LATENCY;
-            hops.push(Hop { ip: *r, as_id: src_as, latency });
+            hops.push(Hop {
+                ip: *r,
+                as_id: src_as,
+                latency,
+            });
         }
         // Across each AS on the path, through its transit routers.
         for (i, &as_id) in as_path.iter().enumerate() {
@@ -211,17 +217,30 @@ impl RouteResolver {
             }
             for r in &topo.as_spec(as_id).transit_routers {
                 latency = latency + HOP_LATENCY;
-                hops.push(Hop { ip: *r, as_id, latency });
+                hops.push(Hop {
+                    ip: *r,
+                    as_id,
+                    latency,
+                });
             }
         }
         // In through the destination's access routers (core-side first).
         for r in dst_spec.access_routers.iter() {
             latency = latency + HOP_LATENCY;
-            hops.push(Hop { ip: *r, as_id: dst_as, latency });
+            hops.push(Hop {
+                ip: *r,
+                as_id: dst_as,
+                latency,
+            });
         }
         let total_latency = latency + dst_spec.link_latency;
 
-        Ok(Path { dst_node, hops, total_latency, as_path: as_path.to_vec() })
+        Ok(Path {
+            dst_node,
+            hops,
+            total_latency,
+            as_path: as_path.to_vec(),
+        })
     }
 }
 
@@ -387,8 +406,14 @@ mod tests {
     fn unknown_destination_errors() {
         let (t, src, _dst, _dst_ip) = chain();
         let mut r = RouteResolver::new();
-        assert!(matches!(r.resolve(&t, src, ip(198, 18, 0, 1)), Err(RouteError::NoSuchHost)));
-        assert!(matches!(r.resolve(&t, src, ip(10, 1, 0, 1)), Err(RouteError::RouterAddress)));
+        assert!(matches!(
+            r.resolve(&t, src, ip(198, 18, 0, 1)),
+            Err(RouteError::NoSuchHost)
+        ));
+        assert!(matches!(
+            r.resolve(&t, src, ip(10, 1, 0, 1)),
+            Err(RouteError::RouterAddress)
+        ));
     }
 
     #[test]
@@ -400,7 +425,10 @@ mod tests {
         let _dst = b.add_host(a1, HostSpec::simple(ip(203, 0, 113, 1)));
         let t = b.build().unwrap();
         let mut r = RouteResolver::new();
-        assert!(matches!(r.resolve(&t, src, ip(203, 0, 113, 1)), Err(RouteError::Unreachable)));
+        assert!(matches!(
+            r.resolve(&t, src, ip(203, 0, 113, 1)),
+            Err(RouteError::Unreachable)
+        ));
     }
 
     #[test]

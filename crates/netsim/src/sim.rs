@@ -35,7 +35,11 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { seed: 0x0D15EA5E, faults: FaultConfig::none(), max_events: 200_000_000 }
+        SimConfig {
+            seed: 0x0D15EA5E,
+            faults: FaultConfig::none(),
+            max_events: 200_000_000,
+        }
     }
 }
 
@@ -148,12 +152,16 @@ impl Simulator {
     /// Borrow a host's concrete type (e.g. to read scan results after a
     /// run).
     pub fn host_as<T: Host>(&self, node: NodeId) -> Option<&T> {
-        self.hosts[node.0 as usize].as_deref().and_then(|h| h.as_any().downcast_ref())
+        self.hosts[node.0 as usize]
+            .as_deref()
+            .and_then(|h| h.as_any().downcast_ref())
     }
 
     /// Mutably borrow a host's concrete type.
     pub fn host_as_mut<T: Host>(&mut self, node: NodeId) -> Option<&mut T> {
-        self.hosts[node.0 as usize].as_deref_mut().and_then(|h| h.as_any_mut().downcast_mut())
+        self.hosts[node.0 as usize]
+            .as_deref_mut()
+            .and_then(|h| h.as_any_mut().downcast_mut())
     }
 
     /// Schedule a timer on `node` from outside (bootstrap).
@@ -229,7 +237,12 @@ impl Simulator {
         let Some(mut host) = self.hosts[node.0 as usize].take() else {
             return; // hostless node: a traffic sink (e.g. the spoofed victim)
         };
-        let mut ctx = Ctx { now: self.now, node, topo: &self.topo, actions: Vec::new() };
+        let mut ctx = Ctx {
+            now: self.now,
+            node,
+            topo: &self.topo,
+            actions: Vec::new(),
+        };
         f(&mut host, &mut ctx);
         let actions = std::mem::take(&mut ctx.actions);
         self.hosts[node.0 as usize] = Some(host);
@@ -325,16 +338,28 @@ impl Simulator {
         let arrival_ttl = ttl - path.router_hops() as u8;
         let jitter = self.faults.jitter(&mut self.rng);
         let deliver_at = self.now + path.total_latency + jitter;
-        let dgram = Datagram { ttl: arrival_ttl, ..dgram_at_send };
+        let dgram = Datagram {
+            ttl: arrival_ttl,
+            ..dgram_at_send
+        };
         if self.faults.should_duplicate(&mut self.rng) {
             self.stats.duplicates_injected += 1;
             let extra = self.faults.jitter(&mut self.rng);
             self.push(
                 deliver_at + extra + SimDuration::from_micros(1),
-                EventKind::Udp { node: path.dst_node, dgram: dgram.clone() },
+                EventKind::Udp {
+                    node: path.dst_node,
+                    dgram: dgram.clone(),
+                },
             );
         }
-        self.push(deliver_at, EventKind::Udp { node: path.dst_node, dgram });
+        self.push(
+            deliver_at,
+            EventKind::Udp {
+                node: path.dst_node,
+                dgram,
+            },
+        );
     }
 
     /// Emit an ICMP error from `from` toward the source of `original`,
@@ -603,7 +628,10 @@ mod tests {
         assert_eq!(sim.stats().spoofed_sent, 1);
         let sink: &Sink = sim.host_as(scanner).unwrap();
         assert_eq!(sink.datagrams.len(), 1);
-        assert_eq!(sink.datagrams[0].src, scanner_ip2, "spoofed source visible at receiver");
+        assert_eq!(
+            sink.datagrams[0].src, scanner_ip2,
+            "spoofed source visible at receiver"
+        );
     }
 
     #[test]
@@ -689,7 +717,11 @@ mod tests {
             let (topo, scanner, server, _a, server_ip) = two_as();
             let mut sim = Simulator::new(
                 topo,
-                SimConfig { seed, faults: FaultConfig::lossy(0.3), ..SimConfig::default() },
+                SimConfig {
+                    seed,
+                    faults: FaultConfig::lossy(0.3),
+                    ..SimConfig::default()
+                },
             );
             sim.install(server, Echo { received: vec![] });
             for i in 0..50u64 {
@@ -755,7 +787,10 @@ mod tests {
         let (topo, a, b, _ia, ib) = two_as();
         let mut sim = Simulator::new(
             topo,
-            SimConfig { max_events: 1000, ..SimConfig::default() },
+            SimConfig {
+                max_events: 1000,
+                ..SimConfig::default()
+            },
         );
         sim.install(a, Echo { received: vec![] });
         sim.install(b, Echo { received: vec![] });
@@ -784,7 +819,11 @@ mod tests {
         );
         sim.schedule_timer(scanner, SimDuration::from_secs(10), 0);
         assert!(sim.run_until(SimTime::ZERO + SimDuration::from_secs(5)));
-        assert_eq!(sim.stats().udp_sent, 0, "timer beyond deadline must not fire");
+        assert_eq!(
+            sim.stats().udp_sent,
+            0,
+            "timer beyond deadline must not fire"
+        );
         sim.run();
         assert_eq!(sim.stats().udp_sent, 2);
     }

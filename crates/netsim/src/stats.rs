@@ -90,8 +90,11 @@ impl SimStats {
 
 impl fmt::Display for SimStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "udp: sent={} delivered={} spoofed={} bytes={}",
-            self.udp_sent, self.udp_delivered, self.spoofed_sent, self.udp_bytes_delivered)?;
+        writeln!(
+            f,
+            "udp: sent={} delivered={} spoofed={} bytes={}",
+            self.udp_sent, self.udp_delivered, self.spoofed_sent, self.udp_bytes_delivered
+        )?;
         writeln!(
             f,
             "drops: sav={} no_route={} no_host={} ttl={} fault={}",
@@ -132,13 +135,21 @@ mod tests {
     fn delivery_ratio_handles_zero() {
         let s = SimStats::default();
         assert_eq!(s.delivery_ratio(), 1.0);
-        let s = SimStats { udp_sent: 4, udp_delivered: 3, ..SimStats::default() };
+        let s = SimStats {
+            udp_sent: 4,
+            udp_delivered: 3,
+            ..SimStats::default()
+        };
         assert!((s.delivery_ratio() - 0.75).abs() < 1e-9);
     }
 
     #[test]
     fn display_mentions_key_counters() {
-        let s = SimStats { udp_sent: 5, dropped_sav: 2, ..SimStats::default() };
+        let s = SimStats {
+            udp_sent: 5,
+            dropped_sav: 2,
+            ..SimStats::default()
+        };
         let text = s.to_string();
         assert!(text.contains("sent=5"));
         assert!(text.contains("sav=2"));

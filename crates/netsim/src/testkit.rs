@@ -30,7 +30,10 @@ pub fn playground_with_sav(ips: &[Ipv4Addr], sav: bool) -> (Topology, Vec<NodeId
         sav_outbound: sav,
         transit_routers: vec![Ipv4Addr::new(10, 255, 0, 1)],
     });
-    let nodes = ips.iter().map(|ip| b.add_host(a, HostSpec::simple(*ip))).collect();
+    let nodes = ips
+        .iter()
+        .map(|ip| b.add_host(a, HostSpec::simple(*ip)))
+        .collect();
     (b.build().expect("playground topology is valid"), nodes)
 }
 
@@ -107,7 +110,11 @@ impl Exchange {
         let mut sim = Simulator::new(topo, SimConfig::default());
         sim.install(nodes[0], subject);
         sim.install(nodes[1], ScriptedClient::new());
-        Exchange { sim, driver: nodes[1], subject: nodes[0] }
+        Exchange {
+            sim,
+            driver: nodes[1],
+            subject: nodes[0],
+        }
     }
 
     /// Queue a send from the driver at `delay`.
@@ -127,12 +134,20 @@ impl Exchange {
 
     /// Everything the driver received.
     pub fn received(&self) -> &[(SimTime, Datagram)] {
-        &self.sim.host_as::<ScriptedClient>(self.driver).expect("driver").datagrams
+        &self
+            .sim
+            .host_as::<ScriptedClient>(self.driver)
+            .expect("driver")
+            .datagrams
     }
 
     /// ICMP the driver received.
     pub fn icmp(&self) -> &[(SimTime, IcmpMessage)] {
-        &self.sim.host_as::<ScriptedClient>(self.driver).expect("driver").icmp
+        &self
+            .sim
+            .host_as::<ScriptedClient>(self.driver)
+            .expect("driver")
+            .icmp
     }
 
     /// Borrow the subject host back (for stats assertions).
@@ -172,8 +187,14 @@ mod tests {
         let subject_ip = Ipv4Addr::new(10, 0, 0, 1);
         let driver_ip = Ipv4Addr::new(10, 0, 0, 2);
         let mut ex = Exchange::new(subject_ip, driver_ip, Upper);
-        ex.send_at(SimDuration::ZERO, UdpSend::new(4000, subject_ip, 7, b"hello".to_vec()));
-        ex.send_at(SimDuration::from_millis(10), UdpSend::new(4001, subject_ip, 7, b"bye".to_vec()));
+        ex.send_at(
+            SimDuration::ZERO,
+            UdpSend::new(4000, subject_ip, 7, b"hello".to_vec()),
+        );
+        ex.send_at(
+            SimDuration::from_millis(10),
+            UdpSend::new(4001, subject_ip, 7, b"bye".to_vec()),
+        );
         ex.run();
         let got = ex.received();
         assert_eq!(got.len(), 2);
@@ -184,7 +205,11 @@ mod tests {
 
     #[test]
     fn playground_hosts_are_reachable() {
-        let ips = [Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), Ipv4Addr::new(10, 0, 0, 3)];
+        let ips = [
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(10, 0, 0, 3),
+        ];
         let (topo, nodes) = playground(&ips);
         assert_eq!(topo.host_count(), 3);
         assert_eq!(topo.host_spec(nodes[2]).ip, ips[2]);

@@ -206,7 +206,10 @@ impl TopologyBuilder {
     /// Register an AS; returns its dense id.
     pub fn add_as(&mut self, spec: AsSpec) -> AsId {
         let id = AsId(self.ases.len() as u32);
-        self.ases.push(AsData { spec, neighbors: Vec::new() });
+        self.ases.push(AsData {
+            spec,
+            neighbors: Vec::new(),
+        });
         id
     }
 
@@ -257,7 +260,10 @@ impl TopologyBuilder {
                 return Err(TopologyError::DuplicateLink(a.0, b.0));
             }
             if rel == Relationship::ProviderCustomer {
-                pc_pairs.push((self.ases[a.0 as usize].spec.asn, self.ases[b.0 as usize].spec.asn));
+                pc_pairs.push((
+                    self.ases[a.0 as usize].spec.asn,
+                    self.ases[b.0 as usize].spec.asn,
+                ));
             }
             self.ases[a.0 as usize].neighbors.push((b, rel));
             self.ases[b.0 as usize].neighbors.push((a, rel));
@@ -280,7 +286,10 @@ impl TopologyBuilder {
         let mut ip_index: HashMap<Ipv4Addr, IpOwner> = HashMap::new();
         for (i, a) in self.ases.iter().enumerate() {
             for r in &a.spec.transit_routers {
-                if ip_index.insert(*r, IpOwner::Router(AsId(i as u32))).is_some() {
+                if ip_index
+                    .insert(*r, IpOwner::Router(AsId(i as u32)))
+                    .is_some()
+                {
                     return Err(TopologyError::DuplicateIp(*r));
                 }
             }
@@ -328,10 +337,21 @@ impl TopologyBuilder {
             anycast.insert(ip, AnycastGroup { ip, instances });
         }
 
-        let asn_to_id: HashMap<u32, AsId> =
-            self.ases.iter().enumerate().map(|(i, a)| (a.spec.asn, AsId(i as u32))).collect();
+        let asn_to_id: HashMap<u32, AsId> = self
+            .ases
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.spec.asn, AsId(i as u32)))
+            .collect();
 
-        Ok(Topology { ases: self.ases, hosts: self.hosts, anycast, ip_index, asn_to_id, pc_pairs })
+        Ok(Topology {
+            ases: self.ases,
+            hosts: self.hosts,
+            anycast,
+            ip_index,
+            asn_to_id,
+            pc_pairs,
+        })
     }
 }
 
@@ -471,8 +491,14 @@ mod tests {
         assert_eq!(t.host_count(), 2);
         assert_eq!(t.as_of_node(NodeId(0)), AsId(0));
         assert_eq!(t.as_spec(AsId(1)).country.as_str(), "BRA");
-        assert_eq!(t.owner_of_ip(ip(192, 0, 2, 1)), Some(IpOwner::Host(NodeId(0))));
-        assert_eq!(t.owner_of_ip(ip(10, 0, 2, 1)), Some(IpOwner::Router(AsId(1))));
+        assert_eq!(
+            t.owner_of_ip(ip(192, 0, 2, 1)),
+            Some(IpOwner::Host(NodeId(0)))
+        );
+        assert_eq!(
+            t.owner_of_ip(ip(10, 0, 2, 1)),
+            Some(IpOwner::Router(AsId(1)))
+        );
         assert_eq!(t.as_of_ip(ip(10, 0, 1, 2)), Some(AsId(0)));
         assert_eq!(t.as_by_asn(65002), Some(AsId(1)));
         assert_eq!(t.owner_of_ip(ip(8, 8, 8, 8)), None);
@@ -481,8 +507,14 @@ mod tests {
     #[test]
     fn adjacency_is_symmetric_and_sorted() {
         let t = tiny().build().unwrap();
-        assert_eq!(t.as_neighbors(AsId(0)), &[(AsId(1), Relationship::ProviderCustomer)]);
-        assert_eq!(t.as_neighbors(AsId(1)), &[(AsId(0), Relationship::ProviderCustomer)]);
+        assert_eq!(
+            t.as_neighbors(AsId(0)),
+            &[(AsId(1), Relationship::ProviderCustomer)]
+        );
+        assert_eq!(
+            t.as_neighbors(AsId(1)),
+            &[(AsId(0), Relationship::ProviderCustomer)]
+        );
     }
 
     #[test]
@@ -522,14 +554,20 @@ mod tests {
         assert!(t.node_owns_ip(node, ip(8, 8, 8, 8)));
         assert!(t.node_owns_ip(node, ip(198, 51, 100, 1)));
         assert!(!t.node_owns_ip(NodeId(0), ip(8, 8, 8, 8)));
-        assert!(!t.node_owns_ip(node, ip(1, 2, 3, 4)), "arbitrary IP is spoofing");
+        assert!(
+            !t.node_owns_ip(node, ip(1, 2, 3, 4)),
+            "arbitrary IP is spoofing"
+        );
     }
 
     #[test]
     fn empty_anycast_rejected() {
         let mut b = TopologyBuilder::new();
         b.anycast.insert(ip(9, 9, 9, 9), vec![]);
-        assert!(matches!(b.build(), Err(TopologyError::EmptyAnycastGroup(_))));
+        assert!(matches!(
+            b.build(),
+            Err(TopologyError::EmptyAnycastGroup(_))
+        ));
     }
 
     #[test]
@@ -545,7 +583,10 @@ mod tests {
             },
         );
         let t = b.build().unwrap();
-        assert_eq!(t.owner_of_ip(ip(203, 0, 113, 11)), Some(IpOwner::Host(node)));
+        assert_eq!(
+            t.owner_of_ip(ip(203, 0, 113, 11)),
+            Some(IpOwner::Host(node))
+        );
         assert!(t.node_owns_ip(node, ip(203, 0, 113, 11)));
     }
 

@@ -142,7 +142,14 @@ pub fn encode_icmp(m: &IcmpMessage, ident: u16, ttl: u8) -> Vec<u8> {
     icmp[2..4].copy_from_slice(&csum.to_be_bytes());
 
     let mut out = Vec::with_capacity(20 + icmp.len());
-    out.extend_from_slice(&ipv4_header(m.from, m.to, PROTO_ICMP, ttl, ident, icmp.len()));
+    out.extend_from_slice(&ipv4_header(
+        m.from,
+        m.to,
+        PROTO_ICMP,
+        ttl,
+        ident,
+        icmp.len(),
+    ));
     out.extend_from_slice(&icmp);
     out
 }
@@ -238,7 +245,12 @@ pub fn decode(bytes: &[u8]) -> Result<DecodedPacket, PacketError> {
             } else {
                 None
             };
-            Ok(DecodedPacket::Icmp(IcmpMessage { from: src, to: dst, kind, quote }))
+            Ok(DecodedPacket::Icmp(IcmpMessage {
+                from: src,
+                to: dst,
+                kind,
+                quote,
+            }))
         }
         other => Err(PacketError::UnsupportedProtocol(other)),
     }
@@ -263,8 +275,10 @@ mod tests {
     fn checksum_known_vector() {
         // RFC 1071 example-style check: sum of a buffer with its own
         // checksum inserted verifies to zero.
-        let data = [0x45u8, 0x00, 0x00, 0x30, 0x44, 0x22, 0x40, 0x00, 0x80, 0x06, 0x00, 0x00,
-                    0x8c, 0x7c, 0x19, 0xac, 0xae, 0x24, 0x1e, 0x2b];
+        let data = [
+            0x45u8, 0x00, 0x00, 0x30, 0x44, 0x22, 0x40, 0x00, 0x80, 0x06, 0x00, 0x00, 0x8c, 0x7c,
+            0x19, 0xac, 0xae, 0x24, 0x1e, 0x2b,
+        ];
         let csum = internet_checksum(&data);
         let mut with = data;
         with[10..12].copy_from_slice(&csum.to_be_bytes());
@@ -345,7 +359,10 @@ mod tests {
 
     #[test]
     fn truncated_and_garbage_rejected() {
-        assert!(matches!(decode(&[0x45, 0x00]), Err(PacketError::Truncated(_))));
+        assert!(matches!(
+            decode(&[0x45, 0x00]),
+            Err(PacketError::Truncated(_))
+        ));
         assert!(matches!(decode(&[0x60; 40]), Err(PacketError::BadIpHeader)));
         let d = dgram();
         let bytes = encode_udp(&d, 1);

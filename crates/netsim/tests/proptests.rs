@@ -45,13 +45,12 @@ struct RandomWorld {
 }
 
 fn arb_world() -> impl Strategy<Value = RandomWorld> {
-    (2usize..6)
-        .prop_flat_map(|transits| {
-            let edge = (0..transits, proptest::option::of(0..transits))
-                .prop_map(move |(primary, second)| (primary, second.filter(|s| *s != primary)));
-            proptest::collection::vec(edge, 1..12)
-                .prop_map(move |edges| RandomWorld { transits, edges })
-        })
+    (2usize..6).prop_flat_map(|transits| {
+        let edge = (0..transits, proptest::option::of(0..transits))
+            .prop_map(move |(primary, second)| (primary, second.filter(|s| *s != primary)));
+        proptest::collection::vec(edge, 1..12)
+            .prop_map(move |edges| RandomWorld { transits, edges })
+    })
 }
 
 fn build(world: &RandomWorld) -> (Topology, Vec<netsim::NodeId>) {
@@ -60,7 +59,9 @@ fn build(world: &RandomWorld) -> (Topology, Vec<netsim::NodeId>) {
     let mut routers = |n: usize| -> Vec<Ipv4Addr> {
         let block = router_block;
         router_block += 1;
-        (0..n).map(|i| Ipv4Addr::new(10, (block >> 8) as u8, block as u8, (i + 1) as u8)).collect()
+        (0..n)
+            .map(|i| Ipv4Addr::new(10, (block >> 8) as u8, block as u8, (i + 1) as u8))
+            .collect()
     };
     let transits: Vec<AsId> = (0..world.transits)
         .map(|i| {
@@ -82,7 +83,11 @@ fn build(world: &RandomWorld) -> (Topology, Vec<netsim::NodeId>) {
     }
     if transits.len() > 2 {
         // close the ring
-        b.connect(transits[0], transits[transits.len() - 1], Relationship::Peer);
+        b.connect(
+            transits[0],
+            transits[transits.len() - 1],
+            Relationship::Peer,
+        );
     }
     let mut nodes = Vec::new();
     for (i, (primary, second)) in world.edges.iter().enumerate() {

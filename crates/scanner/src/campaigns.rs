@@ -120,11 +120,19 @@ const PACE_TOKEN: u64 = u64::MAX;
 impl CampaignScanner {
     /// Build from config.
     pub fn new(config: CampaignConfig) -> Self {
-        CampaignScanner { config, cursor: 0, sent: HashMap::new(), report: CampaignReport::default() }
+        CampaignScanner {
+            config,
+            cursor: 0,
+            sent: HashMap::new(),
+            report: CampaignReport::default(),
+        }
     }
 
     fn probe_tuple(&self, index: usize) -> (u16, u16) {
-        ((self.config.base_port as usize + (index >> 16)) as u16, (index & 0xFFFF) as u16)
+        (
+            (self.config.base_port as usize + (index >> 16)) as u16,
+            (index & 0xFFFF) as u16,
+        )
     }
 }
 
@@ -170,7 +178,12 @@ impl Host for CampaignScanner {
             let query = MessageBuilder::query(txid, study::study_qname(), RrType::A)
                 .recursion_desired(true)
                 .build();
-            ctx.send_udp(UdpSend::new(port, target, dnswire::DNS_PORT, query.encode()));
+            ctx.send_udp(UdpSend::new(
+                port,
+                target,
+                dnswire::DNS_PORT,
+                query.encode(),
+            ));
             if self.cursor < self.config.targets.len() {
                 ctx.set_timer(self.config.inter_probe_gap, PACE_TOKEN);
             }
@@ -185,7 +198,10 @@ pub fn run_campaign(sim: &mut Simulator, node: NodeId, config: CampaignConfig) -
     sim.install(node, CampaignScanner::new(config));
     sim.schedule_timer(node, SimDuration::ZERO, PACE_TOKEN);
     sim.run();
-    sim.host_as::<CampaignScanner>(node).expect("campaign installed").report.clone()
+    sim.host_as::<CampaignScanner>(node)
+        .expect("campaign installed")
+        .report
+        .clone()
 }
 
 #[cfg(test)]
@@ -243,7 +259,10 @@ mod tests {
         // and RESOLVER's two responses collapse into one entry.
         assert!(report.odns.contains(&RECFWD));
         assert!(report.odns.contains(&RESOLVER));
-        assert!(!report.odns.contains(&TRANSP), "transparent forwarder must be missed");
+        assert!(
+            !report.odns.contains(&TRANSP),
+            "transparent forwarder must be missed"
+        );
         assert_eq!(report.odns.len(), 2);
     }
 
@@ -254,7 +273,10 @@ mod tests {
             assert!(report.odns.contains(&RECFWD));
             assert!(report.odns.contains(&RESOLVER));
             assert!(!report.odns.contains(&TRANSP));
-            assert_eq!(report.sanitized_out, 1, "{campaign}: the relayed answer is dropped");
+            assert_eq!(
+                report.sanitized_out, 1,
+                "{campaign}: the relayed answer is dropped"
+            );
         }
     }
 

@@ -33,7 +33,11 @@ pub enum OdnsClass {
 impl OdnsClass {
     /// All classes, in the paper's table order.
     pub fn all() -> [OdnsClass; 3] {
-        [OdnsClass::RecursiveResolver, OdnsClass::RecursiveForwarder, OdnsClass::TransparentForwarder]
+        [
+            OdnsClass::RecursiveResolver,
+            OdnsClass::RecursiveForwarder,
+            OdnsClass::TransparentForwarder,
+        ]
     }
 
     /// Display label matching the paper.
@@ -109,14 +113,20 @@ pub struct ClassifierConfig {
 
 impl Default for ClassifierConfig {
     fn default() -> Self {
-        ClassifierConfig { control_a: odns::study::CONTROL_A, strict: true }
+        ClassifierConfig {
+            control_a: odns::study::CONTROL_A,
+            strict: true,
+        }
     }
 }
 
 impl ClassifierConfig {
     /// The Shadowserver-compatible relaxed configuration.
     pub fn relaxed() -> Self {
-        ClassifierConfig { strict: false, ..Self::default() }
+        ClassifierConfig {
+            strict: false,
+            ..Self::default()
+        }
     }
 }
 
@@ -157,7 +167,11 @@ pub fn classify(t: &Transaction, config: &ClassifierConfig) -> Verdict {
     } else {
         OdnsClass::RecursiveResolver
     };
-    Verdict::Classified { class, a_resolver, response_src: response.src }
+    Verdict::Classified {
+        class,
+        a_resolver,
+        response_src: response.src,
+    }
 }
 
 #[cfg(test)]
@@ -174,12 +188,20 @@ mod tests {
     fn tx(response_src: Ipv4Addr, addrs: &[Ipv4Addr]) -> Transaction {
         let qname = DnsName::parse("odns-study.example.").unwrap();
         let query = MessageBuilder::query(7, qname.clone(), RrType::A).build();
-        let mut resp = MessageBuilder::response_to(&query).recursion_available(true).build();
+        let mut resp = MessageBuilder::response_to(&query)
+            .recursion_available(true)
+            .build();
         for a in addrs {
             resp.answers.push(Record::a(qname.clone(), 300, *a));
         }
         Transaction {
-            probe: ProbeRecord { index: 0, target: TARGET, sent_at: SimTime(0), src_port: 34000, txid: 7 },
+            probe: ProbeRecord {
+                index: 0,
+                target: TARGET,
+                sent_at: SimTime(0),
+                src_port: 34000,
+                txid: 7,
+            },
             response: Some(ResponseRecord {
                 received_at: SimTime(1_000),
                 src: response_src,
@@ -199,7 +221,11 @@ mod tests {
         let v = classify(&tx(RESOLVER, &[RESOLVER, CONTROL]), &cfg());
         assert_eq!(v.class(), Some(OdnsClass::TransparentForwarder));
         match v {
-            Verdict::Classified { a_resolver, response_src, .. } => {
+            Verdict::Classified {
+                a_resolver,
+                response_src,
+                ..
+            } => {
                 assert_eq!(a_resolver, RESOLVER);
                 assert_eq!(response_src, RESOLVER);
             }
@@ -254,14 +280,26 @@ mod tests {
     #[test]
     fn no_response_and_malformed_discards() {
         let t = Transaction {
-            probe: ProbeRecord { index: 0, target: TARGET, sent_at: SimTime(0), src_port: 1, txid: 1 },
+            probe: ProbeRecord {
+                index: 0,
+                target: TARGET,
+                sent_at: SimTime(0),
+                src_port: 1,
+                txid: 1,
+            },
             response: None,
         };
-        assert_eq!(classify(&t, &cfg()), Verdict::Discarded(Discard::NoResponse));
+        assert_eq!(
+            classify(&t, &cfg()),
+            Verdict::Discarded(Discard::NoResponse)
+        );
 
         let mut t2 = tx(TARGET, &[TARGET, CONTROL]);
         t2.response.as_mut().unwrap().payload = vec![1, 2, 3];
-        assert_eq!(classify(&t2, &cfg()), Verdict::Discarded(Discard::Malformed));
+        assert_eq!(
+            classify(&t2, &cfg()),
+            Verdict::Discarded(Discard::Malformed)
+        );
     }
 
     #[test]

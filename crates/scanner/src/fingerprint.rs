@@ -63,7 +63,11 @@ const PACE_TOKEN: u64 = u64::MAX;
 impl FingerprintScanner {
     /// Build from config.
     pub fn new(config: FingerprintConfig) -> Self {
-        FingerprintScanner { config, cursor: 0, evidence: HashMap::new() }
+        FingerprintScanner {
+            config,
+            cursor: 0,
+            evidence: HashMap::new(),
+        }
     }
 
     fn total_probes(&self) -> usize {
@@ -75,13 +79,21 @@ impl Host for FingerprintScanner {
     fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, dgram: Datagram) {
         // A UDP reply from (src, src_port) is a banner from that port.
         let banner = String::from_utf8_lossy(&dgram.payload).into_owned();
-        self.evidence.entry(dgram.src).or_default().banners.push((dgram.src_port, banner));
+        self.evidence
+            .entry(dgram.src)
+            .or_default()
+            .banners
+            .push((dgram.src_port, banner));
     }
 
     fn on_icmp(&mut self, _ctx: &mut Ctx<'_>, icmp: IcmpMessage) {
         if icmp.kind == netsim::IcmpKind::PortUnreachable {
             if let Some(q) = icmp.quote {
-                self.evidence.entry(q.dst).or_default().closed.push(q.dst_port);
+                self.evidence
+                    .entry(q.dst)
+                    .or_default()
+                    .closed
+                    .push(q.dst_port);
             }
         }
     }
@@ -115,7 +127,10 @@ pub fn run_fingerprint_scan(
     sim.install(node, FingerprintScanner::new(config));
     sim.schedule_timer(node, SimDuration::ZERO, PACE_TOKEN);
     sim.run();
-    sim.host_as::<FingerprintScanner>(node).expect("scanner installed").evidence.clone()
+    sim.host_as::<FingerprintScanner>(node)
+        .expect("scanner installed")
+        .evidence
+        .clone()
 }
 
 /// Attribute a vendor from gathered evidence: a banner containing the

@@ -24,6 +24,7 @@ pub mod classify;
 pub mod fingerprint;
 pub mod records;
 pub mod sensors;
+pub mod shard;
 pub mod transactional;
 
 pub use campaigns::{run_campaign, Campaign, CampaignConfig, CampaignReport, CampaignScanner};
@@ -33,4 +34,8 @@ pub use fingerprint::{
 };
 pub use records::{ProbeRecord, ResponseRecord, ScanOutcome, Transaction};
 pub use sensors::{sensor_reply_matches, HoneypotSensor, SensorAddresses, SensorKind, SensorStats};
-pub use transactional::{run_scan, ProbeNaming, ScanConfig, TransactionalScanner};
+pub use shard::{merge_shard_records, ShardRecords};
+pub use transactional::{
+    correlate, correlate_owned, run_scan, run_scan_raw, ProbeNaming, ScanConfig,
+    TransactionalScanner,
+};

@@ -61,7 +61,9 @@ impl Transaction {
 
     /// Round-trip time, if answered.
     pub fn rtt(&self) -> Option<netsim::SimDuration> {
-        self.response.as_ref().map(|r| r.received_at - self.probe.sent_at)
+        self.response
+            .as_ref()
+            .map(|r| r.received_at - self.probe.sent_at)
     }
 
     /// Answer-section A record addresses, if answered and well-formed.
@@ -117,10 +119,13 @@ mod tests {
     #[test]
     fn transaction_accessors() {
         let qname = DnsName::parse("odns-study.example.").unwrap();
-        let resp = MessageBuilder::query(0, qname.clone(), RrType::A).build().response_skeleton();
+        let resp = MessageBuilder::query(0, qname.clone(), RrType::A)
+            .build()
+            .response_skeleton();
         let resp = {
             let mut m = resp;
-            m.answers.push(dnswire::Record::a(qname, 300, Ipv4Addr::new(8, 8, 8, 8)));
+            m.answers
+                .push(dnswire::Record::a(qname, 300, Ipv4Addr::new(8, 8, 8, 8)));
             m
         };
         let t = Transaction {
@@ -139,7 +144,10 @@ mod tests {
 
     #[test]
     fn unanswered_transaction() {
-        let t = Transaction { probe: probe(1), response: None };
+        let t = Transaction {
+            probe: probe(1),
+            response: None,
+        };
         assert_eq!(t.response_src(), None);
         assert_eq!(t.rtt(), None);
         assert!(t.answer_addrs().is_empty());
@@ -163,7 +171,10 @@ mod tests {
     #[test]
     fn outcome_counting() {
         let mut o = ScanOutcome::default();
-        o.transactions.push(Transaction { probe: probe(0), response: None });
+        o.transactions.push(Transaction {
+            probe: probe(0),
+            response: None,
+        });
         o.transactions.push(Transaction {
             probe: probe(1),
             response: Some(ResponseRecord {

@@ -88,7 +88,11 @@ impl HoneypotSensor {
 
     fn alloc_port(&mut self) -> u16 {
         let p = self.next_port;
-        self.next_port = if self.next_port >= 64000 { 3000 } else { self.next_port + 1 };
+        self.next_port = if self.next_port >= 64000 {
+            3000
+        } else {
+            self.next_port + 1
+        };
         p
     }
 }
@@ -267,13 +271,23 @@ mod tests {
         let addrs = SensorAddresses::lab_default();
         let (topo, nodes) = playground(&[SCANNER, addrs.ip1, UPSTREAM]);
         let mut sim = Simulator::new(topo, SimConfig::default());
-        sim.install(nodes[1], HoneypotSensor::new(SensorKind::RecursiveResolver, UPSTREAM));
+        sim.install(
+            nodes[1],
+            HoneypotSensor::new(SensorKind::RecursiveResolver, UPSTREAM),
+        );
         sim.install(nodes[2], Canned);
-        install_script(&mut sim, nodes[0], vec![(SimDuration::ZERO, query(1, addrs.ip1))]);
+        install_script(
+            &mut sim,
+            nodes[0],
+            vec![(SimDuration::ZERO, query(1, addrs.ip1))],
+        );
         sim.run();
         let sc: &ScriptedClient = sim.host_as(nodes[0]).unwrap();
         assert_eq!(sc.datagrams.len(), 1);
-        assert_eq!(sc.datagrams[0].1.src, addrs.ip1, "Sensor 1 answers from IP1");
+        assert_eq!(
+            sc.datagrams[0].1.src, addrs.ip1,
+            "Sensor 1 answers from IP1"
+        );
         assert!(sensor_reply_matches(&sc.datagrams, addrs.ip1));
     }
 
@@ -303,15 +317,31 @@ mod tests {
         let mut sim = Simulator::new(b.build().unwrap(), SimConfig::default());
         sim.install(
             sensor,
-            HoneypotSensor::new(SensorKind::InteriorForwarder { reply_from: addrs.ip3 }, UPSTREAM),
+            HoneypotSensor::new(
+                SensorKind::InteriorForwarder {
+                    reply_from: addrs.ip3,
+                },
+                UPSTREAM,
+            ),
         );
         sim.install(upstream, Canned);
-        install_script(&mut sim, scanner, vec![(SimDuration::ZERO, query(2, addrs.ip2))]);
+        install_script(
+            &mut sim,
+            scanner,
+            vec![(SimDuration::ZERO, query(2, addrs.ip2))],
+        );
         sim.run();
         let sc: &ScriptedClient = sim.host_as(scanner).unwrap();
         assert_eq!(sc.datagrams.len(), 1);
-        assert_eq!(sc.datagrams[0].1.src, addrs.ip3, "Sensor 2 replies from IP3");
-        assert_eq!(sim.stats().spoofed_sent, 0, "no spoofing needed — easy deployment");
+        assert_eq!(
+            sc.datagrams[0].1.src, addrs.ip3,
+            "Sensor 2 replies from IP3"
+        );
+        assert_eq!(
+            sim.stats().spoofed_sent,
+            0,
+            "no spoofing needed — easy deployment"
+        );
     }
 
     #[test]
@@ -319,13 +349,23 @@ mod tests {
         let addrs = SensorAddresses::lab_default();
         let (topo, nodes) = playground(&[SCANNER, addrs.ip4, UPSTREAM]);
         let mut sim = Simulator::new(topo, SimConfig::default());
-        sim.install(nodes[1], HoneypotSensor::new(SensorKind::ExteriorForwarder, UPSTREAM));
+        sim.install(
+            nodes[1],
+            HoneypotSensor::new(SensorKind::ExteriorForwarder, UPSTREAM),
+        );
         sim.install(nodes[2], Canned);
-        install_script(&mut sim, nodes[0], vec![(SimDuration::ZERO, query(3, addrs.ip4))]);
+        install_script(
+            &mut sim,
+            nodes[0],
+            vec![(SimDuration::ZERO, query(3, addrs.ip4))],
+        );
         sim.run();
         let sc: &ScriptedClient = sim.host_as(nodes[0]).unwrap();
         assert_eq!(sc.datagrams.len(), 1);
-        assert_eq!(sc.datagrams[0].1.src, UPSTREAM, "answer comes from the public resolver");
+        assert_eq!(
+            sc.datagrams[0].1.src, UPSTREAM,
+            "answer comes from the public resolver"
+        );
         assert_eq!(sim.stats().spoofed_sent, 1);
         let s: &HoneypotSensor = sim.host_as(nodes[1]).unwrap();
         assert_eq!(s.relay_stats.relayed, 1);
@@ -336,7 +376,10 @@ mod tests {
         let addrs = SensorAddresses::lab_default();
         let (topo, nodes) = playground(&[SCANNER, addrs.ip1, UPSTREAM]);
         let mut sim = Simulator::new(topo, SimConfig::default());
-        sim.install(nodes[1], HoneypotSensor::new(SensorKind::RecursiveResolver, UPSTREAM));
+        sim.install(
+            nodes[1],
+            HoneypotSensor::new(SensorKind::RecursiveResolver, UPSTREAM),
+        );
         sim.install(nodes[2], Canned);
         install_script(
             &mut sim,

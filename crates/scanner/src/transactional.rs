@@ -45,13 +45,18 @@ pub struct ScanConfig {
 }
 
 impl ScanConfig {
+    /// The paper's conservative 20 s correlation window. Merging code
+    /// that correlates recorded streams without a `ScanConfig` at hand
+    /// uses this same constant, keeping scan and merge windows aligned.
+    pub const DEFAULT_TIMEOUT: SimDuration = SimDuration::from_secs(20);
+
     /// Defaults matching the paper: static naming, 20 s timeout.
     pub fn new(targets: Vec<Ipv4Addr>) -> Self {
         ScanConfig {
             targets,
             naming: ProbeNaming::Static,
             inter_probe_gap: SimDuration::from_micros(50),
-            timeout: SimDuration::from_secs(20),
+            timeout: Self::DEFAULT_TIMEOUT,
             base_port: 33_000,
         }
     }
@@ -89,7 +94,12 @@ impl TransactionalScanner {
     /// Build from config.
     pub fn new(config: ScanConfig) -> Self {
         let probes = Vec::with_capacity(config.targets.len());
-        TransactionalScanner { config, cursor: 0, probes, responses: Vec::new() }
+        TransactionalScanner {
+            config,
+            cursor: 0,
+            probes,
+            responses: Vec::new(),
+        }
     }
 
     /// Correlate responses to probes by `(port, txid)` within the timeout.
@@ -98,38 +108,7 @@ impl TransactionalScanner {
     /// scan itself. The first matching response within the window wins;
     /// later matches count as duplicates/late.
     pub fn outcome(&self) -> ScanOutcome {
-        let mut index: HashMap<(u16, u16), usize> = HashMap::with_capacity(self.probes.len());
-        for (i, p) in self.probes.iter().enumerate() {
-            index.insert((p.src_port, p.txid), i);
-        }
-        let mut transactions: Vec<Transaction> = self
-            .probes
-            .iter()
-            .map(|p| Transaction { probe: p.clone(), response: None })
-            .collect();
-        let mut unmatched = 0usize;
-        let mut late = 0usize;
-        for r in &self.responses {
-            let Some(txid) = dnswire::peek_id(&r.payload) else {
-                unmatched += 1;
-                continue;
-            };
-            let Some(&probe_idx) = index.get(&(r.dst_port, txid)) else {
-                unmatched += 1;
-                continue;
-            };
-            let t = &mut transactions[probe_idx];
-            if r.received_at - t.probe.sent_at > self.config.timeout {
-                late += 1;
-                continue;
-            }
-            if t.response.is_some() {
-                unmatched += 1; // duplicate
-                continue;
-            }
-            t.response = Some(r.clone());
-        }
-        ScanOutcome { transactions, unmatched_responses: unmatched, late_responses: late }
+        correlate(&self.probes, &self.responses, self.config.timeout)
     }
 
     fn send_probe(&mut self, ctx: &mut Ctx<'_>, index: usize) {
@@ -139,9 +118,22 @@ impl TransactionalScanner {
             ProbeNaming::Static => study::study_qname(),
             ProbeNaming::EncodeTarget => study::encode_target_name(target),
         };
-        let query = MessageBuilder::query(txid, qname, RrType::A).recursion_desired(true).build();
-        self.probes.push(ProbeRecord { index, target, sent_at: ctx.now(), src_port: port, txid });
-        ctx.send_udp(UdpSend::new(port, target, dnswire::DNS_PORT, query.encode()));
+        let query = MessageBuilder::query(txid, qname, RrType::A)
+            .recursion_desired(true)
+            .build();
+        self.probes.push(ProbeRecord {
+            index,
+            target,
+            sent_at: ctx.now(),
+            src_port: port,
+            txid,
+        });
+        ctx.send_udp(UdpSend::new(
+            port,
+            target,
+            dnswire::DNS_PORT,
+            query.encode(),
+        ));
     }
 }
 
@@ -172,14 +164,102 @@ impl Host for TransactionalScanner {
     netsim::impl_host_downcast!();
 }
 
+/// The offline correlation pass over recorded probe/response streams —
+/// the paper's post-processing, as a pure function so sharded censuses
+/// can run it over merged record streams (see [`crate::shard`]).
+///
+/// Matching is by `(dst_port, txid)`; the first response inside the
+/// timeout window wins, later matches count as duplicates, and responses
+/// past the window count as late. Borrowing wrapper over
+/// [`correlate_owned`] for callers that keep their records (the live
+/// scanner's [`TransactionalScanner::outcome`]).
+pub fn correlate(
+    probes: &[ProbeRecord],
+    responses: &[ResponseRecord],
+    timeout: SimDuration,
+) -> ScanOutcome {
+    correlate_owned(probes.to_vec(), responses.to_vec(), timeout)
+}
+
+/// [`correlate`] taking ownership: probes and matched response payloads
+/// move into the resulting transactions with no copying. The variant the
+/// sharded merge and pcap ingestion use — record streams are the bulk of
+/// a census's memory.
+pub fn correlate_owned(
+    probes: Vec<ProbeRecord>,
+    responses: Vec<ResponseRecord>,
+    timeout: SimDuration,
+) -> ScanOutcome {
+    let mut index: HashMap<(u16, u16), usize> = HashMap::with_capacity(probes.len());
+    for (i, p) in probes.iter().enumerate() {
+        index.insert((p.src_port, p.txid), i);
+    }
+    let mut transactions: Vec<Transaction> = probes
+        .into_iter()
+        .map(|p| Transaction {
+            probe: p,
+            response: None,
+        })
+        .collect();
+    let mut unmatched = 0usize;
+    let mut late = 0usize;
+    for r in responses {
+        let Some(txid) = dnswire::peek_id(&r.payload) else {
+            unmatched += 1;
+            continue;
+        };
+        let Some(&probe_idx) = index.get(&(r.dst_port, txid)) else {
+            unmatched += 1;
+            continue;
+        };
+        let t = &mut transactions[probe_idx];
+        if r.received_at - t.probe.sent_at > timeout {
+            late += 1;
+            continue;
+        }
+        if t.response.is_some() {
+            unmatched += 1; // duplicate
+            continue;
+        }
+        t.response = Some(r);
+    }
+    ScanOutcome {
+        transactions,
+        unmatched_responses: unmatched,
+        late_responses: late,
+    }
+}
+
 /// Install a scanner at `node`, run the whole scan to quiescence, and
 /// return the correlated outcome. Convenience wrapper used by benches,
 /// examples, and the census pipeline.
 pub fn run_scan(sim: &mut Simulator, node: NodeId, config: ScanConfig) -> ScanOutcome {
+    let timeout = config.timeout;
+    let (probes, responses) = run_scan_raw(sim, node, config);
+    correlate_owned(probes, responses, timeout)
+}
+
+/// Run the scan like [`run_scan`] but return the *raw* probe/response
+/// streams instead of correlating — the per-shard collection step of a
+/// sharded census, whose correlation happens once over the merged
+/// streams.
+pub fn run_scan_raw(
+    sim: &mut Simulator,
+    node: NodeId,
+    config: ScanConfig,
+) -> (Vec<ProbeRecord>, Vec<ResponseRecord>) {
     sim.install(node, TransactionalScanner::new(config));
     sim.schedule_timer(node, SimDuration::ZERO, PACE_TOKEN);
     sim.run();
-    sim.host_as::<TransactionalScanner>(node).expect("scanner installed").outcome()
+    // The scanner is done; move the streams out rather than copying
+    // every payload (these vectors are the bulk of a shard's memory).
+    let scanner = sim
+        .host_as_mut::<TransactionalScanner>(node)
+        .expect("scanner installed");
+    (
+        std::mem::take(&mut scanner.probes),
+        std::mem::take(&mut scanner.responses),
+    )
 }
 
 #[cfg(test)]
@@ -211,7 +291,11 @@ mod tests {
         // Hostless sinks never answer: all unanswered.
         assert_eq!(outcome.answered_count(), 0);
         // Pacing: probes 10 ms apart.
-        let times: Vec<SimTime> = outcome.transactions.iter().map(|t| t.probe.sent_at).collect();
+        let times: Vec<SimTime> = outcome
+            .transactions
+            .iter()
+            .map(|t| t.probe.sent_at)
+            .collect();
         for w in times.windows(2) {
             assert_eq!((w[1] - w[0]).as_millis(), 10);
         }
@@ -221,7 +305,10 @@ mod tests {
     fn correlation_matches_by_port_and_txid() {
         // Handcraft a scanner state with two probes and a response for the
         // second only.
-        let cfg = ScanConfig::new(vec![Ipv4Addr::new(203, 0, 113, 1), Ipv4Addr::new(203, 0, 113, 2)]);
+        let cfg = ScanConfig::new(vec![
+            Ipv4Addr::new(203, 0, 113, 1),
+            Ipv4Addr::new(203, 0, 113, 2),
+        ]);
         let mut s = TransactionalScanner::new(cfg);
         for (i, target) in s.config.targets.clone().iter().enumerate() {
             let (port, txid) = s.config.probe_tuple(i);
@@ -245,7 +332,10 @@ mod tests {
         });
         let o = s.outcome();
         assert!(o.transactions[0].response.is_none());
-        assert_eq!(o.transactions[1].response_src(), Some(Ipv4Addr::new(8, 8, 8, 8)));
+        assert_eq!(
+            o.transactions[1].response_src(),
+            Some(Ipv4Addr::new(8, 8, 8, 8))
+        );
         assert_eq!(o.unmatched_responses, 0);
     }
 

@@ -4,19 +4,25 @@
 //! * probe `(port, TXID)` tuples are unique over any index range;
 //! * correlation is insensitive to response arrival order;
 //! * each probe matches at most one response; extras count as unmatched;
-//! * the classifier is total over answered transactions and never panics.
+//! * the classifier is total over answered transactions and never panics;
+//! * merging shuffled per-shard record streams never drops or duplicates
+//!   a transaction, and never mixes shards up.
 
 use dnswire::{DnsName, MessageBuilder, Record, RrType};
-use netsim::SimTime;
+use netsim::{SimDuration, SimTime};
 use proptest::prelude::*;
 use scanner::records::{ProbeRecord, ResponseRecord};
-use scanner::{classify, ClassifierConfig, ScanConfig, TransactionalScanner};
+use scanner::{
+    classify, merge_shard_records, ClassifierConfig, ScanConfig, ShardRecords, TransactionalScanner,
+};
 use std::net::Ipv4Addr;
 
 fn response_payload(txid: u16, addrs: &[Ipv4Addr]) -> Vec<u8> {
     let qname = DnsName::parse("odns-study.example.").unwrap();
     let q = MessageBuilder::query(txid, qname.clone(), RrType::A).build();
-    let mut m = MessageBuilder::response_to(&q).recursion_available(true).build();
+    let mut m = MessageBuilder::response_to(&q)
+        .recursion_available(true)
+        .build();
     for a in addrs {
         m.answers.push(Record::a(qname.clone(), 300, *a));
     }
@@ -26,13 +32,20 @@ fn response_payload(txid: u16, addrs: &[Ipv4Addr]) -> Vec<u8> {
 /// Build a scanner state with `n` probes and responses for a subset, then
 /// shuffle responses by the given permutation seed.
 fn scanner_with(n: usize, answered: &[usize], shuffle_seed: u64) -> TransactionalScanner {
-    let targets: Vec<Ipv4Addr> =
-        (0..n).map(|i| Ipv4Addr::new(203, 0, (i >> 8) as u8, (i & 0xFF) as u8)).collect();
+    let targets: Vec<Ipv4Addr> = (0..n)
+        .map(|i| Ipv4Addr::new(203, 0, (i >> 8) as u8, (i & 0xFF) as u8))
+        .collect();
     let cfg = ScanConfig::new(targets.clone());
     let mut s = TransactionalScanner::new(cfg);
     for (i, t) in targets.iter().enumerate() {
         let (port, txid) = probe_tuple(i);
-        s.probes.push(ProbeRecord { index: i, target: *t, sent_at: SimTime(i as u64), src_port: port, txid });
+        s.probes.push(ProbeRecord {
+            index: i,
+            target: *t,
+            sent_at: SimTime(i as u64),
+            src_port: port,
+            txid,
+        });
     }
     let mut responses = Vec::new();
     for &i in answered {
@@ -50,7 +63,9 @@ fn scanner_with(n: usize, answered: &[usize], shuffle_seed: u64) -> Transactiona
     // Deterministic shuffle.
     let mut state = shuffle_seed | 1;
     for i in (1..responses.len()).rev() {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let j = (state >> 33) as usize % (i + 1);
         responses.swap(i, j);
     }
@@ -138,6 +153,61 @@ proptest! {
         let mut seen = std::collections::HashSet::with_capacity(len);
         for i in start..start + len {
             prop_assert!(seen.insert(cfg.probe_tuple(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn shard_merge_never_drops_or_duplicates(
+        shard_sizes in proptest::collection::vec(1usize..40, 1..6),
+        answered_bits in proptest::collection::vec(any::<u64>(), 1..6),
+        shard_order_seed in any::<u64>(),
+        response_seeds in proptest::collection::vec(any::<u64>(), 1..6),
+    ) {
+        // Build one ShardRecords per shard from a fully simulated scanner
+        // state, shuffle each shard's responses and the shard list itself,
+        // and verify the merge reconstructs every transaction exactly once.
+        let mut shards = Vec::new();
+        let mut expected_answered = 0usize;
+        let mut expected_probes = 0usize;
+        let mut expected_targets: Vec<(u32, Ipv4Addr, bool)> = Vec::new();
+        for (s, &n) in shard_sizes.iter().enumerate() {
+            let bits = answered_bits[s % answered_bits.len()];
+            let answered: Vec<usize> = (0..n).filter(|i| bits >> (i % 64) & 1 == 1).collect();
+            let seed = response_seeds[s % response_seeds.len()];
+            let state = scanner_with(n, &answered, seed);
+            expected_answered += answered.len();
+            expected_probes += n;
+            for (i, p) in state.probes.iter().enumerate() {
+                expected_targets.push((s as u32, p.target, answered.contains(&i)));
+            }
+            shards.push(ShardRecords::new(s as u32, state.probes.clone(), state.responses.clone()));
+        }
+        // Shuffle the shard list deterministically.
+        let mut state = shard_order_seed | 1;
+        for i in (1..shards.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shards.swap(i, j);
+        }
+
+        let merged = merge_shard_records(shards, SimDuration::from_secs(20));
+
+        // Nothing dropped, nothing duplicated: one transaction per probe,
+        // global indices gap-free, answered set preserved per shard+target.
+        prop_assert_eq!(merged.transactions.len(), expected_probes);
+        prop_assert_eq!(merged.answered_count(), expected_answered);
+        prop_assert_eq!(merged.unmatched_responses, 0);
+        prop_assert_eq!(merged.late_responses, 0);
+        for (global, t) in merged.transactions.iter().enumerate() {
+            prop_assert_eq!(t.probe.index, global, "indices must be gap-free after rebase");
+        }
+        // Shards concatenate in ascending shard order, so the expected
+        // (shard, target, answered) triples line up positionally.
+        for (t, (shard, target, was_answered)) in
+            merged.transactions.iter().zip(&expected_targets)
+        {
+            prop_assert_eq!(t.probe.target, *target, "shard {} misplaced", shard);
+            prop_assert_eq!(t.response.is_some(), *was_answered);
         }
     }
 }

@@ -23,7 +23,12 @@ fn main() {
     let victim_node = internet.fixtures.victim;
     let victim_ip = internet.fixtures.victim_ip;
 
-    let diffusers: Vec<_> = internet.truth.transparent_ips().into_iter().take(100).collect();
+    let diffusers: Vec<_> = internet
+        .truth
+        .transparent_ips()
+        .into_iter()
+        .take(100)
+        .collect();
     println!("attacker: 1 spoofing box (SAV-free network)");
     println!("diffusers: {} transparent forwarders", diffusers.len());
     println!("victim: {victim_ip}\n");
@@ -63,14 +68,21 @@ fn main() {
     sources.sort();
     sources.dedup();
 
-    println!("attacker sent     : {} packets, {} bytes", diffusers.len(), sent);
+    println!(
+        "attacker sent     : {} packets, {} bytes",
+        diffusers.len(),
+        sent
+    );
     println!(
         "victim received   : {} packets, {} bytes from {} distinct resolver addresses",
         victim.datagrams.len(),
         received,
         sources.len()
     );
-    println!("amplification     : {:.2}x (bytes at victim / bytes spent)", received as f64 / sent as f64);
+    println!(
+        "amplification     : {:.2}x (bytes at victim / bytes spent)",
+        received as f64 / sent as f64
+    );
     println!("\nresolver addresses seen by the victim: {sources:?}");
     println!(
         "\nNone of these are the diffusing forwarders: the attack arrives from\n\

@@ -27,8 +27,11 @@ fn main() {
     println!("  {} transparent forwarders discovered", targets.len());
 
     println!("step 2: TTL sweep past every forwarder (DNSRoute++)...");
-    let traces =
-        run_dnsroute(&mut internet.sim, internet.fixtures.scanner, DnsRouteConfig::new(targets));
+    let traces = run_dnsroute(
+        &mut internet.sim,
+        internet.fixtures.scanner,
+        DnsRouteConfig::new(targets),
+    );
     let (paths, stats) = sanitize(&traces);
     println!(
         "  {} traces, {} sanitized paths kept ({} no-signature, {} no-answer, {} incomplete)",
@@ -52,7 +55,10 @@ fn main() {
             cdf.median().unwrap_or(0.0),
             cdf.quantile(0.9).unwrap_or(0.0)
         );
-        print!("{}", analysis::chart::render_cdf(p.project.name(), &cdf, 48, 8));
+        print!(
+            "{}",
+            analysis::chart::render_cdf(p.project.name(), &cdf, 48, 8)
+        );
     }
     println!("\n({} paths ended at local/other resolvers)", other.len());
     println!("\npaper's means: Cloudflare 6.3 < Google 7.9 < OpenDNS 9.3 — the");

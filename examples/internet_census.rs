@@ -12,10 +12,16 @@
 use scanner::{ClassifierConfig, OdnsClass};
 
 fn main() {
-    let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(500);
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500);
     println!("== Internet-wide ODNS census at scale 1:{scale} ==\n");
 
-    let config = inetgen::GenConfig { scale, ..inetgen::GenConfig::default() };
+    let config = inetgen::GenConfig {
+        scale,
+        ..inetgen::GenConfig::default()
+    };
     let mut internet = inetgen::generate(&config);
     println!(
         "world: {} ASes, {} hosts, {} targets",
@@ -48,11 +54,17 @@ fn main() {
     println!("{}", analysis::report::figure5(&census, 12).render());
 
     println!("--- Table 4: the 'other' share ---");
-    println!("{}", analysis::report::table4(&census, &internet.geo, 10).render());
+    println!(
+        "{}",
+        analysis::report::table4(&census, &internet.geo, 10).render()
+    );
 
     println!("--- Table 5: ranking vs Shadowserver (emulated on this world) ---");
     let shadow = analysis::run_shadowserver_census(&mut internet);
-    println!("{}", analysis::report::table5(&census, &shadow, 15).render());
+    println!(
+        "{}",
+        analysis::report::table5(&census, &shadow, 15).render()
+    );
 
     println!("--- Figure 8: /24 density of transparent forwarders ---");
     let (f8, _density) = analysis::report::figure8(&census);

@@ -29,7 +29,10 @@ fn main() {
         scanner_node,
         ScanConfig::new(internet.targets.clone()),
     );
-    let pcap = internet.sim.take_capture(scanner_node).expect("capture enabled");
+    let pcap = internet
+        .sim
+        .take_capture(scanner_node)
+        .expect("capture enabled");
     println!(
         "  captured {} bytes of raw IPv4 frames ({} probes sent)",
         pcap.len(),
@@ -37,8 +40,8 @@ fn main() {
     );
 
     println!("\nphase 2 — dns-measurement-analysis: offline, from the capture only...");
-    let rebuilt = analysis::outcome_from_pcap(&pcap, SimDuration::from_secs(20))
-        .expect("capture parses");
+    let rebuilt =
+        analysis::outcome_from_pcap(&pcap, SimDuration::from_secs(20)).expect("capture parses");
     let census = analysis::Census::from_transactions(
         &rebuilt.transactions,
         &internet.geo,
@@ -53,7 +56,11 @@ fn main() {
         &ClassifierConfig::default(),
     );
     for class in scanner::OdnsClass::all() {
-        assert_eq!(census.count(class), live_census.count(class), "pipelines must agree");
+        assert_eq!(
+            census.count(class),
+            live_census.count(class),
+            "pipelines must agree"
+        );
     }
     println!("offline == live for every component class \u{2713}");
 
@@ -65,6 +72,13 @@ fn main() {
     std::fs::write(&pcap_path, &pcap).expect("write pcap");
     std::fs::write(&csv_path, census.to_csv()).expect("write csv");
     println!("\nartifacts written:");
-    println!("  {} (opens in wireshark/tshark: LINKTYPE_RAW IPv4)", pcap_path.display());
-    println!("  {} ({} dataframe rows)", csv_path.display(), census.rows.len());
+    println!(
+        "  {} (opens in wireshark/tshark: LINKTYPE_RAW IPv4)",
+        pcap_path.display()
+    );
+    println!(
+        "  {} ({} dataframe rows)",
+        csv_path.display(),
+        census.rows.len()
+    );
 }

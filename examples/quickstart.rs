@@ -10,7 +10,10 @@ use scanner::{ClassifierConfig, OdnsClass};
 fn main() {
     println!("== Transparent Forwarders quickstart ==");
     println!("Generating a 1:1000-scale Internet (deterministic, seeded)...");
-    let config = inetgen::GenConfig { scale: 1_000, ..inetgen::GenConfig::default() };
+    let config = inetgen::GenConfig {
+        scale: 1_000,
+        ..inetgen::GenConfig::default()
+    };
     let mut internet = inetgen::generate(&config);
     println!(
         "  {} ODNS hosts planted across {} countries; {} scan targets (incl. duds)",
@@ -25,12 +28,18 @@ fn main() {
     println!("\n{}", analysis::report::table1(&census).render());
 
     println!("Scan hygiene:");
-    println!("  probes without response : {}", census.discarded(scanner::Discard::NoResponse));
+    println!(
+        "  probes without response : {}",
+        census.discarded(scanner::Discard::NoResponse)
+    );
     println!(
         "  manipulated responses    : {}",
         census.discarded(scanner::Discard::ControlRecordViolated)
     );
-    println!("  unmatched/duplicate      : {}", census.unmatched_responses);
+    println!(
+        "  unmatched/duplicate      : {}",
+        census.unmatched_responses
+    );
 
     let share = census.share(OdnsClass::TransparentForwarder);
     println!(

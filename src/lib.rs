@@ -22,16 +22,26 @@
 //! ## Quickstart
 //!
 //! ```
-//! use transparent_forwarders::quick_census;
+//! use transparent_forwarders::{quick_census, quick_census_sharded};
 //!
 //! // A small but complete Internet-wide census (seeded, deterministic).
 //! let summary = quick_census(2_000);
 //! assert!(summary.transparent > 0);
 //! assert!(summary.transparent_share > 0.10);
+//!
+//! // The same census, partitioned into 4 prefix shards driven on a
+//! // worker-thread pool. Classification counts are identical for any
+//! // shard count on the same seed.
+//! let sharded = quick_census_sharded(2_000, 4);
+//! assert_eq!(sharded, summary);
 //! ```
 //!
-//! See `examples/` for the full experiment walk-throughs and
-//! `crates/bench/benches/` for the per-table/figure regenerations.
+//! Sharding is how the reproduction scales: `quick_census(scale)` is
+//! `quick_census_sharded(scale, 1)` by construction, and larger censuses
+//! pick a shard count near the machine's core count (see the
+//! `shard_scaling` bench). See `examples/` for the full experiment
+//! walk-throughs and `crates/bench/benches/` for the per-table/figure
+//! regenerations.
 
 pub use analysis;
 pub use dnsroute;
@@ -62,9 +72,35 @@ pub struct CensusSummary {
 /// population; larger = smaller world), run the transactional census, and
 /// summarize. Deterministic for a fixed scale.
 pub fn quick_census(scale: u32) -> CensusSummary {
-    let config = inetgen::GenConfig { scale, ..inetgen::GenConfig::default() };
+    let config = inetgen::GenConfig {
+        scale,
+        ..inetgen::GenConfig::default()
+    };
     let mut internet = inetgen::generate(&config);
-    let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
+    summarize(&analysis::run_census(
+        &mut internet,
+        &ClassifierConfig::default(),
+    ))
+}
+
+/// The sharded census: partition the world into `shards` disjoint prefix
+/// shards, generate and scan every shard on a worker-thread pool, and
+/// correlate the merged record streams offline. Produces identical
+/// classification counts to [`quick_census`] at any shard count for the
+/// same scale — sharding changes wall-clock time, never results.
+pub fn quick_census_sharded(scale: u32, shards: u32) -> CensusSummary {
+    let config = inetgen::GenConfig {
+        scale,
+        ..inetgen::GenConfig::default()
+    };
+    summarize(&analysis::run_census_sharded(
+        &config,
+        shards,
+        &ClassifierConfig::default(),
+    ))
+}
+
+fn summarize(census: &analysis::Census) -> CensusSummary {
     CensusSummary {
         odns_total: census.odns_total(),
         transparent: census.count(OdnsClass::TransparentForwarder),

@@ -28,7 +28,12 @@ fn spoofed_queries_amplify_at_the_victim() {
     let attacker_spoof_src = victim_ip;
 
     // Pick transparent forwarders as diffusers.
-    let diffusers: Vec<_> = internet.truth.transparent_ips().into_iter().take(40).collect();
+    let diffusers: Vec<_> = internet
+        .truth
+        .transparent_ips()
+        .into_iter()
+        .take(40)
+        .collect();
     assert!(diffusers.len() >= 20, "need diffusers: {}", diffusers.len());
 
     // ANY queries maximize the response size (§6: "Google allows ANY").
@@ -73,7 +78,10 @@ fn spoofed_queries_amplify_at_the_victim() {
     let received: usize = victim.datagrams.iter().map(|(_, d)| d.payload.len()).sum();
     let sent = query_len * diffusers.len();
     let factor = received as f64 / sent as f64;
-    assert!(factor > 1.0, "responses must be larger than queries (factor {factor:.2})");
+    assert!(
+        factor > 1.0,
+        "responses must be larger than queries (factor {factor:.2})"
+    );
 
     // Invisibility: no response names a forwarder — they all come from
     // resolver addresses, so the victim cannot identify the diffusers.

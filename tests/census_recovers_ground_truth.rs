@@ -15,7 +15,10 @@ fn census_recovers_planted_population() {
     let planted_recursive = internet.truth.count(PlantedClass::RecursiveForwarder);
     let planted_resolvers = internet.truth.count(PlantedClass::RecursiveResolver);
     let planted_manipulated = internet.truth.count(PlantedClass::ManipulatedForwarder);
-    assert!(planted_transparent > 100, "world too small: {planted_transparent}");
+    assert!(
+        planted_transparent > 100,
+        "world too small: {planted_transparent}"
+    );
 
     let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
 
@@ -53,8 +56,12 @@ fn census_recovers_planted_population() {
 fn classification_is_correct_per_host_not_just_in_aggregate() {
     let config = GenConfig::test_small();
     let mut internet = generate(&config);
-    let truth: std::collections::HashMap<std::net::Ipv4Addr, PlantedClass> =
-        internet.truth.hosts.iter().map(|h| (h.ip, h.class)).collect();
+    let truth: std::collections::HashMap<std::net::Ipv4Addr, PlantedClass> = internet
+        .truth
+        .hosts
+        .iter()
+        .map(|h| (h.ip, h.class))
+        .collect();
 
     let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
 
@@ -62,7 +69,10 @@ fn classification_is_correct_per_host_not_just_in_aggregate() {
     for row in &census.rows {
         let Some(found) = row.class() else { continue };
         let Some(&planted) = truth.get(&row.target) else {
-            mismatches.push(format!("{}: classified {found} but nothing planted", row.target));
+            mismatches.push(format!(
+                "{}: classified {found} but nothing planted",
+                row.target
+            ));
             continue;
         };
         let expected = match planted {
@@ -70,12 +80,18 @@ fn classification_is_correct_per_host_not_just_in_aggregate() {
             PlantedClass::RecursiveForwarder => OdnsClass::RecursiveForwarder,
             PlantedClass::RecursiveResolver => OdnsClass::RecursiveResolver,
             PlantedClass::ManipulatedForwarder => {
-                mismatches.push(format!("{}: manipulated host classified as {found}", row.target));
+                mismatches.push(format!(
+                    "{}: manipulated host classified as {found}",
+                    row.target
+                ));
                 continue;
             }
         };
         if found != expected {
-            mismatches.push(format!("{}: planted {planted:?}, classified {found}", row.target));
+            mismatches.push(format!(
+                "{}: planted {planted:?}, classified {found}",
+                row.target
+            ));
         }
     }
     assert!(
@@ -100,7 +116,10 @@ fn relaxed_classifier_counts_like_shadowserver() {
     let relaxed = analysis::run_census(&mut relaxed_world, &ClassifierConfig::relaxed());
 
     let planted_manipulated = strict_world.truth.count(PlantedClass::ManipulatedForwarder);
-    assert!(planted_manipulated > 0, "world must contain manipulated hosts");
+    assert!(
+        planted_manipulated > 0,
+        "world must contain manipulated hosts"
+    );
     assert_eq!(
         relaxed.odns_total(),
         strict.odns_total() + planted_manipulated,

@@ -21,16 +21,31 @@ fn path_length_ordering_cloudflare_google_opendns() {
     let mut internet = generate(&config);
     let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
     let targets = census.transparent_targets();
-    assert!(targets.len() > 100, "need a meaningful sweep: {}", targets.len());
+    assert!(
+        targets.len() > 100,
+        "need a meaningful sweep: {}",
+        targets.len()
+    );
 
-    let traces =
-        run_dnsroute(&mut internet.sim, internet.fixtures.scanner, DnsRouteConfig::new(targets));
+    let traces = run_dnsroute(
+        &mut internet.sim,
+        internet.fixtures.scanner,
+        DnsRouteConfig::new(targets),
+    );
     let (paths, stats) = sanitize(&traces);
-    assert!(stats.kept > 100, "sanitization kept {} of {}", stats.kept, stats.total());
+    assert!(
+        stats.kept > 100,
+        "sanitization kept {} of {}",
+        stats.kept,
+        stats.total()
+    );
 
     let (projects, _other) = analysis::figure6_by_project(&paths, &internet.geo);
     let mean = |p: ResolverProject| -> Option<f64> {
-        projects.iter().find(|x| x.project == p).map(|x| x.mean_hops())
+        projects
+            .iter()
+            .find(|x| x.project == p)
+            .map(|x| x.mean_hops())
     };
     let cf = mean(ResolverProject::Cloudflare).expect("cloudflare paths");
     let google = mean(ResolverProject::Google).expect("google paths");
@@ -43,9 +58,18 @@ fn path_length_ordering_cloudflare_google_opendns() {
     // Absolute hops vary with the sampled AS structure (small worlds are
     // high-variance); the paper-matching property is the ordering plus
     // plausible magnitudes.
-    assert!((3.0..9.0).contains(&cf), "Cloudflare mean {cf:.1} plausible");
-    assert!((4.0..11.0).contains(&google), "Google mean {google:.1} plausible");
-    assert!((5.0..14.0).contains(&opendns), "OpenDNS mean {opendns:.1} plausible");
+    assert!(
+        (3.0..9.0).contains(&cf),
+        "Cloudflare mean {cf:.1} plausible"
+    );
+    assert!(
+        (4.0..11.0).contains(&google),
+        "Google mean {google:.1} plausible"
+    );
+    assert!(
+        (5.0..14.0).contains(&opendns),
+        "OpenDNS mean {opendns:.1} plausible"
+    );
 
     // CDFs are well-formed and distinguishable at the median.
     for p in &projects {
@@ -78,15 +102,29 @@ fn classic_traceroute_ablation_sees_nothing_beyond() {
         dnsroute::DnsRouteConfig::classic(targets.clone()),
     );
     // The forwarders are still located...
-    let located = classic.iter().filter(|t| t.target_seen_at.is_some()).count();
-    assert_eq!(located, targets.len(), "classic traceroute still finds the targets");
+    let located = classic
+        .iter()
+        .filter(|t| t.target_seen_at.is_some())
+        .count();
+    assert_eq!(
+        located,
+        targets.len(),
+        "classic traceroute still finds the targets"
+    );
     // ...but nothing beyond them is ever observed.
     for t in &classic {
-        assert!(t.dns.is_none(), "{}: classic mode must never reach the resolver", t.target);
+        assert!(
+            t.dns.is_none(),
+            "{}: classic mode must never reach the resolver",
+            t.target
+        );
         assert!(t.hops_beyond_target().is_empty());
     }
     let (paths, stats) = sanitize(&classic);
-    assert!(paths.is_empty(), "no Figure 6 data without continuing past the target");
+    assert!(
+        paths.is_empty(),
+        "no Figure 6 data without continuing past the target"
+    );
     assert_eq!(stats.rejected_no_answer, targets.len());
 
     // The full tool on the same world sees every path.
@@ -112,16 +150,18 @@ fn as_relationship_inference_over_real_sweep() {
     let mut internet = generate(&config);
     let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
     let targets = census.transparent_targets();
-    let traces =
-        run_dnsroute(&mut internet.sim, internet.fixtures.scanner, DnsRouteConfig::new(targets));
+    let traces = run_dnsroute(
+        &mut internet.sim,
+        internet.fixtures.scanner,
+        DnsRouteConfig::new(targets),
+    );
     let (paths, _) = sanitize(&traces);
     assert!(!paths.is_empty());
 
     // CAIDA-like baseline: 85 % of the true provider-customer pairs are
     // "already classified"; the remainder can be newly discovered.
     let truth: Vec<(u32, u32)> = internet.sim.topology().provider_customer_pairs().to_vec();
-    let known: BTreeSet<(u32, u32)> =
-        truth.iter().take(truth.len() * 85 / 100).copied().collect();
+    let known: BTreeSet<(u32, u32)> = truth.iter().take(truth.len() * 85 / 100).copied().collect();
 
     let (report, known_hits, new_pairs) =
         analysis::as_relationship_report(&paths, &internet.geo, &known);

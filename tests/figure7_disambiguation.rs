@@ -26,11 +26,22 @@ fn same_resolver_two_forwarders_disambiguated() {
 
     // Find two planted transparent forwarders relaying to Google; if the
     // mix gave fewer, retarget the first two.
-    let targets: Vec<Ipv4Addr> =
-        internet.truth.transparent_ips().into_iter().take(2).collect();
+    let targets: Vec<Ipv4Addr> = internet
+        .truth
+        .transparent_ips()
+        .into_iter()
+        .take(2)
+        .collect();
     assert_eq!(targets.len(), 2, "need two transparent forwarders");
-    for h in internet.truth.hosts.iter().filter(|h| targets.contains(&h.ip)) {
-        internet.sim.install(h.node, TransparentForwarder::new(google));
+    for h in internet
+        .truth
+        .hosts
+        .iter()
+        .filter(|h| targets.contains(&h.ip))
+    {
+        internet
+            .sim
+            .install(h.node, TransparentForwarder::new(google));
     }
 
     // Probe both, 250 simulated seconds apart, so the second answer has a
@@ -38,11 +49,18 @@ fn same_resolver_two_forwarders_disambiguated() {
     let mut cfg = ScanConfig::new(targets.clone());
     cfg.inter_probe_gap = SimDuration::from_secs(250);
     let scanner_node = internet.fixtures.scanner;
-    internet.sim.install(scanner_node, TransactionalScanner::new(cfg));
-    internet.sim.schedule_timer(scanner_node, SimDuration::ZERO, u64::MAX);
+    internet
+        .sim
+        .install(scanner_node, TransactionalScanner::new(cfg));
+    internet
+        .sim
+        .schedule_timer(scanner_node, SimDuration::ZERO, u64::MAX);
     internet.sim.run();
-    let outcome =
-        internet.sim.host_as::<TransactionalScanner>(scanner_node).unwrap().outcome();
+    let outcome = internet
+        .sim
+        .host_as::<TransactionalScanner>(scanner_node)
+        .unwrap()
+        .outcome();
 
     assert_eq!(outcome.transactions.len(), 2);
     let t1 = &outcome.transactions[0];
@@ -56,7 +74,10 @@ fn same_resolver_two_forwarders_disambiguated() {
         (t1.probe.src_port, t1.probe.txid),
         (t2.probe.src_port, t2.probe.txid)
     );
-    assert_eq!(outcome.unmatched_responses, 0, "no ambiguity despite one source");
+    assert_eq!(
+        outcome.unmatched_responses, 0,
+        "no ambiguity despite one source"
+    );
 
     // Figure 7's TTL signal: first answer fresh (300), second from cache.
     let ttl_of = |t: &scanner::Transaction| -> u32 {
@@ -64,5 +85,9 @@ fn same_resolver_two_forwarders_disambiguated() {
         m.answers[0].ttl
     };
     assert_eq!(ttl_of(t1), odns::study::ANSWER_TTL);
-    assert_eq!(ttl_of(t2), odns::study::ANSWER_TTL - 250, "cache decayed by the probe gap");
+    assert_eq!(
+        ttl_of(t2),
+        odns::study::ANSWER_TTL - 250,
+        "cache decayed by the probe gap"
+    );
 }

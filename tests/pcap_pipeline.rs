@@ -24,7 +24,10 @@ fn census_from_capture_matches_in_memory_census() {
         scanner_node,
         ScanConfig::new(internet.targets.clone()),
     );
-    let pcap = internet.sim.take_capture(scanner_node).expect("capture enabled");
+    let pcap = internet
+        .sim
+        .take_capture(scanner_node)
+        .expect("capture enabled");
     assert!(!pcap.is_empty());
 
     // Rebuild transactions from the capture only.
@@ -48,7 +51,10 @@ fn census_from_capture_matches_in_memory_census() {
 
     // And both recover the planted truth.
     let planted_transparent = internet.truth.count(PlantedClass::TransparentForwarder);
-    assert_eq!(census_pcap.count(scanner::OdnsClass::TransparentForwarder), planted_transparent);
+    assert_eq!(
+        census_pcap.count(scanner::OdnsClass::TransparentForwarder),
+        planted_transparent
+    );
 }
 
 #[test]

@@ -28,10 +28,17 @@ fn identical_tuples_are_ambiguous_behind_one_resolver() {
     };
     let mut internet = generate(&config);
     let google = ResolverProject::Google.service_ip();
-    let fwds: Vec<Ipv4Addr> = internet.truth.transparent_ips().into_iter().take(2).collect();
+    let fwds: Vec<Ipv4Addr> = internet
+        .truth
+        .transparent_ips()
+        .into_iter()
+        .take(2)
+        .collect();
     assert_eq!(fwds.len(), 2);
     for h in internet.truth.hosts.iter().filter(|h| fwds.contains(&h.ip)) {
-        internet.sim.install(h.node, TransparentForwarder::new(google));
+        internet
+            .sim
+            .install(h.node, TransparentForwarder::new(google));
     }
 
     // A naive scanner: same source port, same TXID for both probes.
@@ -44,8 +51,12 @@ fn identical_tuples_are_ambiguous_behind_one_resolver() {
     let t0 = naive.push(UdpSend::new(34_000, fwds[0], 53, query.clone()));
     let t1 = naive.push(UdpSend::new(34_000, fwds[1], 53, query));
     internet.sim.install(scanner_node, naive);
-    internet.sim.schedule_timer(scanner_node, SimDuration::ZERO, t0);
-    internet.sim.schedule_timer(scanner_node, SimDuration::from_micros(100), t1);
+    internet
+        .sim
+        .schedule_timer(scanner_node, SimDuration::ZERO, t0);
+    internet
+        .sim
+        .schedule_timer(scanner_node, SimDuration::from_micros(100), t1);
     internet.sim.run();
 
     let sc: &ScriptedClient = internet.sim.host_as(scanner_node).unwrap();
@@ -92,7 +103,10 @@ fn query_encoding_pollutes_resolver_caches() {
         scan.naming = naming;
         let _ = scanner::run_scan(&mut internet.sim, internet.fixtures.scanner, scan);
         let resolver: &RecursiveResolver = internet.sim.host_as(local_resolver).unwrap();
-        (resolver.cache().stats.insertions, resolver.cache().stats.evictions)
+        (
+            resolver.cache().stats.insertions,
+            resolver.cache().stats.evictions,
+        )
     }
 
     let (static_insertions, static_evictions) = pollution(ProbeNaming::Static);
@@ -174,7 +188,10 @@ fn query_encoding_evicts_legitimate_entries() {
                 41_000 + i,
                 RESOLVER,
                 53,
-                MessageBuilder::query(100 + i, name, RrType::A).recursion_desired(true).build().encode(),
+                MessageBuilder::query(100 + i, name, RrType::A)
+                    .recursion_desired(true)
+                    .build()
+                    .encode(),
             ),
         ));
     }

@@ -26,8 +26,12 @@ fn lossy_network_degrades_coverage_not_correctness() {
     // (Faults are a SimConfig property; regenerate with the same seed and
     // patch the config by reconstructing the simulator is not exposed, so
     // we inject faults via the public SimConfig on generation instead.)
-    let truth: HashMap<std::net::Ipv4Addr, PlantedClass> =
-        internet.truth.hosts.iter().map(|h| (h.ip, h.class)).collect();
+    let truth: HashMap<std::net::Ipv4Addr, PlantedClass> = internet
+        .truth
+        .hosts
+        .iter()
+        .map(|h| (h.ip, h.class))
+        .collect();
 
     // Directly run the scan with fault injection enabled in the simulator.
     internet.sim.set_faults(FaultConfig {
@@ -38,7 +42,10 @@ fn lossy_network_degrades_coverage_not_correctness() {
     });
     let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
 
-    let planted = truth.values().filter(|c| **c == PlantedClass::TransparentForwarder).count();
+    let planted = truth
+        .values()
+        .filter(|c| **c == PlantedClass::TransparentForwarder)
+        .count();
     let found = census.count(OdnsClass::TransparentForwarder);
     assert!(found > 0, "some transparent forwarders survive the loss");
     assert!(found <= planted, "loss can only reduce the count");
@@ -89,7 +96,10 @@ fn duplicates_never_inflate_counts() {
         planted_odns,
         "duplication must not create phantom ODNS components"
     );
-    assert!(census.unmatched_responses > 0, "duplicates show up as unmatched responses");
+    assert!(
+        census.unmatched_responses > 0,
+        "duplicates show up as unmatched responses"
+    );
 }
 
 #[test]
@@ -106,8 +116,12 @@ fn corruption_discards_but_never_misleads() {
         corrupt_probability: 0.20, // every fifth packet flips a bit
         max_jitter: SimDuration::ZERO,
     });
-    let truth: HashMap<std::net::Ipv4Addr, PlantedClass> =
-        internet.truth.hosts.iter().map(|h| (h.ip, h.class)).collect();
+    let truth: HashMap<std::net::Ipv4Addr, PlantedClass> = internet
+        .truth
+        .hosts
+        .iter()
+        .map(|h| (h.ip, h.class))
+        .collect();
     let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
 
     for row in &census.rows {
@@ -128,9 +142,17 @@ fn corruption_discards_but_never_misleads() {
             None => panic!("{}: phantom classification", row.target),
         }
     }
-    assert!(internet.sim.stats().corrupted > 0, "corruption must have been injected");
+    assert!(
+        internet.sim.stats().corrupted > 0,
+        "corruption must have been injected"
+    );
     // Coverage degrades with loss, which is all corruption can do.
-    let planted_odns =
-        truth.values().filter(|c| **c != PlantedClass::ManipulatedForwarder).count();
-    assert!(census.odns_total() < planted_odns, "20% corruption must cost coverage");
+    let planted_odns = truth
+        .values()
+        .filter(|c| **c != PlantedClass::ManipulatedForwarder)
+        .count();
+    assert!(
+        census.odns_total() < planted_odns,
+        "20% corruption must cost coverage"
+    );
 }

@@ -11,9 +11,7 @@
 //! ```
 
 use inetgen::{generate, CountrySelection, GenConfig};
-use scanner::{
-    run_campaign, Campaign, CampaignConfig, HoneypotSensor, SensorKind,
-};
+use scanner::{run_campaign, Campaign, CampaignConfig, HoneypotSensor, SensorKind};
 use std::net::Ipv4Addr;
 
 fn detection_row(campaign: Campaign) -> (bool, bool, bool, bool) {
@@ -28,22 +26,28 @@ fn detection_row(campaign: Campaign) -> (bool, bool, bool, bool) {
     let a = internet.fixtures.sensor_addrs;
     let google = odns::ResolverProject::Google.service_ip();
 
-    internet
-        .sim
-        .install(internet.fixtures.sensor1, HoneypotSensor::new(SensorKind::RecursiveResolver, google));
+    internet.sim.install(
+        internet.fixtures.sensor1,
+        HoneypotSensor::new(SensorKind::RecursiveResolver, google),
+    );
     internet.sim.install(
         internet.fixtures.sensor2,
         HoneypotSensor::new(SensorKind::InteriorForwarder { reply_from: a.ip3 }, google),
     );
-    internet
-        .sim
-        .install(internet.fixtures.sensor3, HoneypotSensor::new(SensorKind::ExteriorForwarder, google));
+    internet.sim.install(
+        internet.fixtures.sensor3,
+        HoneypotSensor::new(SensorKind::ExteriorForwarder, google),
+    );
 
     // The campaign probes all four sensor addresses (among everything else
     // it would scan; the rest is irrelevant for the matrix).
     let targets: Vec<Ipv4Addr> = vec![a.ip1, a.ip2, a.ip3, a.ip4];
     let node = internet.fixtures.campaign_scanners[0];
-    let report = run_campaign(&mut internet.sim, node, CampaignConfig::new(campaign, targets));
+    let report = run_campaign(
+        &mut internet.sim,
+        node,
+        CampaignConfig::new(campaign, targets),
+    );
 
     (
         report.odns.contains(&a.ip1),
@@ -57,9 +61,18 @@ fn detection_row(campaign: Campaign) -> (bool, bool, bool, bool) {
 fn shadowserver_row() {
     let (ip1, ip2, ip3, ip4) = detection_row(Campaign::Shadowserver);
     assert!(ip1, "baseline recursive-resolver sensor must be found");
-    assert!(!ip2, "the probed address of the interior forwarder is missed");
-    assert!(ip3, "the *replying* address is reported instead (stateless processing)");
-    assert!(!ip4, "the exterior forwarder is invisible: its answers come from Google");
+    assert!(
+        !ip2,
+        "the probed address of the interior forwarder is missed"
+    );
+    assert!(
+        ip3,
+        "the *replying* address is reported instead (stateless processing)"
+    );
+    assert!(
+        !ip4,
+        "the exterior forwarder is invisible: its answers come from Google"
+    );
 }
 
 #[test]
@@ -92,16 +105,18 @@ fn transactional_scan_finds_all_sensors() {
     let mut internet = generate(&config);
     let a = internet.fixtures.sensor_addrs;
     let google = odns::ResolverProject::Google.service_ip();
-    internet
-        .sim
-        .install(internet.fixtures.sensor1, HoneypotSensor::new(SensorKind::RecursiveResolver, google));
+    internet.sim.install(
+        internet.fixtures.sensor1,
+        HoneypotSensor::new(SensorKind::RecursiveResolver, google),
+    );
     internet.sim.install(
         internet.fixtures.sensor2,
         HoneypotSensor::new(SensorKind::InteriorForwarder { reply_from: a.ip3 }, google),
     );
-    internet
-        .sim
-        .install(internet.fixtures.sensor3, HoneypotSensor::new(SensorKind::ExteriorForwarder, google));
+    internet.sim.install(
+        internet.fixtures.sensor3,
+        HoneypotSensor::new(SensorKind::ExteriorForwarder, google),
+    );
 
     let outcome = scanner::run_scan(
         &mut internet.sim,
@@ -116,7 +131,11 @@ fn transactional_scan_finds_all_sensors() {
     // Sensor 1 answers from the probed address but resolves via Google
     // (the paper's sensors all do, §3.1), so the transactional method
     // correctly sees a recursive *forwarder* at IP1.
-    assert_eq!(verdicts[0], Some(scanner::OdnsClass::RecursiveForwarder), "sensor 1 at IP1");
+    assert_eq!(
+        verdicts[0],
+        Some(scanner::OdnsClass::RecursiveForwarder),
+        "sensor 1 at IP1"
+    );
     assert_eq!(
         verdicts[1],
         Some(scanner::OdnsClass::TransparentForwarder),

@@ -1,0 +1,200 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! implements the subset of the criterion API the `bench` crate uses:
+//! benchmark groups, `bench_function` with a [`Bencher`], throughput
+//! annotation, and configurable warm-up / measurement windows. Instead of
+//! criterion's statistical machinery it reports the arithmetic mean over
+//! a timed measurement window — adequate for the comparative "who wins,
+//! by what factor" readouts the EXPERIMENTS notes rely on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-per-iteration annotation for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Target measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up window before measurement.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Print the closing summary (no-op in this stand-in; per-benchmark
+    /// lines are printed as they complete).
+    pub fn final_summary(&self) {}
+}
+
+/// A named set of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with work-per-iteration.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            warm_up_time: self.criterion.warm_up_time,
+            measurement_time: self.criterion.measurement_time,
+            sample_size: self.criterion.sample_size,
+            mean: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        let mean = bencher.mean;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                format!("  thrpt: {:>12.0} elem/s", n as f64 / mean.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                format!("  thrpt: {:>12.0} B/s", n as f64 / mean.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{:<32} time: {:>12?}  ({} iters){}",
+            self.name, id, mean, bencher.iterations, rate
+        );
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Runs and times the measured closure.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    mean: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Time `f`, first warming up, then iterating until the measurement
+    /// window (or the sample budget for slow bodies) is exhausted.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: at least one call, until the window elapses.
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let mut total = Duration::ZERO;
+        let mut n: u64 = 0;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measurement_time
+            && (n as usize) < self.sample_size * 1_000_000
+        {
+            let t0 = Instant::now();
+            black_box(f());
+            total += t0.elapsed();
+            n += 1;
+            // Slow bodies: stop after sample_size iterations even if the
+            // window has budget left, mirroring criterion's adaptive plan.
+            if (n as usize) >= self.sample_size && total >= self.measurement_time {
+                break;
+            }
+        }
+        self.mean = if n == 0 {
+            Duration::ZERO
+        } else {
+            total / u32::try_from(n).unwrap_or(u32::MAX)
+        };
+        self.iterations = n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_nonzero_mean() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(100));
+        let mut ran = 0u64;
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box((0..1000u32).sum::<u32>())
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+        c.final_summary();
+    }
+}

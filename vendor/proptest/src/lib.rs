@@ -1,0 +1,401 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x API this workspace uses:
+//! the [`proptest!`] macro, [`Strategy`] with `prop_map` /
+//! `prop_filter_map` / `prop_flat_map` / `prop_filter`, [`any`], [`Just`],
+//! [`prop_oneof!`], [`collection`] (`vec`, `btree_set`), [`option::of`],
+//! string-pattern strategies for simple character-class regexes, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from real proptest: no shrinking (a failing case reports
+//! its inputs and seed instead), and case generation is deterministic per
+//! test name — rerunning a failed test replays the identical cases.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+
+/// Everything a test file needs.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        ProptestConfig, TestCaseError,
+    };
+}
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// The RNG driving case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Deterministic per (test-name, case-index) stream.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(SmallRng::seed_from_u64(
+            h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    /// Uniform u64.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.gen_range(0u64..=u64::MAX)
+    }
+
+    /// Uniform index in `[0, bound)`. `bound` must be nonzero.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.0.gen_range(0..bound)
+    }
+
+    /// Uniform in `[lo, hi]`.
+    pub fn usize_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        self.0.gen_range(lo..=hi)
+    }
+
+    /// Fair coin.
+    pub fn coin(&mut self) -> bool {
+        self.0.gen_bool(0.5)
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    /// Human-readable failure description.
+    pub message: String,
+}
+
+impl TestCaseError {
+    /// An assertion failure.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+
+    /// An input rejection (treated like failure in this stand-in).
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Types with a canonical strategy, used via [`any`].
+pub trait Arbitrary: Sized + Debug {
+    /// Generate one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.coin()
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+/// Strategy wrapper produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// ---- Ranges are strategies -------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let draw = (rng.next_u64() as u128) % span;
+                self.start.wrapping_add(draw as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "strategy range is empty");
+                let span = (end as u128).wrapping_sub(start as u128).wrapping_add(1);
+                let draw = (rng.next_u64() as u128) % span;
+                start.wrapping_add(draw as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---- Tuples of strategies --------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+// ---- Macros ----------------------------------------------------------------
+
+/// Assert inside a proptest body; failure aborts only the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion with value reporting.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), l, r
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion with value reporting.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left), stringify!($right), l
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  both: {:?}",
+                format!($($fmt)+), l
+            )));
+        }
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// The test-definition macro. Parses an optional
+/// `#![proptest_config(...)]` header followed by `#[test] fn` items whose
+/// arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal muncher for [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($config:expr);) => {};
+    (config = ($config:expr);
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let test_name = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..u64::from(config.cases) {
+                let mut rng = $crate::TestRng::for_case(test_name, case);
+                let mut inputs: Vec<String> = Vec::new();
+                $(
+                    let value = $crate::Strategy::generate(&($strategy), &mut rng);
+                    inputs.push(format!("{} = {:?}", stringify!($arg), &value));
+                    let $arg = value;
+                )+
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                    (move || -> ::core::result::Result<(), $crate::TestCaseError> {
+                        { $body }
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {}/{} failed: {}\ninputs:\n  {}",
+                        case + 1,
+                        config.cases,
+                        e,
+                        inputs.join("\n  ")
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn deterministic_generation() {
+        let s = crate::collection::vec(0u32..100, 3..10);
+        let mut a = crate::TestRng::for_case("x", 1);
+        let mut b = crate::TestRng::for_case("x", 1);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    #[test]
+    fn union_picks_every_arm() {
+        let u = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = crate::TestRng::for_case("arms", 0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(u.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn string_pattern_generates_matching() {
+        let s: &str = "[a-z]{1,10}\\.[a-z]{1,6}";
+        let mut rng = crate::TestRng::for_case("re", 0);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            let parts: Vec<&str> = v.split('.').collect();
+            assert_eq!(parts.len(), 2, "{v}");
+            assert!((1..=10).contains(&parts[0].len()), "{v}");
+            assert!((1..=6).contains(&parts[1].len()), "{v}");
+            assert!(v.chars().all(|c| c == '.' || c.is_ascii_lowercase()), "{v}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_smoke(x in 0u32..100, v in crate::collection::vec(any::<u8>(), 0..5)) {
+            prop_assert!(x < 100);
+            prop_assert!(v.len() < 5);
+        }
+
+        #[test]
+        fn early_return_ok(flag in any::<bool>()) {
+            if flag {
+                return Ok(());
+            }
+            prop_assert!(!flag);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! `Option` strategies.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// 50/50 `None` / `Some(inner)`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.coin() {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! String strategies from simple regex-like patterns.
+//!
+//! `&'static str` implements [`Strategy`] (producing `String`), matching
+//! proptest's regex-string support for the pattern subset this workspace
+//! uses: literal characters, `\`-escapes, character classes with ranges
+//! (`[a-z0-9_]`), and `{m}` / `{m,n}` / `?` / `*` / `+` quantifiers.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>), // inclusive ranges
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    loop {
+        let c = chars.next().expect("unterminated character class");
+        if c == ']' {
+            break;
+        }
+        let lo = if c == '\\' {
+            chars.next().expect("dangling escape in class")
+        } else {
+            c
+        };
+        if chars.peek() == Some(&'-') {
+            chars.next();
+            match chars.peek() {
+                Some(&']') | None => {
+                    // Trailing '-' is a literal.
+                    ranges.push((lo, lo));
+                    ranges.push(('-', '-'));
+                }
+                Some(&hi) => {
+                    chars.next();
+                    let hi = if hi == '\\' {
+                        chars.next().expect("dangling escape in class")
+                    } else {
+                        hi
+                    };
+                    assert!(lo <= hi, "descending class range");
+                    ranges.push((lo, hi));
+                }
+            }
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    assert!(!ranges.is_empty(), "empty character class");
+    ranges
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                body.push(c);
+            }
+            if let Some((m, n)) = body.split_once(',') {
+                let m: usize = m.trim().parse().expect("bad {m,n} quantifier");
+                let n: usize = n.trim().parse().expect("bad {m,n} quantifier");
+                assert!(m <= n, "descending quantifier");
+                (m, n)
+            } else {
+                let m: usize = body.trim().parse().expect("bad {m} quantifier");
+                (m, m)
+            }
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '\\' => Atom::Literal(chars.next().expect("dangling escape")),
+            '.' => Atom::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9')]),
+            other => Atom::Literal(other),
+        };
+        let (min, max) = parse_quantifier(&mut chars);
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse(self);
+        let mut out = String::new();
+        for p in &pieces {
+            let count = rng.usize_inclusive(p.min, p.max);
+            for _ in 0..count {
+                match &p.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        let total: u32 = ranges
+                            .iter()
+                            .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                            .sum();
+                        let mut draw = (rng.next_u64() % u64::from(total)) as u32;
+                        for (lo, hi) in ranges {
+                            let span = *hi as u32 - *lo as u32 + 1;
+                            if draw < span {
+                                out.push(char::from_u32(*lo as u32 + draw).expect("valid char"));
+                                break;
+                            }
+                            draw -= span;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
