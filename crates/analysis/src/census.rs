@@ -292,7 +292,7 @@ mod tests {
                 received_at: netsim::SimTime(100),
                 src: response_src,
                 dst_port: 33000,
-                payload: resp.encode(),
+                payload: resp.encode().into(),
             }),
         }
     }

@@ -105,7 +105,7 @@ mod tests {
             src_port: 33000,
             dst_port: 53,
             ttl: 64,
-            payload: query_bytes(7),
+            payload: query_bytes(7).into(),
         };
         w.write(SimTime(0), &encode_udp(&probe, 1));
         // Response from the resolver (transparent forwarder!) at t=40ms.
@@ -115,7 +115,7 @@ mod tests {
             src_port: 53,
             dst_port: 33000,
             ttl: 60,
-            payload: response_bytes(7),
+            payload: response_bytes(7).into(),
         };
         w.write(SimTime(40_000), &encode_udp(&resp, 2));
         w.finish()
@@ -143,7 +143,7 @@ mod tests {
             src_port: 33000,
             dst_port: 53,
             ttl: 64,
-            payload: query_bytes(9),
+            payload: query_bytes(9).into(),
         };
         w.write(SimTime(0), &encode_udp(&probe, 1));
         let resp = Datagram {
@@ -152,7 +152,7 @@ mod tests {
             src_port: 53,
             dst_port: 33000,
             ttl: 60,
-            payload: response_bytes(9),
+            payload: response_bytes(9).into(),
         };
         w.write(SimTime(25_000_000), &encode_udp(&resp, 2)); // 25 s
         let outcome = outcome_from_pcap(&w.finish(), SimDuration::from_secs(20)).unwrap();
@@ -169,7 +169,7 @@ mod tests {
             src_port: 53,
             dst_port: 40000,
             ttl: 60,
-            payload: response_bytes(1),
+            payload: response_bytes(1).into(),
         };
         w.write(SimTime(0), &encode_udp(&resp, 1));
         let outcome = outcome_from_pcap(&w.finish(), SimDuration::from_secs(20)).unwrap();

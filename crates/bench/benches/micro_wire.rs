@@ -51,7 +51,7 @@ fn bench_ip_codec(c: &mut Criterion) {
         src_port: 33000,
         dst_port: 53,
         ttl: 64,
-        payload: vec![0xAB; 48],
+        payload: vec![0xAB; 48].into(),
     };
     let wire = encode_udp(&dgram, 7);
     let mut group = c.benchmark_group("ip_codec");
@@ -72,7 +72,7 @@ fn bench_pcap(c: &mut Criterion) {
         src_port: 33000,
         dst_port: 53,
         ttl: 64,
-        payload: vec![0xAB; 48],
+        payload: vec![0xAB; 48].into(),
     };
     let wire = encode_udp(&dgram, 7);
     let mut group = c.benchmark_group("pcap");

@@ -238,7 +238,7 @@ impl Host for StudyAuthServer {
             dst: dgram.src,
             dst_port: dgram.src_port,
             ttl: None,
-            payload: response.encode(),
+            payload: response.encode().into(),
         });
     }
 

@@ -9,9 +9,10 @@
 //! argument for response-based probing (§6, "resolvers serving >40k
 //! forwarders would take >40k cache entries").
 
-use dnswire::{DnsName, Rcode, Record, RrType};
+use dnswire::{DnsName, MessageBuilder, Rcode, Record, ResponseTemplate, RrType};
 use netsim::SimTime;
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Cache lookup key.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -31,11 +32,27 @@ pub enum CachedAnswer {
     Negative(Rcode),
 }
 
+/// A cache hit served on the wire-bytes fast path ([`DnsCache::get_wire`]).
+#[derive(Debug)]
+pub enum CachedWire {
+    /// Fully encoded response: txid and RD patched, TTLs decayed.
+    Positive(Vec<u8>),
+    /// Negative result; the caller builds the (rare) error response.
+    Negative(Rcode),
+}
+
 #[derive(Debug, Clone)]
 struct Entry {
     answer: CachedAnswer,
     inserted: SimTime,
     expires: SimTime,
+    /// Lazily built pre-encoded response for this entry — the hot serve
+    /// path patches (txid, RD, TTL) instead of rebuilding and re-encoding
+    /// the whole message per client. The name records the exact question
+    /// casing the template echoes: name matching is case-insensitive
+    /// (0x20 randomization!), so a querier whose casing differs gets a
+    /// freshly built response instead of another client's casing.
+    template: Option<(DnsName, Arc<ResponseTemplate>)>,
 }
 
 /// Counters describing cache effectiveness (Table 2 reproduction).
@@ -140,6 +157,89 @@ impl DnsCache {
         }
     }
 
+    /// Serve `name`/`rtype` at `now` directly as wire bytes, for a
+    /// standard-opcode `IN` query with transaction ID `txid` and RD flag
+    /// `rd`.
+    ///
+    /// Positive hits come back as encoded bytes, byte-identical to the
+    /// `MessageBuilder::response_to(..).recursion_available(true)` path the
+    /// resolvers previously walked per client — but produced with a single
+    /// allocation from a per-entry [`ResponseTemplate`] built on first
+    /// serve. Negative hits return the RCODE for the caller to build (the
+    /// rare path). Stats count exactly like [`DnsCache::get`].
+    pub fn get_wire(
+        &mut self,
+        name: &DnsName,
+        rtype: RrType,
+        now: SimTime,
+        txid: u16,
+        rd: bool,
+    ) -> Option<CachedWire> {
+        let key = CacheKey {
+            name: name.clone(),
+            rtype,
+        };
+        match self.map.get_mut(&key) {
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+            Some(e) if now >= e.expires => {
+                self.stats.misses += 1;
+                self.stats.expirations += 1;
+                self.map.remove(&key);
+                None
+            }
+            Some(e) => {
+                self.stats.hits += 1;
+                let remaining = ((e.expires - now).as_micros() / 1_000_000) as u32;
+                match &e.answer {
+                    CachedAnswer::Negative(rcode) => Some(CachedWire::Negative(*rcode)),
+                    CachedAnswer::Positive(records) => {
+                        let build = |qname: DnsName, answers: &[Record]| {
+                            let mut b = MessageBuilder::query(0, qname, rtype)
+                                .recursion_desired(true)
+                                .build();
+                            b.header.flags.response = true;
+                            b.header.flags.recursion_available = true;
+                            b.answers = answers.to_vec();
+                            b
+                        };
+                        if e.template.is_none() {
+                            let msg = build(key.name.clone(), records);
+                            e.template = ResponseTemplate::from_message(&msg)
+                                .map(|t| (key.name.clone(), Arc::new(t)));
+                        }
+                        match &e.template {
+                            // The question section must echo *this*
+                            // querier's casing exactly; labels() compares
+                            // raw bytes where name equality would not.
+                            Some((tq, t)) if tq.labels() == name.labels() => {
+                                Some(CachedWire::Positive(t.materialize(txid, rd, remaining)))
+                            }
+                            Some(_) => {
+                                // Casing differs from the template (0x20
+                                // randomization): build this response the
+                                // slow way rather than leak another
+                                // client's casing.
+                                let mut msg = build(name.clone(), records);
+                                msg.header.id = txid;
+                                msg.header.flags.recursion_desired = rd;
+                                for r in &mut msg.answers {
+                                    r.ttl = remaining;
+                                }
+                                Some(CachedWire::Positive(msg.encode()))
+                            }
+                            // Un-encodable entry (never built by this
+                            // workspace): let the caller take the slow path.
+                            None => None,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Insert an answer valid for `ttl_secs` starting at `now`.
     pub fn insert(
         &mut self,
@@ -169,6 +269,7 @@ impl DnsCache {
                     answer,
                     inserted: now,
                     expires,
+                    template: None,
                 },
             )
             .is_none()
@@ -228,6 +329,73 @@ mod tests {
         }
         assert_eq!(c.stats.hits, 1);
         assert_eq!(c.stats.misses, 1);
+    }
+
+    #[test]
+    fn get_wire_matches_builder_path_and_decays_ttl() {
+        let mut c = DnsCache::new(4);
+        let n = name("odns-study.example.");
+        c.insert(
+            n.clone(),
+            RrType::A,
+            CachedAnswer::Positive(vec![a_record("odns-study.example.", 300)]),
+            300,
+            SimTime(0),
+        );
+        let ten_s = SimTime(0) + SimDuration::from_secs(10);
+        let Some(CachedWire::Positive(bytes)) = c.get_wire(&n, RrType::A, ten_s, 0xABCD, true)
+        else {
+            panic!("positive wire hit expected");
+        };
+        let m = dnswire::Message::decode(&bytes).unwrap();
+        assert_eq!(m.header.id, 0xABCD);
+        assert!(m.header.flags.recursion_desired);
+        assert!(m.header.flags.recursion_available);
+        assert_eq!(m.answers[0].ttl, 290, "TTL decayed by 10 s");
+        // Second serve with different txid/rd comes from the template.
+        let Some(CachedWire::Positive(bytes2)) = c.get_wire(&n, RrType::A, ten_s, 7, false) else {
+            panic!("template hit expected");
+        };
+        let m2 = dnswire::Message::decode(&bytes2).unwrap();
+        assert_eq!(m2.header.id, 7);
+        assert!(!m2.header.flags.recursion_desired);
+        assert_eq!(m2.answers, m.answers);
+    }
+
+    #[test]
+    fn get_wire_echoes_each_queriers_casing() {
+        // 0x20 case randomization: name matching is case-insensitive, but
+        // the response's question section must echo the querier's exact
+        // bytes, never another client's casing baked into the template.
+        let mut c = DnsCache::new(4);
+        let lower = name("odns-study.example.");
+        let mixed = name("ODNS-Study.EXAMPLE.");
+        c.insert(
+            lower.clone(),
+            RrType::A,
+            CachedAnswer::Positive(vec![a_record("odns-study.example.", 300)]),
+            300,
+            SimTime(0),
+        );
+        // Warm the template with the lowercase querier.
+        let Some(CachedWire::Positive(first)) = c.get_wire(&lower, RrType::A, SimTime(1), 1, true)
+        else {
+            panic!("hit expected");
+        };
+        assert_eq!(
+            dnswire::Message::decode(&first).unwrap().questions[0]
+                .qname
+                .to_string(),
+            "odns-study.example."
+        );
+        // The mixed-case querier must see its own casing echoed.
+        let Some(CachedWire::Positive(second)) = c.get_wire(&mixed, RrType::A, SimTime(1), 2, true)
+        else {
+            panic!("case-insensitive hit expected");
+        };
+        let echoed = dnswire::Message::decode(&second).unwrap();
+        assert_eq!(echoed.questions[0].qname.to_string(), "ODNS-Study.EXAMPLE.");
+        assert_eq!(echoed.header.id, 2);
     }
 
     #[test]

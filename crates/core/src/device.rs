@@ -115,7 +115,7 @@ pub fn handle_probe(ctx: &mut Ctx<'_>, dgram: &Datagram, profile: Option<&Device
                 dst: dgram.src,
                 dst_port: dgram.src_port,
                 ttl: None,
-                payload: p.banner.as_bytes().to_vec(),
+                payload: p.banner.as_bytes().into(),
             });
         }
         _ => ctx.send_port_unreachable(dgram),

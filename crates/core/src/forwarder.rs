@@ -174,7 +174,7 @@ impl Host for RecursiveForwarder {
                             dst: q.client,
                             dst_port: q.client_port,
                             ttl: None,
-                            payload: relayed.encode(),
+                            payload: relayed.encode().into(),
                         });
                         return;
                     }
@@ -195,7 +195,31 @@ impl Host for RecursiveForwarder {
         let q = query.question().expect("checked").clone();
 
         if let Some(cache) = &mut self.cache {
-            if let Some(CachedAnswer::Positive(records)) = cache.get(&q.qname, q.qtype, ctx.now()) {
+            // Standard `IN` queries are served from pre-encoded bytes
+            // (txid/RD/TTL patched into the cached template); exotic
+            // classes/opcodes take the builder path.
+            if query.is_plain_in_query() {
+                if let Some(crate::cache::CachedWire::Positive(bytes)) = cache.get_wire(
+                    &q.qname,
+                    q.qtype,
+                    ctx.now(),
+                    query.header.id,
+                    query.header.flags.recursion_desired,
+                ) {
+                    self.stats.cache_answers += 1;
+                    ctx.send_udp(UdpSend {
+                        src: Some(dgram.dst),
+                        src_port: dnswire::DNS_PORT,
+                        dst: dgram.src,
+                        dst_port: dgram.src_port,
+                        ttl: None,
+                        payload: bytes.into(),
+                    });
+                    return;
+                }
+            } else if let Some(CachedAnswer::Positive(records)) =
+                cache.get(&q.qname, q.qtype, ctx.now())
+            {
                 self.stats.cache_answers += 1;
                 let mut b = MessageBuilder::response_to(&query).recursion_available(true);
                 for r in records {
@@ -207,7 +231,7 @@ impl Host for RecursiveForwarder {
                     dst: dgram.src,
                     dst_port: dgram.src_port,
                     ttl: None,
-                    payload: b.build().encode(),
+                    payload: b.build().encode().into(),
                 });
                 return;
             }
@@ -375,7 +399,7 @@ mod tests {
                 dst: dgram.src,
                 dst_port: dgram.src_port,
                 ttl: None,
-                payload: resp.encode(),
+                payload: resp.encode().into(),
             });
             self.seen.push(dgram);
         }
@@ -468,7 +492,7 @@ mod tests {
                     dst: FWD_IP,
                     dst_port: 53,
                     ttl: Some(2),
-                    payload: query_bytes(2),
+                    payload: query_bytes(2).into(),
                 },
             )],
         );

@@ -15,7 +15,7 @@
 //! authoritative answer, all through the simulated network, with positive
 //! and negative caching.
 
-use crate::cache::{CachedAnswer, DnsCache};
+use crate::cache::{CachedAnswer, CachedWire, DnsCache};
 use dnswire::{DnsName, Message, MessageBuilder, Rcode, RrType};
 use netsim::{Ctx, Datagram, Host, SimDuration, UdpSend};
 use std::collections::HashMap;
@@ -223,7 +223,7 @@ impl RecursiveResolver {
             dst: task.client,
             dst_port: task.client_port,
             ttl: None,
-            payload: response.encode(),
+            payload: response.encode().into(),
         });
     }
 
@@ -271,7 +271,7 @@ impl RecursiveResolver {
             dst: ns,
             dst_port: dnswire::DNS_PORT,
             ttl: None,
-            payload: query.encode(),
+            payload: query.encode().into(),
         });
         let token = encode_timer(port, txid);
         ctx.set_timer(self.config.upstream_timeout, token);
@@ -292,13 +292,43 @@ impl RecursiveResolver {
                 dst: dgram.src,
                 dst_port: dgram.src_port,
                 ttl: None,
-                payload: resp.encode(),
+                payload: resp.encode().into(),
             });
             return;
         }
 
-        // Cache lookup.
-        if let Some(answer) = self.cache.get(&q.qname, q.qtype, ctx.now()) {
+        // Cache lookup. Standard `IN` queries (the only kind the study's
+        // probes and stubs emit) are served straight from pre-encoded
+        // bytes; anything exotic falls back to the builder path.
+        if query.is_plain_in_query() {
+            if let Some(wire) = self.cache.get_wire(
+                &q.qname,
+                q.qtype,
+                ctx.now(),
+                query.header.id,
+                query.header.flags.recursion_desired,
+            ) {
+                self.stats.cache_answers += 1;
+                let payload = match wire {
+                    CachedWire::Positive(bytes) => bytes.into(),
+                    CachedWire::Negative(rcode) => MessageBuilder::response_to(&query)
+                        .recursion_available(true)
+                        .rcode(rcode)
+                        .build()
+                        .encode()
+                        .into(),
+                };
+                ctx.send_udp(UdpSend {
+                    src: Some(dgram.dst),
+                    src_port: dnswire::DNS_PORT,
+                    dst: dgram.src,
+                    dst_port: dgram.src_port,
+                    ttl: None,
+                    payload,
+                });
+                return;
+            }
+        } else if let Some(answer) = self.cache.get(&q.qname, q.qtype, ctx.now()) {
             self.stats.cache_answers += 1;
             let builder = MessageBuilder::response_to(&query).recursion_available(true);
             let resp = match answer {
@@ -317,7 +347,7 @@ impl RecursiveResolver {
                 dst: dgram.src,
                 dst_port: dgram.src_port,
                 ttl: None,
-                payload: resp.encode(),
+                payload: resp.encode().into(),
             });
             return;
         }
@@ -333,7 +363,7 @@ impl RecursiveResolver {
                 dst: dgram.src,
                 dst_port: dgram.src_port,
                 ttl: None,
-                payload: resp.encode(),
+                payload: resp.encode().into(),
             });
             return;
         };

@@ -125,7 +125,7 @@ mod tests {
                     dst: dgram.src,
                     dst_port: dgram.src_port,
                     ttl: None,
-                    payload: resp.encode(),
+                    payload: resp.encode().into(),
                 });
             }
             netsim::impl_host_downcast!();

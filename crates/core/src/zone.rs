@@ -112,7 +112,7 @@ impl Host for DelegatingServer {
             dst: dgram.src,
             dst_port: dgram.src_port,
             ttl: None,
-            payload: response.encode(),
+            payload: response.encode().into(),
         });
     }
 

@@ -221,7 +221,7 @@ impl DnsRoutePlusPlus {
             dst: s.target,
             dst_port: dnswire::DNS_PORT,
             ttl: Some(ttl),
-            payload: query.encode(),
+            payload: query.encode().into(),
         });
         ctx.set_timer(
             self.config.per_hop_timeout,

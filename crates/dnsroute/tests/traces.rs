@@ -44,7 +44,7 @@ impl Host for Canned {
             dst: dgram.src,
             dst_port: dgram.src_port,
             ttl: None,
-            payload: resp.encode(),
+            payload: resp.encode().into(),
         });
     }
     netsim::impl_host_downcast!();

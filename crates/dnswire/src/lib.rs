@@ -45,6 +45,7 @@ mod question;
 mod rdata;
 
 pub mod builder;
+pub mod template;
 
 pub use builder::MessageBuilder;
 pub use error::WireError;
@@ -53,6 +54,7 @@ pub use message::{peek_id, Message};
 pub use name::DnsName;
 pub use question::{QClass, Question};
 pub use rdata::{Class, RData, Record, RrType, SoaData};
+pub use template::ResponseTemplate;
 
 /// Maximum length of a DNS message this crate will encode or decode.
 ///

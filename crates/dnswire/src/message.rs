@@ -127,6 +127,17 @@ impl Message {
         self.questions.first()
     }
 
+    /// True for the only query shape the study's probes and stubs emit: a
+    /// non-response, standard-opcode message with exactly one `IN`
+    /// question. Hosts gate their pre-encoded-response fast paths on this
+    /// one predicate so the eligibility rule cannot drift between them.
+    pub fn is_plain_in_query(&self) -> bool {
+        !self.header.flags.response
+            && self.header.flags.opcode == crate::header::Opcode::Query
+            && self.questions.len() == 1
+            && self.questions[0].qclass == crate::question::QClass::In
+    }
+
     /// Build the skeleton of a response to this query: same ID, same
     /// question, QR set. Callers fill in answers and flags.
     pub fn response_skeleton(&self) -> Message {

@@ -5,6 +5,7 @@ use crate::error::WireError;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// Maximum length of a single label on the wire (RFC 1035 §2.3.4).
 pub const MAX_LABEL_LEN: usize = 63;
@@ -22,15 +23,21 @@ const MAX_POINTER_HOPS: usize = 128;
 /// case-insensitive for ASCII, matching resolver behaviour (RFC 1035 §2.3.3)
 /// — this matters for the study because caches key on names and some CPE
 /// devices randomize query-name case (the "0x20" hack).
+///
+/// The label sequence is immutable and shared (`Arc`), so cloning a name —
+/// which resolvers do on every cache lookup, pending-query record, and
+/// response build — is a refcount bump, not a per-label reallocation.
 #[derive(Debug, Clone, Eq)]
 pub struct DnsName {
-    labels: Vec<Vec<u8>>,
+    labels: Arc<Vec<Vec<u8>>>,
 }
 
 impl DnsName {
     /// The root name (`.`).
     pub fn root() -> Self {
-        DnsName { labels: Vec::new() }
+        DnsName {
+            labels: Arc::new(Vec::new()),
+        }
     }
 
     /// Parse a textual name such as `"odns-study.example."`.
@@ -52,7 +59,9 @@ impl DnsName {
             }
             labels.push(part.as_bytes().to_vec());
         }
-        let name = DnsName { labels };
+        let name = DnsName {
+            labels: Arc::new(labels),
+        };
         let wire = name.wire_len();
         if wire > MAX_NAME_LEN {
             return Err(WireError::NameTooLong(wire));
@@ -77,7 +86,9 @@ impl DnsName {
             }
             out.push(l.to_vec());
         }
-        let name = DnsName { labels: out };
+        let name = DnsName {
+            labels: Arc::new(out),
+        };
         let wire = name.wire_len();
         if wire > MAX_NAME_LEN {
             return Err(WireError::NameTooLong(wire));
@@ -114,7 +125,7 @@ impl DnsName {
             None
         } else {
             Some(DnsName {
-                labels: self.labels[1..].to_vec(),
+                labels: Arc::new(self.labels[1..].to_vec()),
             })
         }
     }
@@ -144,7 +155,9 @@ impl DnsName {
         let mut labels = Vec::with_capacity(self.labels.len() + 1);
         labels.push(label.to_vec());
         labels.extend(self.labels.iter().cloned());
-        let name = DnsName { labels };
+        let name = DnsName {
+            labels: Arc::new(labels),
+        };
         let wire = name.wire_len();
         if wire > MAX_NAME_LEN {
             return Err(WireError::NameTooLong(wire));
@@ -154,7 +167,7 @@ impl DnsName {
 
     /// Encode without compression, appending to `buf`.
     pub fn encode_uncompressed(&self, buf: &mut Vec<u8>) {
-        for label in &self.labels {
+        for label in self.labels.iter() {
             buf.push(label.len() as u8);
             buf.extend_from_slice(label);
         }
@@ -220,7 +233,9 @@ impl DnsName {
                         if !followed_pointer {
                             *pos = cursor;
                         }
-                        return Ok(DnsName { labels });
+                        return Ok(DnsName {
+                            labels: Arc::new(labels),
+                        });
                     }
                     let len = len_byte as usize;
                     let start = cursor + 1;
@@ -284,7 +299,7 @@ impl PartialEq for DnsName {
 
 impl Hash for DnsName {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        for label in &self.labels {
+        for label in self.labels.iter() {
             state.write_usize(label.len());
             for &b in label {
                 state.write_u8(b.to_ascii_lowercase());
@@ -324,7 +339,7 @@ impl fmt::Display for DnsName {
         if self.labels.is_empty() {
             return write!(f, ".");
         }
-        for label in &self.labels {
+        for label in self.labels.iter() {
             for &b in label {
                 if b.is_ascii_graphic() && b != b'.' && b != b'\\' {
                     write!(f, "{}", b as char)?;

@@ -1,7 +1,7 @@
 //! The [`Host`] trait — how protocol logic attaches to simulated nodes —
 //! and the per-event [`Ctx`] handed to handlers.
 
-use crate::packet::{Datagram, IcmpMessage, DEFAULT_TTL};
+use crate::packet::{Datagram, IcmpMessage, Payload, DEFAULT_TTL};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeId, Topology};
 use std::any::Any;
@@ -24,20 +24,21 @@ pub struct UdpSend {
     /// Initial TTL; `None` uses [`DEFAULT_TTL`]. DNSRoute++ sweeps this
     /// field; a transparent forwarder sets it to `arrival_ttl - 1`.
     pub ttl: Option<u8>,
-    /// Payload bytes (typically an encoded DNS message).
-    pub payload: Vec<u8>,
+    /// Payload bytes (typically an encoded DNS message). Shared, so a
+    /// relay reuses the arriving datagram's bytes without copying.
+    pub payload: Payload,
 }
 
 impl UdpSend {
     /// Plain send from the node's primary address with default TTL.
-    pub fn new(src_port: u16, dst: Ipv4Addr, dst_port: u16, payload: Vec<u8>) -> Self {
+    pub fn new(src_port: u16, dst: Ipv4Addr, dst_port: u16, payload: impl Into<Payload>) -> Self {
         UdpSend {
             src: None,
             src_port,
             dst,
             dst_port,
             ttl: None,
-            payload,
+            payload: payload.into(),
         }
     }
 

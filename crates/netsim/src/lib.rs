@@ -64,7 +64,7 @@ pub mod wire;
 
 pub use fault::{FaultConfig, TokenBucket};
 pub use host::{Ctx, Host, UdpSend};
-pub use packet::{Datagram, IcmpKind, IcmpMessage, QuotedDatagram, DEFAULT_TTL};
+pub use packet::{Datagram, IcmpKind, IcmpMessage, Payload, QuotedDatagram, DEFAULT_TTL};
 pub use routing::{Hop, Path, RouteError, RouteResolver};
 pub use sim::{OneShotSender, SimConfig, Simulator};
 pub use stats::{DropReason, SimStats};

@@ -6,10 +6,125 @@
 
 use std::fmt;
 use std::net::Ipv4Addr;
+use std::ops::Deref;
+use std::sync::{Arc, OnceLock};
 
 /// Default initial TTL for host-originated packets, matching common OS
 /// defaults (Linux).
 pub const DEFAULT_TTL: u8 = 64;
+
+/// Immutable, cheaply-clonable packet payload.
+///
+/// Backed by `Arc<[u8]>`: a transparent forwarder relaying a query, an
+/// echo reply, or a fault-injected duplicate clones the handle (one
+/// refcount bump) instead of memcpying the DNS message. Hosts that need
+/// to *modify* bytes copy out with [`Payload::to_vec`] first — payloads
+/// on the wire are immutable, exactly like real packets in flight.
+#[derive(Clone)]
+pub struct Payload(Arc<[u8]>);
+
+impl Payload {
+    /// The shared empty payload (no allocation after first use).
+    pub fn empty() -> Self {
+        static EMPTY: OnceLock<Arc<[u8]>> = OnceLock::new();
+        Payload(EMPTY.get_or_init(|| Arc::from(&[][..])).clone())
+    }
+
+    /// Number of live handles to these bytes (diagnostics/tests: proves a
+    /// relay shared rather than copied).
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.0)
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Self {
+        Payload::empty()
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.0, f)
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        Payload(Arc::from(v))
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(v: &[u8]) -> Self {
+        Payload(Arc::from(v))
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Payload {
+    fn from(v: [u8; N]) -> Self {
+        Payload(Arc::from(&v[..]))
+    }
+}
+
+impl From<Arc<[u8]>> for Payload {
+    fn from(v: Arc<[u8]>) -> Self {
+        Payload(v)
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        // Pointer equality first: relayed copies share the allocation.
+        Arc::ptr_eq(&self.0, &other.0) || *self.0 == *other.0
+    }
+}
+impl Eq for Payload {}
+
+impl std::hash::Hash for Payload {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state)
+    }
+}
+
+impl PartialEq<[u8]> for Payload {
+    fn eq(&self, other: &[u8]) -> bool {
+        *self.0 == *other
+    }
+}
+impl PartialEq<&[u8]> for Payload {
+    fn eq(&self, other: &&[u8]) -> bool {
+        *self.0 == **other
+    }
+}
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        *self.0 == other[..]
+    }
+}
+impl<const N: usize> PartialEq<[u8; N]> for Payload {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        *self.0 == other[..]
+    }
+}
+impl<const N: usize> PartialEq<&[u8; N]> for Payload {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        *self.0 == other[..]
+    }
+}
 
 /// A UDP datagram together with its IP-layer envelope, as seen by a host.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,8 +143,9 @@ pub struct Datagram {
     /// transparent forwarder relays with `ttl - 1`, which is what lets
     /// DNSRoute++ see beyond it (§5).
     pub ttl: u8,
-    /// UDP payload (typically a DNS message).
-    pub payload: Vec<u8>,
+    /// UDP payload (typically a DNS message). Cheaply clonable: relays,
+    /// echoes, and duplicates share the bytes instead of copying them.
+    pub payload: Payload,
 }
 
 impl Datagram {
@@ -158,7 +274,7 @@ mod tests {
             src_port: 34000,
             dst_port: 53,
             ttl: 64,
-            payload: vec![0; 30],
+            payload: vec![0; 30].into(),
         };
         assert_eq!(d.wire_len(), 58);
     }
@@ -186,7 +302,7 @@ mod tests {
             src_port: 34000,
             dst_port: 53,
             ttl: 7,
-            payload: vec![1, 2, 3],
+            payload: vec![1, 2, 3].into(),
         };
         assert_eq!(
             d.to_string(),

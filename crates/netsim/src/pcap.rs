@@ -206,7 +206,7 @@ mod tests {
             src_port: 40000,
             dst_port: 53,
             ttl: 61,
-            payload: vec![9; 12],
+            payload: vec![9; 12].into(),
         };
         let wire = crate::wire::encode_udp(&d, 77);
         let mut w = PcapWriter::new();

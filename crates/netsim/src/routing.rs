@@ -84,14 +84,26 @@ pub enum RouteError {
     Unreachable,
 }
 
-/// Route resolver with an AS-path cache.
+/// Route resolver with layered caches.
 ///
-/// The cache key is `(src AS, dst AS)`; an Internet-wide scan reuses the
-/// scanner-AS entry for every target in the same destination AS.
+/// Three layers, innermost first:
+///
+/// * **AS paths** keyed `(src AS, dst AS)` — an Internet-wide scan reuses
+///   the scanner-AS entry for every target in the same destination AS;
+/// * **anycast selection** keyed `(src AS, service IP)` — one BFS serves
+///   every PoP-proximity query from the same source AS;
+/// * **full router-level paths** keyed `(src node, dst node)` and returned
+///   as `Arc<Path>` — an N-probe census materializes each unique route
+///   (hop list, latencies, AS path) exactly once; every later packet on
+///   that route borrows the cached hops instead of rebuilding them.
 #[derive(Debug, Default)]
 pub struct RouteResolver {
     as_path_cache: HashMap<(AsId, AsId), Option<Arc<Vec<AsId>>>>,
     distance_cache: HashMap<AsId, Arc<Vec<Option<u32>>>>,
+    path_cache: HashMap<(NodeId, NodeId), Arc<Path>>,
+    anycast_cache: HashMap<(AsId, Ipv4Addr), Option<NodeId>>,
+    path_hits: u64,
+    path_misses: u64,
 }
 
 impl RouteResolver {
@@ -103,6 +115,23 @@ impl RouteResolver {
     /// Number of cached AS-path entries.
     pub fn cache_len(&self) -> usize {
         self.as_path_cache.len()
+    }
+
+    /// Number of cached full router-level paths. Bounded by the number of
+    /// distinct `(src node, dst node)` pairs ever resolved.
+    pub fn path_cache_len(&self) -> usize {
+        self.path_cache.len()
+    }
+
+    /// Cumulative full-path cache hits (steady-state resolves that
+    /// performed no hop-list allocation).
+    pub fn path_cache_hits(&self) -> u64 {
+        self.path_hits
+    }
+
+    /// Cumulative full-path cache misses (each materialized one `Path`).
+    pub fn path_cache_misses(&self) -> u64 {
+        self.path_misses
     }
 
     /// Shortest AS path (inclusive of endpoints) via BFS with deterministic
@@ -176,25 +205,48 @@ impl RouteResolver {
     }
 
     /// Resolve the full router-level path from host `src_node` to IP `dst`.
+    ///
+    /// Returns a shared handle: the first resolve for a `(src, dst-node)`
+    /// pair builds the hop list; every subsequent resolve is a cache hit
+    /// that clones the `Arc` (no per-packet allocation). Anycast
+    /// destinations are memoized per `(src AS, service IP)` before the
+    /// path lookup, so a warm resolver answers anycast sends from two
+    /// hash probes.
     pub fn resolve(
         &mut self,
         topo: &Topology,
         src_node: NodeId,
         dst: Ipv4Addr,
-    ) -> Result<Path, RouteError> {
+    ) -> Result<Arc<Path>, RouteError> {
         let src_as = topo.as_of_node(src_node);
         let dst_node = match topo.owner_of_ip(dst) {
             None => return Err(RouteError::NoSuchHost),
             Some(IpOwner::Router(_)) => return Err(RouteError::RouterAddress),
             Some(IpOwner::Host(n)) => n,
-            Some(IpOwner::Anycast) => self
-                .select_anycast_instance(topo, src_as, dst)
-                .ok_or(RouteError::Unreachable)?,
+            Some(IpOwner::Anycast) => {
+                let selected = match self.anycast_cache.get(&(src_as, dst)) {
+                    Some(&cached) => cached,
+                    None => {
+                        let selected = self.select_anycast_instance(topo, src_as, dst);
+                        self.anycast_cache.insert((src_as, dst), selected);
+                        selected
+                    }
+                };
+                selected.ok_or(RouteError::Unreachable)?
+            }
         };
+        if let Some(path) = self.path_cache.get(&(src_node, dst_node)) {
+            self.path_hits += 1;
+            return Ok(Arc::clone(path));
+        }
         let dst_as = topo.as_of_node(dst_node);
         let as_path = self
             .as_path(topo, src_as, dst_as)
             .ok_or(RouteError::Unreachable)?;
+        // Counted only once the route is known to materialize, so
+        // `path_misses` equals the number of cached `Path`s exactly —
+        // failed resolves (unreachable AS) count neither hit nor miss.
+        self.path_misses += 1;
 
         let src_spec = topo.host_spec(src_node);
         let dst_spec = topo.host_spec(dst_node);
@@ -235,12 +287,15 @@ impl RouteResolver {
         }
         let total_latency = latency + dst_spec.link_latency;
 
-        Ok(Path {
+        let path = Arc::new(Path {
             dst_node,
             hops,
             total_latency,
             as_path: as_path.to_vec(),
-        })
+        });
+        self.path_cache
+            .insert((src_node, dst_node), Arc::clone(&path));
+        Ok(path)
     }
 }
 
@@ -400,6 +455,39 @@ mod tests {
         let before = r.cache_len();
         let _ = r.resolve(&t, src, dst_ip).unwrap();
         assert_eq!(r.cache_len(), before, "second resolve must hit the cache");
+    }
+
+    #[test]
+    fn path_cache_bounded_by_distinct_pairs() {
+        let (t, src, _dst, dst_ip) = chain();
+        let mut r = RouteResolver::new();
+        for _ in 0..100 {
+            let _ = r.resolve(&t, src, dst_ip).unwrap();
+        }
+        assert_eq!(r.path_cache_len(), 1, "one (src, dst) pair, one entry");
+        assert_eq!(r.path_cache_misses(), 1);
+        assert_eq!(r.path_cache_hits(), 99);
+        // A second distinct pair adds exactly one entry, repeats add none.
+        let second_dst = t.host_spec(_dst).ip;
+        assert_eq!(second_dst, dst_ip, "chain has one remote host");
+        let back = r.resolve(&t, _dst, ip(192, 0, 2, 1)).unwrap();
+        assert_eq!(back.dst_node, src);
+        for _ in 0..10 {
+            let _ = r.resolve(&t, _dst, ip(192, 0, 2, 1)).unwrap();
+        }
+        assert_eq!(r.path_cache_len(), 2);
+    }
+
+    #[test]
+    fn warm_resolve_returns_shared_path() {
+        let (t, src, _dst, dst_ip) = chain();
+        let mut r = RouteResolver::new();
+        let first = r.resolve(&t, src, dst_ip).unwrap();
+        let second = r.resolve(&t, src, dst_ip).unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "cache hit must return the same allocation, not a rebuilt path"
+        );
     }
 
     #[test]

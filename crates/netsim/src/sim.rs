@@ -43,23 +43,42 @@ impl Default for SimConfig {
     }
 }
 
+/// The single comparison key of the event queue: `(time, sequence)`.
+/// Sequence numbers are unique, so keys never tie and ordering is total —
+/// the one derived comparison every heap operation goes through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EventKey {
+    at: SimTime,
+    seq: u64,
+}
+
+/// Payload-carrying variants are boxed so the `BinaryHeap` sifts 24-byte
+/// nodes instead of moving whole packets on every swap.
 #[derive(Debug)]
 enum EventKind {
-    Udp { node: NodeId, dgram: Datagram },
-    Icmp { node: NodeId, icmp: IcmpMessage },
-    Timer { node: NodeId, token: u64 },
+    Udp {
+        node: NodeId,
+        dgram: Box<Datagram>,
+    },
+    Icmp {
+        node: NodeId,
+        icmp: Box<IcmpMessage>,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
 }
 
 #[derive(Debug)]
 struct Event {
-    at: SimTime,
-    seq: u64,
+    key: EventKey,
     kind: EventKind,
 }
 
 impl PartialEq for Event {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl Eq for Event {}
@@ -70,7 +89,7 @@ impl PartialOrd for Event {
 }
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        self.key.cmp(&other.key)
     }
 }
 
@@ -88,6 +107,10 @@ pub struct Simulator {
     stats: SimStats,
     taps: HashMap<NodeId, PcapWriter>,
     ip_ident: u16,
+    /// Reusable action buffer cycled through every [`Ctx`]: taken before a
+    /// handler runs, drained, and returned — one allocation for the whole
+    /// simulation instead of one per event.
+    action_pool: Vec<Action>,
 }
 
 impl Simulator {
@@ -109,6 +132,7 @@ impl Simulator {
             stats: SimStats::default(),
             taps: HashMap::new(),
             ip_ident: 0,
+            action_pool: Vec::new(),
         }
     }
 
@@ -173,12 +197,10 @@ impl Simulator {
     fn push(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Event { at, seq, kind }));
-    }
-
-    fn next_ident(&mut self) -> u16 {
-        self.ip_ident = self.ip_ident.wrapping_add(1);
-        self.ip_ident
+        self.queue.push(Reverse(Event {
+            key: EventKey { at, seq },
+            kind,
+        }));
     }
 
     /// Run until the event queue drains or the event budget is exhausted.
@@ -191,18 +213,22 @@ impl Simulator {
     /// the queue drains, or the budget is exhausted. Returns `true` if the
     /// queue drained or only events beyond the deadline remain.
     pub fn run_until(&mut self, deadline: SimTime) -> bool {
+        use std::collections::binary_heap::PeekMut;
         loop {
             if self.stats.events_processed >= self.max_events {
                 return false;
             }
-            match self.queue.peek() {
-                None => return true,
-                Some(Reverse(ev)) if ev.at > deadline => return true,
-                Some(_) => {}
+            // One heap access: peek, check the deadline, and pop through
+            // the same handle (no peek-then-pop double descent).
+            let Some(head) = self.queue.peek_mut() else {
+                return true;
+            };
+            if head.0.key.at > deadline {
+                return true;
             }
-            let Reverse(ev) = self.queue.pop().expect("peeked");
-            debug_assert!(ev.at >= self.now, "time went backwards");
-            self.now = ev.at;
+            let Reverse(ev) = PeekMut::pop(head);
+            debug_assert!(ev.key.at >= self.now, "time went backwards");
+            self.now = ev.key.at;
             self.stats.events_processed += 1;
             self.dispatch(ev.kind);
         }
@@ -214,12 +240,12 @@ impl Simulator {
                 self.stats.udp_delivered += 1;
                 self.stats.udp_bytes_delivered += dgram.payload.len() as u64;
                 self.capture_udp(node, &dgram);
-                self.with_host(node, |host, ctx| host.on_datagram(ctx, dgram));
+                self.with_host(node, |host, ctx| host.on_datagram(ctx, *dgram));
             }
             EventKind::Icmp { node, icmp } => {
                 self.stats.icmp_delivered += 1;
                 self.capture_icmp(node, &icmp);
-                self.with_host(node, |host, ctx| host.on_icmp(ctx, icmp));
+                self.with_host(node, |host, ctx| host.on_icmp(ctx, *icmp));
             }
             EventKind::Timer { node, token } => {
                 self.stats.timers_fired += 1;
@@ -228,8 +254,9 @@ impl Simulator {
         }
     }
 
-    /// Temporarily detach the host, run `f` with a fresh action buffer,
-    /// reattach, then execute the buffered actions.
+    /// Temporarily detach the host, run `f` with the pooled action buffer,
+    /// reattach, then execute the buffered actions and return the buffer
+    /// to the pool.
     fn with_host<F>(&mut self, node: NodeId, f: F)
     where
         F: FnOnce(&mut Box<dyn Host>, &mut Ctx<'_>),
@@ -241,12 +268,13 @@ impl Simulator {
             now: self.now,
             node,
             topo: &self.topo,
-            actions: Vec::new(),
+            actions: std::mem::take(&mut self.action_pool),
         };
         f(&mut host, &mut ctx);
-        let actions = std::mem::take(&mut ctx.actions);
+        let mut actions = std::mem::take(&mut ctx.actions);
+        drop(ctx);
         self.hosts[node.0 as usize] = Some(host);
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 Action::SendUdp(send) => self.process_send(node, send),
                 Action::SetTimer { delay, token } => {
@@ -261,6 +289,7 @@ impl Simulator {
                 }
             }
         }
+        self.action_pool = actions;
     }
 
     fn process_send(&mut self, from: NodeId, send: UdpSend) {
@@ -294,7 +323,13 @@ impl Simulator {
             return;
         }
 
-        let path = match self.resolver.resolve(&self.topo, from, send.dst) {
+        // Warm-cache resolves clone an `Arc<Path>` — hops are borrowed,
+        // never rebuilt, which is what keeps the steady-state send path
+        // free of per-packet hop-list allocations.
+        let resolved = self.resolver.resolve(&self.topo, from, send.dst);
+        self.stats.route_cache_hits = self.resolver.path_cache_hits();
+        self.stats.route_cache_misses = self.resolver.path_cache_misses();
+        let path = match resolved {
             Ok(p) => p,
             Err(RouteError::NoSuchHost) | Err(RouteError::RouterAddress) => {
                 self.stats.record_drop(DropReason::NoSuchHost);
@@ -345,11 +380,13 @@ impl Simulator {
         if self.faults.should_duplicate(&mut self.rng) {
             self.stats.duplicates_injected += 1;
             let extra = self.faults.jitter(&mut self.rng);
+            // The duplicate shares the payload bytes (refcount bump, no
+            // memcpy), exactly like a duplicated packet on the wire.
             self.push(
                 deliver_at + extra + SimDuration::from_micros(1),
                 EventKind::Udp {
                     node: path.dst_node,
-                    dgram: dgram.clone(),
+                    dgram: Box::new(dgram.clone()),
                 },
             );
         }
@@ -357,7 +394,7 @@ impl Simulator {
             deliver_at,
             EventKind::Udp {
                 node: path.dst_node,
-                dgram,
+                dgram: Box::new(dgram),
             },
         );
     }
@@ -384,7 +421,10 @@ impl Simulator {
                 dst_port: original.dst_port,
             }),
         };
-        let latency = match self.resolver.resolve(&self.topo, from, original.src) {
+        let resolved = self.resolver.resolve(&self.topo, from, original.src);
+        self.stats.route_cache_hits = self.resolver.path_cache_hits();
+        self.stats.route_cache_misses = self.resolver.path_cache_misses();
+        let latency = match resolved {
             Ok(p) => p.total_latency,
             Err(_) => {
                 self.stats.icmp_undeliverable += 1;
@@ -397,7 +437,13 @@ impl Simulator {
     fn deliver_icmp(&mut self, icmp: IcmpMessage, at: SimTime) {
         match self.topo.owner_of_ip(icmp.to) {
             Some(IpOwner::Host(node)) => {
-                self.push(at, EventKind::Icmp { node, icmp });
+                self.push(
+                    at,
+                    EventKind::Icmp {
+                        node,
+                        icmp: Box::new(icmp),
+                    },
+                );
             }
             _ => {
                 // Errors toward spoofed/unassigned sources vanish, exactly
@@ -408,24 +454,27 @@ impl Simulator {
     }
 
     fn capture_udp(&mut self, node: NodeId, dgram: &Datagram) {
-        if self.taps.contains_key(&node) {
-            let ident = self.next_ident();
-            let bytes = wire::encode_udp(dgram, ident);
-            let now = self.now;
-            if let Some(tap) = self.taps.get_mut(&node) {
-                tap.write(now, &bytes);
-            }
+        // Single lookup; ident allocation and encoding happen only when a
+        // tap actually exists (untapped simulations pay one empty-map
+        // check per packet).
+        if self.taps.is_empty() {
+            return;
+        }
+        if let Some(tap) = self.taps.get_mut(&node) {
+            self.ip_ident = self.ip_ident.wrapping_add(1);
+            let bytes = wire::encode_udp(dgram, self.ip_ident);
+            tap.write(self.now, &bytes);
         }
     }
 
     fn capture_icmp(&mut self, node: NodeId, icmp: &IcmpMessage) {
-        if self.taps.contains_key(&node) {
-            let ident = self.next_ident();
-            let bytes = wire::encode_icmp(icmp, ident, 64);
-            let now = self.now;
-            if let Some(tap) = self.taps.get_mut(&node) {
-                tap.write(now, &bytes);
-            }
+        if self.taps.is_empty() {
+            return;
+        }
+        if let Some(tap) = self.taps.get_mut(&node) {
+            self.ip_ident = self.ip_ident.wrapping_add(1);
+            let bytes = wire::encode_icmp(icmp, self.ip_ident, 64);
+            tap.write(self.now, &bytes);
         }
     }
 }
@@ -590,7 +639,7 @@ mod tests {
                     dst: server_ip,
                     dst_port: 53,
                     ttl: None,
-                    payload: vec![],
+                    payload: vec![].into(),
                 },
                 replies: vec![],
                 icmp: vec![],
@@ -616,7 +665,7 @@ mod tests {
                     dst: ip(192, 0, 2, 1),
                     dst_port: 9,
                     ttl: None,
-                    payload: vec![0xAA],
+                    payload: vec![0xAA].into(),
                 },
                 replies: vec![],
                 icmp: vec![],
@@ -647,7 +696,7 @@ mod tests {
                     dst: server_ip,
                     dst_port: 53,
                     ttl: Some(1),
-                    payload: vec![9],
+                    payload: vec![9].into(),
                 },
                 replies: vec![],
                 icmp: vec![],
@@ -802,6 +851,37 @@ mod tests {
         // instead install echo on both via fresh sim below.
         let drained = sim.run();
         assert!(drained, "simple exchange should drain");
+    }
+
+    #[test]
+    fn steady_state_sends_hit_route_cache_without_rebuilding_paths() {
+        // N sends along one route: the first resolve materializes the hop
+        // list (one miss); every subsequent send must be a cache hit —
+        // i.e. steady-state `process_send` performs no per-packet hop-list
+        // allocation, the property the zero-allocation hot path rests on.
+        let (topo, scanner, server, _a, server_ip) = two_as();
+        let mut sim = Simulator::new(topo, SimConfig::default());
+        sim.install(server, Sink::default());
+        let n = 64u64;
+        for i in 0..n {
+            sim.install(
+                scanner,
+                OneShotSender::new(UdpSend::new(1000 + i as u16, server_ip, 53, vec![i as u8])),
+            );
+            sim.schedule_timer(scanner, SimDuration::from_millis(i), 0);
+            sim.run();
+        }
+        let stats = sim.stats();
+        assert_eq!(stats.udp_sent, n);
+        assert_eq!(
+            stats.route_cache_misses, 1,
+            "exactly one path materialization for one unique route"
+        );
+        assert_eq!(
+            stats.route_cache_hits,
+            n - 1,
+            "every steady-state send must borrow the cached path"
+        );
     }
 
     #[test]

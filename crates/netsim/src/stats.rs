@@ -55,6 +55,13 @@ pub struct SimStats {
     pub timers_fired: u64,
     /// Total events processed.
     pub events_processed: u64,
+    /// Full-path route-cache hits: sends whose route was served from the
+    /// resolver's `(src node, dst node)` cache with *no* hop-list
+    /// allocation. In steady state (every route warm) this tracks
+    /// `udp_sent` minus one miss per unique route.
+    pub route_cache_hits: u64,
+    /// Full-path route-cache misses (each materialized one `Path`).
+    pub route_cache_misses: u64,
 }
 
 impl SimStats {
@@ -104,7 +111,7 @@ impl fmt::Display for SimStats {
             self.dropped_ttl,
             self.dropped_fault
         )?;
-        write!(
+        writeln!(
             f,
             "icmp: delivered={} undeliverable={} | dup={} timers={} events={}",
             self.icmp_delivered,
@@ -112,6 +119,11 @@ impl fmt::Display for SimStats {
             self.duplicates_injected,
             self.timers_fired,
             self.events_processed
+        )?;
+        write!(
+            f,
+            "routes: cache_hits={} cache_misses={}",
+            self.route_cache_hits, self.route_cache_misses
         )
     }
 }

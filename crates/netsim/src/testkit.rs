@@ -168,7 +168,8 @@ mod tests {
     struct Upper;
     impl Host for Upper {
         fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
-            let mut payload = dgram.payload.clone();
+            // Mutation requires copying out: payloads in flight are shared.
+            let mut payload = dgram.payload.to_vec();
             payload.make_ascii_uppercase();
             ctx.send_udp(UdpSend {
                 src: Some(dgram.dst),
@@ -176,7 +177,7 @@ mod tests {
                 dst: dgram.src,
                 dst_port: dgram.src_port,
                 ttl: None,
-                payload,
+                payload: payload.into(),
             });
         }
         crate::impl_host_downcast!();

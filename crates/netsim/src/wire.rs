@@ -215,7 +215,7 @@ pub fn decode(bytes: &[u8]) -> Result<DecodedPacket, PacketError> {
                 src_port,
                 dst_port,
                 ttl,
-                payload: body[8..udp_len].to_vec(),
+                payload: body[8..udp_len].into(),
             }))
         }
         PROTO_ICMP => {
@@ -267,7 +267,7 @@ mod tests {
             src_port: 34000,
             dst_port: 53,
             ttl: 64,
-            payload: vec![0xAB; 17],
+            payload: vec![0xAB; 17].into(),
         }
     }
 

@@ -31,7 +31,7 @@ fn arb_datagram() -> impl Strategy<Value = Datagram> {
             src_port,
             dst_port,
             ttl,
-            payload,
+            payload: payload.into(),
         })
 }
 
@@ -105,8 +105,17 @@ fn build(world: &RandomWorld) -> (Topology, Vec<netsim::NodeId>) {
         let ip = Ipv4Addr::new(11, (i >> 8) as u8, i as u8, 1);
         nodes.push(b.add_host(as_id, HostSpec::simple(ip)));
     }
+    // An anycast service with PoPs at the first and last edge host, so
+    // route-cache properties cover PoP selection too.
+    if nodes.len() >= 2 {
+        b.add_anycast_instance(ANYCAST_IP, nodes[0]);
+        b.add_anycast_instance(ANYCAST_IP, nodes[nodes.len() - 1]);
+    }
     (b.build().expect("random world is valid"), nodes)
 }
+
+/// Anycast service address registered by [`build`] when it has ≥2 hosts.
+const ANYCAST_IP: Ipv4Addr = Ipv4Addr::new(8, 8, 8, 8);
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -182,6 +191,71 @@ proptest! {
                 prop_assert!(path.total_latency > last);
             }
         }
+    }
+
+    /// A warm full-path cache must be invisible: resolves through a warm
+    /// resolver return hop lists, latencies, AS paths, and anycast
+    /// selections identical to a cold resolver's, and the cache never
+    /// holds more entries than distinct `(src node, dst node)` pairs.
+    #[test]
+    fn warm_route_cache_matches_cold_resolver(world in arb_world()) {
+        let (topo, nodes) = build(&world);
+        let mut warm = RouteResolver::new();
+        let mut distinct_pairs = std::collections::HashSet::new();
+        // Warm pass over every host pair and every anycast view.
+        for &src in &nodes {
+            for &dst in &nodes {
+                if src == dst {
+                    continue;
+                }
+                let dst_ip = topo.host_spec(dst).ip;
+                if let Ok(p) = warm.resolve(&topo, src, dst_ip) {
+                    distinct_pairs.insert((src, p.dst_node));
+                }
+            }
+            if let Ok(p) = warm.resolve(&topo, src, ANYCAST_IP) {
+                distinct_pairs.insert((src, p.dst_node));
+            }
+        }
+        let len_after_warmup = warm.path_cache_len();
+        prop_assert!(
+            len_after_warmup <= distinct_pairs.len(),
+            "cache size {} exceeds distinct pairs {}",
+            len_after_warmup,
+            distinct_pairs.len()
+        );
+        // Second pass: cache hits must be bit-identical to cold resolves.
+        for &src in &nodes {
+            for &dst in &nodes {
+                if src == dst {
+                    continue;
+                }
+                let dst_ip = topo.host_spec(dst).ip;
+                let cached = warm.resolve(&topo, src, dst_ip).expect("routed in warm pass");
+                let cold = RouteResolver::new()
+                    .resolve(&topo, src, dst_ip)
+                    .expect("cold resolver must route");
+                prop_assert_eq!(cached.dst_node, cold.dst_node);
+                prop_assert_eq!(&cached.hops, &cold.hops);
+                prop_assert_eq!(cached.total_latency, cold.total_latency);
+                prop_assert_eq!(&cached.as_path, &cold.as_path);
+            }
+            // Anycast: the warm cache must reproduce the cold PoP choice.
+            match (
+                warm.resolve(&topo, src, ANYCAST_IP),
+                RouteResolver::new().resolve(&topo, src, ANYCAST_IP),
+            ) {
+                (Ok(cached), Ok(cold)) => {
+                    prop_assert_eq!(cached.dst_node, cold.dst_node);
+                    prop_assert_eq!(&cached.hops, &cold.hops);
+                    prop_assert_eq!(cached.total_latency, cold.total_latency);
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                (a, b) => prop_assert!(false, "warm/cold disagree: {a:?} vs {b:?}"),
+            }
+        }
+        // Re-resolving everything must not grow the cache.
+        prop_assert_eq!(warm.path_cache_len(), len_after_warmup);
     }
 
     #[test]

@@ -206,7 +206,7 @@ mod tests {
                 received_at: SimTime(1_000),
                 src: response_src,
                 dst_port: 34000,
-                payload: resp.encode(),
+                payload: resp.encode().into(),
             }),
         }
     }
@@ -295,7 +295,7 @@ mod tests {
         );
 
         let mut t2 = tx(TARGET, &[TARGET, CONTROL]);
-        t2.response.as_mut().unwrap().payload = vec![1, 2, 3];
+        t2.response.as_mut().unwrap().payload = vec![1, 2, 3].into();
         assert_eq!(
             classify(&t2, &cfg()),
             Verdict::Discarded(Discard::Malformed)

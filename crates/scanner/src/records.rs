@@ -5,7 +5,7 @@
 //! time, then correlates responses offline. These types are that record.
 
 use dnswire::Message;
-use netsim::SimTime;
+use netsim::{Payload, SimTime};
 use std::net::Ipv4Addr;
 
 /// One probe as sent by the transactional scanner.
@@ -33,7 +33,10 @@ pub struct ResponseRecord {
     /// Port it arrived on (matches the probe's `src_port` if genuine).
     pub dst_port: u16,
     /// Raw payload (parsed lazily; middlebox distortions must survive).
-    pub payload: Vec<u8>,
+    /// Shares the delivered datagram's bytes — recording a response does
+    /// not copy it, which matters when record streams are the bulk of a
+    /// shard's memory.
+    pub payload: Payload,
 }
 
 impl ResponseRecord {
@@ -134,7 +137,7 @@ mod tests {
                 received_at: SimTime(41_000),
                 src: Ipv4Addr::new(8, 8, 8, 8),
                 dst_port: 34000,
-                payload: resp.encode(),
+                payload: resp.encode().into(),
             }),
         };
         assert_eq!(t.response_src(), Some(Ipv4Addr::new(8, 8, 8, 8)));
@@ -161,7 +164,7 @@ mod tests {
                 received_at: SimTime(2_000),
                 src: Ipv4Addr::new(1, 1, 1, 1),
                 dst_port: 34000,
-                payload: vec![0xDE, 0xAD],
+                payload: vec![0xDE, 0xAD].into(),
             }),
         };
         assert!(t.answer_addrs().is_empty());
@@ -181,7 +184,7 @@ mod tests {
                 received_at: SimTime(5),
                 src: Ipv4Addr::new(9, 9, 9, 9),
                 dst_port: 1,
-                payload: vec![],
+                payload: vec![].into(),
             }),
         });
         assert_eq!(o.answered_count(), 1);

@@ -117,7 +117,7 @@ impl Host for HoneypotSensor {
                             dst: p.client,
                             dst_port: p.client_port,
                             ttl: None,
-                            payload: relayed.encode(),
+                            payload: relayed.encode().into(),
                         });
                         return;
                     }
@@ -253,7 +253,7 @@ mod tests {
                 dst: dgram.src,
                 dst_port: dgram.src_port,
                 ttl: None,
-                payload: resp.encode(),
+                payload: resp.encode().into(),
             });
         }
         netsim::impl_host_downcast!();

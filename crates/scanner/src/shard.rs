@@ -110,7 +110,7 @@ mod tests {
             received_at: SimTime(1_000 + i as u64),
             src: Ipv4Addr::new(8, 8, 8, 8),
             dst_port: 33_000,
-            payload: resp.encode(),
+            payload: resp.encode().into(),
         }
     }
 
@@ -179,7 +179,7 @@ mod tests {
             received_at: SimTime(5),
             src: Ipv4Addr::new(9, 9, 9, 9),
             dst_port: 40_000,
-            payload: vec![0x01], // garbage → unmatched
+            payload: vec![0x01].into(), // garbage → unmatched
         });
         let s1 = shard(1, 1, &[0]);
         let merged = merge_shard_records(vec![s0, s1], SimDuration::from_secs(20));

@@ -81,6 +81,11 @@ impl ScanConfig {
 pub struct TransactionalScanner {
     config: ScanConfig,
     cursor: usize,
+    /// Pre-encoded probe query for static naming: every probe differs only
+    /// in its transaction ID, so the hot send path copies this buffer and
+    /// patches two bytes instead of building and encoding a fresh message
+    /// (name parse, builder, compression walk) per target.
+    probe_template: Option<Vec<u8>>,
     /// Outgoing probe records.
     pub probes: Vec<ProbeRecord>,
     /// Raw response records in arrival order.
@@ -94,9 +99,19 @@ impl TransactionalScanner {
     /// Build from config.
     pub fn new(config: ScanConfig) -> Self {
         let probes = Vec::with_capacity(config.targets.len());
+        let probe_template = match config.naming {
+            ProbeNaming::Static => Some(
+                MessageBuilder::query(0, study::study_qname(), RrType::A)
+                    .recursion_desired(true)
+                    .build()
+                    .encode(),
+            ),
+            ProbeNaming::EncodeTarget => None,
+        };
         TransactionalScanner {
             config,
             cursor: 0,
+            probe_template,
             probes,
             responses: Vec::new(),
         }
@@ -114,13 +129,21 @@ impl TransactionalScanner {
     fn send_probe(&mut self, ctx: &mut Ctx<'_>, index: usize) {
         let target = self.config.targets[index];
         let (port, txid) = self.config.probe_tuple(index);
-        let qname = match self.config.naming {
-            ProbeNaming::Static => study::study_qname(),
-            ProbeNaming::EncodeTarget => study::encode_target_name(target),
+        let payload: netsim::Payload = match &self.probe_template {
+            Some(template) => {
+                let mut bytes = template.clone();
+                bytes[0..2].copy_from_slice(&txid.to_be_bytes());
+                bytes.into()
+            }
+            None => {
+                let qname = study::encode_target_name(target);
+                MessageBuilder::query(txid, qname, RrType::A)
+                    .recursion_desired(true)
+                    .build()
+                    .encode()
+                    .into()
+            }
         };
-        let query = MessageBuilder::query(txid, qname, RrType::A)
-            .recursion_desired(true)
-            .build();
         self.probes.push(ProbeRecord {
             index,
             target,
@@ -128,12 +151,7 @@ impl TransactionalScanner {
             src_port: port,
             txid,
         });
-        ctx.send_udp(UdpSend::new(
-            port,
-            target,
-            dnswire::DNS_PORT,
-            query.encode(),
-        ));
+        ctx.send_udp(UdpSend::new(port, target, dnswire::DNS_PORT, payload));
     }
 }
 
@@ -328,7 +346,7 @@ mod tests {
             received_at: SimTime(1_000_000),
             src: Ipv4Addr::new(8, 8, 8, 8),
             dst_port: port1,
-            payload: resp.encode(),
+            payload: resp.encode().into(),
         });
         let o = s.outcome();
         assert!(o.transactions[0].response.is_none());
@@ -359,7 +377,7 @@ mod tests {
             received_at: SimTime::ZERO + timeout + SimDuration::from_micros(1),
             src: Ipv4Addr::new(8, 8, 8, 8),
             dst_port: port,
-            payload: resp.encode(),
+            payload: resp.encode().into(),
         });
         let o = s.outcome();
         assert!(o.transactions[0].response.is_none());
@@ -387,14 +405,14 @@ mod tests {
                 received_at: SimTime(1),
                 src: Ipv4Addr::new(8, 8, 8, 8),
                 dst_port: port,
-                payload: resp.clone(),
+                payload: resp.clone().into(),
             });
         }
         s.responses.push(ResponseRecord {
             received_at: SimTime(2),
             src: Ipv4Addr::new(9, 9, 9, 9),
             dst_port: port,
-            payload: vec![0x01], // too short for a txid
+            payload: vec![0x01].into(), // too short for a txid
         });
         let o = s.outcome();
         assert!(o.transactions[0].response.is_some());

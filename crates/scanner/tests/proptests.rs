@@ -57,7 +57,8 @@ fn scanner_with(n: usize, answered: &[usize], shuffle_seed: u64) -> Transactiona
             received_at: SimTime(1000 + i as u64),
             src: Ipv4Addr::new(8, 8, 8, 8),
             dst_port: port,
-            payload: response_payload(txid, &[Ipv4Addr::new(8, 8, 8, 8), odns::study::CONTROL_A]),
+            payload: response_payload(txid, &[Ipv4Addr::new(8, 8, 8, 8), odns::study::CONTROL_A])
+                .into(),
         });
     }
     // Deterministic shuffle.
@@ -133,7 +134,7 @@ proptest! {
                 received_at: SimTime(1),
                 src,
                 dst_port: port,
-                payload: response_payload(txid, &addr_list),
+                payload: response_payload(txid, &addr_list).into(),
             }),
         };
         let cfg = ClassifierConfig { strict, ..ClassifierConfig::default() };

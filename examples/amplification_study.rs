@@ -38,6 +38,7 @@ fn main() {
         .recursion_desired(true)
         .build()
         .encode();
+    let query = netsim::Payload::from(query);
     let query_len = query.len();
 
     let attacker_node = internet.fixtures.sensor3; // a SAV-free fixture box

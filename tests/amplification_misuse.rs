@@ -45,6 +45,7 @@ fn spoofed_queries_amplify_at_the_victim() {
     .recursion_desired(true)
     .build()
     .encode();
+    let query = netsim::Payload::from(query);
     let query_len = query.len();
 
     let mut attacker = ScriptedClient::new();
@@ -132,6 +133,7 @@ fn rate_limited_sensors_are_useless_as_amplifiers() {
         .recursion_desired(true)
         .build()
         .encode();
+    let query = netsim::Payload::from(query);
     let mut attacker = ScriptedClient::new();
     let mut sends = Vec::new();
     for i in 0..100u64 {
