@@ -170,7 +170,8 @@ pub fn run_census(internet: &mut Internet, config: &ClassifierConfig) -> Census 
 /// thread pool, merge the raw record streams, and classify the merged
 /// transactions in a single offline pass.
 ///
-/// Generation *and* scanning happen on the workers — each shard's
+/// Built on [`inetgen::run_sharded`], the shared sharded experiment
+/// runner: generation *and* scanning happen on the workers — each shard's
 /// simulator lives and dies on one thread — so the wall-clock cost of a
 /// large census divides by the worker count. Classification counts are
 /// independent of `shards`: per-country generation derives only from
@@ -182,58 +183,27 @@ pub fn run_census_sharded(
     shards: u32,
     config: &ClassifierConfig,
 ) -> Census {
-    assert!(shards >= 1, "a census needs at least one shard");
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get() as u32)
-        .unwrap_or(1)
-        .min(shards)
-        .max(1);
-
-    // Worker w handles shards w, w + workers, w + 2·workers, …
-    let mut per_shard: Vec<(scanner::ShardRecords, inetgen::GeoDb)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                scope.spawn(move || {
-                    let mut collected = Vec::new();
-                    let mut index = w;
-                    while index < shards {
-                        let spec = inetgen::ShardSpec::new(index, shards);
-                        let mut world = inetgen::generate_shard(gen_config, spec);
-                        let scan = ScanConfig::new(world.targets.clone());
-                        let (probes, responses) =
-                            scanner::run_scan_raw(&mut world.sim, world.fixtures.scanner, scan);
-                        collected.push((
-                            scanner::ShardRecords::new(index, probes, responses),
-                            world.geo,
-                        ));
-                        index += workers;
-                    }
-                    collected
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("census worker panicked"))
-            .collect()
+    let run = inetgen::run_sharded(gen_config, shards, |spec, world| {
+        let scan = ScanConfig::new(world.targets.clone());
+        let (probes, responses) =
+            scanner::run_scan_raw(&mut world.sim, world.fixtures.scanner, scan);
+        scanner::ShardRecords::new(spec.index, probes, responses)
     });
+    census_from_shard_records(run.outputs, &run.geo, config)
+}
 
-    // Deterministic merge order regardless of worker scheduling.
-    per_shard.sort_by_key(|(records, _)| records.shard);
-    let mut geo: Option<inetgen::GeoDb> = None;
-    let mut streams = Vec::with_capacity(per_shard.len());
-    for (records, shard_geo) in per_shard {
-        match &mut geo {
-            None => geo = Some(shard_geo),
-            Some(merged) => merged.merge(shard_geo),
-        }
-        streams.push(records);
-    }
-    let geo = geo.expect("at least one shard");
-
-    // Correlate with the same window the per-shard scans used.
+/// The shared tail of every sharded driver: one offline correlation pass
+/// over the merged record streams (with the same window the per-shard
+/// scans used), classified into a census. Keeping this in one place is
+/// what lets `run_dnsroute_sharded` guarantee its census is identical to
+/// [`run_census_sharded`]'s.
+pub(crate) fn census_from_shard_records(
+    streams: Vec<scanner::ShardRecords>,
+    geo: &inetgen::GeoDb,
+    config: &ClassifierConfig,
+) -> Census {
     let outcome = scanner::merge_shard_records(streams, ScanConfig::DEFAULT_TIMEOUT);
-    let mut census = Census::from_transactions(&outcome.transactions, &geo, config);
+    let mut census = Census::from_transactions(&outcome.transactions, geo, config);
     census.unmatched_responses = outcome.unmatched_responses;
     census.late_responses = outcome.late_responses;
     census

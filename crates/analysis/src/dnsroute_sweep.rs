@@ -1,0 +1,111 @@
+//! The sharded DNSRoute++ sweep: census → trace every transparent
+//! forwarder, one shard world at a time, in parallel.
+//!
+//! The paper's §5 sweep "scans all transparent forwarders" found by the
+//! census — full coverage, not a sampled subset, which is also what
+//! attack-surface mapping of forwarder misuse needs. A single simulator
+//! bounds one sweep to the source-port space above `base_port` (one port
+//! per target is the only Time-Exceeded correlator); sharding removes
+//! that wave limit, because every shard world owns its own port space
+//! *and* its own worker thread.
+//!
+//! Built on [`inetgen::run_sharded`]: each shard runs the transactional
+//! scan, classifies its own transactions to discover that shard's
+//! transparent forwarders, and traces them with [`dnsroute::run_dnsroute`]
+//! in the same (already warm) simulator. Record streams merge into the
+//! census exactly as [`crate::run_census_sharded`] merges them; traces
+//! concatenate in ascending shard order. Partition invariance of the
+//! generator makes every per-target trace independent of `K`, so
+//! Figure 6 ([`crate::figure6_by_project`]) and the AS-relationship
+//! report are identical for any shard count — and `K = 1` reproduces the
+//! classic unsharded census → trace pipeline bit for bit.
+
+use crate::census::Census;
+use dnsroute::{DnsRouteConfig, ForwarderPath, SanitizeStats, TraceResult};
+use inetgen::GeoDb;
+use scanner::{classify, ClassifierConfig, OdnsClass, ScanConfig};
+use std::net::Ipv4Addr;
+
+/// Everything a sharded census → DNSRoute++ sweep produces.
+#[derive(Debug)]
+pub struct ShardedSweep {
+    /// The merged census (identical to [`crate::run_census_sharded`] over
+    /// the same configuration).
+    pub census: Census,
+    /// All traces, concatenated in ascending shard order; within a shard,
+    /// in that shard's census target order.
+    pub traces: Vec<TraceResult>,
+    /// The merged lookup database for figure/report generation.
+    pub geo: GeoDb,
+}
+
+impl ShardedSweep {
+    /// Sanitize the sweep (§5's "after sanitization" filter).
+    pub fn sanitized(&self) -> (Vec<ForwarderPath>, SanitizeStats) {
+        dnsroute::sanitize(&self.traces)
+    }
+
+    /// Figure 6 input: sanitized paths grouped by resolver project.
+    pub fn figure6(&self) -> (Vec<crate::ProjectPaths>, Vec<ForwarderPath>) {
+        let (paths, _) = self.sanitized();
+        crate::figure6_by_project(&paths, &self.geo)
+    }
+}
+
+/// Run the full §5 pipeline sharded `shards` ways on a worker-thread
+/// pool: per shard, transactional scan → classify → DNSRoute++ over that
+/// shard's transparent forwarders — then merge records and traces in
+/// deterministic shard order.
+///
+/// Classification is per-transaction, so the shard-local discovery pass
+/// finds exactly the targets the merged census attributes to that shard;
+/// no cross-shard state exists. Each shard's sweep runs in the simulator
+/// the scan just warmed (routes resolved, resolver caches filled), which
+/// is also how the real study operated: trace the forwarders right after
+/// the census that found them.
+pub fn run_dnsroute_sharded(
+    gen_config: &inetgen::GenConfig,
+    shards: u32,
+    classifier: &ClassifierConfig,
+) -> ShardedSweep {
+    let run = inetgen::run_sharded(gen_config, shards, |spec, world| {
+        // The shard's transactional scan, kept as raw streams for the
+        // merged single-pass correlation.
+        let scan = ScanConfig::new(world.targets.clone());
+        let (probes, responses) =
+            scanner::run_scan_raw(&mut world.sim, world.fixtures.scanner, scan);
+        // Shard-local discovery: correlate and classify this shard's own
+        // transactions to get its transparent-forwarder targets, in the
+        // same (probe) order the merged census will list them.
+        let outcome = scanner::correlate(&probes, &responses, ScanConfig::DEFAULT_TIMEOUT);
+        let targets: Vec<Ipv4Addr> = outcome
+            .transactions
+            .iter()
+            .filter(|t| classify(t, classifier).class() == Some(OdnsClass::TransparentForwarder))
+            .map(|t| t.probe.target)
+            .collect();
+        // The TTL sweep, in the same simulator the scan ran in.
+        let traces = dnsroute::run_dnsroute(
+            &mut world.sim,
+            world.fixtures.scanner,
+            DnsRouteConfig::new(targets),
+        );
+        (
+            scanner::ShardRecords::new(spec.index, probes, responses),
+            traces,
+        )
+    });
+
+    let mut records = Vec::with_capacity(run.outputs.len());
+    let mut traces = Vec::new();
+    for (shard_records, shard_traces) in run.outputs {
+        records.push(shard_records);
+        traces.extend(shard_traces);
+    }
+    let census = crate::census::census_from_shard_records(records, &run.geo, classifier);
+    ShardedSweep {
+        census,
+        traces,
+        geo: run.geo,
+    }
+}

@@ -14,7 +14,7 @@
 //! | Figure 3 (country CDF) | [`aggregate`], [`report::figure3`] |
 //! | Figure 4 (top-50 stacked) | [`aggregate`], [`report::figure4`] |
 //! | Figure 5 (project shares) | [`consolidation`], [`report::figure5`] |
-//! | Figure 6 (path lengths) | [`paths`] |
+//! | Figure 6 (path lengths) | [`paths`], [`dnsroute_sweep`] |
 //! | Figure 8 (/24 density) | [`density`], [`report::figure8`] |
 //! | Appendix E (devices/ASes) | [`devices`] |
 
@@ -28,6 +28,7 @@ pub mod chart;
 pub mod consolidation;
 pub mod density;
 pub mod devices;
+pub mod dnsroute_sweep;
 pub mod paths;
 pub mod pcap_ingest;
 pub mod ranking;
@@ -44,6 +45,7 @@ pub use density::PrefixDensity;
 pub use devices::{
     top_as_summary, top_ases_by_transparent, vendor_summary, TopAsSummary, VendorSummary,
 };
+pub use dnsroute_sweep::{run_dnsroute_sharded, ShardedSweep};
 pub use paths::{as_relationship_report, figure6_by_project, ProjectPaths};
 pub use pcap_ingest::{outcome_from_pcap, IngestError};
 pub use ranking::{table5_ranking, RankingRow};

@@ -8,11 +8,14 @@ use odns::ResolverProject;
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Per-project path-length series.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProjectPaths {
     /// The project.
     pub project: ResolverProject,
-    /// Forwarder → resolver hop counts.
+    /// Forwarder → resolver hop counts, sorted ascending: the series is a
+    /// canonical distribution, independent of path enumeration order (a
+    /// sharded sweep concatenates per-shard traces, so raw order would
+    /// vary with the shard count while the distribution never does).
     pub hop_counts: Vec<u8>,
     /// Distinct forwarder ASNs covered.
     pub asn_count: usize,
@@ -52,10 +55,13 @@ pub fn figure6_by_project(
     }
     let mut out: Vec<ProjectPaths> = grouped
         .into_iter()
-        .map(|(project, (hop_counts, asns))| ProjectPaths {
-            project,
-            hop_counts,
-            asn_count: asns.len(),
+        .map(|(project, (mut hop_counts, asns))| {
+            hop_counts.sort_unstable();
+            ProjectPaths {
+                project,
+                hop_counts,
+                asn_count: asns.len(),
+            }
         })
         .collect();
     out.sort_by_key(|p| p.project);

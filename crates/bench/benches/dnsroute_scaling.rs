@@ -1,0 +1,131 @@
+//! Shard-count scaling of the sharded DNSRoute++ sweep.
+//!
+//! The §5 sweep traces *every* transparent forwarder the census found —
+//! full coverage is what both Figure 6 and attack-surface mapping need.
+//! `analysis::run_dnsroute_sharded` drives one census + sweep per shard
+//! world on a worker-thread pool, each shard owning its own source-port
+//! space, so the sweep scales exactly like the census: parallelism plus
+//! per-shard locality.
+//!
+//! Trace content is verified identical across the K sweep (the engine's
+//! determinism contract). The headline measurement reports traces/s and
+//! merges a `dnsroute` section into `BENCH_simcore.json` so the perf
+//! artifact carries the sweep trajectory next to the hot-path numbers.
+//! Set `DNSROUTE_QUICK=1` for a fast CI-friendly run.
+
+use bench::{banner, criterion, merge_bench_section};
+use criterion::{black_box, Criterion};
+use inetgen::{CountrySelection, GenConfig};
+use scanner::ClassifierConfig;
+use std::time::Instant;
+
+/// The six headline countries; `scale` trades forwarder count for time.
+fn sweep_config(scale: u32) -> GenConfig {
+    GenConfig {
+        countries: CountrySelection::Codes(vec!["BRA", "IND", "USA", "TUR", "ARG", "IDN"]),
+        scale,
+        dud_fraction: 0.0,
+        ..GenConfig::default()
+    }
+}
+
+fn headline_sweep(quick: bool) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    banner(
+        "dnsroute scaling — the sharded parallel DNSRoute++ sweep",
+        "method of §5 at full-coverage scale (engine scaling, no paper artifact)",
+    );
+    println!("machine: {cores} worker thread(s) available\n");
+
+    // `scale` is a population *denominator*: quick mode (CI) uses a small
+    // scale-2000 world (~230 forwarders, milliseconds per K) while the
+    // full run sweeps a scale-100 world (~4.5k forwarders) so per-K times
+    // are long enough for the locality/parallelism effects to dominate
+    // measurement noise.
+    let config = sweep_config(if quick { 2_000 } else { 100 });
+    let ks: &[u32] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+
+    let mut baseline: Option<(f64, usize, usize)> = None;
+    let mut sweep_rows = String::new();
+    for &k in ks {
+        let t0 = Instant::now();
+        let sweep = analysis::run_dnsroute_sharded(&config, k, &ClassifierConfig::default());
+        let secs = t0.elapsed().as_secs_f64();
+        let traced = sweep.traces.len();
+        let (_, stats) = sweep.sanitized();
+        let traces_per_sec = traced as f64 / secs;
+        match baseline {
+            None => {
+                assert!(traced > 0, "sweep must trace forwarders");
+                println!(
+                    "K=1: {traced} forwarders traced ({} paths kept) in {secs:.2}s — {traces_per_sec:.0} traces/s  [baseline]",
+                    stats.kept
+                );
+                baseline = Some((secs, traced, stats.kept));
+            }
+            Some((base_secs, base_traced, base_kept)) => {
+                assert_eq!(traced, base_traced, "K={k} changed the trace count");
+                assert_eq!(stats.kept, base_kept, "K={k} changed the sanitized set");
+                println!(
+                    "K={k}: {traced} forwarders traced ({} paths kept) in {secs:.2}s — {traces_per_sec:.0} traces/s  speedup ×{:.2}",
+                    stats.kept,
+                    base_secs / secs
+                );
+            }
+        }
+        if !sweep_rows.is_empty() {
+            sweep_rows.push_str(",\n      ");
+        }
+        sweep_rows.push_str(&format!(
+            "{{ \"shards\": {k}, \"traces_per_second\": {traces_per_sec:.0}, \"elapsed_seconds\": {secs:.6} }}"
+        ));
+    }
+    let (_, traced, kept) = baseline.expect("at least one K measured");
+
+    let section = format!(
+        "{{\n    \"bench\": \"dnsroute_scaling\",\n    \"mode\": \"{}\",\n    \"world\": \"6 headline countries, scale {}\",\n    \"traced_forwarders\": {},\n    \"sanitized_paths\": {},\n    \"sweeps\": [\n      {}\n    ]\n  }}",
+        if quick { "quick" } else { "full" },
+        config.scale,
+        traced,
+        kept,
+        sweep_rows,
+    );
+    match merge_bench_section("dnsroute", &section) {
+        Ok(path) => println!("\ndnsroute: wrote section \"dnsroute\" to {path}"),
+        Err(e) => eprintln!("dnsroute: could not write artifact: {e}"),
+    }
+}
+
+fn bench_shard_counts(c: &mut Criterion) {
+    // A tiny two-country world keeps criterion iterations sub-second;
+    // shape matches the headline sweep (census → trace per shard).
+    let config = GenConfig {
+        countries: CountrySelection::Codes(vec!["MUS", "FSM"]),
+        scale: 1_000,
+        dud_fraction: 0.0,
+        ..GenConfig::default()
+    };
+    let mut group = c.benchmark_group("dnsroute_scaling");
+    for k in [1u32, 2] {
+        group.bench_function(format!("sweep_scale1000_k{k}"), |b| {
+            b.iter(|| {
+                let sweep =
+                    analysis::run_dnsroute_sharded(&config, k, &ClassifierConfig::default());
+                black_box(sweep.traces.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let quick = std::env::var_os("DNSROUTE_QUICK").is_some();
+    headline_sweep(quick);
+    if !quick {
+        let mut c = criterion();
+        bench_shard_counts(&mut c);
+        c.final_summary();
+    }
+}

@@ -162,8 +162,8 @@ fn bench_hotpath() {
         hit_rate
     );
 
-    let json = format!(
-        "{{\n  \"schema\": 1,\n  \"bench\": \"micro_simcore/hotpath\",\n  \"mode\": \"{}\",\n  \"world\": \"tiny_world (MUS+FSM, scale 1000)\",\n  \"scans\": {},\n  \"probes_per_scan\": {},\n  \"answered_probes\": {},\n  \"steady\": {{\n    \"probes_per_second\": {:.0},\n    \"events_per_second\": {:.0},\n    \"elapsed_seconds\": {:.6},\n    \"route_cache_hits\": {},\n    \"route_cache_misses\": {},\n    \"route_cache_hit_rate\": {:.6}\n  }},\n  \"baseline\": {{\n    \"note\": \"{}\",\n    \"steady_probes_per_second\": {:.0},\n    \"cold_world_probes_per_second\": {:.0}\n  }},\n  \"speedup_vs_baseline_steady\": {:.2}\n}}\n",
+    let section = format!(
+        "{{\n    \"bench\": \"micro_simcore/hotpath\",\n    \"mode\": \"{}\",\n    \"world\": \"tiny_world (MUS+FSM, scale 1000)\",\n    \"scans\": {},\n    \"probes_per_scan\": {},\n    \"answered_probes\": {},\n    \"steady\": {{\n      \"probes_per_second\": {:.0},\n      \"events_per_second\": {:.0},\n      \"elapsed_seconds\": {:.6},\n      \"route_cache_hits\": {},\n      \"route_cache_misses\": {},\n      \"route_cache_hit_rate\": {:.6}\n    }},\n    \"baseline\": {{\n      \"note\": \"{}\",\n      \"steady_probes_per_second\": {:.0},\n      \"cold_world_probes_per_second\": {:.0}\n    }},\n    \"speedup_vs_baseline_steady\": {:.2}\n  }}",
         if quick { "quick" } else { "full" },
         scans,
         probes_per_scan,
@@ -179,13 +179,9 @@ fn bench_hotpath() {
         BASELINE_COLD_WORLD_PROBES_PER_SEC,
         probes_per_sec / BASELINE_STEADY_PROBES_PER_SEC,
     );
-    let out = std::env::var("BENCH_SIMCORE_OUT").unwrap_or_else(|_| {
-        // Default to the workspace root regardless of bench cwd.
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simcore.json").into()
-    });
-    match std::fs::write(&out, &json) {
-        Ok(()) => println!("hotpath: wrote {out}"),
-        Err(e) => eprintln!("hotpath: could not write {out}: {e}"),
+    match bench::merge_bench_section("hotpath", &section) {
+        Ok(path) => println!("hotpath: wrote section \"hotpath\" to {path}"),
+        Err(e) => eprintln!("hotpath: could not write artifact: {e}"),
     }
 }
 

@@ -62,3 +62,165 @@ pub fn banner(what: &str, paper: &str) {
     println!("Paper reference: {paper}");
     println!("================================================================");
 }
+
+/// Path of the shared perf artifact: `BENCH_simcore.json` at the
+/// workspace root, overridable via `BENCH_SIMCORE_OUT`.
+pub fn bench_artifact_path() -> String {
+    std::env::var("BENCH_SIMCORE_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simcore.json").into())
+}
+
+/// Merge one named section into the shared perf artifact.
+///
+/// The artifact is a flat JSON object of per-bench sections (plus a
+/// `schema` tag). Each bench owns one key and rewrites only its own
+/// section, so the `hotpath` and `dnsroute` measurements can run in any
+/// order — or alone — and the uploaded artifact always carries every
+/// section that has been produced. Returns the path written.
+pub fn merge_bench_section(key: &str, section_json: &str) -> std::io::Result<String> {
+    let path = bench_artifact_path();
+    let mut sections = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| parse_sections(&s))
+        .unwrap_or_default();
+    match sections.iter_mut().find(|(k, _)| k == key) {
+        Some((_, v)) => *v = section_json.to_string(),
+        None => sections.push((key.to_string(), section_json.to_string())),
+    }
+    let mut out = String::from("{\n  \"schema\": 2");
+    for (k, v) in &sections {
+        out.push_str(",\n  \"");
+        out.push_str(k);
+        out.push_str("\": ");
+        out.push_str(v.trim());
+    }
+    out.push_str("\n}\n");
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+/// Minimal parser for the artifact's own output format: a top-level JSON
+/// object tagged `"schema": 2` with string keys and balanced-brace
+/// values. Anything unexpected — malformed input *or* the flat schema-1
+/// format, whose top-level keys are measurements rather than sections —
+/// yields `None` and the caller starts a fresh artifact.
+fn parse_sections(s: &str) -> Option<Vec<(String, String)>> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && b[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    }
+    skip_ws(b, &mut i);
+    if i >= b.len() || b[i] != b'{' {
+        return None;
+    }
+    i += 1;
+    let mut schema_2 = false;
+    let mut sections = Vec::new();
+    loop {
+        skip_ws(b, &mut i);
+        if i < b.len() && b[i] == b'}' {
+            return schema_2.then_some(sections);
+        }
+        if i >= b.len() || b[i] != b'"' {
+            return None;
+        }
+        i += 1;
+        let key_start = i;
+        while i < b.len() && b[i] != b'"' {
+            i += 1;
+        }
+        if i >= b.len() {
+            return None;
+        }
+        let key = s[key_start..i].to_string();
+        i += 1;
+        skip_ws(b, &mut i);
+        if i >= b.len() || b[i] != b':' {
+            return None;
+        }
+        i += 1;
+        skip_ws(b, &mut i);
+        let value_start = i;
+        let mut depth = 0i32;
+        let mut in_str = false;
+        let mut escaped = false;
+        while i < b.len() {
+            let c = b[i];
+            if in_str {
+                if escaped {
+                    escaped = false;
+                } else if c == b'\\' {
+                    escaped = true;
+                } else if c == b'"' {
+                    in_str = false;
+                }
+            } else if c == b'"' {
+                in_str = true;
+            } else if c == b'{' || c == b'[' {
+                depth += 1;
+            } else if c == b'}' || c == b']' {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            } else if c == b',' && depth == 0 {
+                break;
+            }
+            i += 1;
+        }
+        if i >= b.len() {
+            return None;
+        }
+        let value = s[value_start..i].trim().to_string();
+        // `schema` is regenerated on every write, not a section — but it
+        // must identify the sectioned format, or the old flat schema-1
+        // keys would leak into the rewritten artifact as bogus sections.
+        if key == "schema" {
+            schema_2 = value == "2";
+        } else {
+            sections.push((key, value));
+        }
+        if b[i] == b',' {
+            i += 1;
+            continue;
+        }
+        // b[i] == b'}' closes the object.
+        return schema_2.then_some(sections);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_sections;
+
+    #[test]
+    fn sections_roundtrip() {
+        let doc = "{\n  \"schema\": 2,\n  \"hotpath\": {\n    \"probes_per_second\": 1000,\n    \"nested\": { \"a\": [1, 2, 3], \"s\": \"b}r{ace\" }\n  },\n  \"dnsroute\": { \"traces_per_second\": 42.5 }\n}\n";
+        let sections = parse_sections(doc).expect("parses");
+        assert_eq!(sections.len(), 2, "schema dropped: {sections:?}");
+        assert_eq!(sections[0].0, "hotpath");
+        assert!(sections[0].1.contains("\"probes_per_second\": 1000"));
+        assert_eq!(sections[1].0, "dnsroute");
+        assert_eq!(sections[1].1, "{ \"traces_per_second\": 42.5 }");
+    }
+
+    #[test]
+    fn garbage_yields_none() {
+        assert_eq!(parse_sections(""), None);
+        assert_eq!(parse_sections("not json"), None);
+        assert_eq!(parse_sections("{ \"unterminated\": {"), None);
+    }
+
+    #[test]
+    fn flat_schema1_artifact_discarded() {
+        // The pre-section format: top-level keys are measurements. They
+        // must not survive as sections of the rewritten artifact.
+        let old = "{\n  \"schema\": 1,\n  \"bench\": \"micro_simcore/hotpath\",\n  \"steady\": { \"probes_per_second\": 985000 }\n}\n";
+        assert_eq!(parse_sections(old), None);
+        let untagged = "{ \"hotpath\": { \"a\": 1 } }";
+        assert_eq!(parse_sections(untagged), None);
+    }
+}

@@ -46,11 +46,12 @@ pub struct DnsRouteConfig {
 
 impl DnsRouteConfig {
     /// Defaults: TTL up to 30, 2 s per hop, continue past the target.
+    ///
+    /// One source port per target bounds a single sweep to the port space
+    /// above `base_port` (validated loudly when the prober is built);
+    /// larger target sets shard the sweep — each shard world owns its own
+    /// port space (see `analysis::run_dnsroute_sharded`).
     pub fn new(targets: Vec<Ipv4Addr>) -> Self {
-        assert!(
-            targets.len() <= 20_000,
-            "one source port per target: chunk scans beyond 20k targets into waves"
-        );
         DnsRouteConfig {
             targets,
             max_ttl: 30,
@@ -83,7 +84,7 @@ pub struct DnsEndpoint {
 }
 
 /// One traced target.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceResult {
     /// The traced address.
     pub target: Ipv4Addr,
@@ -160,14 +161,31 @@ const START_BASE: u64 = 1 << 48;
 
 impl DnsRoutePlusPlus {
     /// Build from config.
+    ///
+    /// # Panics
+    ///
+    /// When `base_port + targets.len() - 1` would exceed the 16-bit port
+    /// space: the source port is the only Time-Exceeded correlator, so a
+    /// wrapped port would silently alias two targets and orphan the
+    /// earlier one's trace. Reject loudly instead of dropping traces.
     pub fn new(config: DnsRouteConfig) -> Self {
+        let capacity = usize::from(u16::MAX - config.base_port) + 1;
+        assert!(
+            config.targets.len() <= capacity,
+            "source-port space exhausted: {} targets from base port {} \
+             would wrap past 65535 and alias earlier targets; lower \
+             base_port or split the sweep into shards (each shard world \
+             owns its own port space)",
+            config.targets.len(),
+            config.base_port,
+        );
         let states = config
             .targets
             .iter()
             .enumerate()
             .map(|(i, &target)| TargetState {
                 target,
-                port: config.base_port.wrapping_add(i as u16),
+                port: config.base_port + i as u16,
                 current_ttl: 0,
                 hops: Vec::new(),
                 target_seen_at: None,
@@ -175,6 +193,8 @@ impl DnsRoutePlusPlus {
                 done: false,
             })
             .collect::<Vec<_>>();
+        // Ports are `base_port + i` with no wrap (capacity asserted
+        // above), so every target's port is distinct by construction.
         let port_to_target = states
             .iter()
             .enumerate()
@@ -211,7 +231,11 @@ impl DnsRoutePlusPlus {
         let ttl = s.current_ttl;
         s.hops.push(None); // provisional anonymous hop for this TTL
         debug_assert_eq!(s.hops.len(), ttl as usize);
-        let txid = (idx as u16).wrapping_shl(5) | u16::from(ttl & 0x1F);
+        // The answer's txid is the only way to recover which probe TTL
+        // reached the resolver, so the low byte carries the full 8-bit TTL
+        // (no aliasing for any `max_ttl`); the high byte tags the target
+        // index for debugging — correlation itself is by source port.
+        let txid = (idx as u16) << 8 | u16::from(ttl);
         let query = MessageBuilder::query(txid, study::study_qname(), RrType::A)
             .recursion_desired(true)
             .build();
@@ -243,14 +267,24 @@ impl DnsRoutePlusPlus {
 
 impl Host for DnsRoutePlusPlus {
     fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
-        // A DNS answer: match by destination port (one per target).
+        // Only a DNS *answer* terminates a trace: it must come from the
+        // DNS port and carry a response (QR=1) message. Any other UDP
+        // datagram landing on a probe port — stray traffic, spoofed
+        // noise, a reflected query — must not end the sweep early.
+        if dgram.src_port != dnswire::DNS_PORT {
+            return;
+        }
+        // Match by destination port (one per target).
         let Some(&idx) = self.port_to_target.get(&dgram.dst_port) else {
             return;
         };
         let Some(txid) = dnswire::peek_id(&dgram.payload) else {
             return;
         };
-        let ttl = (txid & 0x1F) as u8;
+        if dnswire::peek_qr(&dgram.payload) != Some(true) {
+            return;
+        }
+        let ttl = (txid & 0xFF) as u8;
         let s = &mut self.states[idx];
         if s.done || s.dns.is_some() {
             return;

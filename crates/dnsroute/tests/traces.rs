@@ -12,8 +12,8 @@
 //! beyond the forwarder re-crosses AS200 — giving `AS_in == AS_out` for
 //! the relationship inference.
 
-use dnsroute::{infer_relationships, run_dnsroute, sanitize, DnsRouteConfig};
-use dnswire::{Message, MessageBuilder};
+use dnsroute::{infer_relationships, run_dnsroute, sanitize, DnsRouteConfig, DnsRoutePlusPlus};
+use dnswire::{Message, MessageBuilder, RrType};
 use netsim::{
     AsKind, AsSpec, CountryCode, Ctx, Datagram, Host, HostSpec, NodeId, Relationship, SimConfig,
     SimDuration, Simulator, TopologyBuilder, UdpSend,
@@ -26,6 +26,7 @@ const SCANNER: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
 const FORWARDER: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 7);
 const RESOLVER: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 1);
 const RECURSIVE_HOST: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 9);
+const NOISE: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 99);
 
 struct Canned;
 impl Host for Canned {
@@ -60,8 +61,17 @@ fn as_spec(asn: u32, sav: bool, routers: Vec<Ipv4Addr>) -> AsSpec {
     }
 }
 
-/// Build the four-AS world; returns (sim, scanner node).
-fn build_world() -> (Simulator, NodeId) {
+/// The four-AS world plus a noise host in AS400. `scanner_access` routers
+/// sit between the scanner and its AS — each adds one IP hop in front of
+/// every probe, which is how the deep-topology tests push the forwarder
+/// past TTL 31 without touching the AS structure.
+struct World {
+    sim: Simulator,
+    scanner: NodeId,
+    noise: NodeId,
+}
+
+fn build_world_ext(scanner_access: &[Ipv4Addr]) -> World {
     let mut b = TopologyBuilder::new();
     let a100 = b.add_as(as_spec(100, true, vec![Ipv4Addr::new(10, 100, 0, 1)]));
     let a200 = b.add_as(as_spec(
@@ -75,16 +85,35 @@ fn build_world() -> (Simulator, NodeId) {
     b.connect(a200, a300, Relationship::ProviderCustomer);
     b.connect(a200, a400, Relationship::ProviderCustomer);
 
-    let scanner = b.add_host(a100, HostSpec::simple(SCANNER));
+    let scanner = b.add_host(
+        a100,
+        HostSpec {
+            ip: SCANNER,
+            extra_ips: vec![],
+            access_routers: scanner_access.to_vec(),
+            link_latency: SimDuration::from_millis(2),
+        },
+    );
     let forwarder = b.add_host(a300, HostSpec::simple(FORWARDER));
     let recursive = b.add_host(a300, HostSpec::simple(RECURSIVE_HOST));
     let resolver = b.add_host(a400, HostSpec::simple(RESOLVER));
+    let noise = b.add_host(a400, HostSpec::simple(NOISE));
 
     let mut sim = Simulator::new(b.build().unwrap(), SimConfig::default());
     sim.install(forwarder, TransparentForwarder::new(RESOLVER));
     sim.install(recursive, odns::RecursiveForwarder::new(RESOLVER));
     sim.install(resolver, Canned);
-    (sim, scanner)
+    World {
+        sim,
+        scanner,
+        noise,
+    }
+}
+
+/// Build the four-AS world; returns (sim, scanner node).
+fn build_world() -> (Simulator, NodeId) {
+    let w = build_world_ext(&[]);
+    (w.sim, w.scanner)
 }
 
 #[test]
@@ -185,6 +214,137 @@ fn sweep_handles_unresponsive_target() {
         "all hops anonymous: {:?}",
         t.hops
     );
+}
+
+/// Regression: the probe txid used to encode the TTL in 5 bits
+/// (`ttl & 0x1F`), so any sweep past TTL 31 recorded the answer TTL
+/// mod 32 and broke `forwarder_to_resolver_hops`. Pushing the forwarder
+/// beyond 31 hops with a deep access-router chain must now recover the
+/// true answer TTL.
+#[test]
+fn deep_topology_recovers_answer_ttl_past_31() {
+    // 31 access routers in front of the scanner: every probe crosses
+    // them before the 4 backbone/AS hops of the shallow world, so the
+    // forwarder's own Time Exceeded fires at TTL 31 + 5 = 36 and the DNS
+    // answer lands at TTL 41 — both far past the old 5-bit limit.
+    let access: Vec<Ipv4Addr> = (1..=31)
+        .map(|i| Ipv4Addr::new(10, 99, 0, i as u8))
+        .collect();
+    let mut w = build_world_ext(&access);
+    let mut cfg = DnsRouteConfig::new(vec![FORWARDER]);
+    cfg.max_ttl = 48;
+    let traces = run_dnsroute(&mut w.sim, w.scanner, cfg);
+    let t = &traces[0];
+
+    assert_eq!(t.target_seen_at, Some(36), "hops: {:?}", t.hops);
+    let dns = t.dns.expect("resolver answered");
+    assert_eq!(dns.src, RESOLVER);
+    assert_eq!(dns.ttl, 41, "true answer TTL, not {} (mod 32)", 41 % 32);
+    // The Figure 6 metric matches the shallow world: approach depth must
+    // not leak into the forwarder → resolver distance.
+    assert_eq!(t.forwarder_to_resolver_hops(), Some(5));
+    let (paths, stats) = sanitize(&traces);
+    assert_eq!(stats.kept, 1);
+    assert_eq!(paths[0].hop_count, 5);
+}
+
+/// A sweep whose target count would wrap the 16-bit source-port space
+/// must be rejected loudly — a wrapped port aliases two targets and the
+/// earlier one's trace silently disappears.
+#[test]
+#[should_panic(expected = "source-port space exhausted")]
+fn colliding_base_port_rejected() {
+    let targets: Vec<Ipv4Addr> = (1..=10).map(|i| Ipv4Addr::new(203, 0, 113, i)).collect();
+    let mut cfg = DnsRouteConfig::new(targets);
+    cfg.base_port = 65_530; // room for 6 ports, 10 targets
+    let _ = DnsRoutePlusPlus::new(cfg);
+}
+
+/// The boundary case fits exactly: ports 65526..=65535 for 10 targets.
+#[test]
+fn base_port_at_capacity_accepted() {
+    let targets: Vec<Ipv4Addr> = (1..=10).map(|i| Ipv4Addr::new(203, 0, 113, i)).collect();
+    let mut cfg = DnsRouteConfig::new(targets);
+    cfg.base_port = 65_526;
+    let _ = DnsRoutePlusPlus::new(cfg);
+}
+
+/// Mid-sweep noise aimed at a probe port: a non-DNS datagram, a runt,
+/// and a reflected *query* (QR=0) from port 53. None of them may
+/// terminate the trace — only a DNS response from port 53 does.
+struct NoiseBurst {
+    dst: Ipv4Addr,
+    dst_port: u16,
+}
+
+impl Host for NoiseBurst {
+    fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _dgram: Datagram) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        // Wrong source port, payload long enough to carry fake flags.
+        ctx.send_udp(UdpSend {
+            src: None,
+            src_port: 9_999,
+            dst: self.dst,
+            dst_port: self.dst_port,
+            ttl: None,
+            payload: vec![0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x00].into(),
+        });
+        // Right port, but a query (QR=0), as a reflector would bounce.
+        let query = MessageBuilder::query(0x0102, odns::study::study_qname(), RrType::A)
+            .recursion_desired(true)
+            .build();
+        ctx.send_udp(UdpSend {
+            src: None,
+            src_port: 53,
+            dst: self.dst,
+            dst_port: self.dst_port,
+            ttl: None,
+            payload: query.encode().into(),
+        });
+        // Right port, runt too short for DNS flags.
+        ctx.send_udp(UdpSend {
+            src: None,
+            src_port: 53,
+            dst: self.dst,
+            dst_port: self.dst_port,
+            ttl: None,
+            payload: vec![0x01, 0x02, 0x03].into(),
+        });
+    }
+    netsim::impl_host_downcast!();
+}
+
+#[test]
+fn stray_datagrams_do_not_end_the_sweep() {
+    let mut w = build_world_ext(&[]);
+    // Target index 0 owns base_port; fire the noise 1 ms in, long before
+    // the probe TTL can reach the resolver (the answer needs TTL 10).
+    let cfg = DnsRouteConfig::new(vec![FORWARDER]);
+    let probe_port = cfg.base_port;
+    w.sim.install(
+        w.noise,
+        NoiseBurst {
+            dst: SCANNER,
+            dst_port: probe_port,
+        },
+    );
+    w.sim
+        .schedule_timer(w.noise, SimDuration::from_millis(1), 0);
+    let traces = run_dnsroute(&mut w.sim, w.scanner, cfg);
+    let t = &traces[0];
+
+    // The trace survived the noise: the forwarder signature and the real
+    // resolver answer are both intact (the old code recorded the first
+    // stray datagram as the DNS endpoint and stopped probing).
+    assert_eq!(t.target_seen_at, Some(5), "hops: {:?}", t.hops);
+    let dns = t.dns.expect("the real resolver answer still terminates");
+    assert_eq!(
+        dns.src, RESOLVER,
+        "endpoint must be the resolver, not {NOISE}"
+    );
+    assert!(dns.ttl > 5);
+    assert_eq!(t.forwarder_to_resolver_hops(), Some(dns.ttl - 5));
 }
 
 #[test]

@@ -50,7 +50,7 @@ pub mod template;
 pub use builder::MessageBuilder;
 pub use error::WireError;
 pub use header::{Flags, Header, Opcode, Rcode, HEADER_LEN};
-pub use message::{peek_id, Message};
+pub use message::{peek_id, peek_qr, Message};
 pub use name::DnsName;
 pub use question::{QClass, Question};
 pub use rdata::{Class, RData, Record, RrType, SoaData};

@@ -175,6 +175,17 @@ pub fn peek_id(msg: &[u8]) -> Option<u16> {
     Some(u16::from_be_bytes([msg[0], msg[1]]))
 }
 
+/// Peek the QR bit cheaply: `Some(true)` for a response, `Some(false)`
+/// for a query, `None` when the packet is too short to carry DNS flags.
+/// Lets receive paths reject non-answers (e.g. a reflected query landing
+/// on a probe port) without a full decode.
+pub fn peek_qr(msg: &[u8]) -> Option<bool> {
+    if msg.len() < 4 {
+        return None;
+    }
+    Some(msg[2] & 0x80 != 0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,6 +306,19 @@ mod tests {
         let bytes = m.encode();
         assert_eq!(peek_id(&bytes), Some(10337));
         assert_eq!(peek_id(&[0x01]), None);
+    }
+
+    #[test]
+    fn peek_qr_distinguishes_query_from_response() {
+        let resp = sample_response().encode();
+        assert_eq!(peek_qr(&resp), Some(true));
+        let qname = DnsName::parse("odns-study.example.").unwrap();
+        let query = crate::MessageBuilder::query(7, qname, RrType::A)
+            .recursion_desired(true)
+            .build()
+            .encode();
+        assert_eq!(peek_qr(&query), Some(false));
+        assert_eq!(peek_qr(&[0x00, 0x01, 0x80]), None, "too short for flags");
     }
 
     #[test]

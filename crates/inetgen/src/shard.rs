@@ -18,6 +18,7 @@
 
 use crate::build::{generate_shard, Internet};
 use crate::config::GenConfig;
+use crate::geodb::GeoDb;
 
 /// Which shard of how many a generated world is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -59,12 +60,97 @@ pub fn shard_of_country(global_index: usize, shard_count: u32) -> u32 {
 
 /// Generate every shard of a `count`-way partition, sequentially. Worker
 /// pools that want generation *and* scanning off-thread should instead
-/// call [`crate::generate_shard`] from their own threads.
+/// call [`crate::generate_shard`] from their own threads — or use
+/// [`run_sharded`], which owns that worker pool.
 pub fn generate_partition(config: &GenConfig, count: u32) -> Vec<Internet> {
     ShardSpec::partition(count)
         .into_iter()
         .map(|s| generate_shard(config, s))
         .collect()
+}
+
+/// The merged result of driving one experiment over every shard of a
+/// partition — what [`run_sharded`] returns.
+#[derive(Debug)]
+pub struct ShardedRun<T> {
+    /// One experiment output per shard, in ascending shard order
+    /// regardless of worker scheduling.
+    pub outputs: Vec<T>,
+    /// The union lookup database, merged in shard order. Disjoint
+    /// per-country regions make the merge collision-free by construction.
+    pub geo: GeoDb,
+}
+
+/// The sharded experiment runner: generate one self-contained world per
+/// shard on a worker-thread pool, run `experiment` against it in place,
+/// and hand back the outputs in deterministic shard order plus the merged
+/// [`GeoDb`].
+///
+/// This is the generate-shard → run-on-worker → deterministic-merge
+/// skeleton every sharded experiment driver shares; the census
+/// (`analysis::run_census_sharded`) and the DNSRoute++ sweep
+/// (`analysis::run_dnsroute_sharded`) both run on it. Each shard's
+/// simulator lives and dies on one worker thread — worker `w` handles
+/// shards `w, w + workers, w + 2·workers, …` — so the wall-clock cost of
+/// a large experiment divides by the worker count while the partition
+/// invariance of [`generate_shard`] keeps results independent of `K`.
+///
+/// The experiment closure receives the shard's [`ShardSpec`] and its
+/// fully-generated [`Internet`] (mutable: scans and sweeps drive the
+/// shard's own simulator). Only the closure's output and the shard's geo
+/// database survive the worker; experiment-specific merging (record
+/// streams, trace concatenation) is the caller's job.
+pub fn run_sharded<T, F>(config: &GenConfig, shards: u32, experiment: F) -> ShardedRun<T>
+where
+    T: Send,
+    F: Fn(ShardSpec, &mut Internet) -> T + Sync,
+{
+    assert!(shards >= 1, "a sharded run needs at least one shard");
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get() as u32)
+        .unwrap_or(1)
+        .min(shards)
+        .max(1);
+
+    let mut per_shard: Vec<(u32, T, GeoDb)> = std::thread::scope(|scope| {
+        let experiment = &experiment;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut collected = Vec::new();
+                    let mut index = w;
+                    while index < shards {
+                        let spec = ShardSpec::new(index, shards);
+                        let mut world = generate_shard(config, spec);
+                        let output = experiment(spec, &mut world);
+                        collected.push((index, output, world.geo));
+                        index += workers;
+                    }
+                    collected
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+
+    // Deterministic merge order regardless of worker scheduling.
+    per_shard.sort_by_key(|(shard, _, _)| *shard);
+    let mut geo: Option<GeoDb> = None;
+    let mut outputs = Vec::with_capacity(per_shard.len());
+    for (_, output, shard_geo) in per_shard {
+        match &mut geo {
+            None => geo = Some(shard_geo),
+            Some(merged) => merged.merge(shard_geo),
+        }
+        outputs.push(output);
+    }
+    ShardedRun {
+        outputs,
+        geo: geo.expect("at least one shard"),
+    }
 }
 
 #[cfg(test)]
@@ -80,6 +166,29 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_out_of_range_index() {
         let _ = ShardSpec::new(3, 3);
+    }
+
+    #[test]
+    fn run_sharded_outputs_in_shard_order() {
+        let config = GenConfig {
+            countries: crate::CountrySelection::Codes(vec!["MUS", "FSM", "AFG"]),
+            scale: 5_000,
+            dud_fraction: 0.0,
+            ..GenConfig::default()
+        };
+        let run = run_sharded(&config, 3, |spec, world| (spec.index, world.targets.len()));
+        assert_eq!(run.outputs.len(), 3);
+        for (i, (index, _)) in run.outputs.iter().enumerate() {
+            assert_eq!(*index, i as u32, "outputs sorted by shard index");
+        }
+        // The merged geo covers every shard's population.
+        let total: usize = run.outputs.iter().map(|(_, n)| n).sum();
+        assert!(total > 0);
+        let solo = crate::generate(&config);
+        assert_eq!(total, solo.targets.len());
+        for host in &solo.truth.hosts {
+            assert_eq!(run.geo.asn_of(host.ip), Some(host.asn));
+        }
     }
 
     #[test]

@@ -2,11 +2,14 @@
 //! forwarder → path-length CDFs per resolver project (Figure 6) and the
 //! AS-relationship inference.
 //!
+//! Runs the *sharded* sweep driver: every shard world is scanned and
+//! traced on a worker-thread pool, and the shard count never changes the
+//! results (see `tests/sharded_dnsroute_determinism.rs`).
+//!
 //! ```sh
 //! cargo run --release --example dnsroute_explorer
 //! ```
 
-use dnsroute::{run_dnsroute, sanitize, DnsRouteConfig};
 use inetgen::{CountrySelection, GenConfig};
 use scanner::ClassifierConfig;
 use std::collections::BTreeSet;
@@ -19,20 +22,17 @@ fn main() {
         dud_fraction: 0.0,
         ..GenConfig::default()
     };
-    let mut internet = inetgen::generate(&config);
+    let shards = std::thread::available_parallelism()
+        .map(|n| n.get() as u32)
+        .unwrap_or(1);
 
-    println!("step 1: transactional census to find the forwarders...");
-    let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
-    let targets = census.transparent_targets();
-    println!("  {} transparent forwarders discovered", targets.len());
-
-    println!("step 2: TTL sweep past every forwarder (DNSRoute++)...");
-    let traces = run_dnsroute(
-        &mut internet.sim,
-        internet.fixtures.scanner,
-        DnsRouteConfig::new(targets),
+    println!("steps 1+2: sharded census + TTL sweep past every forwarder ({shards} shards)...");
+    let sweep = analysis::run_dnsroute_sharded(&config, shards, &ClassifierConfig::default());
+    println!(
+        "  {} transparent forwarders discovered and traced",
+        sweep.census.transparent_targets().len()
     );
-    let (paths, stats) = sanitize(&traces);
+    let (paths, stats) = sweep.sanitized();
     println!(
         "  {} traces, {} sanitized paths kept ({} no-signature, {} no-answer, {} incomplete)",
         stats.total(),
@@ -43,7 +43,7 @@ fn main() {
     );
 
     println!("\n--- Figure 6: path length forwarder → resolver [IP hops] ---");
-    let (projects, other) = analysis::figure6_by_project(&paths, &internet.geo);
+    let (projects, other) = analysis::figure6_by_project(&paths, &sweep.geo);
     for p in &projects {
         let cdf = p.cdf();
         println!(
@@ -65,10 +65,14 @@ fn main() {
     println!("ordering is driven by anycast PoP density and must reproduce here.");
 
     println!("\n--- §5: AS-relationship inference ---");
+    // A CAIDA-like baseline: ground truth is per-world, so rebuild one
+    // unsharded world just to extract the provider-customer pairs (the
+    // backbone and per-country AS structure are partition-invariant).
+    let internet = inetgen::generate(&config);
     let truth: Vec<(u32, u32)> = internet.sim.topology().provider_customer_pairs().to_vec();
     let known: BTreeSet<(u32, u32)> = truth.iter().take(truth.len() * 85 / 100).copied().collect();
     let (report, known_hits, new_pairs) =
-        analysis::as_relationship_report(&paths, &internet.geo, &known);
+        analysis::as_relationship_report(&paths, &sweep.geo, &known);
     println!(
         "usable paths: {}   AS_in == AS_out: {} ({:.0}%, paper: 62%)",
         report.usable_paths,

@@ -1,0 +1,110 @@
+//! Shard-count invariance of the DNSRoute++ sweep — the mirror of
+//! `sharded_census_determinism.rs` for the trace pipeline.
+//!
+//! The sharded sweep's contract: partitioning the synthetic Internet into
+//! K shard worlds changes wall-clock behavior only. Per-target traces,
+//! the sanitization tally, the Figure 6 per-project path-length
+//! distributions, and the AS-relationship inference are identical for
+//! every K — and K = 1 reproduces the classic unsharded census → trace
+//! pipeline exactly, timestamps included.
+
+use dnsroute::{run_dnsroute, DnsRouteConfig, TraceResult};
+use inetgen::GenConfig;
+use scanner::{ClassifierConfig, OdnsClass};
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+fn census_counts(census: &analysis::Census) -> (usize, usize, usize, usize) {
+    (
+        census.odns_total(),
+        census.count(OdnsClass::TransparentForwarder),
+        census.count(OdnsClass::RecursiveForwarder),
+        census.count(OdnsClass::RecursiveResolver),
+    )
+}
+
+/// A trace's timing-free content. Simulated clocks differ across shard
+/// compositions (stagger position, cache warm-up), so `DnsEndpoint.at`
+/// is the one field a K-sweep may legitimately change; everything the
+/// figures consume must not.
+type TraceKey = (
+    Ipv4Addr,
+    Vec<Option<Ipv4Addr>>,
+    Option<u8>,
+    Option<(u8, Ipv4Addr)>,
+);
+
+fn trace_key(t: &TraceResult) -> TraceKey {
+    (
+        t.target,
+        t.hops.clone(),
+        t.target_seen_at,
+        t.dns.as_ref().map(|d| (d.ttl, d.src)),
+    )
+}
+
+fn sorted_keys(traces: &[TraceResult]) -> Vec<TraceKey> {
+    let mut keys: Vec<TraceKey> = traces.iter().map(trace_key).collect();
+    keys.sort();
+    keys
+}
+
+#[test]
+fn k1_sweep_reproduces_unsharded_pipeline_bit_for_bit() {
+    let config = GenConfig::test_small();
+
+    // The classic pipeline: generate → census → trace in the same sim.
+    let mut internet = inetgen::generate(&config);
+    let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
+    let targets = census.transparent_targets();
+    assert!(!targets.is_empty(), "world must contain forwarders");
+    let traces = run_dnsroute(
+        &mut internet.sim,
+        internet.fixtures.scanner,
+        DnsRouteConfig::new(targets),
+    );
+
+    let sweep = analysis::run_dnsroute_sharded(&config, 1, &ClassifierConfig::default());
+    assert_eq!(census_counts(&sweep.census), census_counts(&census));
+    // Full equality including timestamps: K = 1 is the same event
+    // sequence, not merely the same distributions.
+    assert_eq!(sweep.traces, traces);
+}
+
+#[test]
+fn figure6_and_asrel_invariant_across_shard_counts() {
+    let config = GenConfig::test_small();
+    let baseline = analysis::run_dnsroute_sharded(&config, 1, &ClassifierConfig::default());
+    let (base_paths, base_stats) = baseline.sanitized();
+    assert!(base_stats.kept > 0, "sweep must keep sanitized paths");
+    let (base_fig6, base_other) = baseline.figure6();
+    assert!(!base_fig6.is_empty(), "projects must appear in Figure 6");
+    let empty = BTreeSet::new();
+    let (base_report, _, _) = analysis::as_relationship_report(&base_paths, &baseline.geo, &empty);
+
+    for k in [2u32, 8] {
+        let sweep = analysis::run_dnsroute_sharded(&config, k, &ClassifierConfig::default());
+        assert_eq!(
+            census_counts(&sweep.census),
+            census_counts(&baseline.census),
+            "census counts diverged at K={k}"
+        );
+        assert_eq!(
+            sorted_keys(&sweep.traces),
+            sorted_keys(&baseline.traces),
+            "per-target trace content diverged at K={k}"
+        );
+        let (paths, stats) = sweep.sanitized();
+        assert_eq!(stats, base_stats, "sanitization tally diverged at K={k}");
+        let (fig6, other) = sweep.figure6();
+        // ProjectPaths holds *sorted* hop counts: bit-identical per
+        // project means bit-identical Figure 6 distributions.
+        assert_eq!(fig6, base_fig6, "Figure 6 distributions diverged at K={k}");
+        assert_eq!(other.len(), base_other.len());
+
+        let (report, _, _) = analysis::as_relationship_report(&paths, &sweep.geo, &empty);
+        assert_eq!(report.usable_paths, base_report.usable_paths, "K={k}");
+        assert_eq!(report.matching_paths, base_report.matching_paths, "K={k}");
+        assert_eq!(report.inferred, base_report.inferred, "K={k}");
+    }
+}
