@@ -3,7 +3,7 @@
 use crate::cdf::Cdf;
 use crate::census::Census;
 use scanner::OdnsClass;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-country ODNS composition.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -36,10 +36,14 @@ impl CountryStats {
 
 /// Aggregate a census by country. Rows without a country mapping (the
 /// 0.1 % geo gap) are collected under `None`.
-pub fn by_country(census: &Census) -> HashMap<Option<&'static str>, CountryStats> {
-    let mut map: HashMap<Option<&'static str>, CountryStats> = HashMap::new();
-    let mut transparent_asns: HashMap<Option<&'static str>, std::collections::HashSet<u32>> =
-        HashMap::new();
+///
+/// `BTreeMap`-backed so that report surfaces iterating it render
+/// byte-identically on every run — merged sharded reports rely on this
+/// (`HashMap` iteration order varies per instance within one process).
+pub fn by_country(census: &Census) -> BTreeMap<Option<&'static str>, CountryStats> {
+    let mut map: BTreeMap<Option<&'static str>, CountryStats> = BTreeMap::new();
+    let mut transparent_asns: BTreeMap<Option<&'static str>, std::collections::HashSet<u32>> =
+        BTreeMap::new();
     for row in &census.rows {
         let Some(class) = row.class() else { continue };
         let stats = map.entry(row.country).or_default();

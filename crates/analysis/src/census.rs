@@ -8,7 +8,7 @@ use scanner::{classify, ClassifierConfig, Discard, OdnsClass, ScanConfig, Transa
 use std::net::Ipv4Addr;
 
 /// One classified probe, enriched with mapping data.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CensusRow {
     /// Probed address.
     pub target: Ipv4Addr,
@@ -32,8 +32,9 @@ impl CensusRow {
     }
 }
 
-/// The census dataset.
-#[derive(Debug, Clone, Default)]
+/// The census dataset. `PartialEq` row for row — what the capture-driven
+/// verification asserts against the live census.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Census {
     /// One row per probe.
     pub rows: Vec<CensusRow>,
@@ -211,19 +212,30 @@ pub(crate) fn census_from_shard_records(
 
 /// Run a Shadowserver-style campaign pass over the same Internet and
 /// aggregate its reported ODNS addresses per country. Returned map:
-/// country → reported count. Used for the Table 5 comparison.
+/// country → reported count (country-sorted, so downstream renderings are
+/// byte-stable). Used for the Table 5 comparison.
 pub fn run_shadowserver_census(
     internet: &mut Internet,
-) -> std::collections::HashMap<&'static str, usize> {
+) -> std::collections::BTreeMap<&'static str, usize> {
     use scanner::{run_campaign, Campaign, CampaignConfig};
     let report = run_campaign(
         &mut internet.sim,
         internet.fixtures.campaign_scanners[0],
         CampaignConfig::new(Campaign::Shadowserver, internet.targets.clone()),
     );
-    let mut per_country = std::collections::HashMap::new();
+    campaign_country_counts(&report, &internet.geo)
+}
+
+/// Per-country counts of a campaign's reported ODNS addresses — the raw
+/// material of the paper's Table 5 comparison, shared by the unsharded
+/// Shadowserver pass above and the sharded campaign sweep.
+pub fn campaign_country_counts(
+    report: &scanner::CampaignReport,
+    geo: &GeoDb,
+) -> std::collections::BTreeMap<&'static str, usize> {
+    let mut per_country = std::collections::BTreeMap::new();
     for ip in &report.odns {
-        if let Some(country) = internet.geo.country_of(*ip) {
+        if let Some(country) = geo.country_of(*ip) {
             *per_country.entry(country).or_insert(0) += 1;
         }
     }

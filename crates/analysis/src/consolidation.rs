@@ -6,7 +6,7 @@ use crate::census::Census;
 use inetgen::GeoDb;
 use odns::ResolverProject;
 use scanner::OdnsClass;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Which resolver answered a transparent forwarder's relay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -36,10 +36,11 @@ impl ResolverSource {
 }
 
 /// Per-country resolver-source shares among transparent forwarders.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CountryConsolidation {
-    /// Counts per source.
-    pub counts: HashMap<ResolverSource, usize>,
+    /// Counts per source, in [`ResolverSource`] order (deterministic
+    /// iteration keeps Figure 5 renderings byte-stable).
+    pub counts: BTreeMap<ResolverSource, usize>,
     /// Total transparent forwarders with a known response source.
     pub total: usize,
 }
@@ -56,8 +57,9 @@ impl CountryConsolidation {
 }
 
 /// Figure 5: per-country project shares behind transparent forwarders.
-pub fn figure5_by_country(census: &Census) -> HashMap<&'static str, CountryConsolidation> {
-    let mut map: HashMap<&'static str, CountryConsolidation> = HashMap::new();
+/// Country-sorted (`BTreeMap`) so renderings are byte-stable across runs.
+pub fn figure5_by_country(census: &Census) -> BTreeMap<&'static str, CountryConsolidation> {
+    let mut map: BTreeMap<&'static str, CountryConsolidation> = BTreeMap::new();
     for row in census.of_class(OdnsClass::TransparentForwarder) {
         let (Some(country), Some(src)) = (row.country, row.response_src) else {
             continue;
@@ -131,7 +133,14 @@ pub fn table4_other_share(census: &Census, geo: &GeoDb, n: usize) -> Vec<OtherSh
         .into_iter()
         .map(|(country, acc)| OtherShareRow {
             country,
-            top_asn: acc.by_asn.iter().max_by_key(|(_, c)| **c).map(|(a, _)| *a),
+            // Ties on count resolve to the lowest ASN — `by_asn` is a
+            // HashMap, so leaning on its iteration order would make the
+            // rendered Table 4 vary across runs.
+            top_asn: acc
+                .by_asn
+                .iter()
+                .max_by_key(|(a, c)| (**c, std::cmp::Reverse(**a)))
+                .map(|(a, _)| *a),
             other_transparent: acc.other_total,
             indirect_share: if acc.other_total == 0 {
                 0.0

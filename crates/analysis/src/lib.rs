@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod campaign_sweep;
 pub mod cdf;
 pub mod census;
 pub mod chart;
@@ -33,11 +34,19 @@ pub mod paths;
 pub mod pcap_ingest;
 pub mod ranking;
 pub mod report;
+pub mod sensor_sweep;
 pub mod table;
 
 pub use aggregate::{by_country, figure3_cumulative, rank_by_transparent, CountryStats};
+pub use campaign_sweep::{
+    install_sensors, run_campaign_sharded, CampaignSweep, DetectionMatrix, SensorTotals,
+    ShardCaptures, CAMPAIGN_EPOCH, SENSOR_SHARD,
+};
 pub use cdf::Cdf;
-pub use census::{run_census, run_census_sharded, run_shadowserver_census, Census, CensusRow};
+pub use census::{
+    campaign_country_counts, run_census, run_census_sharded, run_shadowserver_census, Census,
+    CensusRow,
+};
 pub use consolidation::{
     figure5_by_country, table4_other_share, CountryConsolidation, OtherShareRow, ResolverSource,
 };
@@ -47,6 +56,10 @@ pub use devices::{
 };
 pub use dnsroute_sweep::{run_dnsroute_sharded, ShardedSweep};
 pub use paths::{as_relationship_report, figure6_by_project, ProjectPaths};
-pub use pcap_ingest::{outcome_from_pcap, IngestError};
+pub use pcap_ingest::{
+    campaign_report_from_pcap, census_from_captures, outcome_from_pcap, shard_records_from_pcap,
+    streams_from_pcap, IngestError,
+};
 pub use ranking::{table5_ranking, RankingRow};
+pub use sensor_sweep::{run_sensors_sharded, SensorSweep};
 pub use table::{pct, TextTable};

@@ -6,11 +6,23 @@
 //! reconstructs probes (outgoing port-53 queries), responses (everything
 //! else), and correlates them by `(port, TXID)` within the timeout —
 //! independently of the in-memory records the scanner kept.
+//!
+//! The sharded drivers extend this to per-shard taps: every shard's
+//! scanner capture alone rebuilds that shard's record streams
+//! ([`shard_records_from_pcap`]), and the streams merge through the same
+//! offline pass as the live sharded census ([`census_from_captures`]) —
+//! so the whole sharded pipeline is reproducible from its captures, like
+//! the paper's. Campaign emulations replay offline too
+//! ([`campaign_report_from_pcap`]): a campaign's published report is a
+//! pure function of its capture and its processing rules.
 
 use netsim::pcap::{read_pcap, PcapError};
 use netsim::wire::{decode, DecodedPacket};
 use netsim::SimDuration;
 use scanner::records::{ProbeRecord, ResponseRecord, ScanOutcome};
+use scanner::{Campaign, CampaignReport, ClassifierConfig, ShardRecords};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
 
 /// Errors during capture ingestion.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,11 +41,15 @@ impl std::fmt::Display for IngestError {
 
 impl std::error::Error for IngestError {}
 
-/// Reconstruct a [`ScanOutcome`] from raw capture bytes.
+/// Reconstruct the raw probe/response record streams from capture bytes —
+/// exactly what the live scanner's `run_scan_raw` returns, but computed
+/// from the tap's pcap alone.
 ///
 /// Packets that fail IP/UDP decoding are skipped (they would be ICMP or
 /// corruption — dumpcap keeps them too, the analyzer ignores them).
-pub fn outcome_from_pcap(pcap: &[u8], timeout: SimDuration) -> Result<ScanOutcome, IngestError> {
+pub fn streams_from_pcap(
+    pcap: &[u8],
+) -> Result<(Vec<ProbeRecord>, Vec<ResponseRecord>), IngestError> {
     let records = read_pcap(pcap).map_err(IngestError::Pcap)?;
     let mut probes: Vec<ProbeRecord> = Vec::new();
     let mut responses: Vec<ResponseRecord> = Vec::new();
@@ -62,10 +78,91 @@ pub fn outcome_from_pcap(pcap: &[u8], timeout: SimDuration) -> Result<ScanOutcom
             });
         }
     }
+    Ok((probes, responses))
+}
 
+/// Reconstruct a [`ScanOutcome`] from raw capture bytes.
+pub fn outcome_from_pcap(pcap: &[u8], timeout: SimDuration) -> Result<ScanOutcome, IngestError> {
+    let (probes, responses) = streams_from_pcap(pcap)?;
     // Same offline pass as the live scanner and the sharded merge — one
     // implementation of the matching semantics for all three paths.
     Ok(scanner::correlate_owned(probes, responses, timeout))
+}
+
+/// Rebuild one shard's [`ShardRecords`] from that shard's scanner capture
+/// — the capture-driven twin of the per-shard `run_scan_raw` collection
+/// step. `(port, txid)` tuples restart in every shard, so each capture
+/// must be ingested separately and merged at the record-stream level
+/// (never by concatenating pcaps).
+pub fn shard_records_from_pcap(shard: u32, pcap: &[u8]) -> Result<ShardRecords, IngestError> {
+    let (probes, responses) = streams_from_pcap(pcap)?;
+    Ok(ShardRecords::new(shard, probes, responses))
+}
+
+/// The capture-driven sharded census: rebuild every shard's record
+/// streams from its capture alone and run the identical merge →
+/// correlate → classify tail as the live sharded census. Given the
+/// captures of a [`crate::run_campaign_sharded`] (or any sharded scan
+/// with per-shard scanner taps), the result equals the in-memory census
+/// row for row.
+pub fn census_from_captures<S: AsRef<[u8]>>(
+    captures: &[(u32, S)],
+    geo: &inetgen::GeoDb,
+    classifier: &ClassifierConfig,
+) -> Result<crate::census::Census, IngestError> {
+    let mut streams = Vec::with_capacity(captures.len());
+    for (shard, pcap) in captures {
+        streams.push(shard_records_from_pcap(*shard, pcap.as_ref())?);
+    }
+    Ok(crate::census::census_from_shard_records(
+        streams, geo, classifier,
+    ))
+}
+
+/// Replay a campaign's processing rules over its capture, rebuilding the
+/// [`CampaignReport`] it published — the offline proof that a campaign's
+/// feed is a pure function of the traffic it saw plus its (stateless or
+/// connected-socket) pipeline. Mirrors `CampaignScanner::on_datagram`
+/// byte for byte: outgoing port-53 packets register the probe's
+/// `(port, txid) → target`, anything else is processed as a response in
+/// capture order.
+pub fn campaign_report_from_pcap(
+    campaign: Campaign,
+    pcap: &[u8],
+) -> Result<CampaignReport, IngestError> {
+    let records = read_pcap(pcap).map_err(IngestError::Pcap)?;
+    let mut sent: HashMap<(u16, u16), Ipv4Addr> = HashMap::new();
+    let mut report = CampaignReport::default();
+    for rec in &records {
+        let Ok(DecodedPacket::Udp(d)) = decode(&rec.data) else {
+            continue; // ICMP never reaches a campaign's response pipeline
+        };
+        if d.dst_port == dnswire::DNS_PORT {
+            if let Some(txid) = dnswire::peek_id(&d.payload) {
+                sent.insert((d.src_port, txid), d.dst);
+            }
+            continue;
+        }
+        let Ok(msg) = dnswire::Message::decode(&d.payload) else {
+            report.invalid += 1;
+            continue;
+        };
+        if !msg.is_response() || msg.answer_a_addrs().is_empty() {
+            report.invalid += 1;
+            continue;
+        }
+        if campaign.sanitizes_source() {
+            match sent.get(&(d.dst_port, msg.header.id)) {
+                Some(&target) if target == d.src => {
+                    report.odns.insert(d.src);
+                }
+                _ => report.sanitized_out += 1,
+            }
+        } else {
+            report.odns.insert(d.src);
+        }
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -183,5 +280,67 @@ mod tests {
             outcome_from_pcap(&[0u8; 10], SimDuration::from_secs(20)),
             Err(IngestError::Pcap(_))
         ));
+        assert!(matches!(
+            shard_records_from_pcap(0, &[0u8; 10]),
+            Err(IngestError::Pcap(_))
+        ));
+        assert!(matches!(
+            campaign_report_from_pcap(Campaign::Censys, &[0u8; 10]),
+            Err(IngestError::Pcap(_))
+        ));
+    }
+
+    #[test]
+    fn shard_records_rebuilt_with_shard_local_indices() {
+        let records = shard_records_from_pcap(7, &capture()).unwrap();
+        assert_eq!(records.shard, 7);
+        assert_eq!(records.probes.len(), 1);
+        assert_eq!(records.probes[0].index, 0, "indices restart per shard");
+        assert_eq!(records.probes[0].target, TARGET);
+        assert_eq!(records.responses.len(), 1);
+        assert_eq!(records.responses[0].src, RESOLVER);
+    }
+
+    #[test]
+    fn campaign_replay_applies_sanitizing_rules() {
+        // The capture of `capture()` holds a probe to TARGET answered from
+        // RESOLVER — a source mismatch.
+        let shadow = campaign_report_from_pcap(Campaign::Shadowserver, &capture()).unwrap();
+        assert!(shadow.odns.contains(&RESOLVER), "responder reported");
+        assert!(!shadow.odns.contains(&TARGET));
+        assert_eq!(shadow.sanitized_out, 0);
+
+        let censys = campaign_report_from_pcap(Campaign::Censys, &capture()).unwrap();
+        assert!(censys.odns.is_empty(), "mismatched source dropped");
+        assert_eq!(censys.sanitized_out, 1);
+    }
+
+    #[test]
+    fn campaign_replay_counts_invalid_responses() {
+        let mut w = PcapWriter::new();
+        let garbage = Datagram {
+            src: RESOLVER,
+            dst: SCANNER,
+            src_port: 53,
+            dst_port: 41_000,
+            ttl: 60,
+            payload: vec![0xFF, 0x01].into(),
+        };
+        w.write(SimTime(0), &encode_udp(&garbage, 1));
+        // A well-formed response without A records is invalid too.
+        let q = MessageBuilder::query(3, odns::study::study_qname(), RrType::A).build();
+        let empty = q.response_skeleton();
+        let no_answers = Datagram {
+            src: RESOLVER,
+            dst: SCANNER,
+            src_port: 53,
+            dst_port: 41_000,
+            ttl: 60,
+            payload: empty.encode().into(),
+        };
+        w.write(SimTime(10), &encode_udp(&no_answers, 2));
+        let report = campaign_report_from_pcap(Campaign::Shadowserver, &w.finish()).unwrap();
+        assert_eq!(report.invalid, 2);
+        assert!(report.odns.is_empty());
     }
 }

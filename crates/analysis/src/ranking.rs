@@ -3,7 +3,7 @@
 
 use crate::aggregate::by_country;
 use crate::census::Census;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// One row of the Table 5 comparison.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,10 +35,12 @@ impl RankingRow {
 }
 
 /// Build the Table 5 comparison: rank countries by the census (ours) and
-/// by a Shadowserver-style per-country count, and join.
+/// by a Shadowserver-style per-country count, and join. The map is
+/// country-sorted so two identical inputs always produce the identical
+/// table (see [`crate::census::run_shadowserver_census`]).
 pub fn table5_ranking(
     census: &Census,
-    shadowserver: &HashMap<&'static str, usize>,
+    shadowserver: &BTreeMap<&'static str, usize>,
     top_n: usize,
 ) -> Vec<RankingRow> {
     let ours: Vec<(&'static str, usize)> = {
@@ -116,7 +118,7 @@ mod tests {
             .rows
             .extend(rows("DEU", 5, OdnsClass::RecursiveForwarder));
         // Shadowserver sees only non-transparent components.
-        let mut shadow = HashMap::new();
+        let mut shadow = BTreeMap::new();
         shadow.insert("BRA", 2usize);
         shadow.insert("DEU", 5usize);
 
@@ -140,7 +142,7 @@ mod tests {
         census
             .rows
             .extend(rows("MUS", 3, OdnsClass::TransparentForwarder));
-        let table = table5_ranking(&census, &HashMap::new(), 5);
+        let table = table5_ranking(&census, &BTreeMap::new(), 5);
         assert_eq!(table[0].shadow_rank, None);
         assert_eq!(table[0].rank_delta(), None);
         assert_eq!(table[0].count_delta(), 3);
@@ -154,7 +156,7 @@ mod tests {
                 .rows
                 .extend(rows(c, 3 - i, OdnsClass::RecursiveForwarder));
         }
-        let table = table5_ranking(&census, &HashMap::new(), 2);
+        let table = table5_ranking(&census, &BTreeMap::new(), 2);
         assert_eq!(table.len(), 2);
         assert_eq!(table[0].country, "AAA");
     }

@@ -12,7 +12,7 @@ use crate::table::{pct, TextTable};
 use inetgen::GeoDb;
 use odns::ResolverProject;
 use scanner::OdnsClass;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Table 1: the ODNS composition.
 pub fn table1(census: &Census) -> TextTable {
@@ -179,7 +179,11 @@ pub fn table4(census: &Census, geo: &GeoDb, n: usize) -> TextTable {
 }
 
 /// Table 5: top-`n` country ranking vs the Shadowserver-style view.
-pub fn table5(census: &Census, shadowserver: &HashMap<&'static str, usize>, n: usize) -> TextTable {
+pub fn table5(
+    census: &Census,
+    shadowserver: &BTreeMap<&'static str, usize>,
+    n: usize,
+) -> TextTable {
     let mut t = TextTable::new([
         "Country", "Rank", "#ODNS", "SS Rank", "SS #ODNS", "ΔRank", "ΔCount",
     ]);
@@ -325,11 +329,36 @@ mod tests {
 
     #[test]
     fn table5_renders_deltas() {
-        let mut shadow = HashMap::new();
+        let mut shadow = BTreeMap::new();
         shadow.insert("BRA", 4usize);
         let t = table5(&mini_census(), &shadow, 5);
         let rendered = t.render();
         assert!(rendered.contains("BRA"));
         assert!(rendered.contains("+6"), "count delta 10-4:\n{rendered}");
+    }
+
+    #[test]
+    fn report_surfaces_render_byte_stably() {
+        // Two independently-built (identical) censuses must render the
+        // identical bytes on every surface that aggregates per country —
+        // the guarantee merged sharded reports rely on. Each construction
+        // allocates fresh maps, so any HashMap-iteration-order dependence
+        // in the aggregation surfaces would show up here.
+        let render_all = || {
+            let c = mini_census();
+            let mut shadow = BTreeMap::new();
+            shadow.insert("BRA", 4usize);
+            let geo = inetgen::GeoDb::perfect();
+            format!(
+                "{}\n{}\n{}\n{}\n{}\n{}",
+                table1(&c).render(),
+                figure4(&c, 10).render(),
+                figure5(&c, 10).render(),
+                table4(&c, &geo, 10).render(),
+                table5(&c, &shadow, 10).render(),
+                country_summary(&c).render(),
+            )
+        };
+        assert_eq!(render_all(), render_all());
     }
 }

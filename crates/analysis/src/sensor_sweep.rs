@@ -1,0 +1,98 @@
+//! The sharded sensor experiment: the §3.1 controlled experiment (three
+//! honeypot sensors probed by the three campaign emulations) driven over
+//! shard worlds on the shared [`inetgen::run_sharded`] runner.
+//!
+//! The sensors are fixtures, replicated into every shard world; the
+//! campaign passes probe them from the designated
+//! [`crate::campaign_sweep::SENSOR_SHARD`] only, so the merged Table 3
+//! [`DetectionMatrix`] and the summed [`SensorTotals`] (including the
+//! 5-minute /24 limiter's shed counts) are invariant in the shard count —
+//! with `K = 1` bit-identical to the unsharded deploy-sensors → three
+//! epoch-spaced campaign passes composition. Every campaign node is
+//! tapped, so the matrix is also reproducible from the captures alone
+//! ([`SensorSweep::capture_matrix`]).
+
+use crate::campaign_sweep::{
+    collect_sensor_totals, install_sensors, sensor_targets, DetectionMatrix, SensorTotals,
+};
+use crate::pcap_ingest::IngestError;
+use inetgen::build::scanner_addrs::SensorAddrs;
+use scanner::{Campaign, CampaignReport};
+
+/// One campaign pass's capture, labelled with its campaign.
+pub type CampaignCapture = (Campaign, Vec<u8>);
+
+/// Everything the sharded sensor experiment produces.
+#[derive(Debug)]
+pub struct SensorSweep {
+    /// Table 3: campaign × sensor detection matrix.
+    pub matrix: DetectionMatrix,
+    /// Merged per-campaign reports over the sensor probes.
+    pub reports: Vec<(Campaign, CampaignReport)>,
+    /// Merged sensor counters (queries, limiter sheds, relays).
+    pub sensors: SensorTotals,
+    /// Per-shard campaign captures, ascending shard order.
+    pub captures: Vec<(u32, Vec<CampaignCapture>)>,
+    /// The four observable sensor addresses.
+    pub sensor_addrs: SensorAddrs,
+}
+
+impl SensorSweep {
+    /// Rebuild the detection matrix from the captures alone: replay every
+    /// campaign's processing rules over its tap and merge. Equals
+    /// [`SensorSweep::matrix`].
+    pub fn capture_matrix(&self) -> Result<DetectionMatrix, IngestError> {
+        let merged = crate::campaign_sweep::replay_reports(
+            self.captures
+                .iter()
+                .flat_map(|(_, shard_campaigns)| shard_campaigns)
+                .map(|(campaign, pcap)| (*campaign, pcap.as_slice())),
+        )?;
+        Ok(DetectionMatrix::from_reports(&merged, self.sensor_addrs))
+    }
+}
+
+/// Run the §3.1 controlled experiment sharded `shards` ways: every shard
+/// world deploys the study stack and the three sensors; the designated
+/// shard's campaign emulations probe the four sensor addresses (tapped,
+/// epoch-spaced); reports, counters, and captures merge in deterministic
+/// shard order.
+pub fn run_sensors_sharded(gen_config: &inetgen::GenConfig, shards: u32) -> SensorSweep {
+    let run = inetgen::run_sharded(gen_config, shards, |spec, world| {
+        install_sensors(world);
+        let addrs = world.fixtures.sensor_addrs;
+        let targets = sensor_targets(spec, addrs);
+        let campaigns = crate::campaign_sweep::run_campaign_passes(world, &targets);
+        (
+            spec.index,
+            campaigns,
+            collect_sensor_totals(&world.sim, &world.fixtures),
+            addrs,
+        )
+    });
+
+    let mut shard_reports = Vec::new();
+    let mut sensors = SensorTotals::default();
+    let mut captures = Vec::with_capacity(run.outputs.len());
+    let mut addrs = None;
+    for (shard, campaigns, shard_sensors, shard_addrs) in run.outputs {
+        let mut shard_captures = Vec::with_capacity(campaigns.len());
+        for (campaign, report, capture) in campaigns {
+            shard_reports.push((campaign, report));
+            shard_captures.push((campaign, capture));
+        }
+        sensors.absorb(&shard_sensors);
+        captures.push((shard, shard_captures));
+        addrs.get_or_insert(shard_addrs);
+    }
+    let reports = crate::campaign_sweep::merge_reports(shard_reports);
+    let sensor_addrs = addrs.expect("at least one shard");
+    let matrix = DetectionMatrix::from_reports(&reports, sensor_addrs);
+    SensorSweep {
+        matrix,
+        reports,
+        sensors,
+        captures,
+        sensor_addrs,
+    }
+}

@@ -1,0 +1,143 @@
+//! Shard-count scaling of the sharded campaign & sensor experiment.
+//!
+//! `analysis::run_campaign_sharded` drives, per shard world: the
+//! transactional scan (tapped to an in-memory pcap) plus all three
+//! campaign emulations (tapped) over the shard's target partition, with
+//! the §3.1 sensors deployed everywhere and probed from the designated
+//! shard. Four scans of every target per world means the engine moves
+//! roughly 4× the census's probe volume — worth its own scaling sweep.
+//!
+//! The K sweep asserts the engine's determinism contract (Table 3 matrix,
+//! Table 5 component counts, census counts, sensor shed totals all
+//! K-invariant) and reports campaign probes/s, merging a `campaign`
+//! section into `BENCH_simcore.json` next to the hotpath and dnsroute
+//! sections. Set `CAMPAIGN_QUICK=1` for a fast CI-friendly run.
+
+use bench::{banner, criterion, merge_bench_section};
+use criterion::{black_box, Criterion};
+use inetgen::{CountrySelection, GenConfig};
+use scanner::ClassifierConfig;
+use std::time::Instant;
+
+/// The six headline countries; `scale` trades population for time.
+fn sweep_config(scale: u32) -> GenConfig {
+    GenConfig {
+        countries: CountrySelection::Codes(vec!["BRA", "IND", "USA", "TUR", "ARG", "IDN"]),
+        scale,
+        dud_fraction: 0.0,
+        ..GenConfig::default()
+    }
+}
+
+/// K=1 reference the sweep is checked against: elapsed seconds, Table 5
+/// component counts, sensor shed total.
+type Baseline = (f64, Vec<(scanner::Campaign, usize)>, u64);
+
+fn headline_sweep(quick: bool) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    banner(
+        "campaign scaling — the sharded campaign & sensor experiment engine",
+        "§3 controlled experiment + Table 5 campaign counts at engine scale",
+    );
+    println!("machine: {cores} worker thread(s) available\n");
+
+    let config = sweep_config(if quick { 2_000 } else { 200 });
+    let ks: &[u32] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let classifier = ClassifierConfig::default();
+
+    let mut baseline: Option<Baseline> = None;
+    let mut sweep_rows = String::new();
+    let mut campaign_probe_total = 0u64;
+    for &k in ks {
+        let t0 = Instant::now();
+        let sweep = analysis::run_campaign_sharded(&config, k, &classifier);
+        let secs = t0.elapsed().as_secs_f64();
+        // Probe volume: three campaign passes over every target (+ the
+        // four sensor addresses in the designated shard).
+        let campaign_probes = 3 * (sweep.census.rows.len() as u64 + 4);
+        campaign_probe_total = campaign_probes;
+        let probes_per_sec = campaign_probes as f64 / secs;
+        let counts = sweep.component_counts();
+        assert_eq!(
+            sweep.matrix,
+            analysis::DetectionMatrix::paper_expected(),
+            "K={k}: Table 3 must hold"
+        );
+        match &baseline {
+            None => {
+                println!(
+                    "K=1: {campaign_probes} campaign probes ({} ODNS components seen by Shadowserver) in {secs:.2}s — {probes_per_sec:.0} campaign-probes/s  [baseline]",
+                    counts[0].1
+                );
+                baseline = Some((secs, counts, sweep.sensors.rate_limited()));
+            }
+            Some((base_secs, base_counts, base_shed)) => {
+                assert_eq!(&counts, base_counts, "K={k} changed Table 5 counts");
+                assert_eq!(
+                    sweep.sensors.rate_limited(),
+                    *base_shed,
+                    "K={k} changed the sensors' shed totals"
+                );
+                println!(
+                    "K={k}: {campaign_probes} campaign probes in {secs:.2}s — {probes_per_sec:.0} campaign-probes/s  speedup ×{:.2}",
+                    base_secs / secs
+                );
+            }
+        }
+        if !sweep_rows.is_empty() {
+            sweep_rows.push_str(",\n      ");
+        }
+        sweep_rows.push_str(&format!(
+            "{{ \"shards\": {k}, \"campaign_probes_per_second\": {probes_per_sec:.0}, \"elapsed_seconds\": {secs:.6} }}"
+        ));
+    }
+    let (_, counts, shed) = baseline.expect("at least one K measured");
+
+    let section = format!(
+        "{{\n    \"bench\": \"campaign_scaling\",\n    \"mode\": \"{}\",\n    \"world\": \"6 headline countries, scale {}\",\n    \"campaign_probes\": {},\n    \"shadowserver_components\": {},\n    \"sensor_rate_limited\": {},\n    \"sweeps\": [\n      {}\n    ]\n  }}",
+        if quick { "quick" } else { "full" },
+        config.scale,
+        campaign_probe_total,
+        counts[0].1,
+        shed,
+        sweep_rows,
+    );
+    match merge_bench_section("campaign", &section) {
+        Ok(path) => println!("\ncampaign: wrote section \"campaign\" to {path}"),
+        Err(e) => eprintln!("campaign: could not write artifact: {e}"),
+    }
+}
+
+fn bench_shard_counts(c: &mut Criterion) {
+    // A tiny two-country world keeps criterion iterations sub-second;
+    // shape matches the headline sweep (scan + three campaigns per shard).
+    let config = GenConfig {
+        countries: CountrySelection::Codes(vec!["MUS", "FSM"]),
+        scale: 1_000,
+        dud_fraction: 0.0,
+        ..GenConfig::default()
+    };
+    let classifier = ClassifierConfig::default();
+    let mut group = c.benchmark_group("campaign_scaling");
+    for k in [1u32, 2] {
+        group.bench_function(format!("campaigns_scale1000_k{k}"), |b| {
+            b.iter(|| {
+                let sweep = analysis::run_campaign_sharded(&config, k, &classifier);
+                black_box(sweep.reports.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let quick = std::env::var_os("CAMPAIGN_QUICK").is_some();
+    headline_sweep(quick);
+    if !quick {
+        let mut c = criterion();
+        bench_shard_counts(&mut c);
+        c.final_summary();
+    }
+}

@@ -8,7 +8,7 @@
 use bench::{banner, bench_world, criterion, tiny_world};
 use criterion::{black_box, Criterion};
 use scanner::ClassifierConfig;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 fn regenerate() {
     banner(
@@ -53,7 +53,7 @@ fn regenerate() {
 fn bench_ranking(c: &mut Criterion) {
     let mut internet = tiny_world();
     let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
-    let shadow: HashMap<&'static str, usize> = analysis::run_shadowserver_census(&mut internet);
+    let shadow: BTreeMap<&'static str, usize> = analysis::run_shadowserver_census(&mut internet);
     let mut group = c.benchmark_group("table5");
     group.bench_function("ranking_join", |b| {
         b.iter(|| black_box(analysis::table5_ranking(&census, &shadow, 20).len()))

@@ -70,13 +70,22 @@ impl PrefixRateLimiter {
     }
 
     /// Admit or reject a request from `src` at `now`.
+    ///
+    /// A prefix's bucket is created on first sighting and anchored there
+    /// ([`TokenBucket::new_at`]): refill periods are measured from the
+    /// prefix's own first request, so the admit/shed sequence depends only
+    /// on the inter-arrival times within the /24 — never on where those
+    /// arrivals fall on the absolute simulated clock. A zero-anchored
+    /// bucket would refill on absolute period boundaries and admit two
+    /// requests seconds apart whenever they straddle one, which made shed
+    /// counts depend on experiment scheduling (and, in sharded sweeps, on
+    /// the shard partition that determines it).
     pub fn allow(&mut self, src: Ipv4Addr, now: SimTime) -> bool {
         let key = prefix24(src);
         let policy = self.policy;
-        let bucket = self
-            .buckets
-            .entry(key)
-            .or_insert_with(|| TokenBucket::new(policy.capacity, policy.refill, policy.period));
+        let bucket = self.buckets.entry(key).or_insert_with(|| {
+            TokenBucket::new_at(policy.capacity, policy.refill, policy.period, now)
+        });
         if bucket.try_take(now) {
             self.admitted += 1;
             true
@@ -135,5 +144,48 @@ mod tests {
         assert!(l.allow(src, SimTime::ZERO));
         assert!(!l.allow(src, SimTime::ZERO + SimDuration::from_secs(299)));
         assert!(l.allow(src, SimTime::ZERO + SimDuration::from_secs(300)));
+    }
+
+    #[test]
+    fn shed_sequence_independent_of_absolute_arrival_time() {
+        // Regression for the shard-invariance contract: the same probe
+        // train (0 s, +2 s, +301 s within one /24) must produce the same
+        // admitted/shed sequence wherever it starts on the simulated
+        // clock. Before buckets were anchored at first sighting, a train
+        // starting at 299 s had its +2 s probe admitted (absolute 300 s
+        // refill boundary) while a train starting at 0 s shed it.
+        let src = Ipv4Addr::new(203, 0, 113, 9);
+        for start_secs in [0u64, 123, 299, 300, 1799, 86_400] {
+            let t0 = SimTime::ZERO + SimDuration::from_secs(start_secs);
+            let mut l = PrefixRateLimiter::sensor_default();
+            assert!(l.allow(src, t0), "start {start_secs}s: first admitted");
+            assert!(
+                !l.allow(src, t0 + SimDuration::from_secs(2)),
+                "start {start_secs}s: +2 s shed"
+            );
+            assert!(
+                l.allow(src, t0 + SimDuration::from_secs(301)),
+                "start {start_secs}s: +301 s admitted"
+            );
+            assert_eq!((l.admitted, l.rejected), (2, 1), "start {start_secs}s");
+        }
+    }
+
+    #[test]
+    fn splitting_a_prefix_across_limiters_double_admits() {
+        // Documents why a /24's probes must land in exactly one shard:
+        // every limiter instance grants the prefix its own budget, so a
+        // shard-split source would double its admitted quota and the
+        // merged shed counts would depend on the partition.
+        let t = SimTime::ZERO;
+        let mut whole = PrefixRateLimiter::sensor_default();
+        assert!(whole.allow(Ipv4Addr::new(203, 0, 113, 1), t));
+        assert!(!whole.allow(Ipv4Addr::new(203, 0, 113, 2), t));
+
+        let mut shard_a = PrefixRateLimiter::sensor_default();
+        let mut shard_b = PrefixRateLimiter::sensor_default();
+        assert!(shard_a.allow(Ipv4Addr::new(203, 0, 113, 1), t));
+        assert!(shard_b.allow(Ipv4Addr::new(203, 0, 113, 2), t));
+        assert_eq!(shard_a.rejected + shard_b.rejected, 0, "budget doubled");
     }
 }

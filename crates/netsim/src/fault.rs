@@ -98,15 +98,33 @@ pub struct TokenBucket {
 }
 
 impl TokenBucket {
-    /// New bucket, starting full.
+    /// New bucket, starting full, with refills anchored at simulated time
+    /// zero. Prefer [`TokenBucket::new_at`] for buckets created lazily at
+    /// first use: a zero anchor makes refills land on *absolute* period
+    /// boundaries, so two requests seconds apart can both be admitted
+    /// whenever they straddle one.
     pub fn new(capacity: u64, refill_per_period: u64, period: SimDuration) -> Self {
+        Self::new_at(capacity, refill_per_period, period, SimTime::ZERO)
+    }
+
+    /// New bucket, starting full, with refills anchored at `origin` — the
+    /// moment the bucket comes into existence. Periods are then measured
+    /// from the bucket's own first sighting, which makes admit/shed
+    /// decisions a function of request *inter-arrival times* only, never
+    /// of where the requests happen to fall on the absolute clock.
+    pub fn new_at(
+        capacity: u64,
+        refill_per_period: u64,
+        period: SimDuration,
+        origin: SimTime,
+    ) -> Self {
         assert!(period.as_micros() > 0, "refill period must be positive");
         TokenBucket {
             capacity,
             tokens: capacity,
             refill_per_period,
             period,
-            last_refill: SimTime::ZERO,
+            last_refill: origin,
         }
     }
 
@@ -256,5 +274,33 @@ mod tests {
         assert!(b.try_take(t));
         assert!(!b.try_take(t));
         assert!(b.try_take(t + SimDuration::from_secs(1)));
+    }
+
+    #[test]
+    fn zero_anchored_bucket_leaks_across_absolute_boundaries() {
+        // The hazard new_at exists for: a zero-anchored 5-minute bucket
+        // admits two requests 2 s apart when they straddle an absolute
+        // 300 s boundary.
+        let mut b = TokenBucket::one_per_5min();
+        assert!(b.try_take(SimTime::ZERO + SimDuration::from_secs(299)));
+        assert!(b.try_take(SimTime::ZERO + SimDuration::from_secs(301)));
+    }
+
+    #[test]
+    fn origin_anchored_bucket_depends_on_inter_arrival_only() {
+        for start_secs in [0u64, 17, 299, 600, 3601] {
+            let t0 = SimTime::ZERO + SimDuration::from_secs(start_secs);
+            let mut b = TokenBucket::new_at(1, 1, SimDuration::from_secs(300), t0);
+            assert!(b.try_take(t0), "first request admitted at t0+{start_secs}s");
+            assert!(
+                !b.try_take(t0 + SimDuration::from_secs(2)),
+                "2 s later is shed whatever the absolute clock says"
+            );
+            assert!(
+                !b.try_take(t0 + SimDuration::from_secs(299)),
+                "still inside the period"
+            );
+            assert!(b.try_take(t0 + SimDuration::from_secs(300)));
+        }
     }
 }

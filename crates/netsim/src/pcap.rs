@@ -107,6 +107,27 @@ impl PcapWriter {
     }
 }
 
+/// Merge several pcap streams into one, records interleaved by capture
+/// timestamp (stable: ties keep the input-stream order). The per-shard
+/// taps of a sharded experiment each produce their own capture on their
+/// own simulated clock; this joins them into a single stream that real
+/// tools (wireshark/tshark) open directly. Note that *analysis* merges at
+/// the record-stream level instead — `(port, txid)` tuples restart per
+/// shard, so correlation must stay per-capture (see `analysis`'s shard
+/// ingestion) even though inspection wants one file.
+pub fn merge_captures<S: AsRef<[u8]>>(parts: &[S]) -> Result<Vec<u8>, PcapError> {
+    let mut records: Vec<CapturedPacket> = Vec::new();
+    for part in parts {
+        records.extend(read_pcap(part.as_ref())?);
+    }
+    records.sort_by_key(|r| r.ts); // stable: equal stamps keep input order
+    let mut w = PcapWriter::new();
+    for r in &records {
+        w.write(r.ts, &r.data);
+    }
+    Ok(w.finish())
+}
+
 /// Parse a pcap byte stream produced by [`PcapWriter`] (or any LE,
 /// microsecond, LINKTYPE_RAW pcap).
 pub fn read_pcap(bytes: &[u8]) -> Result<Vec<CapturedPacket>, PcapError> {
@@ -194,6 +215,39 @@ mod tests {
         let mut bytes = w.finish();
         bytes.truncate(bytes.len() - 3);
         assert_eq!(read_pcap(&bytes), Err(PcapError::TruncatedRecord));
+    }
+
+    #[test]
+    fn merge_interleaves_by_timestamp_stably() {
+        let mut a = PcapWriter::new();
+        a.write(SimTime(10), &[1]);
+        a.write(SimTime(30), &[3]);
+        let mut b = PcapWriter::new();
+        b.write(SimTime(10), &[2]); // tie with a's first: a wins (input order)
+        b.write(SimTime(20), &[4]);
+        let merged = merge_captures(&[a.finish(), b.finish()]).unwrap();
+        let recs = read_pcap(&merged).unwrap();
+        assert_eq!(
+            recs.iter().map(|r| r.data[0]).collect::<Vec<u8>>(),
+            vec![1, 2, 4, 3]
+        );
+        assert_eq!(
+            recs.iter().map(|r| r.ts.0).collect::<Vec<u64>>(),
+            vec![10, 10, 20, 30]
+        );
+    }
+
+    #[test]
+    fn merge_rejects_bad_part() {
+        let good = PcapWriter::new().finish();
+        assert!(matches!(
+            merge_captures(&[good.as_slice(), &[0u8; 8]]),
+            Err(PcapError::TooShort)
+        ));
+        assert_eq!(
+            read_pcap(&merge_captures::<&[u8]>(&[]).unwrap()).unwrap(),
+            vec![]
+        );
     }
 
     #[test]

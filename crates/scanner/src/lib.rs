@@ -27,7 +27,9 @@ pub mod sensors;
 pub mod shard;
 pub mod transactional;
 
-pub use campaigns::{run_campaign, Campaign, CampaignConfig, CampaignReport, CampaignScanner};
+pub use campaigns::{
+    run_campaign, run_campaign_delayed, Campaign, CampaignConfig, CampaignReport, CampaignScanner,
+};
 pub use classify::{classify, ClassifierConfig, Discard, OdnsClass, Verdict};
 pub use fingerprint::{
     attribute_vendor, run_fingerprint_scan, FingerprintConfig, FingerprintScanner, HostEvidence,

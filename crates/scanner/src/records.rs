@@ -48,7 +48,7 @@ impl ResponseRecord {
 
 /// A correlated transaction: a probe and the response matched to it by
 /// `(port, txid)` within the timeout window.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Transaction {
     /// The probe.
     pub probe: ProbeRecord,
@@ -80,7 +80,7 @@ impl Transaction {
 }
 
 /// Outcome of a whole scan run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ScanOutcome {
     /// All correlated transactions, in probe order.
     pub transactions: Vec<Transaction>,

@@ -50,6 +50,22 @@ pub struct SensorStats {
     pub answered: u64,
 }
 
+impl SensorStats {
+    /// Sum another sensor instance's counters into this one — the shard
+    /// merge of a sharded sensor experiment. Summing is only
+    /// partition-invariant when each source /24's probes land in exactly
+    /// one shard's sensor instance (every instance keeps its own
+    /// [`PrefixRateLimiter`], so a split /24 would double its answer
+    /// budget); the sharded drivers guarantee that by probing the sensors
+    /// from a single designated shard.
+    pub fn absorb(&mut self, other: SensorStats) {
+        self.queries += other.queries;
+        self.rate_limited += other.rate_limited;
+        self.upstream += other.upstream;
+        self.answered += other.answered;
+    }
+}
+
 #[derive(Debug)]
 struct PendingUpstream {
     client: Ipv4Addr,

@@ -1,0 +1,85 @@
+//! The sharded campaign & sensor observatory: run the §3 controlled
+//! experiment and the campaign emulations over shard worlds in parallel,
+//! then prove every result from the pcap captures alone.
+//!
+//! ```sh
+//! cargo run --release --example campaign_observatory
+//! ```
+
+use scanner::{Campaign, ClassifierConfig};
+
+fn main() {
+    println!("== Sharded campaign & sensor experiment engine ==\n");
+    let config = inetgen::GenConfig {
+        countries: inetgen::CountrySelection::Codes(vec!["BRA", "IND", "TUR", "MUS"]),
+        scale: 1_000,
+        dud_fraction: 0.05,
+        ..inetgen::GenConfig::default()
+    };
+    let shards = 4;
+    let classifier = ClassifierConfig::default();
+
+    println!(
+        "phase 1 — {shards} shard worlds: tapped census scan + 3 tapped campaign passes each..."
+    );
+    let sweep = analysis::run_campaign_sharded(&config, shards, &classifier);
+    println!(
+        "  census: {} ODNS components ({} transparent forwarders)",
+        sweep.census.odns_total(),
+        sweep.census.count(scanner::OdnsClass::TransparentForwarder)
+    );
+    for (campaign, n) in sweep.component_counts() {
+        println!("  {campaign}: {n} ODNS components reported");
+    }
+    println!(
+        "  sensors: {} queries, {} shed by the 5-min /24 limiter, {} spoofed relays",
+        sweep.sensors.queries(),
+        sweep.sensors.rate_limited(),
+        sweep.sensors.relayed
+    );
+
+    println!("\nTable 3 — detection of the three honeypot sensors:");
+    println!("{}", sweep.matrix.render().render());
+    assert_eq!(
+        sweep.matrix,
+        analysis::DetectionMatrix::paper_expected(),
+        "the paper's matrix must reproduce"
+    );
+
+    println!("Table 5 — country ranking, census vs Shadowserver view:");
+    println!("{}", sweep.table5(10).render());
+
+    println!("phase 2 — capture-driven verification (offline, captures only)...");
+    let capture_census = sweep.capture_census(&classifier).expect("captures parse");
+    assert_eq!(capture_census, sweep.census);
+    println!("  census rebuilt from per-shard scan captures: identical, row for row");
+    let capture_reports = sweep.capture_reports().expect("captures parse");
+    assert_eq!(capture_reports, sweep.reports);
+    println!("  campaign reports replayed from campaign captures: identical");
+    let merged = sweep.merged_capture().expect("captures merge");
+    println!(
+        "  merged inspectable pcap: {} bytes, {} packets across {} taps",
+        merged.len(),
+        netsim::pcap::read_pcap(&merged).unwrap().len(),
+        sweep.captures.len() * (1 + Campaign::all().len()),
+    );
+
+    println!("\nphase 3 — the focused §3.1 sensor experiment, sharded...");
+    let sensors = analysis::run_sensors_sharded(&config, shards);
+    assert_eq!(
+        sensors.matrix, sweep.matrix,
+        "both engines agree on Table 3"
+    );
+    assert_eq!(
+        sensors.capture_matrix().expect("captures parse"),
+        sensors.matrix,
+        "matrix reproducible from taps alone"
+    );
+    println!("{}", sensors.matrix.render().render());
+    println!(
+        "All three campaigns find the baseline resolver; Shadowserver reports\n\
+         Sensor 2's *reply* address (stateless processing); Censys and Shodan\n\
+         sanitize the mismatched source away; Sensor 3 is invisible to all —\n\
+         the paper's Table 3, now shard-count-invariant and capture-proven."
+    );
+}

@@ -58,6 +58,65 @@ proptest! {
     }
 
     #[test]
+    fn capture_reconstruction_is_lossless(seed in any::<u64>()) {
+        // Lever (b)'s guarantee, for any seed and shard count: each
+        // shard's pcap capture alone reconstructs that shard's record
+        // streams and correlated outcome exactly, and the merged
+        // capture-derived census equals the live one row for row.
+        let config = tiny_config(seed);
+        let k = [1u32, 2, 4][(seed % 3) as usize];
+        let run = inetgen::run_sharded(&config, k, |spec, world| {
+            let node = world.fixtures.scanner;
+            world.sim.tap(node);
+            let (probes, responses) = scanner::run_scan_raw(
+                &mut world.sim,
+                node,
+                scanner::ScanConfig::new(world.targets.clone()),
+            );
+            let capture = world.sim.take_capture(node).expect("tapped");
+            (spec.index, probes, responses, capture)
+        });
+
+        let mut live_streams = Vec::new();
+        let mut captures = Vec::new();
+        for (shard, probes, responses, capture) in run.outputs {
+            let (rebuilt_probes, rebuilt_responses) =
+                analysis::streams_from_pcap(&capture).expect("capture parses");
+            prop_assert_eq!(&rebuilt_probes, &probes, "shard {} probes", shard);
+            prop_assert_eq!(&rebuilt_responses, &responses, "shard {} responses", shard);
+            let live = scanner::correlate(
+                &probes,
+                &responses,
+                scanner::ScanConfig::DEFAULT_TIMEOUT,
+            );
+            let rebuilt = analysis::outcome_from_pcap(
+                &capture,
+                scanner::ScanConfig::DEFAULT_TIMEOUT,
+            ).expect("capture parses");
+            prop_assert_eq!(&rebuilt, &live, "shard {} correlation", shard);
+            live_streams.push(scanner::ShardRecords::new(shard, probes, responses));
+            captures.push((shard, capture));
+        }
+
+        let classifier = ClassifierConfig::default();
+        let merged = scanner::merge_shard_records(
+            live_streams,
+            scanner::ScanConfig::DEFAULT_TIMEOUT,
+        );
+        let mut live_census = analysis::Census::from_transactions(
+            &merged.transactions,
+            &run.geo,
+            &classifier,
+        );
+        live_census.unmatched_responses = merged.unmatched_responses;
+        live_census.late_responses = merged.late_responses;
+        let capture_census = analysis::census_from_captures(&captures, &run.geo, &classifier)
+            .expect("captures parse");
+        prop_assert_eq!(&capture_census, &live_census, "K={} census", k);
+        prop_assert!(capture_census.odns_total() > 0, "world must answer");
+    }
+
+    #[test]
     fn geo_database_is_consistent_with_truth(seed in any::<u64>()) {
         let config = tiny_config(seed);
         let internet = generate(&config);
