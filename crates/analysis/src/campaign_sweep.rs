@@ -10,8 +10,9 @@
 //!    §3.1 honeypot sensors are installed on the fixture sensor nodes
 //!    ([`install_sensors`]);
 //! 2. the transactional scan runs over the shard's own target partition
-//!    with the scanner node tapped — its raw record streams merge into
-//!    the census exactly as [`crate::run_census_sharded`]'s do;
+//!    with the scanner node tapped — its records correlate and classify
+//!    in-worker into the shard's census part, exactly as
+//!    [`crate::run_census_sharded`]'s do;
 //! 3. all three campaign emulations run sequentially from their own
 //!    fixture nodes (each shard and each campaign owns its own source
 //!    port space), spaced [`CAMPAIGN_EPOCH`] apart in simulated time so
@@ -34,15 +35,15 @@
 //! — the sharded pipeline is capture-driven like the paper's
 //! dumpcap-based artifact (§A.2).
 
-use crate::census::{campaign_country_counts, census_from_shard_records, Census};
+use crate::census::{campaign_country_counts, census_part, merge_census_parts, Census};
 use crate::pcap_ingest::{campaign_report_from_pcap, census_from_captures, IngestError};
 use crate::table::TextTable;
 use inetgen::build::scanner_addrs::SensorAddrs;
-use inetgen::{Fixtures, GeoDb, Internet, ShardSpec};
+use inetgen::{Fixtures, GeoDb, Internet, ShardSpec, ShardWorldCache, ShardedRun};
 use netsim::{SimDuration, Simulator};
 use scanner::{
     run_campaign_delayed, run_scan_raw, Campaign, CampaignConfig, CampaignReport, ClassifierConfig,
-    HoneypotSensor, ScanConfig, SensorKind, SensorStats, ShardRecords,
+    HoneypotSensor, ScanConfig, SensorKind, SensorStats,
 };
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
@@ -351,7 +352,8 @@ pub(crate) fn merge_reports(
 
 /// One shard's contribution, before the deterministic merge.
 struct ShardOutput {
-    records: ShardRecords,
+    shard: u32,
+    census: Census,
     campaigns: Vec<(Campaign, CampaignReport, Vec<u8>)>,
     sensors: SensorTotals,
     scan_capture: Vec<u8>,
@@ -389,12 +391,17 @@ pub(crate) fn run_campaign_passes(
         .collect()
 }
 
-fn shard_campaign_pass(spec: ShardSpec, world: &mut Internet) -> ShardOutput {
+fn shard_campaign_pass(
+    spec: ShardSpec,
+    world: &mut Internet,
+    classifier: &ClassifierConfig,
+) -> ShardOutput {
     install_sensors(world);
     let addrs = world.fixtures.sensor_addrs;
 
-    // The shard's transactional scan, tapped; raw streams feed the merged
-    // single-pass correlation, the capture feeds the offline twin.
+    // The shard's transactional scan, tapped; the records correlate and
+    // classify in-worker into this shard's census part, the capture feeds
+    // the offline twin.
     let scanner_node = world.fixtures.scanner;
     world.sim.tap(scanner_node);
     let scan = ScanConfig::new(world.targets.clone());
@@ -403,6 +410,7 @@ fn shard_campaign_pass(spec: ShardSpec, world: &mut Internet) -> ShardOutput {
         .sim
         .take_capture(scanner_node)
         .expect("scanner tapped");
+    let census = census_part(probes, responses, &world.geo, classifier);
 
     // Campaign passes over the shard partition; the designated shard also
     // probes the sensors.
@@ -411,7 +419,8 @@ fn shard_campaign_pass(spec: ShardSpec, world: &mut Internet) -> ShardOutput {
     let campaigns = run_campaign_passes(world, &targets);
 
     ShardOutput {
-        records: ShardRecords::new(spec.index, probes, responses),
+        shard: spec.index,
+        census,
         campaigns,
         sensors: collect_sensor_totals(&world.sim, &world.fixtures),
         scan_capture,
@@ -430,15 +439,38 @@ pub fn run_campaign_sharded(
     shards: u32,
     classifier: &ClassifierConfig,
 ) -> CampaignSweep {
-    let run = inetgen::run_sharded(gen_config, shards, shard_campaign_pass);
-    let mut records = Vec::with_capacity(run.outputs.len());
+    merge_campaign_outputs(inetgen::run_sharded(gen_config, shards, |spec, world| {
+        shard_campaign_pass(spec, world, classifier)
+    }))
+}
+
+/// [`run_campaign_sharded`] over a warm [`ShardWorldCache`]: shard worlds
+/// generate on the first call and reset-reuse afterwards (the reset
+/// uninstalls the sensors and clears their limiter state along with all
+/// other host state, so every run starts from the same fresh deployment).
+/// Bit-identical to [`run_campaign_sharded`] with the cache's
+/// configuration.
+pub fn run_campaign_cached(
+    cache: &mut ShardWorldCache,
+    shards: u32,
+    classifier: &ClassifierConfig,
+) -> CampaignSweep {
+    merge_campaign_outputs(cache.run(shards, |spec, world| {
+        shard_campaign_pass(spec, world, classifier)
+    }))
+}
+
+/// The deterministic merge both campaign drivers share: census parts
+/// concatenate, reports fold per campaign, sensor counters sum, captures
+/// keep ascending shard order.
+fn merge_campaign_outputs(run: ShardedRun<ShardOutput>) -> CampaignSweep {
+    let mut census_parts = Vec::with_capacity(run.outputs.len());
     let mut shard_reports = Vec::new();
     let mut sensors = SensorTotals::default();
     let mut captures = Vec::with_capacity(run.outputs.len());
     let mut addrs = None;
     for output in run.outputs {
-        let shard = output.records.shard;
-        records.push(output.records);
+        census_parts.push(output.census);
         let mut shard_campaigns = Vec::with_capacity(output.campaigns.len());
         for (campaign, report, capture) in output.campaigns {
             shard_reports.push((campaign, report));
@@ -446,7 +478,7 @@ pub fn run_campaign_sharded(
         }
         sensors.absorb(&output.sensors);
         captures.push(ShardCaptures {
-            shard,
+            shard: output.shard,
             scan: output.scan_capture,
             campaigns: shard_campaigns,
         });
@@ -454,7 +486,7 @@ pub fn run_campaign_sharded(
     }
     let reports = merge_reports(shard_reports);
     let sensor_addrs = addrs.expect("at least one shard");
-    let census = census_from_shard_records(records, &run.geo, classifier);
+    let census = merge_census_parts(census_parts);
     let matrix = DetectionMatrix::from_reports(&reports, sensor_addrs);
     CampaignSweep {
         census,

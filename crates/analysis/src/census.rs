@@ -3,7 +3,8 @@
 //! producing the dataframe every table and figure is computed from
 //! (the paper's `dns-measurement-analysis` artifact).
 
-use inetgen::{GeoDb, Internet};
+use inetgen::{GeoDb, Internet, ShardWorldCache};
+use scanner::records::{ProbeRecord, ResponseRecord};
 use scanner::{classify, ClassifierConfig, Discard, OdnsClass, ScanConfig, Transaction, Verdict};
 use std::net::Ipv4Addr;
 
@@ -166,38 +167,100 @@ pub fn run_census(internet: &mut Internet, config: &ClassifierConfig) -> Census 
     census
 }
 
+/// Correlate one shard's raw record streams and classify them into that
+/// shard's census part — the single in-worker tail every sharded driver
+/// shares. Raw responses (payload-bearing, the bulk of a sweep's memory)
+/// die here, on the worker thread; only classified rows cross back.
+///
+/// Using the shard's own [`GeoDb`] is exact, not approximate: countries
+/// own disjoint address regions and a shard generates every prefix its
+/// own targets can fall in, so shard-local lookups equal merged-database
+/// lookups for every probed address (the `0.1 %` coverage gap is a pure
+/// per-prefix hash, independent of partitioning).
+pub(crate) fn census_part(
+    probes: Vec<ProbeRecord>,
+    responses: Vec<ResponseRecord>,
+    geo: &GeoDb,
+    config: &ClassifierConfig,
+) -> Census {
+    let outcome = scanner::correlate_owned(probes, responses, ScanConfig::DEFAULT_TIMEOUT);
+    let mut part = Census::from_transactions(&outcome.transactions, geo, config);
+    part.unmatched_responses = outcome.unmatched_responses;
+    part.late_responses = outcome.late_responses;
+    part
+}
+
+/// One shard's census experiment: transactional scan, correlated and
+/// classified in-worker against the shard's own lookup database.
+pub(crate) fn census_shard_pass(world: &mut Internet, config: &ClassifierConfig) -> Census {
+    let scan = ScanConfig::new(world.targets.clone());
+    let (probes, responses) = scanner::run_scan_raw(&mut world.sim, world.fixtures.scanner, scan);
+    census_part(probes, responses, &world.geo, config)
+}
+
+/// Concatenate per-shard census parts (ascending shard order, which is
+/// how every sharded runner returns its outputs) into the merged census —
+/// row for row what one scanner over the union target list would have
+/// produced, since rows carry no probe index and classification is
+/// per-transaction.
+pub(crate) fn merge_census_parts(parts: Vec<Census>) -> Census {
+    let mut merged = Census::default();
+    merged
+        .rows
+        .reserve(parts.iter().map(|p| p.rows.len()).sum());
+    for part in parts {
+        merged.rows.extend(part.rows);
+        merged.unmatched_responses += part.unmatched_responses;
+        merged.late_responses += part.late_responses;
+    }
+    merged
+}
+
 /// Run a `shards`-way sharded census: generate one world shard per
 /// partition member, drive every shard's transactional scan on a worker
-/// thread pool, merge the raw record streams, and classify the merged
-/// transactions in a single offline pass.
+/// thread pool, and correlate + classify each shard's records *on its
+/// worker* — only classified census rows survive the shard, so the
+/// merge is a concatenation and peak memory stays per-shard-sized.
 ///
 /// Built on [`inetgen::run_sharded`], the shared sharded experiment
 /// runner: generation *and* scanning happen on the workers — each shard's
 /// simulator lives and dies on one thread — so the wall-clock cost of a
 /// large census divides by the worker count. Classification counts are
 /// independent of `shards`: per-country generation derives only from
-/// `(seed, country)` (see [`inetgen::generate_shard`]), and the merge
-/// rebases probe indices without touching any transaction. `shards = 1`
-/// reproduces [`run_census`] over [`inetgen::generate`] exactly.
+/// `(seed, country)` (see [`inetgen::generate_shard`]), and rows carry
+/// no cross-shard state. `shards = 1` reproduces [`run_census`] over
+/// [`inetgen::generate`] exactly.
 pub fn run_census_sharded(
     gen_config: &inetgen::GenConfig,
     shards: u32,
     config: &ClassifierConfig,
 ) -> Census {
-    let run = inetgen::run_sharded(gen_config, shards, |spec, world| {
-        let scan = ScanConfig::new(world.targets.clone());
-        let (probes, responses) =
-            scanner::run_scan_raw(&mut world.sim, world.fixtures.scanner, scan);
-        scanner::ShardRecords::new(spec.index, probes, responses)
+    let run = inetgen::run_sharded(gen_config, shards, |_, world| {
+        census_shard_pass(world, config)
     });
-    census_from_shard_records(run.outputs, &run.geo, config)
+    merge_census_parts(run.outputs)
 }
 
-/// The shared tail of every sharded driver: one offline correlation pass
-/// over the merged record streams (with the same window the per-shard
-/// scans used), classified into a census. Keeping this in one place is
-/// what lets `run_dnsroute_sharded` guarantee its census is identical to
-/// [`run_census_sharded`]'s.
+/// [`run_census_sharded`] over a warm [`ShardWorldCache`]: the first call
+/// generates the shard worlds, every later call resets and reuses them —
+/// generate once, scan many. Output is bit-identical to
+/// [`run_census_sharded`] with the cache's configuration at any shard
+/// count (the reset restores a world to its exact post-generation state).
+pub fn run_census_cached(
+    cache: &mut ShardWorldCache,
+    shards: u32,
+    config: &ClassifierConfig,
+) -> Census {
+    let run = cache.run(shards, |_, world| census_shard_pass(world, config));
+    merge_census_parts(run.outputs)
+}
+
+/// The offline-ingest tail: stream per-shard record collections through
+/// the bounded-memory [`scanner::StreamingMerge`] (the `(port, txid)` key
+/// space restarts per shard) and classify the merged transactions. The
+/// live drivers classify in-worker instead; this path serves capture
+/// replay ([`crate::pcap_ingest::census_from_captures`]), where records
+/// arrive shard-by-shard from pcap bytes and no worker exists.
 pub(crate) fn census_from_shard_records(
     streams: Vec<scanner::ShardRecords>,
     geo: &inetgen::GeoDb,

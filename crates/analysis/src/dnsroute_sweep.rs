@@ -10,21 +10,21 @@
 //! *and* its own worker thread.
 //!
 //! Built on [`inetgen::run_sharded`]: each shard runs the transactional
-//! scan, classifies its own transactions to discover that shard's
-//! transparent forwarders, and traces them with [`dnsroute::run_dnsroute`]
-//! in the same (already warm) simulator. Record streams merge into the
-//! census exactly as [`crate::run_census_sharded`] merges them; traces
-//! concatenate in ascending shard order. Partition invariance of the
+//! scan, correlates and classifies its own transactions *once* in-worker
+//! — yielding both that shard's census part and its transparent-forwarder
+//! targets — and traces them with [`dnsroute::run_dnsroute`] in the same
+//! (already warm) simulator. Census parts concatenate into exactly the
+//! census [`crate::run_census_sharded`] produces; traces concatenate in
+//! ascending shard order. Partition invariance of the
 //! generator makes every per-target trace independent of `K`, so
 //! Figure 6 ([`crate::figure6_by_project`]) and the AS-relationship
 //! report are identical for any shard count — and `K = 1` reproduces the
 //! classic unsharded census → trace pipeline bit for bit.
 
-use crate::census::Census;
+use crate::census::{census_part, merge_census_parts, Census};
 use dnsroute::{DnsRouteConfig, ForwarderPath, SanitizeStats, TraceResult};
-use inetgen::GeoDb;
-use scanner::{classify, ClassifierConfig, OdnsClass, ScanConfig};
-use std::net::Ipv4Addr;
+use inetgen::{GeoDb, Internet, ShardWorldCache, ShardedRun};
+use scanner::{ClassifierConfig, ScanConfig};
 
 /// Everything a sharded census → DNSRoute++ sweep produces.
 #[derive(Debug)]
@@ -52,9 +52,49 @@ impl ShardedSweep {
     }
 }
 
+/// One shard's §5 experiment: transactional scan → one correlation +
+/// classification pass (producing this shard's census part *and* its
+/// transparent-forwarder targets, in probe order) → DNSRoute++ over those
+/// targets in the same, already warm simulator.
+///
+/// The scan's records are correlated exactly once; the census part the
+/// discovery pass produces is the same rows the merged census lists for
+/// this shard, so nothing is classified twice either.
+pub(crate) fn dnsroute_shard_pass(
+    world: &mut Internet,
+    classifier: &ClassifierConfig,
+) -> (Census, Vec<TraceResult>) {
+    let scan = ScanConfig::new(world.targets.clone());
+    let (probes, responses) = scanner::run_scan_raw(&mut world.sim, world.fixtures.scanner, scan);
+    let part = census_part(probes, responses, &world.geo, classifier);
+    let traces = dnsroute::run_dnsroute(
+        &mut world.sim,
+        world.fixtures.scanner,
+        DnsRouteConfig::new(part.transparent_targets()),
+    );
+    (part, traces)
+}
+
+/// The deterministic merge both sweep drivers share: census parts
+/// concatenate (ascending shard order), traces concatenate in the same
+/// order.
+fn merge_sweep(run: ShardedRun<(Census, Vec<TraceResult>)>) -> ShardedSweep {
+    let mut parts = Vec::with_capacity(run.outputs.len());
+    let mut traces = Vec::new();
+    for (part, shard_traces) in run.outputs {
+        parts.push(part);
+        traces.extend(shard_traces);
+    }
+    ShardedSweep {
+        census: merge_census_parts(parts),
+        traces,
+        geo: run.geo,
+    }
+}
+
 /// Run the full §5 pipeline sharded `shards` ways on a worker-thread
 /// pool: per shard, transactional scan → classify → DNSRoute++ over that
-/// shard's transparent forwarders — then merge records and traces in
+/// shard's transparent forwarders — then merge census parts and traces in
 /// deterministic shard order.
 ///
 /// Classification is per-transaction, so the shard-local discovery pass
@@ -68,44 +108,20 @@ pub fn run_dnsroute_sharded(
     shards: u32,
     classifier: &ClassifierConfig,
 ) -> ShardedSweep {
-    let run = inetgen::run_sharded(gen_config, shards, |spec, world| {
-        // The shard's transactional scan, kept as raw streams for the
-        // merged single-pass correlation.
-        let scan = ScanConfig::new(world.targets.clone());
-        let (probes, responses) =
-            scanner::run_scan_raw(&mut world.sim, world.fixtures.scanner, scan);
-        // Shard-local discovery: correlate and classify this shard's own
-        // transactions to get its transparent-forwarder targets, in the
-        // same (probe) order the merged census will list them.
-        let outcome = scanner::correlate(&probes, &responses, ScanConfig::DEFAULT_TIMEOUT);
-        let targets: Vec<Ipv4Addr> = outcome
-            .transactions
-            .iter()
-            .filter(|t| classify(t, classifier).class() == Some(OdnsClass::TransparentForwarder))
-            .map(|t| t.probe.target)
-            .collect();
-        // The TTL sweep, in the same simulator the scan ran in.
-        let traces = dnsroute::run_dnsroute(
-            &mut world.sim,
-            world.fixtures.scanner,
-            DnsRouteConfig::new(targets),
-        );
-        (
-            scanner::ShardRecords::new(spec.index, probes, responses),
-            traces,
-        )
-    });
+    merge_sweep(inetgen::run_sharded(gen_config, shards, |_, world| {
+        dnsroute_shard_pass(world, classifier)
+    }))
+}
 
-    let mut records = Vec::with_capacity(run.outputs.len());
-    let mut traces = Vec::new();
-    for (shard_records, shard_traces) in run.outputs {
-        records.push(shard_records);
-        traces.extend(shard_traces);
-    }
-    let census = crate::census::census_from_shard_records(records, &run.geo, classifier);
-    ShardedSweep {
-        census,
-        traces,
-        geo: run.geo,
-    }
+/// [`run_dnsroute_sharded`] over a warm [`ShardWorldCache`]: shard worlds
+/// generate on the first call and reset-reuse on every later one, so a
+/// K-sweep pays world generation once per shard count instead of once per
+/// sweep. Bit-identical to [`run_dnsroute_sharded`] with the cache's
+/// configuration.
+pub fn run_dnsroute_cached(
+    cache: &mut ShardWorldCache,
+    shards: u32,
+    classifier: &ClassifierConfig,
+) -> ShardedSweep {
+    merge_sweep(cache.run(shards, |_, world| dnsroute_shard_pass(world, classifier)))
 }

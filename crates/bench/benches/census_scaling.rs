@@ -1,0 +1,120 @@
+//! Million-target census scaling over warm shard worlds.
+//!
+//! The paper's census probes the full IPv4 space; the reproduction's
+//! scaling ceiling is this bench: a 1M+-target census (full country
+//! table at 1:10 scale, four unresponsive duds per planted host — the
+//! real census's hit rate is far below 20 %) swept across shard counts
+//! over a warm [`inetgen::ShardWorldCache`]. Worlds generate once per
+//! shard count; the timed region is the warm sweep — transactional scan,
+//! in-worker correlate + classify, concatenating merge — which is the
+//! repeating unit of a longitudinal measurement series.
+//!
+//! Classification counts are asserted K-invariant (the engine's
+//! determinism contract), and the headline numbers merge into the
+//! `census` section of `BENCH_simcore.json`. Set `CENSUS_QUICK=1` for a
+//! fast CI-friendly run (it lands at `census_quick`, never overwriting a
+//! committed full section).
+
+use bench::{banner, merge_bench_section};
+use inetgen::{GenConfig, ShardWorldCache};
+use scanner::{ClassifierConfig, OdnsClass};
+use std::time::Instant;
+
+fn headline_sweep(quick: bool) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    banner(
+        "census scaling — 1M+-target sharded census over warm shard worlds",
+        "method of §4.1 at census scale (engine scaling, no paper artifact)",
+    );
+    println!("machine: {cores} worker thread(s) available\n");
+
+    // Full mode: the whole country table at 1:10 scale with 4 duds per
+    // planted host ≈ 1.07M probe targets. Quick mode shrinks the world
+    // ~200× for CI while keeping the dud-heavy shape.
+    let config = GenConfig {
+        scale: if quick { 2_000 } else { 10 },
+        dud_fraction: 4.0,
+        ..GenConfig::default()
+    };
+    let ks: &[u32] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let reps = if quick { 1 } else { 2 };
+    let classifier = ClassifierConfig::default();
+
+    let mut baseline: Option<(f64, usize, usize, usize)> = None;
+    let mut sweep_rows = String::new();
+    for &k in ks {
+        let mut cache = ShardWorldCache::new(config.clone());
+        let t_gen = Instant::now();
+        let census = analysis::run_census_cached(&mut cache, k, &classifier);
+        let gen_secs = t_gen.elapsed().as_secs_f64();
+        let targets = census.rows.len();
+        let odns = census.odns_total();
+        let transparent = census.count(OdnsClass::TransparentForwarder);
+
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let warm = analysis::run_census_cached(&mut cache, k, &classifier);
+            assert_eq!(warm.odns_total(), odns, "warm K={k} sweep diverged");
+        }
+        let secs = t0.elapsed().as_secs_f64() / reps as f64;
+        let probes_per_sec = targets as f64 / secs;
+
+        match baseline {
+            None => {
+                if !quick {
+                    assert!(
+                        targets >= 1_000_000,
+                        "headline census must probe ≥1M targets, got {targets}"
+                    );
+                }
+                println!(
+                    "K=1: {targets} targets, {odns} ODNS ({transparent} transparent), warm sweep {secs:.2}s — {probes_per_sec:.0} probes/s (gen+first {gen_secs:.2}s)  [baseline]"
+                );
+                baseline = Some((secs, targets, odns, transparent));
+            }
+            Some((base_secs, _, base_odns, base_transparent)) => {
+                // Target counts may differ by a handful of duds across K
+                // (per-shard flooring); classification counts may not.
+                assert_eq!(odns, base_odns, "K={k} changed ODNS count");
+                assert_eq!(
+                    transparent, base_transparent,
+                    "K={k} changed transparent count"
+                );
+                println!(
+                    "K={k}: {targets} targets, {odns} ODNS ({transparent} transparent), warm sweep {secs:.2}s — {probes_per_sec:.0} probes/s (gen+first {gen_secs:.2}s)  speedup ×{:.2}",
+                    base_secs / secs
+                );
+            }
+        }
+        if !sweep_rows.is_empty() {
+            sweep_rows.push_str(",\n      ");
+        }
+        sweep_rows.push_str(&format!(
+            "{{ \"shards\": {k}, \"probes_per_second\": {probes_per_sec:.0}, \"warm_sweep_seconds\": {secs:.6}, \"generate_seconds\": {gen_secs:.6} }}"
+        ));
+    }
+    let (_, targets, odns, transparent) = baseline.expect("at least one K measured");
+
+    let section = format!(
+        "{{\n    \"bench\": \"census_scaling\",\n    \"mode\": \"{}\",\n    \"timed_region\": \"warm sweep over cached shard worlds ({} reps)\",\n    \"world\": \"full country table, scale {}, dud_fraction {}\",\n    \"targets\": {},\n    \"odns_total\": {},\n    \"transparent_forwarders\": {},\n    \"sweeps\": [\n      {}\n    ]\n  }}",
+        if quick { "quick" } else { "full" },
+        reps,
+        config.scale,
+        config.dud_fraction,
+        targets,
+        odns,
+        transparent,
+        sweep_rows,
+    );
+    match merge_bench_section("census", &section) {
+        Ok(path) => println!("\ncensus: wrote section \"census\" to {path}"),
+        Err(e) => eprintln!("census: could not write artifact: {e}"),
+    }
+}
+
+fn main() {
+    let quick = std::env::var_os("CENSUS_QUICK").is_some();
+    headline_sweep(quick);
+}

@@ -1,0 +1,88 @@
+//! CI gate for shard-count scaling regressions.
+//!
+//! Compares a freshly measured `BENCH_simcore.json` against a recorded
+//! baseline copy: for every fresh section that carries a `"sweeps"`
+//! scaling curve, the K-scaling ratio (max-K throughput over min-K
+//! throughput) must stay above `floor × baseline_ratio`. The floor
+//! (default 0.7) absorbs shared-runner noise; a real scaling collapse —
+//! sharded sweeps falling back to flat — blows through it.
+//!
+//! Sections without a baseline counterpart (first run of a new bench) or
+//! without a scaling curve (e.g. `hotpath`) are reported and skipped, so
+//! adding a bench never breaks the gate.
+//!
+//! Usage: `scaling_gate <fresh_artifact> <baseline_artifact> [floor]`
+
+use bench::{parse_sections, scaling_ratio};
+use std::process::ExitCode;
+
+fn load_sections(path: &str) -> Result<Vec<(String, String)>, String> {
+    let doc = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_sections(&doc).ok_or_else(|| format!("{path}: not a schema-2 sectioned artifact"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (fresh_path, baseline_path) = match args.as_slice() {
+        [f, b] | [f, b, _] => (f.as_str(), b.as_str()),
+        _ => {
+            eprintln!("usage: scaling_gate <fresh_artifact> <baseline_artifact> [floor]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let floor: f64 = args
+        .get(2)
+        .map(|s| s.parse().expect("floor must be a number"))
+        .unwrap_or(0.7);
+
+    let fresh = match load_sections(fresh_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("scaling_gate: cannot read fresh artifact: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match load_sections(baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("scaling_gate: cannot read baseline artifact: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("scaling gate: fresh {fresh_path} vs baseline {baseline_path} (floor {floor})");
+    let mut compared = 0u32;
+    let mut failed = false;
+    for (key, section) in &fresh {
+        let Some(fresh_ratio) = scaling_ratio(section) else {
+            println!("  {key}: no scaling curve — skipped");
+            continue;
+        };
+        let base_ratio = baseline
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, s)| scaling_ratio(s));
+        let Some(base_ratio) = base_ratio else {
+            println!("  {key}: fresh ratio ×{fresh_ratio:.2}, no baseline — skipped");
+            continue;
+        };
+        compared += 1;
+        let required = floor * base_ratio;
+        if fresh_ratio >= required {
+            println!(
+                "  {key}: OK — fresh ×{fresh_ratio:.2} vs baseline ×{base_ratio:.2} (≥ ×{required:.2})"
+            );
+        } else {
+            failed = true;
+            println!(
+                "  {key}: REGRESSION — fresh ×{fresh_ratio:.2} < ×{required:.2} (floor {floor} of baseline ×{base_ratio:.2})"
+            );
+        }
+    }
+    if failed {
+        eprintln!("scaling_gate: K-scaling regressed");
+        return ExitCode::FAILURE;
+    }
+    println!("scaling_gate: {compared} section(s) compared, none regressed");
+    ExitCode::SUCCESS
+}

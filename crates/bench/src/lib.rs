@@ -77,15 +77,37 @@ pub fn bench_artifact_path() -> String {
 /// section, so the `hotpath` and `dnsroute` measurements can run in any
 /// order — or alone — and the uploaded artifact always carries every
 /// section that has been produced. Returns the path written.
+///
+/// Sections are mode-aware: a `"mode": "quick"` section never overwrites
+/// an existing `"mode": "full"` section at the same key. It lands beside
+/// it, at `<key>_quick` — so a CI quick run can refresh its own data
+/// point every push without ever clobbering the committed full-scale
+/// measurement it is compared against.
 pub fn merge_bench_section(key: &str, section_json: &str) -> std::io::Result<String> {
     let path = bench_artifact_path();
-    let mut sections = std::fs::read_to_string(&path)
+    merge_bench_section_at(&path, key, section_json)?;
+    Ok(path)
+}
+
+/// [`merge_bench_section`] against an explicit artifact path (the public
+/// entry point resolves the path from `BENCH_SIMCORE_OUT`).
+pub fn merge_bench_section_at(path: &str, key: &str, section_json: &str) -> std::io::Result<()> {
+    let mut sections = std::fs::read_to_string(path)
         .ok()
         .and_then(|s| parse_sections(&s))
         .unwrap_or_default();
-    match sections.iter_mut().find(|(k, _)| k == key) {
+    let existing_mode = sections
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| section_mode(v));
+    let target_key = match (section_mode(section_json), existing_mode) {
+        // Quick must not clobber full: land beside it instead.
+        (Some("quick"), Some("full")) => format!("{key}_quick"),
+        _ => key.to_string(),
+    };
+    match sections.iter_mut().find(|(k, _)| *k == target_key) {
         Some((_, v)) => *v = section_json.to_string(),
-        None => sections.push((key.to_string(), section_json.to_string())),
+        None => sections.push((target_key, section_json.to_string())),
     }
     let mut out = String::from("{\n  \"schema\": 2");
     for (k, v) in &sections {
@@ -95,16 +117,74 @@ pub fn merge_bench_section(key: &str, section_json: &str) -> std::io::Result<Str
         out.push_str(v.trim());
     }
     out.push_str("\n}\n");
-    std::fs::write(&path, out)?;
-    Ok(path)
+    std::fs::write(path, out)
+}
+
+/// The `"mode"` tag of a section, if it carries one. Sections are this
+/// crate's own output format, so a targeted scan is exact: the key
+/// appears once, as `"mode": "<value>"`.
+fn section_mode(section: &str) -> Option<&str> {
+    let rest = &section[section.find("\"mode\"")? + "\"mode\"".len()..];
+    let rest = rest.trim_start().strip_prefix(':')?;
+    let rest = rest.trim_start().strip_prefix('"')?;
+    Some(&rest[..rest.find('"')?])
+}
+
+/// The `"sweeps"` rows of a scaling section, as `(shards, throughput)`
+/// pairs — throughput being each row's first `*_per_second` field. Rows
+/// missing either field are skipped.
+pub fn section_sweeps(section: &str) -> Vec<(u32, f64)> {
+    let mut rows = Vec::new();
+    let Some(i) = section.find("\"sweeps\"") else {
+        return rows;
+    };
+    let rest = &section[i..];
+    let Some(open) = rest.find('[') else {
+        return rows;
+    };
+    let Some(close) = rest[open..].find(']') else {
+        return rows;
+    };
+    for chunk in rest[open + 1..open + close].split('{').skip(1) {
+        let obj = chunk.split('}').next().unwrap_or("");
+        let shards = obj
+            .find("\"shards\"")
+            .and_then(|j| number_after_colon(&obj[j..]));
+        let throughput = obj
+            .find("_per_second\"")
+            .and_then(|j| number_after_colon(&obj[j..]));
+        if let (Some(shards), Some(throughput)) = (shards, throughput) {
+            rows.push((shards as u32, throughput));
+        }
+    }
+    rows
+}
+
+/// A scaling section's K-scaling ratio: max-K throughput over min-K
+/// throughput. `None` unless the section sweeps at least two distinct
+/// shard counts with positive baseline throughput.
+pub fn scaling_ratio(section: &str) -> Option<f64> {
+    let sweeps = section_sweeps(section);
+    let min = sweeps.iter().min_by_key(|(k, _)| *k)?;
+    let max = sweeps.iter().max_by_key(|(k, _)| *k)?;
+    (max.0 > min.0 && min.1 > 0.0).then(|| max.1 / min.1)
+}
+
+fn number_after_colon(s: &str) -> Option<f64> {
+    let rest = s[s.find(':')? + 1..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Minimal parser for the artifact's own output format: a top-level JSON
 /// object tagged `"schema": 2` with string keys and balanced-brace
 /// values. Anything unexpected — malformed input *or* the flat schema-1
 /// format, whose top-level keys are measurements rather than sections —
-/// yields `None` and the caller starts a fresh artifact.
-fn parse_sections(s: &str) -> Option<Vec<(String, String)>> {
+/// yields `None` and the caller starts a fresh artifact. Public so the
+/// `scaling_gate` binary can compare a fresh artifact against a baseline.
+pub fn parse_sections(s: &str) -> Option<Vec<(String, String)>> {
     let b = s.as_bytes();
     let mut i = 0usize;
     fn skip_ws(b: &[u8], i: &mut usize) {
@@ -194,7 +274,84 @@ fn parse_sections(s: &str) -> Option<Vec<(String, String)>> {
 
 #[cfg(test)]
 mod tests {
-    use super::parse_sections;
+    use super::{
+        merge_bench_section_at, parse_sections, scaling_ratio, section_mode, section_sweeps,
+    };
+
+    fn artifact_keys(path: &str) -> Vec<String> {
+        let doc = std::fs::read_to_string(path).unwrap();
+        parse_sections(&doc)
+            .expect("artifact parses")
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    fn section_of<'a>(sections: &'a [(String, String)], key: &str) -> &'a str {
+        &sections.iter().find(|(k, _)| k == key).unwrap().1
+    }
+
+    #[test]
+    fn quick_lands_beside_full_never_on_top_of_it() {
+        let dir = std::env::temp_dir().join("bench_mode_merge_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.json");
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+
+        let full = "{ \"bench\": \"x\", \"mode\": \"full\", \"sweeps\": [] }";
+        let quick = "{ \"bench\": \"x\", \"mode\": \"quick\", \"sweeps\": [] }";
+        let quick2 = "{ \"bench\": \"x\", \"mode\": \"quick\", \"n\": 2 }";
+
+        // A quick section with no full predecessor owns the base key…
+        merge_bench_section_at(path, "dnsroute", quick).unwrap();
+        assert_eq!(artifact_keys(path), ["dnsroute"]);
+        // …and a full run overwrites it there.
+        merge_bench_section_at(path, "dnsroute", full).unwrap();
+        let doc = std::fs::read_to_string(path).unwrap();
+        let sections = parse_sections(&doc).unwrap();
+        assert_eq!(
+            section_mode(section_of(&sections, "dnsroute")),
+            Some("full")
+        );
+
+        // Quick after full: the full section survives untouched, the
+        // quick data point lands at `<key>_quick`.
+        merge_bench_section_at(path, "dnsroute", quick).unwrap();
+        let doc = std::fs::read_to_string(path).unwrap();
+        let sections = parse_sections(&doc).unwrap();
+        assert_eq!(
+            section_mode(section_of(&sections, "dnsroute")),
+            Some("full")
+        );
+        assert_eq!(
+            section_mode(section_of(&sections, "dnsroute_quick")),
+            Some("quick")
+        );
+
+        // Repeated quick runs refresh `<key>_quick` in place.
+        merge_bench_section_at(path, "dnsroute", quick2).unwrap();
+        let doc = std::fs::read_to_string(path).unwrap();
+        let sections = parse_sections(&doc).unwrap();
+        assert_eq!(artifact_keys(path), ["dnsroute", "dnsroute_quick"]);
+        assert!(section_of(&sections, "dnsroute_quick").contains("\"n\": 2"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn sweep_rows_and_scaling_ratio_parse() {
+        let section = "{ \"mode\": \"full\", \"sweeps\": [\n  { \"shards\": 1, \"traces_per_second\": 1000, \"elapsed_seconds\": 1.5 },\n  { \"shards\": 8, \"traces_per_second\": 3500, \"elapsed_seconds\": 0.4 }\n] }";
+        assert_eq!(section_sweeps(section), vec![(1, 1000.0), (8, 3500.0)]);
+        assert!((scaling_ratio(section).unwrap() - 3.5).abs() < 1e-9);
+        assert_eq!(section_mode(section), Some("full"));
+        // Degenerate sections yield no ratio rather than a bogus one.
+        assert_eq!(scaling_ratio("{ \"sweeps\": [] }"), None);
+        assert_eq!(
+            scaling_ratio("{ \"sweeps\": [ { \"shards\": 2, \"x_per_second\": 5 } ] }"),
+            None,
+            "one shard count is not a scaling curve"
+        );
+    }
 
     #[test]
     fn sections_roundtrip() {

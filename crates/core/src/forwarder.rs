@@ -16,8 +16,9 @@
 //! TTL dies — which is exactly the behaviour DNSRoute++ (§5) exploits to
 //! trace the path *behind* it.
 
-use crate::cache::{CachedAnswer, DnsCache};
+use crate::cache::{CachedAnswer, CachedWire, DnsCache};
 use crate::device::DeviceProfile;
+use crate::memo::QueryMemo;
 use dnswire::{Message, MessageBuilder};
 use netsim::{Ctx, Datagram, Host, SimDuration, UdpSend};
 use std::collections::HashMap;
@@ -75,6 +76,9 @@ pub struct RecursiveForwarder {
     timeout: SimDuration,
     device: Option<DeviceProfile>,
     manipulation: Manipulation,
+    /// Memo of the last plain `IN` client query decoded: identical
+    /// probes (modulo txid) skip the decode on the cache-hit path.
+    memo: Option<QueryMemo>,
     /// Counters.
     pub stats: RecursiveForwarderStats,
 }
@@ -91,7 +95,37 @@ impl RecursiveForwarder {
             timeout: SimDuration::from_secs(5),
             device: None,
             manipulation: Manipulation::None,
+            memo: None,
             stats: RecursiveForwarderStats::default(),
+        }
+    }
+
+    /// Answer a memo-matched query without decoding it — only the
+    /// positive wire-cache-hit case; anything else falls back to the
+    /// decode path. See [`crate::memo`].
+    fn try_memo_answer(&mut self, ctx: &mut Ctx<'_>, dgram: &Datagram, txid: u16) -> bool {
+        let (qname, qtype, rd) = {
+            let memo = self.memo.as_ref().expect("caller matched the memo");
+            (memo.qname().clone(), memo.qtype(), memo.rd())
+        };
+        let Some(cache) = &mut self.cache else {
+            return false;
+        };
+        match cache.get_wire(&qname, qtype, ctx.now(), txid, rd) {
+            Some(CachedWire::Positive(bytes)) => {
+                self.stats.client_queries += 1;
+                self.stats.cache_answers += 1;
+                ctx.send_udp(UdpSend {
+                    src: Some(dgram.dst),
+                    src_port: dnswire::DNS_PORT,
+                    dst: dgram.src,
+                    dst_port: dgram.src_port,
+                    ttl: None,
+                    payload: bytes.into(),
+                });
+                true
+            }
+            _ => false,
         }
     }
 
@@ -185,11 +219,25 @@ impl Host for RecursiveForwarder {
             return;
         }
 
+        // Steady-state fast path: identical probes (modulo txid) skip
+        // the decode when the answer is a positive wire-cache hit.
+        if let Some(txid) = self
+            .memo
+            .as_ref()
+            .and_then(|m| m.txid_of_match(&dgram.payload))
+        {
+            if self.try_memo_answer(ctx, &dgram, txid) {
+                return;
+            }
+        }
         let Ok(query) = Message::decode(&dgram.payload) else {
             return;
         };
         if query.is_response() || query.question().is_none() {
             return;
+        }
+        if self.memo.is_none() {
+            self.memo = QueryMemo::remember(&dgram.payload, &query);
         }
         self.stats.client_queries += 1;
         let q = query.question().expect("checked").clone();

@@ -31,6 +31,7 @@ pub mod auth;
 pub mod cache;
 pub mod device;
 pub mod forwarder;
+pub mod memo;
 pub mod public;
 pub mod ratelimit;
 pub mod recursive;
@@ -45,6 +46,7 @@ pub use forwarder::{
     Manipulation, RecursiveForwarder, RecursiveForwarderStats, TransparentForwarder,
     TransparentForwarderStats,
 };
+pub use memo::QueryMemo;
 pub use public::{
     deploy_public_resolver, install_resolver_instances, PublicDeployment, ResolverProject,
 };

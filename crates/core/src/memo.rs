@@ -1,0 +1,112 @@
+//! Memoized query decode — the steady-state fast path of a census.
+//!
+//! The transactional scanner's static-naming probes are byte-identical
+//! except for the two transaction-ID bytes, and a planted forwarder or
+//! resolver sees millions of them. Fully decoding each one (per-label
+//! `Vec` allocations in the name parser) is the dominant host-side
+//! allocation of a sweep. A [`QueryMemo`] remembers the byte tail and the
+//! parsed question of one plain `IN` query; any later payload whose tail
+//! memcmps equal *is* that query modulo txid, so the host can skip the
+//! decode and serve a cached wire answer directly.
+//!
+//! The memo is strictly an accelerator: a non-matching payload, an
+//! ACL-refused client, a negative cache entry, or a cache miss all fall
+//! back to the ordinary decode path, which owns those responses.
+
+use dnswire::{DnsName, Message, RrType};
+
+/// A remembered plain `IN` query: its payload tail (everything after the
+/// transaction ID) plus the question fields a cached-wire answer needs.
+#[derive(Debug, Clone)]
+pub struct QueryMemo {
+    tail: Vec<u8>,
+    qname: DnsName,
+    qtype: RrType,
+    rd: bool,
+}
+
+impl QueryMemo {
+    /// Memoize a decoded query, if it is eligible: a plain `IN` query
+    /// (single question, opcode QUERY, not a response) with a wire
+    /// payload long enough to carry a header.
+    pub fn remember(payload: &[u8], query: &Message) -> Option<QueryMemo> {
+        if payload.len() < 12 || !query.is_plain_in_query() {
+            return None;
+        }
+        let q = query.question()?;
+        Some(QueryMemo {
+            tail: payload[2..].to_vec(),
+            qname: q.qname.clone(),
+            qtype: q.qtype,
+            rd: query.header.flags.recursion_desired,
+        })
+    }
+
+    /// If `payload` is byte-identical to the memoized query apart from
+    /// its transaction ID, return that ID. Everything the memo stores
+    /// (question, flags, response bit) then holds for `payload` too.
+    pub fn txid_of_match(&self, payload: &[u8]) -> Option<u16> {
+        if payload.len() != self.tail.len() + 2 || payload[2..] != self.tail[..] {
+            return None;
+        }
+        Some(u16::from_be_bytes([payload[0], payload[1]]))
+    }
+
+    /// The memoized question name (clone is an `Arc` bump).
+    pub fn qname(&self) -> &DnsName {
+        &self.qname
+    }
+
+    /// The memoized question type.
+    pub fn qtype(&self) -> RrType {
+        self.qtype
+    }
+
+    /// The memoized recursion-desired flag.
+    pub fn rd(&self) -> bool {
+        self.rd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnswire::MessageBuilder;
+
+    fn query(txid: u16, name: &str) -> (Vec<u8>, Message) {
+        let msg = MessageBuilder::query(txid, DnsName::parse(name).unwrap(), RrType::A)
+            .recursion_desired(true)
+            .build();
+        (msg.encode(), msg)
+    }
+
+    #[test]
+    fn matches_same_query_with_any_txid() {
+        let (bytes, msg) = query(7, "odns-study.example.");
+        let memo = QueryMemo::remember(&bytes, &msg).expect("plain IN query memoizes");
+        assert_eq!(memo.txid_of_match(&bytes), Some(7));
+        let (other, _) = query(0xBEEF, "odns-study.example.");
+        assert_eq!(memo.txid_of_match(&other), Some(0xBEEF));
+        assert_eq!(memo.qname().to_string(), "odns-study.example.");
+        assert!(memo.rd());
+    }
+
+    #[test]
+    fn rejects_different_queries_and_garbage() {
+        let (bytes, msg) = query(1, "odns-study.example.");
+        let memo = QueryMemo::remember(&bytes, &msg).unwrap();
+        let (other_name, _) = query(1, "other.example.");
+        assert_eq!(memo.txid_of_match(&other_name), None);
+        assert_eq!(memo.txid_of_match(&[0x01]), None);
+        let mut flipped = bytes.clone();
+        flipped[2] ^= 0x80; // response bit
+        assert_eq!(memo.txid_of_match(&flipped), None);
+    }
+
+    #[test]
+    fn responses_do_not_memoize() {
+        let (_, msg) = query(1, "odns-study.example.");
+        let resp = msg.response_skeleton();
+        assert!(QueryMemo::remember(&resp.encode(), &resp).is_none());
+    }
+}

@@ -16,6 +16,7 @@
 //! and negative caching.
 
 use crate::cache::{CachedAnswer, CachedWire, DnsCache};
+use crate::memo::QueryMemo;
 use dnswire::{DnsName, Message, MessageBuilder, Rcode, RrType};
 use netsim::{Ctx, Datagram, Host, SimDuration, UdpSend};
 use std::collections::HashMap;
@@ -158,6 +159,9 @@ pub struct RecursiveResolver {
     inflight: HashMap<(DnsName, RrType), usize>,
     next_port: u16,
     next_txid: u16,
+    /// Memo of the last plain `IN` client query decoded: identical
+    /// probes (modulo txid) skip the decode on the cache-hit path.
+    memo: Option<QueryMemo>,
     /// Counters.
     pub stats: ResolverStats,
 }
@@ -175,7 +179,38 @@ impl RecursiveResolver {
             inflight: HashMap::new(),
             next_port: 1024,
             next_txid: 1,
+            memo: None,
             stats: ResolverStats::default(),
+        }
+    }
+
+    /// Answer a memo-matched query without decoding it. Handles only the
+    /// fully-cached happy case — ACL-allowed client, positive wire cache
+    /// hit — and reports whether it did; every other case (refusal,
+    /// negative entry, miss, exotic query) belongs to the decode path.
+    fn try_memo_answer(&mut self, ctx: &mut Ctx<'_>, dgram: &Datagram, txid: u16) -> bool {
+        if !self.config.acl.allows(dgram.src) {
+            return false;
+        }
+        let (qname, qtype, rd) = {
+            let memo = self.memo.as_ref().expect("caller matched the memo");
+            (memo.qname().clone(), memo.qtype(), memo.rd())
+        };
+        match self.cache.get_wire(&qname, qtype, ctx.now(), txid, rd) {
+            Some(CachedWire::Positive(bytes)) => {
+                self.stats.client_queries += 1;
+                self.stats.cache_answers += 1;
+                ctx.send_udp(UdpSend {
+                    src: Some(dgram.dst),
+                    src_port: dnswire::DNS_PORT,
+                    dst: dgram.src,
+                    dst_port: dgram.src_port,
+                    ttl: None,
+                    payload: bytes.into(),
+                });
+                true
+            }
+            _ => false,
         }
     }
 
@@ -482,11 +517,26 @@ fn decode_timer(token: u64) -> (u16, u16) {
 impl Host for RecursiveResolver {
     fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
         if dgram.dst_port == dnswire::DNS_PORT {
+            // Steady-state fast path: a probe byte-identical to the
+            // memoized query (modulo txid) skips the decode entirely
+            // when its answer is a positive wire-cache hit.
+            if let Some(txid) = self
+                .memo
+                .as_ref()
+                .and_then(|m| m.txid_of_match(&dgram.payload))
+            {
+                if self.try_memo_answer(ctx, &dgram, txid) {
+                    return;
+                }
+            }
             let Ok(msg) = Message::decode(&dgram.payload) else {
                 return;
             };
             if msg.is_response() || msg.question().is_none() {
                 return;
+            }
+            if self.memo.is_none() {
+                self.memo = QueryMemo::remember(&dgram.payload, &msg);
             }
             self.handle_client_query(ctx, &dgram, msg);
         } else {

@@ -164,6 +164,8 @@ pub mod scanner_addrs {
 pub struct Internet {
     /// The simulator, ready to run.
     pub sim: Simulator,
+    /// Reinstall recipe for [`Internet::reset`].
+    blueprint: WorldBlueprint,
     /// Standard experiment nodes.
     pub fixtures: Fixtures,
     /// What was planted where.
@@ -173,6 +175,20 @@ pub struct Internet {
     /// Scan target list: every planted address plus unresponsive duds,
     /// deterministically shuffled.
     pub targets: Vec<Ipv4Addr>,
+}
+
+impl Internet {
+    /// Restore a scanned world to its pre-scan state: the simulator
+    /// rewinds (clock, queue, RNG, stats — see [`Simulator::reset`]) and
+    /// every host reinstalls from the generation blueprint. The result
+    /// runs any experiment bit-identically to a freshly generated world,
+    /// while keeping the expensive topology, route caches, ground truth,
+    /// geo database, and target list. This is the generate-once/scan-many
+    /// hook [`crate::ShardWorldCache`] relies on.
+    pub fn reset(&mut self) {
+        self.sim.reset(&self.blueprint.config);
+        install_hosts(&mut self.sim, &self.blueprint);
+    }
 }
 
 const SCANNER_IP: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
@@ -295,6 +311,7 @@ const ASN32_SPAN: u32 = 10_000;
 const COUNTRY_STREAM: u64 = 0xC0_0000_0000;
 const TARGET_STREAM: u64 = 0x7A_0000_0000;
 
+#[derive(Debug, Clone)]
 enum HostPlan {
     Transparent {
         resolver: Ipv4Addr,
@@ -306,6 +323,75 @@ enum HostPlan {
         device: Option<DeviceProfile>,
     },
     Resolver,
+}
+
+/// Everything needed to reinstall a shard's hosts onto a reset simulator:
+/// the sim config (for the RNG reseed), the study-stack nodes, the public
+/// resolver nodes, and the full population plan. Kept by [`Internet`] so
+/// [`Internet::reset`] can restore a scanned world to its pre-scan state
+/// without regenerating the topology.
+#[derive(Debug, Clone)]
+struct WorldBlueprint {
+    config: SimConfig,
+    study: StudyNodes,
+    project_resolvers: Vec<NodeId>,
+    plans: Vec<(NodeId, HostPlan)>,
+}
+
+/// Install the study stack, public resolvers, and population onto a
+/// simulator that has no hosts yet (fresh or just reset). Shared by first
+/// generation and every [`Internet::reset`], so a reset world is rebuilt
+/// by the exact code path that built it.
+fn install_hosts(sim: &mut Simulator, bp: &WorldBlueprint) {
+    odns::install_study_stack(
+        sim,
+        bp.study,
+        AuthConfig {
+            keep_log: false,
+            rate_limit_pps: None,
+            ..AuthConfig::default()
+        },
+    );
+    for node in &bp.project_resolvers {
+        sim.install(
+            *node,
+            RecursiveResolver::new(ResolverConfig {
+                cache_capacity: 4096,
+                ..ResolverConfig::open(vec![ROOT_IP])
+            }),
+        );
+    }
+    for (node, plan) in &bp.plans {
+        match plan {
+            HostPlan::Transparent { resolver, device } => {
+                let mut fwd = TransparentForwarder::new(*resolver);
+                if let Some(d) = device {
+                    fwd = fwd.with_device(d.clone());
+                }
+                sim.install(*node, fwd);
+            }
+            HostPlan::Recursive {
+                resolver,
+                manipulation,
+                device,
+            } => {
+                let mut fwd = RecursiveForwarder::new(*resolver).with_manipulation(*manipulation);
+                if let Some(d) = device {
+                    fwd = fwd.with_device(d.clone());
+                }
+                sim.install(*node, fwd);
+            }
+            HostPlan::Resolver => {
+                sim.install(
+                    *node,
+                    RecursiveResolver::new(ResolverConfig {
+                        cache_capacity: 256,
+                        ..ResolverConfig::open(vec![ROOT_IP])
+                    }),
+                );
+            }
+        }
+    }
 }
 
 /// Generate a simulated Internet per `config` — the single-simulator
@@ -1002,69 +1088,26 @@ pub fn generate_shard(config: &GenConfig, spec: ShardSpec) -> Internet {
         }
     }
 
-    let mut sim = Simulator::new(topo, SimConfig::for_shard(config.seed, spec.index));
+    let sim_config = SimConfig::for_shard(config.seed, spec.index);
+    let mut sim = Simulator::new(topo, sim_config.clone());
 
     // Study infrastructure: every shard deploys its own full root → TLD →
     // authoritative stack, so recursive resolution never crosses shards.
-    odns::install_study_stack(
-        &mut sim,
-        StudyNodes {
+    // Public resolvers and the population install through the blueprint,
+    // which [`Internet::reset`] replays onto the reset simulator.
+    let blueprint = WorldBlueprint {
+        config: sim_config,
+        study: StudyNodes {
             root: root_node,
             tld: tld_node,
             tld_ip: TLD_IP,
             auth: auth_node,
             auth_ip: AUTH_IP,
         },
-        AuthConfig {
-            keep_log: false,
-            rate_limit_pps: None,
-            ..AuthConfig::default()
-        },
-    );
-
-    // Public resolvers.
-    for (_, node) in &project_nodes {
-        sim.install(
-            *node,
-            RecursiveResolver::new(ResolverConfig {
-                cache_capacity: 4096,
-                ..ResolverConfig::open(vec![ROOT_IP])
-            }),
-        );
-    }
-
-    // The population.
-    for (node, plan) in plans {
-        match plan {
-            HostPlan::Transparent { resolver, device } => {
-                let mut fwd = TransparentForwarder::new(resolver);
-                if let Some(d) = device {
-                    fwd = fwd.with_device(d);
-                }
-                sim.install(node, fwd);
-            }
-            HostPlan::Recursive {
-                resolver,
-                manipulation,
-                device,
-            } => {
-                let mut fwd = RecursiveForwarder::new(resolver).with_manipulation(manipulation);
-                if let Some(d) = device {
-                    fwd = fwd.with_device(d);
-                }
-                sim.install(node, fwd);
-            }
-            HostPlan::Resolver => {
-                sim.install(
-                    node,
-                    RecursiveResolver::new(ResolverConfig {
-                        cache_capacity: 256,
-                        ..ResolverConfig::open(vec![ROOT_IP])
-                    }),
-                );
-            }
-        }
-    }
+        project_resolvers: project_nodes.iter().map(|(_, n)| *n).collect(),
+        plans,
+    };
+    install_hosts(&mut sim, &blueprint);
 
     // ---- Scan target list -------------------------------------------------------
     // Duds and shuffle order draw from a per-shard stream: the shard's
@@ -1093,6 +1136,7 @@ pub fn generate_shard(config: &GenConfig, spec: ShardSpec) -> Internet {
 
     Internet {
         sim,
+        blueprint,
         fixtures: Fixtures {
             scanner,
             scanner_ip: SCANNER_IP,

@@ -23,7 +23,7 @@ pub struct AsnInfo {
 }
 
 /// The lookup database handed to the analysis pipeline.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct GeoDb {
     /// /24-granular prefix table: `prefix24 → asn`.
     prefix_to_asn: HashMap<u32, u32>,

@@ -37,5 +37,7 @@ pub use countries::{
     by_code, by_transparent_desc, CountryProfile, OtherProfile, Region, ResolverMix, COUNTRIES,
 };
 pub use geodb::{AsnInfo, GeoDb};
-pub use shard::{generate_partition, run_sharded, shard_of_country, ShardSpec, ShardedRun};
+pub use shard::{
+    generate_partition, run_sharded, shard_of_country, ShardSpec, ShardWorldCache, ShardedRun,
+};
 pub use validate::{check_marginals, Deviation};

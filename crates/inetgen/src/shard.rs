@@ -19,6 +19,8 @@
 use crate::build::{generate_shard, Internet};
 use crate::config::GenConfig;
 use crate::geodb::GeoDb;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 
 /// Which shard of how many a generated world is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -54,8 +56,13 @@ impl ShardSpec {
 /// Which shard a country (by its index in [`crate::COUNTRIES`]) belongs
 /// to. Round-robin keeps the large head countries spread across shards so
 /// shard workloads stay balanced.
+///
+/// Panics on `shard_count == 0`, exactly like [`ShardSpec::new`]: a
+/// zero-way partition is a caller bug, and quietly mapping every country
+/// to shard 0 would mask it.
 pub fn shard_of_country(global_index: usize, shard_count: u32) -> u32 {
-    (global_index as u32) % shard_count.max(1)
+    assert!(shard_count >= 1, "a partition needs at least one shard");
+    (global_index as u32) % shard_count
 }
 
 /// Generate every shard of a `count`-way partition, sequentially. Worker
@@ -105,42 +112,18 @@ where
     T: Send,
     F: Fn(ShardSpec, &mut Internet) -> T + Sync,
 {
-    assert!(shards >= 1, "a sharded run needs at least one shard");
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get() as u32)
-        .unwrap_or(1)
-        .min(shards)
-        .max(1);
-
-    let mut per_shard: Vec<(u32, T, GeoDb)> = std::thread::scope(|scope| {
-        let experiment = &experiment;
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                scope.spawn(move || {
-                    let mut collected = Vec::new();
-                    let mut index = w;
-                    while index < shards {
-                        let spec = ShardSpec::new(index, shards);
-                        let mut world = generate_shard(config, spec);
-                        let output = experiment(spec, &mut world);
-                        collected.push((index, output, world.geo));
-                        index += workers;
-                    }
-                    collected
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("shard worker panicked"))
-            .collect()
+    let per_shard = drive_shards(shards, |index| {
+        let spec = ShardSpec::new(index, shards);
+        let mut world = generate_shard(config, spec);
+        let output = experiment(spec, &mut world);
+        // The world dies here, on the worker — only the output and the
+        // geo database survive, keeping peak memory at one world per
+        // worker however many shards run.
+        (output, world.geo)
     });
-
-    // Deterministic merge order regardless of worker scheduling.
-    per_shard.sort_by_key(|(shard, _, _)| *shard);
     let mut geo: Option<GeoDb> = None;
     let mut outputs = Vec::with_capacity(per_shard.len());
-    for (_, output, shard_geo) in per_shard {
+    for (_, (output, shard_geo)) in per_shard {
         match &mut geo {
             None => geo = Some(shard_geo),
             Some(merged) => merged.merge(shard_geo),
@@ -150,6 +133,181 @@ where
     ShardedRun {
         outputs,
         geo: geo.expect("at least one shard"),
+    }
+}
+
+/// The worker pool every sharded runner drives: `job(index)` runs once
+/// per shard (worker `w` handles shards `w, w + workers, …`), and the
+/// collected `(shard, output)` pairs come back sorted by shard index.
+///
+/// Panic handling: the first failing shard is recorded immediately, every
+/// surviving worker stops picking up new shards at its next boundary
+/// (prompt propagation — no burning minutes generating worlds for a run
+/// that already failed), and the final panic names the failing shard.
+fn drive_shards<T, F>(shards: u32, job: F) -> Vec<(u32, T)>
+where
+    T: Send,
+    F: Fn(u32) -> T + Sync,
+{
+    assert!(shards >= 1, "a sharded run needs at least one shard");
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get() as u32)
+        .unwrap_or(1)
+        .min(shards)
+        .max(1);
+
+    let failure: Mutex<Option<(u32, String)>> = Mutex::new(None);
+    let mut per_shard: Vec<(u32, T)> = std::thread::scope(|scope| {
+        let job = &job;
+        let failure = &failure;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut collected = Vec::new();
+                    let mut index = w;
+                    while index < shards {
+                        if failure.lock().unwrap().is_some() {
+                            break;
+                        }
+                        match catch_unwind(AssertUnwindSafe(|| job(index))) {
+                            Ok(output) => collected.push((index, output)),
+                            Err(payload) => {
+                                let msg = payload
+                                    .downcast_ref::<&str>()
+                                    .map(|s| (*s).to_string())
+                                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                                let mut slot = failure.lock().unwrap();
+                                if slot.is_none() {
+                                    *slot = Some((index, msg));
+                                }
+                                break;
+                            }
+                        }
+                        index += workers;
+                    }
+                    collected
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("shard worker died outside a job"))
+            .collect()
+    });
+    if let Some((shard, msg)) = failure.into_inner().unwrap() {
+        panic!("shard {shard} worker panicked: {msg}");
+    }
+    // Deterministic order regardless of worker scheduling.
+    per_shard.sort_by_key(|(shard, _)| *shard);
+    per_shard
+}
+
+/// Generate-once, scan-many: a cache of warm per-shard worlds.
+///
+/// The first [`ShardWorldCache::run`] at a shard count generates each
+/// shard's [`Internet`] exactly like [`run_sharded`] would; every later
+/// run at the same count takes the warm world, [`Internet::reset`]s it to
+/// its pre-scan state, and drives the experiment again — skipping world
+/// generation entirely. Repeated sweeps (the scaling benches, parameter
+/// studies, the million-target census) pay generation once instead of
+/// once per sweep, and the reset contract keeps every run bit-identical
+/// to a run over freshly generated worlds (property-tested in
+/// `tests/warm_world_reuse.rs`).
+///
+/// Changing the shard count rebuilds the cache: shard worlds are
+/// partition-specific. A shard whose experiment panics leaves its slot
+/// empty, so the next run regenerates that world from scratch rather
+/// than reusing one in an unknown state.
+pub struct ShardWorldCache {
+    config: GenConfig,
+    count: u32,
+    slots: Vec<Mutex<Option<Internet>>>,
+    geo: Option<GeoDb>,
+}
+
+impl ShardWorldCache {
+    /// A cache that generates worlds from `config`. No worlds are built
+    /// until the first [`ShardWorldCache::run`].
+    pub fn new(config: GenConfig) -> Self {
+        ShardWorldCache {
+            config,
+            count: 0,
+            slots: Vec::new(),
+            geo: None,
+        }
+    }
+
+    /// The generation config worlds are built from.
+    pub fn config(&self) -> &GenConfig {
+        &self.config
+    }
+
+    /// How many shard worlds are currently cached (warm slots).
+    pub fn warm_shards(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.lock().unwrap().is_some())
+            .count()
+    }
+
+    /// Drop every cached world (e.g. to bound memory between phases).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.count = 0;
+        self.geo = None;
+    }
+
+    /// Run `experiment` over every shard of a `shards`-way partition,
+    /// exactly like [`run_sharded`] — but over cached worlds when warm
+    /// ones exist. Semantics match [`run_sharded`] bit for bit: same
+    /// outputs, same merged geo, same prompt panic propagation.
+    pub fn run<T, F>(&mut self, shards: u32, experiment: F) -> ShardedRun<T>
+    where
+        T: Send,
+        F: Fn(ShardSpec, &mut Internet) -> T + Sync,
+    {
+        assert!(shards >= 1, "a sharded run needs at least one shard");
+        if self.count != shards {
+            self.slots = (0..shards).map(|_| Mutex::new(None)).collect();
+            self.geo = None;
+            self.count = shards;
+        }
+        let need_geo = self.geo.is_none();
+        let config = &self.config;
+        let slots = &self.slots;
+        let per_shard = drive_shards(shards, |index| {
+            // Take the world OUT of its slot for the experiment: no lock
+            // is held while it runs, and a panicking experiment leaves
+            // the slot empty (regenerate next run) instead of poisoned.
+            let taken = slots[index as usize].lock().unwrap().take();
+            let mut world = match taken {
+                Some(mut warm) => {
+                    warm.reset();
+                    warm
+                }
+                None => generate_shard(config, ShardSpec::new(index, shards)),
+            };
+            let output = experiment(ShardSpec::new(index, shards), &mut world);
+            let geo = need_geo.then(|| world.geo.clone());
+            *slots[index as usize].lock().unwrap() = Some(world);
+            (output, geo)
+        });
+        if need_geo {
+            let mut merged: Option<GeoDb> = None;
+            for (_, (_, shard_geo)) in &per_shard {
+                let shard_geo = shard_geo.clone().expect("first run clones every shard geo");
+                match &mut merged {
+                    None => merged = Some(shard_geo),
+                    Some(m) => m.merge(shard_geo),
+                }
+            }
+            self.geo = Some(merged.expect("at least one shard"));
+        }
+        ShardedRun {
+            outputs: per_shard.into_iter().map(|(_, (out, _))| out).collect(),
+            geo: self.geo.clone().expect("merged geo cached above"),
+        }
     }
 }
 
@@ -189,6 +347,82 @@ mod tests {
         for host in &solo.truth.hosts {
             assert_eq!(run.geo.asn_of(host.ip), Some(host.asn));
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn shard_of_country_rejects_zero_shards() {
+        let _ = shard_of_country(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard 1 worker panicked: boom in shard 1")]
+    fn worker_panic_names_the_failing_shard() {
+        let config = GenConfig {
+            countries: crate::CountrySelection::Codes(vec!["MUS", "FSM"]),
+            scale: 5_000,
+            dud_fraction: 0.0,
+            ..GenConfig::default()
+        };
+        run_sharded(&config, 2, |spec, _world| {
+            if spec.index == 1 {
+                panic!("boom in shard {}", spec.index);
+            }
+            0u32
+        });
+    }
+
+    #[test]
+    fn cached_worlds_rerun_identically_and_survive_count_changes() {
+        let config = GenConfig {
+            countries: crate::CountrySelection::Codes(vec!["MUS", "FSM", "AFG"]),
+            scale: 5_000,
+            dud_fraction: 0.0,
+            ..GenConfig::default()
+        };
+        let mut cache = ShardWorldCache::new(config.clone());
+        let experiment = |_: ShardSpec, world: &mut Internet| world.targets.clone();
+        let cold = cache.run(2, experiment);
+        assert_eq!(cache.warm_shards(), 2);
+        let warm = cache.run(2, experiment);
+        assert_eq!(cold.outputs, warm.outputs, "warm rerun matches cold");
+        let fresh = run_sharded(&config, 2, experiment);
+        assert_eq!(cold.outputs, fresh.outputs, "cache matches run_sharded");
+        assert_eq!(warm.geo.prefix_count(), fresh.geo.prefix_count());
+        assert_eq!(warm.geo.asn_count(), fresh.geo.asn_count());
+        for ip in fresh.outputs.iter().flatten() {
+            assert_eq!(warm.geo.asn_of(*ip), fresh.geo.asn_of(*ip));
+        }
+        // Count change rebuilds the partition.
+        let three = cache.run(3, experiment);
+        assert_eq!(cache.warm_shards(), 3);
+        let total: usize = three.outputs.iter().map(|t| t.len()).sum();
+        let total2: usize = cold.outputs.iter().map(|t| t.len()).sum();
+        assert_eq!(total, total2, "partition change keeps the population");
+    }
+
+    #[test]
+    fn cache_regenerates_a_slot_after_an_experiment_panic() {
+        let config = GenConfig {
+            countries: crate::CountrySelection::Codes(vec!["MUS", "FSM"]),
+            scale: 5_000,
+            dud_fraction: 0.0,
+            ..GenConfig::default()
+        };
+        let mut cache = ShardWorldCache::new(config);
+        let baseline = cache.run(2, |_, world| world.targets.clone());
+        let boom = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            cache.run(2, |spec, _world: &mut Internet| {
+                if spec.index == 1 {
+                    panic!("mid-experiment failure");
+                }
+                0u32
+            })
+        }));
+        assert!(boom.is_err());
+        assert!(cache.warm_shards() < 2, "failed shard's slot is empty");
+        let after = cache.run(2, |_, world| world.targets.clone());
+        assert_eq!(baseline.outputs, after.outputs, "regenerated identically");
     }
 
     #[test]

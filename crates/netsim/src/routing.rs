@@ -134,6 +134,15 @@ impl RouteResolver {
         self.path_misses
     }
 
+    /// Zero the hit/miss counters while keeping every cached entry.
+    /// Routes are a pure function of the immutable topology, so a
+    /// simulator reset keeps the warm caches (that reuse is the point of
+    /// resetting instead of rebuilding) and restarts only the counters.
+    pub fn reset_counters(&mut self) {
+        self.path_hits = 0;
+        self.path_misses = 0;
+    }
+
     /// Shortest AS path (inclusive of endpoints) via BFS with deterministic
     /// tie-breaking (adjacency lists are sorted at topology build).
     pub fn as_path(&mut self, topo: &Topology, src: AsId, dst: AsId) -> Option<Arc<Vec<AsId>>> {

@@ -141,6 +141,33 @@ impl Simulator {
         self.hosts[node.0 as usize] = Some(Box::new(host));
     }
 
+    /// Restore the simulator to its pre-run state over the same topology:
+    /// pending events, hosts, and taps are discarded; the clock, sequence
+    /// counter, IP ident counter, and statistics rewind to zero; the RNG
+    /// reseeds from `config`. Reinstalling the same hosts and scheduling
+    /// the same bootstrap timers then reproduces a fresh run's event
+    /// stream bit for bit — the reuse contract warm shard worlds rely on.
+    ///
+    /// The route resolver's caches survive (paths are a pure function of
+    /// the immutable topology), so a reset world re-runs without
+    /// re-materializing any hop list. Only `route_cache_hits`/`misses`
+    /// differ from a cold run; event timing and content never do.
+    pub fn reset(&mut self, config: &SimConfig) {
+        self.queue.clear();
+        for slot in &mut self.hosts {
+            *slot = None;
+        }
+        self.taps.clear();
+        self.now = SimTime::ZERO;
+        self.seq = 0;
+        self.ip_ident = 0;
+        self.rng = SmallRng::seed_from_u64(config.seed);
+        self.faults = config.faults;
+        self.max_events = config.max_events;
+        self.resolver.reset_counters();
+        self.stats = SimStats::default();
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -882,6 +909,51 @@ mod tests {
             n - 1,
             "every steady-state send must borrow the cached path"
         );
+    }
+
+    #[test]
+    fn reset_reproduces_a_fresh_run_bit_for_bit() {
+        // Run a lossy, jittered exchange twice over the same simulator
+        // with a reset in between, and once more over a cold simulator:
+        // all three captures must be byte-identical, including timestamps
+        // and IP idents — the warm-world reuse contract.
+        let config = SimConfig {
+            seed: 41,
+            faults: FaultConfig::lossy(0.2),
+            ..SimConfig::default()
+        };
+        let drive = |sim: &mut Simulator, scanner: NodeId, server: NodeId, server_ip: Ipv4Addr| {
+            sim.tap(scanner);
+            sim.install(server, Echo { received: vec![] });
+            for i in 0..40u64 {
+                sim.install(
+                    scanner,
+                    Prober {
+                        send: UdpSend::new(30000 + i as u16, server_ip, 53, vec![i as u8]),
+                        replies: vec![],
+                        icmp: vec![],
+                    },
+                );
+                sim.schedule_timer(scanner, SimDuration::from_millis(i), 0);
+                sim.run();
+            }
+            (sim.take_capture(scanner).unwrap(), sim.now())
+        };
+
+        let (topo, scanner, server, _a, server_ip) = two_as();
+        let mut sim = Simulator::new(topo, config.clone());
+        let (first, t1) = drive(&mut sim, scanner, server, server_ip);
+        sim.reset(&config);
+        assert_eq!(sim.now(), SimTime::ZERO);
+        assert_eq!(sim.stats().udp_sent, 0);
+        let (second, t2) = drive(&mut sim, scanner, server, server_ip);
+        assert_eq!(first, second, "reset run must replay the capture");
+        assert_eq!(t1, t2);
+
+        let (topo, scanner, server, _a, server_ip) = two_as();
+        let mut cold = Simulator::new(topo, config.clone());
+        let (third, _) = drive(&mut cold, scanner, server, server_ip);
+        assert_eq!(first, third, "warm reset matches a cold simulator");
     }
 
     #[test]

@@ -36,8 +36,8 @@ pub use fingerprint::{
 };
 pub use records::{ProbeRecord, ResponseRecord, ScanOutcome, Transaction};
 pub use sensors::{sensor_reply_matches, HoneypotSensor, SensorAddresses, SensorKind, SensorStats};
-pub use shard::{merge_shard_records, ShardRecords};
+pub use shard::{merge_shard_records, MergeStats, ShardRecords, StreamingMerge};
 pub use transactional::{
-    correlate, correlate_owned, run_scan, run_scan_raw, ProbeNaming, ScanConfig,
+    correlate, correlate_owned, run_scan, run_scan_raw, Correlator, ProbeNaming, ScanConfig,
     TransactionalScanner,
 };

@@ -39,8 +39,9 @@ pub struct ScanConfig {
     pub inter_probe_gap: SimDuration,
     /// Correlation timeout (paper: a conservative 20 s).
     pub timeout: SimDuration,
-    /// First source port; probes use `base_port + (index >> 16)` so the
-    /// `(port, txid)` tuple is unique for every in-flight probe.
+    /// First source port; probes walk `base_port + (index & 0xFFFF)` with
+    /// the txid advancing once per 65 k block, so the `(port, txid)` tuple
+    /// is unique for every in-flight probe.
     pub base_port: u16,
 }
 
@@ -68,9 +69,15 @@ impl ScanConfig {
     }
 
     /// The `(src_port, txid)` tuple for probe `index`.
+    ///
+    /// The *port* varies per probe and the *txid* per 65 k block — not the
+    /// other way round — so all probes of a block share one wire payload
+    /// (the txid is the only byte pair that differs between static-naming
+    /// probes), letting the scanner send a block from a single shared
+    /// buffer instead of patching a fresh copy per probe.
     pub fn probe_tuple(&self, index: usize) -> (u16, u16) {
-        let txid = (index & 0xFFFF) as u16;
-        let port = self.base_port.wrapping_add((index >> 16) as u16);
+        let port = self.base_port.wrapping_add((index & 0xFFFF) as u16);
+        let txid = (index >> 16) as u16;
         (port, txid)
     }
 }
@@ -82,10 +89,15 @@ pub struct TransactionalScanner {
     config: ScanConfig,
     cursor: usize,
     /// Pre-encoded probe query for static naming: every probe differs only
-    /// in its transaction ID, so the hot send path copies this buffer and
-    /// patches two bytes instead of building and encoding a fresh message
-    /// (name parse, builder, compression walk) per target.
+    /// in its transaction ID, so the hot send path shares one patched
+    /// buffer per txid block instead of building and encoding a fresh
+    /// message (name parse, builder, compression walk) per target.
     probe_template: Option<Vec<u8>>,
+    /// The shared payload of the current txid block. With the port-fast
+    /// tuple scheme the txid changes once per 65 536 probes, so the send
+    /// path is one `Arc` bump per probe and one 2-byte patch per block —
+    /// zero per-probe payload allocation.
+    cached_block: Option<(u16, netsim::Payload)>,
     /// Outgoing probe records.
     pub probes: Vec<ProbeRecord>,
     /// Raw response records in arrival order.
@@ -112,9 +124,27 @@ impl TransactionalScanner {
             config,
             cursor: 0,
             probe_template,
+            cached_block: None,
             probes,
             responses: Vec::new(),
         }
+    }
+
+    /// The shared wire payload for a static-naming probe with `txid`:
+    /// cached per 65 k block, patched from the template only when the
+    /// block changes.
+    fn block_payload(&mut self, txid: u16) -> netsim::Payload {
+        if let Some((id, payload)) = &self.cached_block {
+            if *id == txid {
+                return payload.clone();
+            }
+        }
+        let template = self.probe_template.as_ref().expect("static template");
+        let mut bytes = template.clone();
+        bytes[0..2].copy_from_slice(&txid.to_be_bytes());
+        let payload: netsim::Payload = bytes.into();
+        self.cached_block = Some((txid, payload.clone()));
+        payload
     }
 
     /// Correlate responses to probes by `(port, txid)` within the timeout.
@@ -129,20 +159,15 @@ impl TransactionalScanner {
     fn send_probe(&mut self, ctx: &mut Ctx<'_>, index: usize) {
         let target = self.config.targets[index];
         let (port, txid) = self.config.probe_tuple(index);
-        let payload: netsim::Payload = match &self.probe_template {
-            Some(template) => {
-                let mut bytes = template.clone();
-                bytes[0..2].copy_from_slice(&txid.to_be_bytes());
-                bytes.into()
-            }
-            None => {
-                let qname = study::encode_target_name(target);
-                MessageBuilder::query(txid, qname, RrType::A)
-                    .recursion_desired(true)
-                    .build()
-                    .encode()
-                    .into()
-            }
+        let payload: netsim::Payload = if self.probe_template.is_some() {
+            self.block_payload(txid)
+        } else {
+            let qname = study::encode_target_name(target);
+            MessageBuilder::query(txid, qname, RrType::A)
+                .recursion_desired(true)
+                .build()
+                .encode()
+                .into()
         };
         self.probes.push(ProbeRecord {
             index,
@@ -208,43 +233,71 @@ pub fn correlate_owned(
     responses: Vec<ResponseRecord>,
     timeout: SimDuration,
 ) -> ScanOutcome {
-    let mut index: HashMap<(u16, u16), usize> = HashMap::with_capacity(probes.len());
-    for (i, p) in probes.iter().enumerate() {
-        index.insert((p.src_port, p.txid), i);
+    Correlator::new().correlate(probes, responses, timeout)
+}
+
+/// Reusable correlation scratch. Correlation's only side allocation is
+/// the `(port, txid) → probe` index map; a `Correlator` keeps that map's
+/// capacity across calls, so a sharded merge correlating K shard groups
+/// back to back allocates the map once instead of K times. One-shot
+/// callers use [`correlate_owned`], which wraps a fresh instance.
+#[derive(Debug, Default)]
+pub struct Correlator {
+    index: HashMap<(u16, u16), usize>,
+}
+
+impl Correlator {
+    /// An empty scratch; capacity grows on first use.
+    pub fn new() -> Self {
+        Correlator::default()
     }
-    let mut transactions: Vec<Transaction> = probes
-        .into_iter()
-        .map(|p| Transaction {
-            probe: p,
-            response: None,
-        })
-        .collect();
-    let mut unmatched = 0usize;
-    let mut late = 0usize;
-    for r in responses {
-        let Some(txid) = dnswire::peek_id(&r.payload) else {
-            unmatched += 1;
-            continue;
-        };
-        let Some(&probe_idx) = index.get(&(r.dst_port, txid)) else {
-            unmatched += 1;
-            continue;
-        };
-        let t = &mut transactions[probe_idx];
-        if r.received_at - t.probe.sent_at > timeout {
-            late += 1;
-            continue;
+
+    /// One correlation pass, identical to [`correlate_owned`].
+    pub fn correlate(
+        &mut self,
+        probes: Vec<ProbeRecord>,
+        responses: Vec<ResponseRecord>,
+        timeout: SimDuration,
+    ) -> ScanOutcome {
+        self.index.clear();
+        self.index.reserve(probes.len());
+        for (i, p) in probes.iter().enumerate() {
+            self.index.insert((p.src_port, p.txid), i);
         }
-        if t.response.is_some() {
-            unmatched += 1; // duplicate
-            continue;
+        let mut transactions: Vec<Transaction> = probes
+            .into_iter()
+            .map(|p| Transaction {
+                probe: p,
+                response: None,
+            })
+            .collect();
+        let mut unmatched = 0usize;
+        let mut late = 0usize;
+        for r in responses {
+            let Some(txid) = dnswire::peek_id(&r.payload) else {
+                unmatched += 1;
+                continue;
+            };
+            let Some(&probe_idx) = self.index.get(&(r.dst_port, txid)) else {
+                unmatched += 1;
+                continue;
+            };
+            let t = &mut transactions[probe_idx];
+            if r.received_at - t.probe.sent_at > timeout {
+                late += 1;
+                continue;
+            }
+            if t.response.is_some() {
+                unmatched += 1; // duplicate
+                continue;
+            }
+            t.response = Some(r);
         }
-        t.response = Some(r);
-    }
-    ScanOutcome {
-        transactions,
-        unmatched_responses: unmatched,
-        late_responses: late,
+        ScanOutcome {
+            transactions,
+            unmatched_responses: unmatched,
+            late_responses: late,
+        }
     }
 }
 
