@@ -108,13 +108,19 @@ fn bench_route_resolution(c: &mut Criterion) {
 }
 
 /// Pre-PR reference figures, measured on the machine that landed the
-/// zero-allocation hot path (commit 3ed376b, same harness shapes). They
+/// reusable shard worlds (commit 2792ac0, same harness shapes) — before
+/// the timer-wheel engine, batched pacing, and hot-answer replay. They
 /// ride along in `BENCH_simcore.json` so any machine's run carries its own
 /// "after" next to the recorded "before"; cross-machine comparisons should
 /// use the ratio, not the absolute numbers.
-const BASELINE_NOTE: &str = "pre-PR (commit 3ed376b), dev machine";
-const BASELINE_STEADY_PROBES_PER_SEC: f64 = 370_662.0;
+const BASELINE_NOTE: &str = "pre-PR (commit 2792ac0), dev machine";
+const BASELINE_STEADY_PROBES_PER_SEC: f64 = 1_029_803.0;
 const BASELINE_COLD_WORLD_PROBES_PER_SEC: f64 = 90_812.0;
+/// Queue events per answered probe at the baseline commit
+/// (3,802,350 events/s over 1,029,803 probes/s): the figure batched
+/// pacing drives down — every probe under the old engine cost its own
+/// pacing timer event.
+const BASELINE_EVENTS_PER_ANSWERED_PROBE: f64 = 3.69;
 
 /// Steady-state hot-path measurement over a warm world, reported as
 /// probes/sec and events/sec plus route-cache effectiveness, written to
@@ -133,6 +139,9 @@ fn bench_hotpath() {
         ScanConfig::new(internet.targets.clone()),
     );
     let events_before = internet.sim.stats().events_processed;
+    let coalesced_before = internet.sim.stats().timers_coalesced;
+    let wheel_before = internet.sim.stats().events_wheel_scheduled;
+    let heap_before = internet.sim.stats().events_heap_scheduled;
 
     let t0 = Instant::now();
     let mut answered = 0usize;
@@ -148,9 +157,17 @@ fn bench_hotpath() {
 
     let stats = internet.sim.stats();
     let events = stats.events_processed - events_before;
+    let coalesced = stats.timers_coalesced - coalesced_before;
+    let wheel_scheduled = stats.events_wheel_scheduled - wheel_before;
+    let heap_scheduled = stats.events_heap_scheduled - heap_before;
     let total_probes = probes_per_scan * u64::from(scans);
     let probes_per_sec = total_probes as f64 / elapsed.as_secs_f64();
     let events_per_sec = events as f64 / elapsed.as_secs_f64();
+    let events_per_answered = if answered > 0 {
+        events as f64 / answered as f64
+    } else {
+        0.0
+    };
     let hit_rate = if stats.route_cache_hits + stats.route_cache_misses > 0 {
         stats.route_cache_hits as f64 / (stats.route_cache_hits + stats.route_cache_misses) as f64
     } else {
@@ -161,15 +178,22 @@ fn bench_hotpath() {
         "hotpath/steady_scan                      probes/s: {probes_per_sec:>12.0}  events/s: {events_per_sec:>12.0}  route-cache hit rate: {:.4}",
         hit_rate
     );
+    println!(
+        "hotpath/queue                            events/answered probe: {events_per_answered:.2}  timers coalesced: {coalesced}  wheel: {wheel_scheduled}  heap: {heap_scheduled}"
+    );
 
     let section = format!(
-        "{{\n    \"bench\": \"micro_simcore/hotpath\",\n    \"mode\": \"{}\",\n    \"world\": \"tiny_world (MUS+FSM, scale 1000)\",\n    \"scans\": {},\n    \"probes_per_scan\": {},\n    \"answered_probes\": {},\n    \"steady\": {{\n      \"probes_per_second\": {:.0},\n      \"events_per_second\": {:.0},\n      \"elapsed_seconds\": {:.6},\n      \"route_cache_hits\": {},\n      \"route_cache_misses\": {},\n      \"route_cache_hit_rate\": {:.6}\n    }},\n    \"baseline\": {{\n      \"note\": \"{}\",\n      \"steady_probes_per_second\": {:.0},\n      \"cold_world_probes_per_second\": {:.0}\n    }},\n    \"speedup_vs_baseline_steady\": {:.2}\n  }}",
+        "{{\n    \"bench\": \"micro_simcore/hotpath\",\n    \"mode\": \"{}\",\n    \"world\": \"tiny_world (MUS+FSM, scale 1000)\",\n    \"scans\": {},\n    \"probes_per_scan\": {},\n    \"answered_probes\": {},\n    \"steady\": {{\n      \"probes_per_second\": {:.0},\n      \"events_per_second\": {:.0},\n      \"events_per_answered_probe\": {:.3},\n      \"timers_coalesced\": {},\n      \"events_wheel_scheduled\": {},\n      \"events_heap_scheduled\": {},\n      \"elapsed_seconds\": {:.6},\n      \"route_cache_hits\": {},\n      \"route_cache_misses\": {},\n      \"route_cache_hit_rate\": {:.6}\n    }},\n    \"baseline\": {{\n      \"note\": \"{}\",\n      \"steady_probes_per_second\": {:.0},\n      \"cold_world_probes_per_second\": {:.0},\n      \"events_per_answered_probe\": {:.2}\n    }},\n    \"speedup_vs_baseline_steady\": {:.2}\n  }}",
         if quick { "quick" } else { "full" },
         scans,
         probes_per_scan,
         answered,
         probes_per_sec,
         events_per_sec,
+        events_per_answered,
+        coalesced,
+        wheel_scheduled,
+        heap_scheduled,
         elapsed.as_secs_f64(),
         stats.route_cache_hits,
         stats.route_cache_misses,
@@ -177,6 +201,7 @@ fn bench_hotpath() {
         BASELINE_NOTE,
         BASELINE_STEADY_PROBES_PER_SEC,
         BASELINE_COLD_WORLD_PROBES_PER_SEC,
+        BASELINE_EVENTS_PER_ANSWERED_PROBE,
         probes_per_sec / BASELINE_STEADY_PROBES_PER_SEC,
     );
     match bench::merge_bench_section("hotpath", &section) {

@@ -1,19 +1,26 @@
-//! CI gate for shard-count scaling regressions.
+//! CI gate for shard-count scaling and hot-path throughput regressions.
 //!
 //! Compares a freshly measured `BENCH_simcore.json` against a recorded
 //! baseline copy: for every fresh section that carries a `"sweeps"`
 //! scaling curve, the K-scaling ratio (max-K throughput over min-K
-//! throughput) must stay above `floor × baseline_ratio`. The floor
-//! (default 0.7) absorbs shared-runner noise; a real scaling collapse —
-//! sharded sweeps falling back to flat — blows through it.
+//! throughput) must stay above `floor × baseline_ratio`. The same floor
+//! then gates the steady hot path: the fresh `hotpath_quick` (or
+//! `hotpath`) probes/s must stay above `floor ×` the committed baseline's
+//! probes/s, preferring the baseline section measured the same way —
+//! quick compares against quick, full against full — and falling back
+//! to the other mode only when no like-for-like section was committed.
+//! The floor (default 0.7)
+//! absorbs shared-runner noise; a real collapse — sharded sweeps falling
+//! back to flat, or the event engine regressing to pre-wheel cost — blows
+//! through it.
 //!
 //! Sections without a baseline counterpart (first run of a new bench) or
-//! without a scaling curve (e.g. `hotpath`) are reported and skipped, so
-//! adding a bench never breaks the gate.
+//! without the compared figure are reported and skipped, so adding a
+//! bench never breaks the gate.
 //!
 //! Usage: `scaling_gate <fresh_artifact> <baseline_artifact> [floor]`
 
-use bench::{parse_sections, scaling_ratio};
+use bench::{hotpath_steady_probes_per_sec, parse_sections, scaling_ratio};
 use std::process::ExitCode;
 
 fn load_sections(path: &str) -> Result<Vec<(String, String)>, String> {
@@ -79,8 +86,51 @@ fn main() -> ExitCode {
             );
         }
     }
+    // Hot-path throughput gate: prefer the section a CI quick run just
+    // refreshed (`hotpath_quick`), falling back to a full fresh `hotpath`.
+    // The baseline prefers the section measured the same way as the fresh
+    // one — quick mode runs far fewer probes and lands measurably below a
+    // full steady-state number, so quick compares against quick.
+    let steady_of = |sections: &[(String, String)], order: [&str; 2]| {
+        order.iter().find_map(|key| {
+            sections
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, s)| hotpath_steady_probes_per_sec(s))
+                .map(|v| (key.to_string(), v))
+        })
+    };
+    let fresh_hot = steady_of(&fresh, ["hotpath_quick", "hotpath"]);
+    let base_order = match &fresh_hot {
+        Some((key, _)) if key == "hotpath_quick" => ["hotpath_quick", "hotpath"],
+        _ => ["hotpath", "hotpath_quick"],
+    };
+    match (fresh_hot, steady_of(&baseline, base_order)) {
+        (Some((fresh_key, fresh_pps)), Some((base_key, base_pps))) if base_pps > 0.0 => {
+            compared += 1;
+            let required = floor * base_pps;
+            if fresh_pps >= required {
+                println!(
+                    "  hotpath: OK — fresh {fresh_key} {fresh_pps:.0} probes/s vs baseline {base_key} {base_pps:.0} (≥ {required:.0})"
+                );
+            } else {
+                failed = true;
+                println!(
+                    "  hotpath: REGRESSION — fresh {fresh_key} {fresh_pps:.0} probes/s < {required:.0} (floor {floor} of baseline {base_key} {base_pps:.0})"
+                );
+            }
+        }
+        (fresh_hot, _) => {
+            let side = if fresh_hot.is_none() {
+                "fresh"
+            } else {
+                "baseline"
+            };
+            println!("  hotpath: no steady probes/s in {side} artifact — skipped");
+        }
+    }
     if failed {
-        eprintln!("scaling_gate: K-scaling regressed");
+        eprintln!("scaling_gate: throughput regressed");
         return ExitCode::FAILURE;
     }
     println!("scaling_gate: {compared} section(s) compared, none regressed");

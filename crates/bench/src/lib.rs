@@ -170,6 +170,15 @@ pub fn scaling_ratio(section: &str) -> Option<f64> {
     (max.0 > min.0 && min.1 > 0.0).then(|| max.1 / min.1)
 }
 
+/// The steady-state throughput of a hotpath section: the
+/// `"probes_per_second"` field inside its `"steady"` object. `None` for
+/// sections without a steady block (e.g. scaling sweeps).
+pub fn hotpath_steady_probes_per_sec(section: &str) -> Option<f64> {
+    let rest = &section[section.find("\"steady\"")?..];
+    let j = rest.find("\"probes_per_second\"")?;
+    number_after_colon(&rest[j..])
+}
+
 fn number_after_colon(s: &str) -> Option<f64> {
     let rest = s[s.find(':')? + 1..].trim_start();
     let end = rest
@@ -350,6 +359,19 @@ mod tests {
             scaling_ratio("{ \"sweeps\": [ { \"shards\": 2, \"x_per_second\": 5 } ] }"),
             None,
             "one shard count is not a scaling curve"
+        );
+    }
+
+    #[test]
+    fn hotpath_steady_throughput_parses() {
+        use super::hotpath_steady_probes_per_sec;
+        let section = "{ \"mode\": \"full\", \"answered_probes\": 26000, \"steady\": { \"probes_per_second\": 1345946, \"events_per_second\": 3830769 } }";
+        assert!((hotpath_steady_probes_per_sec(section).unwrap() - 1_345_946.0).abs() < 1e-9);
+        // No steady block, or a steady block without the field: no number.
+        assert_eq!(hotpath_steady_probes_per_sec("{ \"sweeps\": [] }"), None);
+        assert_eq!(
+            hotpath_steady_probes_per_sec("{ \"steady\": { \"events_per_second\": 5 } }"),
+            None
         );
     }
 

@@ -240,6 +240,35 @@ impl DnsCache {
         }
     }
 
+    /// How long the bytes of a positive wire answer served at `now` stay
+    /// exact: the embedded TTL decays per whole elapsed second, so the
+    /// encoding is stable strictly before `expires − remaining·1s`.
+    /// `None` for missing, expired, or negative entries. No stats impact.
+    pub fn wire_valid_before(
+        &self,
+        name: &DnsName,
+        rtype: RrType,
+        now: SimTime,
+    ) -> Option<SimTime> {
+        let key = CacheKey {
+            name: name.clone(),
+            rtype,
+        };
+        let e = self.map.get(&key)?;
+        if now >= e.expires || !matches!(e.answer, CachedAnswer::Positive(_)) {
+            return None;
+        }
+        let remaining = (e.expires - now).as_micros() / 1_000_000;
+        Some(SimTime(e.expires.0 - remaining * 1_000_000))
+    }
+
+    /// Count a hit served from a host-side replay of bytes this cache
+    /// produced (see `core::memo::HotWire`), keeping hit counters
+    /// identical to a per-query [`DnsCache::get_wire`] walk.
+    pub fn record_hot_hit(&mut self) {
+        self.stats.hits += 1;
+    }
+
     /// Insert an answer valid for `ttl_secs` starting at `now`.
     pub fn insert(
         &mut self,

@@ -79,6 +79,9 @@ pub struct RecursiveForwarder {
     /// Memo of the last plain `IN` client query decoded: identical
     /// probes (modulo txid) skip the decode on the cache-hit path.
     memo: Option<QueryMemo>,
+    /// The last wire answer served through the memo path, replayed as a
+    /// refcount bump while byte-valid; dropped on any cache insert.
+    hot: Option<crate::memo::HotWire>,
     /// Counters.
     pub stats: RecursiveForwarderStats,
 }
@@ -96,6 +99,7 @@ impl RecursiveForwarder {
             device: None,
             manipulation: Manipulation::None,
             memo: None,
+            hot: None,
             stats: RecursiveForwarderStats::default(),
         }
     }
@@ -104,6 +108,24 @@ impl RecursiveForwarder {
     /// positive wire-cache-hit case; anything else falls back to the
     /// decode path. See [`crate::memo`].
     fn try_memo_answer(&mut self, ctx: &mut Ctx<'_>, dgram: &Datagram, txid: u16) -> bool {
+        // Replay the previous answer while its bytes are still exact — the
+        // steady state of a census burst, one refcount bump per probe.
+        if let Some(payload) = self.hot.as_ref().and_then(|h| h.serve(txid, ctx.now())) {
+            if let Some(cache) = &mut self.cache {
+                cache.record_hot_hit();
+            }
+            self.stats.client_queries += 1;
+            self.stats.cache_answers += 1;
+            ctx.send_udp(UdpSend {
+                src: Some(dgram.dst),
+                src_port: dnswire::DNS_PORT,
+                dst: dgram.src,
+                dst_port: dgram.src_port,
+                ttl: None,
+                payload,
+            });
+            return true;
+        }
         let (qname, qtype, rd) = {
             let memo = self.memo.as_ref().expect("caller matched the memo");
             (memo.qname().clone(), memo.qtype(), memo.rd())
@@ -115,13 +137,17 @@ impl RecursiveForwarder {
             Some(CachedWire::Positive(bytes)) => {
                 self.stats.client_queries += 1;
                 self.stats.cache_answers += 1;
+                let payload: netsim::Payload = bytes.into();
+                if let Some(vb) = cache.wire_valid_before(&qname, qtype, ctx.now()) {
+                    self.hot = Some(crate::memo::HotWire::new(txid, vb, payload.clone()));
+                }
                 ctx.send_udp(UdpSend {
                     src: Some(dgram.dst),
                     src_port: dnswire::DNS_PORT,
                     dst: dgram.src,
                     dst_port: dgram.src_port,
                     ttl: None,
-                    payload: bytes.into(),
+                    payload,
                 });
                 true
             }
@@ -187,6 +213,10 @@ impl Host for RecursiveForwarder {
                                     min_ttl,
                                     ctx.now(),
                                 );
+                                // The cache changed (insert, possibly an
+                                // eviction): any replayable answer may now
+                                // be stale.
+                                self.hot = None;
                             }
                         }
                         // Relay with the client's original transaction ID,

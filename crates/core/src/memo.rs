@@ -14,6 +14,7 @@
 //! back to the ordinary decode path, which owns those responses.
 
 use dnswire::{DnsName, Message, RrType};
+use netsim::{Payload, SimTime};
 
 /// A remembered plain `IN` query: its payload tail (everything after the
 /// transaction ID) plus the question fields a cached-wire answer needs.
@@ -65,6 +66,41 @@ impl QueryMemo {
     /// The memoized recursion-desired flag.
     pub fn rd(&self) -> bool {
         self.rd
+    }
+}
+
+/// The last positive wire answer served through the memo fast path,
+/// replayable while its bytes stay exact: same transaction ID and an
+/// unchanged decayed TTL (TTLs decay per whole elapsed second). One
+/// entry suffices because a census's probes share a per-block txid, so
+/// the steady state serves every answer as a payload refcount bump —
+/// no name hash, no re-encode, no allocation.
+///
+/// Only valid behind a [`QueryMemo`] byte match (which pins question and
+/// flags), and must be dropped whenever the owning cache changes (insert
+/// or eviction), so a replay can never outlive the entry it came from.
+#[derive(Debug, Clone)]
+pub struct HotWire {
+    txid: u16,
+    valid_before: SimTime,
+    payload: Payload,
+}
+
+impl HotWire {
+    /// Remember an answer just served for `txid`, byte-valid strictly
+    /// before `valid_before` (the instant its embedded TTL next decays).
+    pub fn new(txid: u16, valid_before: SimTime, payload: Payload) -> Self {
+        HotWire {
+            txid,
+            valid_before,
+            payload,
+        }
+    }
+
+    /// Replay the answer for a memo-matched query with `txid` at `now`,
+    /// if the bytes are still exact.
+    pub fn serve(&self, txid: u16, now: SimTime) -> Option<Payload> {
+        (txid == self.txid && now < self.valid_before).then(|| self.payload.clone())
     }
 }
 

@@ -53,9 +53,23 @@ impl UdpSend {
 #[derive(Debug)]
 pub(crate) enum Action {
     SendUdp(UdpSend),
-    SetTimer { delay: SimDuration, token: u64 },
-    SendPortUnreachable { original: Datagram },
-    SendTimeExceeded { original: Datagram },
+    SetTimer {
+        delay: SimDuration,
+        token: u64,
+    },
+    SetTimerBatch {
+        delay: SimDuration,
+        stride: SimDuration,
+        count: u32,
+        token: u64,
+        token_step: u64,
+    },
+    SendPortUnreachable {
+        original: Datagram,
+    },
+    SendTimeExceeded {
+        original: Datagram,
+    },
 }
 
 /// Context passed to every host handler. Sends and timers are buffered and
@@ -98,6 +112,29 @@ impl<'a> Ctx<'a> {
     /// [`Host::on_timer`].
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
         self.actions.push(Action::SetTimer { delay, token });
+    }
+
+    /// Queue a *batch* of `count` timer callbacks sharing one queue event:
+    /// the `k`-th (0-based) fires at `now + delay + k·stride` delivering
+    /// `token + k·token_step` (wrapping) to [`Host::on_timer`]. Callback
+    /// times are exactly what `count` individual [`Ctx::set_timer`] calls
+    /// would produce — batching changes queue cost, never timing — which
+    /// is how scanners pace a burst of B probes on one event instead of B.
+    pub fn set_timer_batch(
+        &mut self,
+        delay: SimDuration,
+        stride: SimDuration,
+        count: u32,
+        token: u64,
+        token_step: u64,
+    ) {
+        self.actions.push(Action::SetTimerBatch {
+            delay,
+            stride,
+            count,
+            token,
+            token_step,
+        });
     }
 
     /// Queue an ICMP port-unreachable in response to `original` (what a

@@ -60,6 +60,7 @@ mod topology;
 pub mod pcap;
 pub mod shard;
 pub mod testkit;
+pub mod wheel;
 pub mod wire;
 
 pub use fault::{FaultConfig, TokenBucket};

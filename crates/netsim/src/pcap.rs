@@ -12,14 +12,21 @@ use crate::time::SimTime;
 const MAGIC_LE_US: u32 = 0xA1B2_C3D4;
 /// LINKTYPE_RAW: packets begin directly with an IPv4/IPv6 header.
 const LINKTYPE_RAW: u32 = 101;
+/// Snapshot length declared in the global header; records never include
+/// more than this many bytes (`incl_len <= SNAPLEN`), exactly like a real
+/// `dumpcap -s 65535` capture.
+pub const SNAPLEN: u32 = 65_535;
 
 /// A single captured packet.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CapturedPacket {
     /// Capture timestamp.
     pub ts: SimTime,
-    /// Raw IPv4 bytes (starting at the IP header).
+    /// Raw IPv4 bytes (starting at the IP header), truncated to [`SNAPLEN`].
     pub data: Vec<u8>,
+    /// Original on-the-wire length; exceeds `data.len()` only for packets
+    /// the snapshot length truncated.
+    pub orig_len: u32,
 }
 
 /// Errors from the pcap reader.
@@ -71,23 +78,54 @@ impl PcapWriter {
         buf.extend_from_slice(&4u16.to_le_bytes()); // version minor
         buf.extend_from_slice(&0i32.to_le_bytes()); // thiszone
         buf.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
-        buf.extend_from_slice(&65535u32.to_le_bytes()); // snaplen
+        buf.extend_from_slice(&SNAPLEN.to_le_bytes()); // snaplen
         buf.extend_from_slice(&LINKTYPE_RAW.to_le_bytes());
         PcapWriter { buf, packets: 0 }
     }
 
-    /// Append one packet record.
+    /// Append one packet record. Packets beyond [`SNAPLEN`] are truncated
+    /// to the declared snapshot length with `orig_len` recording the full
+    /// size, as the global header promises readers.
     pub fn write(&mut self, ts: SimTime, data: &[u8]) {
+        self.write_record(ts, data, data.len() as u32);
+    }
+
+    /// Append a record whose bytes may already be snaplen-truncated, with
+    /// an explicit original length (the merge path re-emitting records a
+    /// previous writer truncated).
+    fn write_record(&mut self, ts: SimTime, data: &[u8], orig_len: u32) {
+        let incl = data.len().min(SNAPLEN as usize);
         let us = ts.as_micros();
         let secs = (us / 1_000_000) as u32;
         let micros = (us % 1_000_000) as u32;
         self.buf.extend_from_slice(&secs.to_le_bytes());
         self.buf.extend_from_slice(&micros.to_le_bytes());
-        self.buf
-            .extend_from_slice(&(data.len() as u32).to_le_bytes());
-        self.buf
-            .extend_from_slice(&(data.len() as u32).to_le_bytes());
-        self.buf.extend_from_slice(data);
+        self.buf.extend_from_slice(&(incl as u32).to_le_bytes());
+        self.buf.extend_from_slice(&orig_len.to_le_bytes());
+        self.buf.extend_from_slice(&data[..incl]);
+        self.packets += 1;
+    }
+
+    /// Append one packet record whose bytes are produced *in place*: `f`
+    /// appends the packet directly onto the capture buffer (no per-record
+    /// staging Vec — the zero-copy tap path), and the record header is
+    /// back-patched with the resulting length, snaplen-truncated like
+    /// [`PcapWriter::write`].
+    pub fn record_with<F: FnOnce(&mut Vec<u8>)>(&mut self, ts: SimTime, f: F) {
+        let us = ts.as_micros();
+        let secs = (us / 1_000_000) as u32;
+        let micros = (us % 1_000_000) as u32;
+        self.buf.extend_from_slice(&secs.to_le_bytes());
+        self.buf.extend_from_slice(&micros.to_le_bytes());
+        let len_pos = self.buf.len();
+        self.buf.extend_from_slice(&[0u8; 8]); // incl_len + orig_len, patched below
+        let data_start = self.buf.len();
+        f(&mut self.buf);
+        let orig = (self.buf.len() - data_start) as u32;
+        let incl = orig.min(SNAPLEN);
+        self.buf.truncate(data_start + incl as usize);
+        self.buf[len_pos..len_pos + 4].copy_from_slice(&incl.to_le_bytes());
+        self.buf[len_pos + 4..len_pos + 8].copy_from_slice(&orig.to_le_bytes());
         self.packets += 1;
     }
 
@@ -123,7 +161,7 @@ pub fn merge_captures<S: AsRef<[u8]>>(parts: &[S]) -> Result<Vec<u8>, PcapError>
     records.sort_by_key(|r| r.ts); // stable: equal stamps keep input order
     let mut w = PcapWriter::new();
     for r in &records {
-        w.write(r.ts, &r.data);
+        w.write_record(r.ts, &r.data, r.orig_len);
     }
     Ok(w.finish())
 }
@@ -161,6 +199,12 @@ pub fn read_pcap(bytes: &[u8]) -> Result<Vec<CapturedPacket>, PcapError> {
             bytes[pos + 10],
             bytes[pos + 11],
         ]) as usize;
+        let orig_len = u32::from_le_bytes([
+            bytes[pos + 12],
+            bytes[pos + 13],
+            bytes[pos + 14],
+            bytes[pos + 15],
+        ]);
         pos += 16;
         if pos + incl > bytes.len() {
             return Err(PcapError::TruncatedRecord);
@@ -168,6 +212,7 @@ pub fn read_pcap(bytes: &[u8]) -> Result<Vec<CapturedPacket>, PcapError> {
         out.push(CapturedPacket {
             ts: SimTime(u64::from(secs) * 1_000_000 + u64::from(micros)),
             data: bytes[pos..pos + incl].to_vec(),
+            orig_len,
         });
         pos += incl;
     }
@@ -199,6 +244,48 @@ mod tests {
         assert_eq!(recs[0].data, vec![1, 2, 3]);
         assert_eq!(recs[1].ts, SimTime(2_000_000));
         assert_eq!(recs[1].data, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn oversized_packet_truncates_to_snaplen_with_correct_orig_len() {
+        // A packet over the declared 65535-byte snapshot length must be
+        // cut to the snaplen with orig_len holding the wire size — a
+        // record claiming more bytes than the global header promised
+        // would be inconsistent and trips real pcap readers.
+        let big = vec![0x5A; SNAPLEN as usize + 1000];
+        let mut w = PcapWriter::new();
+        w.write(SimTime(7), &big);
+        let bytes = w.finish();
+        // Record header math: 24 global + 16 record + exactly SNAPLEN.
+        assert_eq!(bytes.len(), 24 + 16 + SNAPLEN as usize);
+        let recs = read_pcap(&bytes).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].data.len(), SNAPLEN as usize);
+        assert_eq!(recs[0].orig_len, big.len() as u32);
+        assert!(recs[0].data.iter().all(|&b| b == 0x5A));
+        // And the same through the in-place record path.
+        let mut w = PcapWriter::new();
+        w.record_with(SimTime(7), |buf| buf.extend_from_slice(&big));
+        let recs2 = read_pcap(&w.finish()).unwrap();
+        assert_eq!(recs, recs2);
+        // Truncation survives a merge: orig_len is carried through.
+        let mut w = PcapWriter::new();
+        w.write(SimTime(7), &big);
+        let merged = merge_captures(&[w.finish()]).unwrap();
+        assert_eq!(read_pcap(&merged).unwrap(), recs);
+    }
+
+    #[test]
+    fn record_with_matches_write_byte_for_byte() {
+        let payloads: [&[u8]; 3] = [&[1, 2, 3], &[], &[9; 40]];
+        let mut a = PcapWriter::new();
+        let mut b = PcapWriter::new();
+        for (i, p) in payloads.iter().enumerate() {
+            a.write(SimTime(i as u64 * 1000), p);
+            b.record_with(SimTime(i as u64 * 1000), |buf| buf.extend_from_slice(p));
+        }
+        assert_eq!(a.packet_count(), b.packet_count());
+        assert_eq!(a.finish(), b.finish());
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! The discrete-event simulator core.
 //!
-//! Events are processed in `(time, sequence)` order from a binary heap, so
-//! two runs with the same topology, hosts, and seed produce identical
-//! traces. Hosts interact only through [`Ctx`] action buffers, which the
-//! simulator turns into routed packet deliveries, ICMP errors, and timer
-//! callbacks.
+//! Events are processed in `(time, sequence)` order from a hierarchical
+//! timer wheel (see [`crate::wheel`]), so two runs with the same topology,
+//! hosts, and seed produce identical traces. Hosts interact only through
+//! [`Ctx`] action buffers, which the simulator turns into routed packet
+//! deliveries, ICMP errors, and timer callbacks — single callbacks or
+//! paced batches that serve a whole probe burst from one queue event.
 
 use crate::fault::FaultConfig;
 use crate::host::{Action, Ctx, Host, UdpSend};
@@ -14,11 +15,11 @@ use crate::routing::{RouteError, RouteResolver};
 use crate::stats::{DropReason, SimStats};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{IpOwner, NodeId, Topology};
+use crate::wheel::{Placement, TimerWheel};
 use crate::wire;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -43,17 +44,9 @@ impl Default for SimConfig {
     }
 }
 
-/// The single comparison key of the event queue: `(time, sequence)`.
-/// Sequence numbers are unique, so keys never tie and ordering is total —
-/// the one derived comparison every heap operation goes through.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct EventKey {
-    at: SimTime,
-    seq: u64,
-}
-
-/// Payload-carrying variants are boxed so the `BinaryHeap` sifts 24-byte
-/// nodes instead of moving whole packets on every swap.
+/// Payload-carrying variants are boxed so the queue moves 24-byte nodes
+/// instead of whole packets. `TimerBatch` is the batched-pacing carrier:
+/// one queue event that fires `count` evenly-strided timer callbacks.
 #[derive(Debug)]
 enum EventKind {
     Udp {
@@ -68,36 +61,20 @@ enum EventKind {
         node: NodeId,
         token: u64,
     },
-}
-
-#[derive(Debug)]
-struct Event {
-    key: EventKey,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key.cmp(&other.key)
-    }
+    TimerBatch {
+        node: NodeId,
+        token: u64,
+        count: u32,
+        stride: SimDuration,
+        token_step: u64,
+    },
 }
 
 /// The discrete-event network simulator.
 pub struct Simulator {
     topo: Topology,
     hosts: Vec<Option<Box<dyn Host>>>,
-    queue: BinaryHeap<Reverse<Event>>,
+    queue: TimerWheel<EventKind>,
     now: SimTime,
     seq: u64,
     rng: SmallRng,
@@ -122,7 +99,7 @@ impl Simulator {
         Simulator {
             topo,
             hosts,
-            queue: BinaryHeap::new(),
+            queue: TimerWheel::new(),
             now: SimTime::ZERO,
             seq: 0,
             rng: SmallRng::seed_from_u64(config.seed),
@@ -221,13 +198,42 @@ impl Simulator {
         self.push(at, EventKind::Timer { node, token });
     }
 
+    /// Schedule a batch of `count` timer callbacks on `node` from outside
+    /// (bootstrap): the `k`-th fires at `now + delay + k·stride` with token
+    /// `token + k·token_step` (wrapping). Timing is identical to `count`
+    /// [`Simulator::schedule_timer`] calls; the queue holds one event.
+    pub fn schedule_timer_batch(
+        &mut self,
+        node: NodeId,
+        delay: SimDuration,
+        stride: SimDuration,
+        count: u32,
+        token: u64,
+        token_step: u64,
+    ) {
+        if count == 0 {
+            return;
+        }
+        let at = self.now + delay;
+        self.push(
+            at,
+            EventKind::TimerBatch {
+                node,
+                token,
+                count,
+                stride,
+                token_step,
+            },
+        );
+    }
+
     fn push(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Event {
-            key: EventKey { at, seq },
-            kind,
-        }));
+        match self.queue.push(at, seq, kind) {
+            Placement::Wheel => self.stats.events_wheel_scheduled += 1,
+            Placement::Heap => self.stats.events_heap_scheduled += 1,
+        }
     }
 
     /// Run until the event queue drains or the event budget is exhausted.
@@ -240,28 +246,20 @@ impl Simulator {
     /// the queue drains, or the budget is exhausted. Returns `true` if the
     /// queue drained or only events beyond the deadline remain.
     pub fn run_until(&mut self, deadline: SimTime) -> bool {
-        use std::collections::binary_heap::PeekMut;
         loop {
             if self.stats.events_processed >= self.max_events {
                 return false;
             }
-            // One heap access: peek, check the deadline, and pop through
-            // the same handle (no peek-then-pop double descent).
-            let Some(head) = self.queue.peek_mut() else {
+            let Some((at, _seq, kind)) = self.queue.pop_at_or_before(deadline) else {
                 return true;
             };
-            if head.0.key.at > deadline {
-                return true;
-            }
-            let Reverse(ev) = PeekMut::pop(head);
-            debug_assert!(ev.key.at >= self.now, "time went backwards");
-            self.now = ev.key.at;
+            self.now = at;
             self.stats.events_processed += 1;
-            self.dispatch(ev.kind);
+            self.dispatch(kind, deadline);
         }
     }
 
-    fn dispatch(&mut self, kind: EventKind) {
+    fn dispatch(&mut self, kind: EventKind, deadline: SimTime) {
         match kind {
             EventKind::Udp { node, dgram } => {
                 self.stats.udp_delivered += 1;
@@ -277,6 +275,47 @@ impl Simulator {
             EventKind::Timer { node, token } => {
                 self.stats.timers_fired += 1;
                 self.with_host(node, |host, ctx| host.on_timer(ctx, token));
+            }
+            EventKind::TimerBatch {
+                node,
+                token,
+                count,
+                stride,
+                token_step,
+            } => {
+                // One popped event serves the whole burst: the clock steps
+                // through each callback's exact time, so everything a
+                // handler observes (`ctx.now()`, send times, capture
+                // timestamps) matches `count` individual timer events.
+                // Responses landing mid-batch are processed right after
+                // the batch — their own event times are unaffected.
+                let base = self.now;
+                for k in 0..u64::from(count) {
+                    let at = SimTime(base.0.saturating_add(stride.0.saturating_mul(k)));
+                    if at > deadline {
+                        // Remainder outlives this run: requeue it as a
+                        // batch based at its exact next callback time.
+                        let left = count - k as u32;
+                        self.push(
+                            at,
+                            EventKind::TimerBatch {
+                                node,
+                                token: token.wrapping_add(token_step.wrapping_mul(k)),
+                                count: left,
+                                stride,
+                                token_step,
+                            },
+                        );
+                        break;
+                    }
+                    self.stats.timers_fired += 1;
+                    if k > 0 {
+                        self.stats.timers_coalesced += 1;
+                    }
+                    self.now = at;
+                    let tok = token.wrapping_add(token_step.wrapping_mul(k));
+                    self.with_host(node, |host, ctx| host.on_timer(ctx, tok));
+                }
             }
         }
     }
@@ -307,6 +346,27 @@ impl Simulator {
                 Action::SetTimer { delay, token } => {
                     let at = self.now + delay;
                     self.push(at, EventKind::Timer { node, token });
+                }
+                Action::SetTimerBatch {
+                    delay,
+                    stride,
+                    count,
+                    token,
+                    token_step,
+                } => {
+                    if count > 0 {
+                        let at = self.now + delay;
+                        self.push(
+                            at,
+                            EventKind::TimerBatch {
+                                node,
+                                token,
+                                count,
+                                stride,
+                                token_step,
+                            },
+                        );
+                    }
                 }
                 Action::SendPortUnreachable { original } => {
                     self.process_icmp_error(node, original, IcmpKind::PortUnreachable)
@@ -489,8 +549,10 @@ impl Simulator {
         }
         if let Some(tap) = self.taps.get_mut(&node) {
             self.ip_ident = self.ip_ident.wrapping_add(1);
-            let bytes = wire::encode_udp(dgram, self.ip_ident);
-            tap.write(self.now, &bytes);
+            let ident = self.ip_ident;
+            // Zero-copy tap: the frame is encoded straight into the
+            // writer's buffer — no intermediate per-record Vec.
+            tap.record_with(self.now, |buf| wire::encode_udp_into(dgram, ident, buf));
         }
     }
 
@@ -500,8 +562,8 @@ impl Simulator {
         }
         if let Some(tap) = self.taps.get_mut(&node) {
             self.ip_ident = self.ip_ident.wrapping_add(1);
-            let bytes = wire::encode_icmp(icmp, self.ip_ident, 64);
-            tap.write(self.now, &bytes);
+            let ident = self.ip_ident;
+            tap.record_with(self.now, |buf| wire::encode_icmp_into(icmp, ident, 64, buf));
         }
     }
 }

@@ -53,6 +53,15 @@ pub struct SimStats {
     pub udp_bytes_delivered: u64,
     /// Timer events fired.
     pub timers_fired: u64,
+    /// Timer callbacks served from an already-popped batch event —
+    /// queue operations batched pacing avoided (a burst of B probes
+    /// fires B callbacks from one event: 1 fired + B-1 coalesced).
+    pub timers_coalesced: u64,
+    /// Events scheduled into the timer wheel (O(1) near-future slots).
+    pub events_wheel_scheduled: u64,
+    /// Events scheduled into the far-future overflow heap (beyond the
+    /// wheel's 2^36 µs horizon — long timeouts, end-of-run sentinels).
+    pub events_heap_scheduled: u64,
     /// Total events processed.
     pub events_processed: u64,
     /// Full-path route-cache hits: sends whose route was served from the
@@ -113,12 +122,18 @@ impl fmt::Display for SimStats {
         )?;
         writeln!(
             f,
-            "icmp: delivered={} undeliverable={} | dup={} timers={} events={}",
+            "icmp: delivered={} undeliverable={} | dup={} timers={} coalesced={} events={}",
             self.icmp_delivered,
             self.icmp_undeliverable,
             self.duplicates_injected,
             self.timers_fired,
+            self.timers_coalesced,
             self.events_processed
+        )?;
+        writeln!(
+            f,
+            "queue: wheel_scheduled={} heap_scheduled={}",
+            self.events_wheel_scheduled, self.events_heap_scheduled
         )?;
         write!(
             f,

@@ -1,0 +1,444 @@
+//! Hierarchical timer-wheel event queue with a far-future heap overflow.
+//!
+//! The simulator's event queue pops strictly in `(time, sequence)` order.
+//! A binary heap gives that order in O(log n) per operation; scans,
+//! however, schedule almost everything within microseconds-to-seconds of
+//! *now*, which a hierarchical timer wheel serves in O(1): six levels of
+//! 64 slots, level `l` spanning `2^(6·l)` µs per slot, cover the next
+//! `2^36` µs (≈ 19 hours of simulated time) — anything beyond spills into
+//! a conventional [`BinaryHeap`] and pops through exact `(time, seq)`
+//! comparison against the wheel's head, so the total order is preserved
+//! bit for bit.
+//!
+//! Placement follows the kernel/tokio scheme: an event's level is the
+//! highest 6-bit block in which its time differs from the wheel clock
+//! (`now ^ at`), and its slot is that block of the *absolute* time. When
+//! the clock advances into a slot's span, the slot cascades: entries
+//! re-place at strictly lower levels (their high blocks now match the
+//! clock). Absolute-bit slotting makes the structure robust to the one
+//! clock anomaly a deadline-bounded run can create — a push *behind* the
+//! wheel clock after a failed probe cascaded ahead of the caller's clock —
+//! by rewinding the wheel clock to the pushed time; aliased slots that
+//! temporarily hold events from several wheel turns self-heal by lifting
+//! their entries back to the level the rewound clock implies.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Levels in the hierarchy.
+const LEVELS: usize = 6;
+/// log2 of the slot count per level.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 64;
+
+/// Where [`TimerWheel::push`] stored an event — surfaced so the simulator
+/// can count wheel-vs-heap scheduling in its stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Within the wheel horizon: O(1) slot insert.
+    Wheel,
+    /// Beyond the `2^36` µs horizon: far-future overflow heap.
+    Heap,
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    at: u64,
+    seq: u64,
+    item: T,
+}
+
+/// Far-future overflow entry, ordered by `(at, seq)` so the heap pops in
+/// exactly the total order the wheel maintains.
+#[derive(Debug)]
+struct FarEntry<T> {
+    at: u64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for FarEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl<T> Eq for FarEntry<T> {}
+impl<T> PartialOrd for FarEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for FarEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The queue: a hierarchical timer wheel plus far-future overflow heap,
+/// popping in exact `(time, seq)` order.
+#[derive(Debug)]
+pub struct TimerWheel<T> {
+    /// The wheel clock: never ahead of the earliest pending event.
+    wheel_now: u64,
+    /// Per-level slot-occupancy bitmaps.
+    occupied: [u64; LEVELS],
+    /// `LEVELS × SLOTS` buckets, level-major.
+    slots: Vec<Vec<Entry<T>>>,
+    /// Events beyond the wheel horizon.
+    far: BinaryHeap<Reverse<FarEntry<T>>>,
+    len: usize,
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Level for an event at `at` given wheel clock `now`: the highest 6-bit
+/// block where they differ (`LEVELS` and up means overflow).
+fn level_for(now: u64, at: u64) -> usize {
+    let masked = now ^ at;
+    if masked == 0 {
+        0
+    } else {
+        ((63 - masked.leading_zeros()) / SLOT_BITS) as usize
+    }
+}
+
+impl<T> TimerWheel<T> {
+    /// An empty queue with the clock at zero.
+    pub fn new() -> Self {
+        let mut slots = Vec::with_capacity(LEVELS * SLOTS);
+        slots.resize_with(LEVELS * SLOTS, Vec::new);
+        TimerWheel {
+            wheel_now: 0,
+            occupied: [0; LEVELS],
+            slots,
+            far: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    /// Pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remove every pending event and rewind the clock to zero, keeping
+    /// slot capacity (the warm-world reuse path).
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            slot.clear();
+        }
+        self.occupied = [0; LEVELS];
+        self.far.clear();
+        self.wheel_now = 0;
+        self.len = 0;
+    }
+
+    /// Insert an event. `seq` values must be unique (they are the heap's
+    /// tie-breaker at equal times). Pushing behind the wheel clock is
+    /// allowed — the clock rewinds — but never behind the last pop.
+    pub fn push(&mut self, at: SimTime, seq: u64, item: T) -> Placement {
+        let at = at.0;
+        if at < self.wheel_now {
+            // A deadline-bounded probe cascaded the clock ahead of the
+            // caller's; absolute-bit slotting makes rewinding safe.
+            self.wheel_now = at;
+        }
+        self.len += 1;
+        let lvl = level_for(self.wheel_now, at);
+        if lvl >= LEVELS {
+            self.far.push(Reverse(FarEntry { at, seq, item }));
+            return Placement::Heap;
+        }
+        let slot = ((at >> (SLOT_BITS * lvl as u32)) & 63) as usize;
+        self.slots[lvl * SLOTS + slot].push(Entry { at, seq, item });
+        self.occupied[lvl] |= 1 << slot;
+        Placement::Wheel
+    }
+
+    /// Earliest possible event time per the occupancy bitmaps, with the
+    /// level/slot holding it. For level 0 the bound is exact unless the
+    /// slot is aliased; for higher levels it is the slot's span start.
+    /// Ties prefer the *highest* level so cascades refine before a pop.
+    fn min_bound(&self) -> Option<(u64, usize, usize)> {
+        let mut best: Option<(u64, usize, usize)> = None;
+        for lvl in 0..LEVELS {
+            let occ = self.occupied[lvl];
+            if occ == 0 {
+                continue;
+            }
+            let shift = SLOT_BITS * lvl as u32;
+            let cur_tick = self.wheel_now >> shift;
+            let cursor = (cur_tick & 63) as u32;
+            let d = u64::from(occ.rotate_right(cursor).trailing_zeros());
+            let bound = if d == 0 {
+                self.wheel_now
+            } else {
+                let tick = cur_tick + d;
+                if shift != 0 && tick > (u64::MAX >> shift) {
+                    u64::MAX
+                } else {
+                    tick << shift
+                }
+            };
+            let slot = ((u64::from(cursor) + d) & 63) as usize;
+            match best {
+                Some((b, _, _)) if b < bound => {}
+                _ => best = Some((bound, lvl, slot)),
+            }
+        }
+        best
+    }
+
+    /// Advance the clock to `bound` and re-place every entry of the slot;
+    /// matching-tick entries drop to a strictly lower level, aliased ones
+    /// (later wheel turns) lift to a strictly higher one.
+    fn cascade(&mut self, lvl: usize, slot: usize, bound: u64) {
+        debug_assert!(bound >= self.wheel_now);
+        self.wheel_now = bound;
+        let idx = lvl * SLOTS + slot;
+        let mut entries = std::mem::take(&mut self.slots[idx]);
+        self.occupied[lvl] &= !(1 << slot);
+        self.len -= entries.len();
+        for e in entries.drain(..) {
+            debug_assert_ne!(level_for(self.wheel_now, e.at), lvl, "cascade must move");
+            self.push(SimTime(e.at), e.seq, e.item);
+        }
+        // The drained slot kept its capacity; hand it back if the bucket
+        // was left unallocated (entries never re-place into their source).
+        if self.slots[idx].capacity() == 0 {
+            self.slots[idx] = entries;
+        }
+    }
+
+    fn pop_far(&mut self) -> (SimTime, u64, T) {
+        let Reverse(e) = self.far.pop().expect("caller checked the heap top");
+        self.len -= 1;
+        debug_assert!(e.at >= self.wheel_now);
+        self.wheel_now = e.at;
+        (SimTime(e.at), e.seq, e.item)
+    }
+
+    /// Pop the earliest event if its time is `<= deadline`; `None` when
+    /// the queue is empty or everything pending lies beyond the deadline
+    /// (events stay queued). Exact `(time, seq)` order across wheel and
+    /// overflow heap.
+    pub fn pop_at_or_before(&mut self, deadline: SimTime) -> Option<(SimTime, u64, T)> {
+        let dl = deadline.0;
+        loop {
+            let far_top = self.far.peek().map(|Reverse(e)| (e.at, e.seq));
+            let Some((bound, lvl, slot)) = self.min_bound() else {
+                return match far_top {
+                    Some((at, _)) if at <= dl => Some(self.pop_far()),
+                    _ => None,
+                };
+            };
+            if let Some((fat, _)) = far_top {
+                if fat < bound {
+                    return (fat <= dl).then(|| self.pop_far());
+                }
+            }
+            if bound > dl {
+                return None; // far top is >= bound here, so it is late too
+            }
+            if lvl > 0 {
+                self.cascade(lvl, slot, bound);
+                continue;
+            }
+            // Level 0: the slot normally holds one event time; scan for
+            // the `(at, seq)` minimum so aliased entries and same-tick
+            // ties resolve exactly.
+            let v = &self.slots[slot];
+            let mut mi = 0;
+            for (i, e) in v.iter().enumerate().skip(1) {
+                if (e.at, e.seq) < (v[mi].at, v[mi].seq) {
+                    mi = i;
+                }
+            }
+            let (mat, mseq) = (v[mi].at, v[mi].seq);
+            if mat != bound {
+                // Fully aliased slot (only later-turn events): lift all of
+                // them to the level the current clock implies and retry.
+                self.cascade(0, slot, self.wheel_now);
+                continue;
+            }
+            if let Some((fat, fseq)) = far_top {
+                if (fat, fseq) < (mat, mseq) {
+                    return Some(self.pop_far());
+                }
+            }
+            let e = self.slots[slot].remove(mi);
+            if self.slots[slot].is_empty() {
+                self.occupied[0] &= !(1 << slot);
+            }
+            self.len -= 1;
+            debug_assert!(e.at >= self.wheel_now);
+            self.wheel_now = e.at;
+            return Some((SimTime(e.at), e.seq, e.item));
+        }
+    }
+
+    /// Pop the earliest event unconditionally.
+    pub fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+        self.pop_at_or_before(SimTime(u64::MAX))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The reference implementation: the exact `(time, seq)` total order
+    /// the simulator ran on before the wheel landed.
+    type RefHeap = BinaryHeap<Reverse<(u64, u64)>>;
+
+    fn ref_pop_at_or_before(heap: &mut RefHeap, dl: u64) -> Option<(u64, u64)> {
+        match heap.peek() {
+            Some(&Reverse((at, _))) if at <= dl => heap.pop().map(|Reverse(k)| k),
+            _ => None,
+        }
+    }
+
+    /// A randomized event time biased toward the regimes that matter:
+    /// same-tick ties, near-future scan traffic, cross-slot-boundary
+    /// jumps, and far-future events beyond the 2^36 µs wheel horizon.
+    fn random_at(rng: &mut SmallRng, now: u64) -> u64 {
+        match rng.gen_range(0u32..12) {
+            0 => now,                                               // same-tick tie
+            1..=5 => now + rng.gen_range(0u64..200),                // burst pacing
+            6..=7 => now + rng.gen_range(0u64..100_000),            // RTT scale
+            8..=9 => now + rng.gen_range(0u64..30_000_000),         // timeout scale
+            10 => now + rng.gen_range((1u64 << 35)..(1u64 << 37)),  // horizon edge
+            _ => now + (1u64 << 36) + rng.gen_range(0u64..1 << 20), // overflow
+        }
+    }
+
+    #[test]
+    fn differential_pop_order_matches_binary_heap_reference() {
+        for seed in 0..6u64 {
+            let mut rng = SmallRng::seed_from_u64(0xD1FF_0000 ^ seed);
+            let mut wheel: TimerWheel<(u64, u64)> = TimerWheel::new();
+            let mut heap: RefHeap = BinaryHeap::new();
+            let mut seq = 0u64;
+            let mut now = 0u64; // last popped time: the push lower bound
+            let mut overflowed = false;
+            for _ in 0..1_500 {
+                for _ in 0..rng.gen_range(0usize..4) {
+                    let at = random_at(&mut rng, now);
+                    if wheel.push(SimTime(at), seq, (at, seq)) == Placement::Heap {
+                        overflowed = true;
+                    }
+                    heap.push(Reverse((at, seq)));
+                    seq += 1;
+                }
+                for _ in 0..rng.gen_range(0usize..4) {
+                    match (wheel.pop(), heap.pop()) {
+                        (Some((at, s, item)), Some(Reverse(want))) => {
+                            assert_eq!((at.0, s), want, "pop order diverged");
+                            assert_eq!(item, want, "payload followed the wrong key");
+                            now = at.0;
+                        }
+                        (None, None) => break,
+                        (w, h) => panic!("length diverged: wheel {w:?} vs heap {h:?}"),
+                    }
+                }
+                assert_eq!(wheel.len(), heap.len());
+            }
+            while let Some(Reverse(want)) = heap.pop() {
+                let (at, s, _) = wheel.pop().expect("wheel drains with the reference");
+                assert_eq!((at.0, s), want);
+            }
+            assert!(wheel.pop().is_none());
+            assert!(wheel.is_empty());
+            assert!(overflowed, "seed {seed} never exercised the overflow heap");
+        }
+    }
+
+    #[test]
+    fn differential_with_deadlines_and_clock_rewinds() {
+        // Deadline-bounded pops cascade the wheel clock ahead of the last
+        // popped time; pushes relative to the *caller's* clock then land
+        // behind the wheel clock and must still pop in exact order.
+        for seed in 0..6u64 {
+            let mut rng = SmallRng::seed_from_u64(0x5EED_0000 ^ seed);
+            let mut wheel: TimerWheel<u64> = TimerWheel::new();
+            let mut heap: RefHeap = BinaryHeap::new();
+            let mut seq = 0u64;
+            let mut now = 0u64;
+            for _ in 0..1_500 {
+                for _ in 0..rng.gen_range(0usize..4) {
+                    let at = random_at(&mut rng, now);
+                    wheel.push(SimTime(at), seq, seq);
+                    heap.push(Reverse((at, seq)));
+                    seq += 1;
+                }
+                // A deadline that often lands *before* the next event
+                // (forcing the probe-and-refuse path), sometimes far out.
+                let dl = now + rng.gen_range(0u64..40_000_000);
+                loop {
+                    let got = wheel.pop_at_or_before(SimTime(dl));
+                    let want = ref_pop_at_or_before(&mut heap, dl);
+                    match (got, want) {
+                        (Some((at, s, _)), Some(k)) => {
+                            assert_eq!((at.0, s), k);
+                            now = at.0;
+                        }
+                        (None, None) => break,
+                        (g, w) => panic!("deadline pop diverged: {g:?} vs {w:?}"),
+                    }
+                }
+            }
+            while let Some(Reverse(want)) = heap.pop() {
+                let (at, s, _) = wheel.pop().expect("wheel drains with the reference");
+                assert_eq!((at.0, s), want);
+            }
+            assert!(wheel.is_empty());
+        }
+    }
+
+    #[test]
+    fn same_tick_ties_pop_in_sequence_order() {
+        let mut wheel: TimerWheel<u64> = TimerWheel::new();
+        // Interleave two times, pushing seqs out of slot-insertion order
+        // via an early far placement that cascades back down.
+        wheel.push(SimTime(1 << 37), 0, 0); // far heap
+        for s in 1..50u64 {
+            wheel.push(SimTime(500 + (s % 2)), s, s);
+        }
+        let mut got = Vec::new();
+        while let Some((at, s, _)) = wheel.pop_at_or_before(SimTime(1_000)) {
+            got.push((at.0, s));
+        }
+        let mut want: Vec<(u64, u64)> = (1..50u64).map(|s| (500 + (s % 2), s)).collect();
+        want.sort();
+        assert_eq!(got, want);
+        // The far event is still there, beyond the deadline.
+        assert_eq!(wheel.len(), 1);
+        assert_eq!(wheel.pop().map(|(at, s, _)| (at.0, s)), Some((1 << 37, 0)));
+    }
+
+    #[test]
+    fn clear_resets_clock_and_capacity_survives() {
+        let mut wheel: TimerWheel<u8> = TimerWheel::new();
+        wheel.push(SimTime(10), 0, 1);
+        wheel.push(SimTime(1 << 40), 1, 2);
+        assert_eq!(wheel.len(), 2);
+        wheel.clear();
+        assert!(wheel.is_empty());
+        // After clear the clock is back at zero: time-zero pushes pop.
+        wheel.push(SimTime(0), 0, 3);
+        assert_eq!(wheel.pop().map(|(at, s, v)| (at.0, s, v)), Some((0, 0, 3)));
+    }
+}

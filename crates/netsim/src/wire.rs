@@ -45,6 +45,14 @@ pub const PROTO_UDP: u8 = 17;
 
 /// RFC 1071 Internet checksum over `data`.
 pub fn internet_checksum(data: &[u8]) -> u16 {
+    fold(sum_words(data))
+}
+
+/// One's-complement sum of 16-bit big-endian words, unfolded. Partial sums
+/// over even-length prefixes compose by addition, which is what lets the
+/// UDP checksum cover pseudo-header + header + payload without ever
+/// concatenating them into one buffer.
+fn sum_words(data: &[u8]) -> u32 {
     let mut sum = 0u32;
     let mut chunks = data.chunks_exact(2);
     for c in &mut chunks {
@@ -53,10 +61,19 @@ pub fn internet_checksum(data: &[u8]) -> u16 {
     if let [last] = chunks.remainder() {
         sum += u32::from(u16::from_be_bytes([*last, 0]));
     }
+    sum
+}
+
+fn fold(mut sum: u32) -> u16 {
     while sum >> 16 != 0 {
         sum = (sum & 0xFFFF) + (sum >> 16);
     }
     !(sum as u16)
+}
+
+fn sum_ip(ip: Ipv4Addr) -> u32 {
+    let o = ip.octets();
+    u32::from(u16::from_be_bytes([o[0], o[1]])) + u32::from(u16::from_be_bytes([o[2], o[3]]))
 }
 
 fn ipv4_header(
@@ -86,32 +103,37 @@ fn ipv4_header(
 
 /// Encode a UDP datagram as a full IPv4 packet (20-byte header, no options).
 pub fn encode_udp(d: &Datagram, ident: u16) -> Vec<u8> {
-    let udp_len = 8 + d.payload.len();
-    let mut out = Vec::with_capacity(20 + udp_len);
-    out.extend_from_slice(&ipv4_header(d.src, d.dst, PROTO_UDP, d.ttl, ident, udp_len));
-    let mut udp = Vec::with_capacity(udp_len);
-    udp.extend_from_slice(&d.src_port.to_be_bytes());
-    udp.extend_from_slice(&d.dst_port.to_be_bytes());
-    udp.extend_from_slice(&(udp_len as u16).to_be_bytes());
-    udp.extend_from_slice(&[0, 0]); // checksum placeholder
-    udp.extend_from_slice(&d.payload);
-    let csum = udp_checksum(d.src, d.dst, &udp);
-    udp[6..8].copy_from_slice(&csum.to_be_bytes());
-    out.extend_from_slice(&udp);
+    let mut out = Vec::with_capacity(28 + d.payload.len());
+    encode_udp_into(d, ident, &mut out);
     out
+}
+
+/// Encode a UDP datagram as a full IPv4 packet, appending the wire bytes to
+/// `out`. This is the zero-copy tap path: header and payload go straight
+/// into the caller's buffer (typically a [`crate::pcap::PcapWriter`]'s) with
+/// no intermediate framing Vec; bytes are identical to [`encode_udp`].
+pub fn encode_udp_into(d: &Datagram, ident: u16, out: &mut Vec<u8>) {
+    let udp_len = 8 + d.payload.len();
+    out.reserve(20 + udp_len);
+    out.extend_from_slice(&ipv4_header(d.src, d.dst, PROTO_UDP, d.ttl, ident, udp_len));
+    let udp_start = out.len();
+    out.extend_from_slice(&d.src_port.to_be_bytes());
+    out.extend_from_slice(&d.dst_port.to_be_bytes());
+    out.extend_from_slice(&(udp_len as u16).to_be_bytes());
+    out.extend_from_slice(&[0, 0]); // checksum placeholder
+    out.extend_from_slice(&d.payload);
+    let csum = udp_checksum(d.src, d.dst, &out[udp_start..]);
+    out[udp_start + 6..udp_start + 8].copy_from_slice(&csum.to_be_bytes());
 }
 
 /// UDP checksum with the IPv4 pseudo-header. Returns `0xFFFF` instead of 0,
 /// as RFC 768 requires (0 means "no checksum").
 pub fn udp_checksum(src: Ipv4Addr, dst: Ipv4Addr, udp: &[u8]) -> u16 {
-    let mut pseudo = Vec::with_capacity(12 + udp.len() + 1);
-    pseudo.extend_from_slice(&src.octets());
-    pseudo.extend_from_slice(&dst.octets());
-    pseudo.push(0);
-    pseudo.push(PROTO_UDP);
-    pseudo.extend_from_slice(&(udp.len() as u16).to_be_bytes());
-    pseudo.extend_from_slice(udp);
-    let c = internet_checksum(&pseudo);
+    // The pseudo-header is summed field-wise (it is never materialized);
+    // every part before the final one is even-length, so partial sums
+    // compose by plain addition.
+    let pseudo = sum_ip(src) + sum_ip(dst) + u32::from(PROTO_UDP) + u32::from(udp.len() as u16);
+    let c = fold(pseudo + sum_words(udp));
     if c == 0 {
         0xFFFF
     } else {
@@ -123,35 +145,37 @@ pub fn udp_checksum(src: Ipv4Addr, dst: Ipv4Addr, udp: &[u8]) -> u16 {
 /// IP header + 8 payload bytes per RFC 792, which is how DNSRoute++ recovers
 /// the probe's UDP source port from a Time Exceeded reply.
 pub fn encode_icmp(m: &IcmpMessage, ident: u16, ttl: u8) -> Vec<u8> {
-    let mut icmp = Vec::with_capacity(36);
+    let mut out = Vec::with_capacity(56);
+    encode_icmp_into(m, ident, ttl, &mut out);
+    out
+}
+
+/// Encode an ICMP message as a full IPv4 packet, appending the wire bytes
+/// to `out` (the zero-copy tap counterpart of [`encode_icmp`]; bytes are
+/// identical).
+pub fn encode_icmp_into(m: &IcmpMessage, ident: u16, ttl: u8, out: &mut Vec<u8>) {
+    // 8-byte ICMP header, plus a 28-byte quote (inner IP header + UDP
+    // ports/len/checksum) when the message carries one.
+    let icmp_len = if m.quote.is_some() { 8 + 28 } else { 8 };
+    out.reserve(20 + icmp_len);
+    out.extend_from_slice(&ipv4_header(m.from, m.to, PROTO_ICMP, ttl, ident, icmp_len));
+    let icmp_start = out.len();
     let (t, c) = m.kind.type_code();
-    icmp.push(t);
-    icmp.push(c);
-    icmp.extend_from_slice(&[0, 0]); // checksum placeholder
-    icmp.extend_from_slice(&[0, 0, 0, 0]); // unused / rest of header
+    out.push(t);
+    out.push(c);
+    out.extend_from_slice(&[0, 0]); // checksum placeholder
+    out.extend_from_slice(&[0, 0, 0, 0]); // unused / rest of header
     if let Some(q) = &m.quote {
         // Quoted original: IPv4 header + first 8 octets (the UDP header).
         let inner = ipv4_header(q.src, q.dst, PROTO_UDP, 1, 0, 8);
-        icmp.extend_from_slice(&inner);
-        icmp.extend_from_slice(&q.src_port.to_be_bytes());
-        icmp.extend_from_slice(&q.dst_port.to_be_bytes());
-        icmp.extend_from_slice(&[0, 8]); // quoted UDP length (min)
-        icmp.extend_from_slice(&[0, 0]); // quoted UDP checksum (unverified)
+        out.extend_from_slice(&inner);
+        out.extend_from_slice(&q.src_port.to_be_bytes());
+        out.extend_from_slice(&q.dst_port.to_be_bytes());
+        out.extend_from_slice(&[0, 8]); // quoted UDP length (min)
+        out.extend_from_slice(&[0, 0]); // quoted UDP checksum (unverified)
     }
-    let csum = internet_checksum(&icmp);
-    icmp[2..4].copy_from_slice(&csum.to_be_bytes());
-
-    let mut out = Vec::with_capacity(20 + icmp.len());
-    out.extend_from_slice(&ipv4_header(
-        m.from,
-        m.to,
-        PROTO_ICMP,
-        ttl,
-        ident,
-        icmp.len(),
-    ));
-    out.extend_from_slice(&icmp);
-    out
+    let csum = internet_checksum(&out[icmp_start..]);
+    out[icmp_start + 2..icmp_start + 4].copy_from_slice(&csum.to_be_bytes());
 }
 
 /// A packet decoded from wire bytes.

@@ -129,6 +129,9 @@ pub struct CampaignScanner {
 }
 
 const PACE_TOKEN: u64 = u64::MAX;
+/// Probes paced per batched timer event (campaigns have no per-run burst
+/// knob; the census scanner's `ScanConfig::burst` default matches).
+const PROBE_BURST: u32 = 16;
 
 impl CampaignScanner {
     /// Build from config.
@@ -197,8 +200,13 @@ impl Host for CampaignScanner {
                 dnswire::DNS_PORT,
                 query.encode(),
             ));
-            if self.cursor < self.config.targets.len() {
-                ctx.set_timer(self.config.inter_probe_gap, PACE_TOKEN);
+            // One batched pacing event per burst of probes; send times are
+            // unchanged (`index · gap` past the campaign start).
+            let burst = PROBE_BURST as usize;
+            let remaining = self.config.targets.len() - self.cursor;
+            if remaining > 0 && i.is_multiple_of(burst) {
+                let gap = self.config.inter_probe_gap;
+                ctx.set_timer_batch(gap, gap, remaining.min(burst) as u32, PACE_TOKEN, 0);
             }
         }
     }

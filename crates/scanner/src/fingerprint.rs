@@ -54,11 +54,17 @@ pub struct HostEvidence {
 pub struct FingerprintScanner {
     config: FingerprintConfig,
     cursor: usize,
+    /// The one-byte wake-up payload every probe sends, shared like the
+    /// census probe template: each send is a refcount bump, not a fresh
+    /// allocation.
+    probe_payload: netsim::Payload,
     /// Evidence per probed host.
     pub evidence: HashMap<Ipv4Addr, HostEvidence>,
 }
 
 const PACE_TOKEN: u64 = u64::MAX;
+/// Probes paced per batched timer event.
+const PROBE_BURST: u32 = 16;
 
 impl FingerprintScanner {
     /// Build from config.
@@ -66,6 +72,7 @@ impl FingerprintScanner {
         FingerprintScanner {
             config,
             cursor: 0,
+            probe_payload: vec![0x00].into(),
             evidence: HashMap::new(),
         }
     }
@@ -108,9 +115,17 @@ impl Host for FingerprintScanner {
             let target = self.config.targets[i / self.config.ports.len()];
             let port = self.config.ports[i % self.config.ports.len()];
             let src_port = self.config.base_port.wrapping_add((i & 0x3FFF) as u16);
-            ctx.send_udp(UdpSend::new(src_port, target, port, vec![0x00]));
-            if self.cursor < self.total_probes() {
-                ctx.set_timer(self.config.gap, PACE_TOKEN);
+            ctx.send_udp(UdpSend::new(
+                src_port,
+                target,
+                port,
+                self.probe_payload.clone(),
+            ));
+            let burst = PROBE_BURST as usize;
+            let remaining = self.total_probes() - self.cursor;
+            if remaining > 0 && i.is_multiple_of(burst) {
+                let gap = self.config.gap;
+                ctx.set_timer_batch(gap, gap, remaining.min(burst) as u32, PACE_TOKEN, 0);
             }
         }
     }

@@ -14,6 +14,20 @@ use netsim::{Ctx, Datagram, Host, NodeId, SimDuration, Simulator, UdpSend};
 use odns::study;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::OnceLock;
+
+/// The static-naming probe query is one fixed byte string (the txid is
+/// patched per block); encode it once per process instead of once per
+/// scanner — warm sweeps build thousands of scanners.
+fn static_probe_template() -> &'static [u8] {
+    static TEMPLATE: OnceLock<Vec<u8>> = OnceLock::new();
+    TEMPLATE.get_or_init(|| {
+        MessageBuilder::query(0, study::study_qname(), RrType::A)
+            .recursion_desired(true)
+            .build()
+            .encode()
+    })
+}
 
 /// How probe query names are chosen — the two methods of Table 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +57,10 @@ pub struct ScanConfig {
     /// the txid advancing once per 65 k block, so the `(port, txid)` tuple
     /// is unique for every in-flight probe.
     pub base_port: u16,
+    /// Probes paced per batched timer event (see `Ctx::set_timer_batch`).
+    /// Send times are exactly `index · inter_probe_gap` regardless of this
+    /// value — it only sets how many queue events the pacing costs.
+    pub burst: u32,
 }
 
 impl ScanConfig {
@@ -50,6 +68,9 @@ impl ScanConfig {
     /// that correlates recorded streams without a `ScanConfig` at hand
     /// uses this same constant, keeping scan and merge windows aligned.
     pub const DEFAULT_TIMEOUT: SimDuration = SimDuration::from_secs(20);
+
+    /// Default pacing burst: one queue event per 16 probes.
+    pub const DEFAULT_BURST: u32 = 16;
 
     /// Defaults matching the paper: static naming, 20 s timeout.
     pub fn new(targets: Vec<Ipv4Addr>) -> Self {
@@ -59,6 +80,7 @@ impl ScanConfig {
             inter_probe_gap: SimDuration::from_micros(50),
             timeout: Self::DEFAULT_TIMEOUT,
             base_port: 33_000,
+            burst: Self::DEFAULT_BURST,
         }
     }
 
@@ -91,8 +113,9 @@ pub struct TransactionalScanner {
     /// Pre-encoded probe query for static naming: every probe differs only
     /// in its transaction ID, so the hot send path shares one patched
     /// buffer per txid block instead of building and encoding a fresh
-    /// message (name parse, builder, compression walk) per target.
-    probe_template: Option<Vec<u8>>,
+    /// message (name parse, builder, compression walk) per target. Points
+    /// at the process-wide template — scanners don't even pay the encode.
+    probe_template: Option<&'static [u8]>,
     /// The shared payload of the current txid block. With the port-fast
     /// tuple scheme the txid changes once per 65 536 probes, so the send
     /// path is one `Arc` bump per probe and one 2-byte patch per block —
@@ -112,12 +135,7 @@ impl TransactionalScanner {
     pub fn new(config: ScanConfig) -> Self {
         let probes = Vec::with_capacity(config.targets.len());
         let probe_template = match config.naming {
-            ProbeNaming::Static => Some(
-                MessageBuilder::query(0, study::study_qname(), RrType::A)
-                    .recursion_desired(true)
-                    .build()
-                    .encode(),
-            ),
+            ProbeNaming::Static => Some(static_probe_template()),
             ProbeNaming::EncodeTarget => None,
         };
         TransactionalScanner {
@@ -139,8 +157,8 @@ impl TransactionalScanner {
                 return payload.clone();
             }
         }
-        let template = self.probe_template.as_ref().expect("static template");
-        let mut bytes = template.clone();
+        let template = self.probe_template.expect("static template");
+        let mut bytes = template.to_vec();
         bytes[0..2].copy_from_slice(&txid.to_be_bytes());
         let payload: netsim::Payload = bytes.into();
         self.cached_block = Some((txid, payload.clone()));
@@ -198,8 +216,15 @@ impl Host for TransactionalScanner {
             let i = self.cursor;
             self.cursor += 1;
             self.send_probe(ctx, i);
-            if self.cursor < self.config.targets.len() {
-                ctx.set_timer(self.config.inter_probe_gap, PACE_TOKEN);
+            // Batched pacing: a single bootstrap timer fires probe 0; the
+            // first probe of each burst arms one timer batch covering the
+            // rest of the burst. Send times stay exactly `index · gap`, and
+            // any legacy single-timer bootstrap still drives a full scan.
+            let burst = self.config.burst.max(1) as usize;
+            let remaining = self.config.targets.len() - self.cursor;
+            if remaining > 0 && i.is_multiple_of(burst) {
+                let gap = self.config.inter_probe_gap;
+                ctx.set_timer_batch(gap, gap, remaining.min(burst) as u32, PACE_TOKEN, 0);
             }
         }
     }
@@ -252,6 +277,12 @@ impl Correlator {
         Correlator::default()
     }
 
+    /// Below this many probes, matching walks the probe list instead of
+    /// building the hash index: for the small per-scan batches of a warm
+    /// steady-state world, a handful of `(u16, u16)` compares beats
+    /// hashing every tuple twice.
+    const LINEAR_SCAN_MAX: usize = 32;
+
     /// One correlation pass, identical to [`correlate_owned`].
     pub fn correlate(
         &mut self,
@@ -259,10 +290,13 @@ impl Correlator {
         responses: Vec<ResponseRecord>,
         timeout: SimDuration,
     ) -> ScanOutcome {
-        self.index.clear();
-        self.index.reserve(probes.len());
-        for (i, p) in probes.iter().enumerate() {
-            self.index.insert((p.src_port, p.txid), i);
+        let linear = probes.len() <= Self::LINEAR_SCAN_MAX;
+        if !linear {
+            self.index.clear();
+            self.index.reserve(probes.len());
+            for (i, p) in probes.iter().enumerate() {
+                self.index.insert((p.src_port, p.txid), i);
+            }
         }
         let mut transactions: Vec<Transaction> = probes
             .into_iter()
@@ -278,7 +312,16 @@ impl Correlator {
                 unmatched += 1;
                 continue;
             };
-            let Some(&probe_idx) = self.index.get(&(r.dst_port, txid)) else {
+            // Like the index (whose inserts overwrite), a duplicate
+            // `(port, txid)` tuple resolves to the *last* matching probe.
+            let found = if linear {
+                transactions
+                    .iter()
+                    .rposition(|t| t.probe.src_port == r.dst_port && t.probe.txid == txid)
+            } else {
+                self.index.get(&(r.dst_port, txid)).copied()
+            };
+            let Some(probe_idx) = found else {
                 unmatched += 1;
                 continue;
             };
