@@ -42,7 +42,7 @@ impl CountryStats {
 /// (`HashMap` iteration order varies per instance within one process).
 pub fn by_country(census: &Census) -> BTreeMap<Option<&'static str>, CountryStats> {
     let mut map: BTreeMap<Option<&'static str>, CountryStats> = BTreeMap::new();
-    let mut transparent_asns: BTreeMap<Option<&'static str>, std::collections::HashSet<u32>> =
+    let mut transparent_asns: BTreeMap<Option<&'static str>, std::collections::BTreeSet<u32>> =
         BTreeMap::new();
     for row in &census.rows {
         let Some(class) = row.class() else { continue };

@@ -6,7 +6,7 @@ use crate::census::Census;
 use inetgen::GeoDb;
 use odns::ResolverProject;
 use scanner::OdnsClass;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Which resolver answered a transparent forwarder's relay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -92,12 +92,12 @@ pub struct OtherShareRow {
 /// consolidation computed from the `A_resolver` record's ASN.
 pub fn table4_other_share(census: &Census, geo: &GeoDb, n: usize) -> Vec<OtherShareRow> {
     struct Acc {
-        by_asn: HashMap<u32, usize>,
+        by_asn: BTreeMap<u32, usize>,
         other_total: usize,
         indirect: usize,
-        resolvers: std::collections::HashSet<std::net::Ipv4Addr>,
+        resolvers: BTreeSet<std::net::Ipv4Addr>,
     }
-    let mut per_country: HashMap<&'static str, Acc> = HashMap::new();
+    let mut per_country: BTreeMap<&'static str, Acc> = BTreeMap::new();
     for row in census.of_class(OdnsClass::TransparentForwarder) {
         let (Some(country), Some(src)) = (row.country, row.response_src) else {
             continue;
@@ -106,10 +106,10 @@ pub fn table4_other_share(census: &Census, geo: &GeoDb, n: usize) -> Vec<OtherSh
             continue;
         }
         let acc = per_country.entry(country).or_insert_with(|| Acc {
-            by_asn: HashMap::new(),
+            by_asn: BTreeMap::new(),
             other_total: 0,
             indirect: 0,
-            resolvers: std::collections::HashSet::new(),
+            resolvers: BTreeSet::new(),
         });
         acc.other_total += 1;
         acc.resolvers.insert(src);
@@ -133,9 +133,9 @@ pub fn table4_other_share(census: &Census, geo: &GeoDb, n: usize) -> Vec<OtherSh
         .into_iter()
         .map(|(country, acc)| OtherShareRow {
             country,
-            // Ties on count resolve to the lowest ASN — `by_asn` is a
-            // HashMap, so leaning on its iteration order would make the
-            // rendered Table 4 vary across runs.
+            // Ties on count resolve to the lowest ASN explicitly: the
+            // rendered Table 4 must not depend on which tied ASN the
+            // iterator happens to visit last.
             top_asn: acc
                 .by_asn
                 .iter()

@@ -6,14 +6,15 @@
 //! single middlebox serving the whole network.
 
 use crate::cdf::Cdf;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// The density distribution.
 #[derive(Debug, Clone, Default)]
 pub struct PrefixDensity {
-    /// Forwarder count per /24 (keyed by the prefix base address).
-    pub per_prefix: HashMap<u32, usize>,
+    /// Forwarder count per /24, prefix-sorted (keyed by the prefix base
+    /// address) so iterating it feeds report surfaces in a fixed order.
+    pub per_prefix: BTreeMap<u32, usize>,
 }
 
 /// The sparse/full thresholds used in Appendix E.
@@ -24,7 +25,7 @@ pub const FULL_MIN: usize = 254;
 impl PrefixDensity {
     /// Build from transparent-forwarder addresses.
     pub fn from_ips<I: IntoIterator<Item = Ipv4Addr>>(ips: I) -> Self {
-        let mut per_prefix = HashMap::new();
+        let mut per_prefix = BTreeMap::new();
         for ip in ips {
             *per_prefix.entry(u32::from(ip) & 0xFFFF_FF00).or_insert(0) += 1;
         }

@@ -7,14 +7,15 @@ use inetgen::GeoDb;
 use netsim::AsKind;
 use odns::Vendor;
 use scanner::{attribute_vendor, HostEvidence, OdnsClass};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// Vendor attribution summary over the transparent-forwarder population.
 #[derive(Debug, Clone, Default)]
 pub struct VendorSummary {
-    /// Attributed counts per vendor.
-    pub counts: HashMap<Vendor, usize>,
+    /// Attributed counts per vendor, vendor-sorted so an iterated
+    /// summary renders byte-identically on every run.
+    pub counts: BTreeMap<Vendor, usize>,
     /// Hosts probed but unattributed (no identifying banner).
     pub unattributed: usize,
     /// Total hosts considered.
@@ -34,7 +35,7 @@ impl VendorSummary {
 
 /// Attribute vendors from fingerprint evidence for the given hosts.
 pub fn vendor_summary(
-    evidence: &HashMap<Ipv4Addr, HostEvidence>,
+    evidence: &BTreeMap<Ipv4Addr, HostEvidence>,
     hosts: &[Ipv4Addr],
 ) -> VendorSummary {
     let mut summary = VendorSummary {
@@ -66,7 +67,7 @@ pub struct TopAsRow {
 
 /// The top-`n` ASes by transparent-forwarder count.
 pub fn top_ases_by_transparent(census: &Census, geo: &GeoDb, n: usize) -> Vec<TopAsRow> {
-    let mut per_asn: HashMap<u32, usize> = HashMap::new();
+    let mut per_asn: BTreeMap<u32, usize> = BTreeMap::new();
     for row in census.of_class(OdnsClass::TransparentForwarder) {
         if let Some(asn) = row.asn {
             *per_asn.entry(asn).or_insert(0) += 1;
@@ -179,7 +180,7 @@ mod tests {
 
     #[test]
     fn vendor_attribution_shares() {
-        let mut evidence = HashMap::new();
+        let mut evidence = BTreeMap::new();
         let a = Ipv4Addr::new(11, 0, 0, 1);
         let b = Ipv4Addr::new(11, 0, 0, 2);
         let c = Ipv4Addr::new(11, 0, 0, 3);

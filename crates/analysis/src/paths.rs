@@ -5,7 +5,7 @@ use crate::cdf::Cdf;
 use dnsroute::{ForwarderPath, InferenceReport};
 use inetgen::GeoDb;
 use odns::ResolverProject;
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-project path-length series.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,7 +39,7 @@ pub fn figure6_by_project(
     paths: &[ForwarderPath],
     geo: &GeoDb,
 ) -> (Vec<ProjectPaths>, Vec<ForwarderPath>) {
-    let mut grouped: HashMap<ResolverProject, (Vec<u8>, HashSet<u32>)> = HashMap::new();
+    let mut grouped: BTreeMap<ResolverProject, (Vec<u8>, BTreeSet<u32>)> = BTreeMap::new();
     let mut other = Vec::new();
     for p in paths {
         match ResolverProject::from_service_ip(p.resolver) {

@@ -21,6 +21,8 @@ use netsim::wire::{decode, DecodedPacket};
 use netsim::SimDuration;
 use scanner::records::{ProbeRecord, ResponseRecord, ScanOutcome};
 use scanner::{Campaign, CampaignReport, ClassifierConfig, ShardRecords};
+// detlint::allow(unordered-iter): correlation map mirroring the live
+// CampaignScanner byte for byte; keyed lookups only, never iterated.
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
@@ -131,6 +133,8 @@ pub fn campaign_report_from_pcap(
     pcap: &[u8],
 ) -> Result<CampaignReport, IngestError> {
     let records = read_pcap(pcap).map_err(IngestError::Pcap)?;
+    // detlint::allow(unordered-iter): probe correlation is lookup-only —
+    // responses are processed in capture order, the map is never iterated.
     let mut sent: HashMap<(u16, u16), Ipv4Addr> = HashMap::new();
     let mut report = CampaignReport::default();
     for rec in &records {

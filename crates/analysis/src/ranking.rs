@@ -3,7 +3,7 @@
 
 use crate::aggregate::by_country;
 use crate::census::Census;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// One row of the Table 5 comparison.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,7 +51,7 @@ pub fn table5_ranking(
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
         v
     };
-    let shadow_ranks: HashMap<&'static str, (usize, usize)> = {
+    let shadow_ranks: BTreeMap<&'static str, (usize, usize)> = {
         let mut v: Vec<(&'static str, usize)> =
             shadowserver.iter().map(|(c, n)| (*c, *n)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));

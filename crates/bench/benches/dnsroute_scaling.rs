@@ -33,6 +33,8 @@ fn sweep_config(scale: u32) -> GenConfig {
     }
 }
 
+// Wall-clock is the measured quantity here (clippy.toml bans it elsewhere).
+#[allow(clippy::disallowed_methods)]
 fn headline_sweep(quick: bool) {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -140,7 +142,7 @@ fn bench_shard_counts(c: &mut Criterion) {
 }
 
 fn main() {
-    let quick = std::env::var_os("DNSROUTE_QUICK").is_some();
+    let quick = bench::quick_mode("DNSROUTE_QUICK");
     headline_sweep(quick);
     if !quick {
         let mut c = criterion();

@@ -66,8 +66,21 @@ pub fn banner(what: &str, paper: &str) {
 /// Path of the shared perf artifact: `BENCH_simcore.json` at the
 /// workspace root, overridable via `BENCH_SIMCORE_OUT`.
 pub fn bench_artifact_path() -> String {
+    // detlint::allow(env-dependent): the artifact path is harness
+    // plumbing (where results land), not measured behaviour.
     std::env::var("BENCH_SIMCORE_OUT")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simcore.json").into())
+}
+
+/// Whether a bench's quick mode is requested via its `*_QUICK` switch
+/// (e.g. `BENCH_SIMCORE_QUICK=1`). The single sanctioned env read for
+/// mode switching: quick mode trims iteration counts, never results —
+/// sections it produces are tagged `"mode": "quick"` and kept apart from
+/// full-scale measurements by [`merge_bench_section`].
+pub fn quick_mode(key: &str) -> bool {
+    // detlint::allow(env-dependent): harness mode switch, not measured
+    // behaviour; quick sections never overwrite full ones.
+    std::env::var_os(key).is_some()
 }
 
 /// Merge one named section into the shared perf artifact.

@@ -1,0 +1,11 @@
+//! Fixture: threads spawned outside the sanctioned worker pool.
+
+fn fire_and_forget() {
+    std::thread::spawn(|| {
+        println!("nondeterministic interleaving");
+    });
+}
+
+fn scoped(scope: &std::thread::Scope<'_, '_>) {
+    scope.spawn(|| 42);
+}

@@ -1,0 +1,17 @@
+//! Fixture: broken suppression directives — each is itself a finding.
+
+fn unjustified() -> std::time::Duration {
+    // detlint::allow(wall-clock)
+    let t0 = std::time::Instant::now();
+    t0.elapsed()
+}
+
+fn unknown_rule() -> bool {
+    // detlint::allow(no-such-rule): the rule id does not exist
+    std::env::var_os("X").is_some()
+}
+
+fn stale() -> u32 {
+    // detlint::allow(wall-clock): nothing on the next line trips this rule
+    41 + 1
+}

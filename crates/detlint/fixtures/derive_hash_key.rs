@@ -1,0 +1,12 @@
+//! Fixture: floating-point map keys (NaN-hostile, platform-rounding
+//! sensitive — a census keyed this way cannot be bit-identical).
+
+use std::collections::{BTreeMap, HashMap};
+
+fn by_latency() -> HashMap<f64, u32> {
+    HashMap::new()
+}
+
+fn by_share(shares: &[(f32, u32)]) -> BTreeMap<f32, u32> {
+    shares.iter().copied().collect::<BTreeMap<f32, u32>>()
+}

@@ -1,0 +1,13 @@
+//! Fixture: behaviour keyed off the process environment.
+
+fn mode() -> bool {
+    std::env::var_os("SOME_SWITCH").is_some()
+}
+
+fn path() -> String {
+    std::env::var("SOME_PATH").unwrap_or_default()
+}
+
+fn build_tag() -> Option<&'static str> {
+    option_env!("SOME_TAG")
+}

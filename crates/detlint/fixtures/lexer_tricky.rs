@@ -1,0 +1,31 @@
+//! Fixture: hazard-shaped text in places the lexer must treat as opaque.
+//! detlint must report ZERO findings here.
+
+fn strings() -> Vec<String> {
+    vec![
+        "Instant::now()".to_string(),
+        "std::env::var(\"HOME\")".to_string(),
+        r#"thread_rng() and "HashMap" in a raw string"#.to_string(),
+        r##"nested r#"SystemTime::now()"# raw"##.to_string(),
+        "escaped \" then thread::spawn(".to_string(),
+    ]
+}
+
+/* block comment: Instant::now()
+   /* nested: std::env::var_os("X") and from_entropy() */
+   still inside: HashMap::new()
+*/
+
+// line comment: SystemTime::now() is fine here (not a directive)
+
+fn lifetimes_vs_chars<'a>(x: &'a str) -> (char, &'a str) {
+    let c = 'a';
+    let newline = '\n';
+    let quote = '\'';
+    let _ = (newline, quote);
+    (c, x)
+}
+
+fn byte_strings() -> (&'static [u8], u8) {
+    (b"Instant::now()", b'x')
+}

@@ -1,0 +1,12 @@
+//! Fixture: every hazard carries a justified allow — detlint must exit 0.
+
+fn profile() -> std::time::Duration {
+    // detlint::allow(wall-clock): fixture exercising a justified inline
+    // suppression on the line below.
+    let t0 = std::time::Instant::now();
+    t0.elapsed()
+}
+
+fn switch() -> bool {
+    std::env::var_os("X").is_some() // detlint::allow(env-dependent): trailing-comment form
+}

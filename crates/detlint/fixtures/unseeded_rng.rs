@@ -1,0 +1,14 @@
+//! Fixture: RNGs seeded from OS entropy instead of the experiment config.
+
+fn draw() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+
+fn reseed() -> SmallRng {
+    SmallRng::from_entropy()
+}
+
+fn sugar() -> f64 {
+    rand::random()
+}

@@ -1,0 +1,12 @@
+//! Fixture: wall-clock reads that would break bit-identical replay.
+
+use std::time::{Instant, SystemTime};
+
+fn elapsed() -> std::time::Duration {
+    let t0 = Instant::now();
+    t0.elapsed()
+}
+
+fn stamp() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,540 @@
+//! A minimal Rust lexer — just enough fidelity that string and comment
+//! *contents* are never mistaken for code.
+//!
+//! The rule engine matches identifier/punctuation sequences, so the lexer
+//! must get the hard boundaries right: raw strings (`r#"…"#` with any
+//! number of hashes), byte/C strings, nested block comments, escape
+//! sequences, and the `'a'`-char vs `'a`-lifetime ambiguity. It does not
+//! need to classify numbers precisely or validate syntax — a file that
+//! does not compile is someone else's problem.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (raw identifiers surface without the `r#`).
+    Ident(String),
+    /// A lifetime such as `'a` or `'_`.
+    Lifetime,
+    /// Any string-like literal (`"…"`, `r#"…"#`, `b"…"`, `c"…"`); the
+    /// contents are deliberately discarded — rules must not see them.
+    Str,
+    /// A character or byte-character literal.
+    Char,
+    /// A numeric literal.
+    Num,
+    /// The path separator `::`.
+    Sep,
+    /// Any other single punctuation character.
+    Punct(char),
+}
+
+/// A token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// A comment, kept separately from the token stream: suppression
+/// directives live in comments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Text after the `//` / inside the `/* */` (nested delimiters kept).
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+    /// Whether code tokens precede the comment on its starting line — a
+    /// trailing directive applies to its own line, a standalone one to
+    /// the next code line.
+    pub trailing: bool,
+}
+
+/// A fully lexed file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    /// Sorted, deduplicated lines that carry at least one code token.
+    pub code_lines: Vec<u32>,
+}
+
+impl Lexed {
+    /// First line carrying code at or after `line` (for resolving what a
+    /// standalone suppression comment applies to).
+    pub fn next_code_line(&self, line: u32) -> Option<u32> {
+        let idx = self.code_lines.partition_point(|l| *l < line);
+        self.code_lines.get(idx).copied()
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Lexer {
+    src: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn peek(&self, k: usize) -> Option<char> {
+        self.src.get(self.i + k).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.src.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    /// Consume `"…"` starting at the opening quote, honouring escapes.
+    fn lex_string(&mut self) {
+        self.bump(); // opening "
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // the escaped char — covers \" and \\
+                }
+                '"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consume a raw string starting at the first `#` (or the quote when
+    /// `hashes == 0`): `#…#"` contents `"#…#`. No escapes inside.
+    fn lex_raw_string(&mut self, hashes: usize) {
+        self.bump_n(hashes); // the opening #s
+        self.bump(); // opening "
+        while let Some(c) = self.peek(0) {
+            if c == '"' {
+                let closed = (0..hashes).all(|j| self.peek(1 + j) == Some('#'));
+                if closed {
+                    self.bump_n(1 + hashes);
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Disambiguate `'a'` (char) from `'a` (lifetime), starting at `'`.
+    fn lex_quote(&mut self) -> Tok {
+        self.bump(); // '
+        match self.peek(0) {
+            Some('\\') => {
+                self.bump(); // backslash
+                self.bump(); // escaped char (first of \u{…} etc.)
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                Tok::Char
+            }
+            Some(c) if is_ident_start(c) => {
+                let mut k = 1;
+                while self.peek(k).map(is_ident_continue).unwrap_or(false) {
+                    k += 1;
+                }
+                if self.peek(k) == Some('\'') {
+                    self.bump_n(k + 1); // ident chars + closing quote
+                    Tok::Char
+                } else {
+                    self.bump_n(k); // lifetime — no closing quote
+                    Tok::Lifetime
+                }
+            }
+            Some(_) => {
+                self.bump(); // the literal char, e.g. '(' or '1'
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                Tok::Char
+            }
+            None => Tok::Char,
+        }
+    }
+
+    /// Consume a numeric literal greedily (prefixes, underscores, float
+    /// dots, signed exponents, type suffixes). Exact classification is
+    /// irrelevant — only "a number was here" matters.
+    fn lex_number(&mut self) {
+        self.bump();
+        loop {
+            match (self.peek(0), self.peek(1)) {
+                // A dot only continues the number when a digit follows —
+                // `0..10` must stay a range, not a float.
+                (Some('.'), Some(d)) if d.is_ascii_digit() => {
+                    self.bump();
+                }
+                (Some(c), _) if c.is_alphanumeric() || c == '_' => {
+                    let was_exp = c == 'e' || c == 'E';
+                    self.bump();
+                    if was_exp {
+                        if let (Some('+') | Some('-'), Some(d)) = (self.peek(0), self.peek(1)) {
+                            if d.is_ascii_digit() {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn lex_ident(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    /// Handle identifiers that are actually literal prefixes: `r"…"`,
+    /// `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"`, `cr"…"`, `b'x'`, and the raw
+    /// identifier `r#ident` (stripped, so the ident itself gets lexed).
+    /// Returns `None` when the position holds a plain identifier.
+    fn try_prefixed_literal(&mut self) -> Option<Tok> {
+        let mut k = 0;
+        while self.peek(k).map(is_ident_continue).unwrap_or(false) {
+            k += 1;
+            if k > 2 {
+                return None; // prefixes are at most two chars
+            }
+        }
+        let word: String = (0..k).filter_map(|j| self.peek(j)).collect();
+        match (word.as_str(), self.peek(k)) {
+            ("r" | "b" | "c" | "br" | "cr", Some('"')) => {
+                self.bump_n(k);
+                if word.contains('r') {
+                    self.lex_raw_string(0);
+                } else {
+                    self.lex_string();
+                }
+                Some(Tok::Str)
+            }
+            ("r" | "br" | "cr", Some('#')) => {
+                let mut h = 0;
+                while self.peek(k + h) == Some('#') {
+                    h += 1;
+                }
+                if self.peek(k + h) == Some('"') {
+                    self.bump_n(k);
+                    self.lex_raw_string(h);
+                    Some(Tok::Str)
+                } else if word == "r" {
+                    // Raw identifier `r#type`: drop the prefix and let the
+                    // caller lex `type` as an ordinary identifier.
+                    self.bump_n(2);
+                    None
+                } else {
+                    None
+                }
+            }
+            ("b", Some('\'')) => {
+                self.bump(); // the b
+                Some(self.lex_quote())
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Lex a whole file.
+pub fn lex(src: &str) -> Lexed {
+    let mut lx = Lexer {
+        src: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut tokens: Vec<Token> = Vec::new();
+    let mut comments: Vec<Comment> = Vec::new();
+    while let Some(c) = lx.peek(0) {
+        let (line, col) = (lx.line, lx.col);
+        let trailing = |tokens: &[Token]| tokens.last().map(|t| t.line == line).unwrap_or(false);
+        match c {
+            c if c.is_whitespace() => {
+                lx.bump();
+            }
+            '/' if lx.peek(1) == Some('/') => {
+                lx.bump_n(2);
+                let mut text = String::new();
+                while let Some(c) = lx.peek(0) {
+                    if c == '\n' {
+                        break;
+                    }
+                    text.push(c);
+                    lx.bump();
+                }
+                let trailing = trailing(&tokens);
+                comments.push(Comment {
+                    text,
+                    line,
+                    col,
+                    trailing,
+                });
+            }
+            '/' if lx.peek(1) == Some('*') => {
+                lx.bump_n(2);
+                let mut depth = 1usize;
+                let mut text = String::new();
+                loop {
+                    match (lx.peek(0), lx.peek(1)) {
+                        (Some('/'), Some('*')) => {
+                            depth += 1;
+                            text.push_str("/*");
+                            lx.bump_n(2);
+                        }
+                        (Some('*'), Some('/')) => {
+                            depth -= 1;
+                            lx.bump_n(2);
+                            if depth == 0 {
+                                break;
+                            }
+                            text.push_str("*/");
+                        }
+                        (Some(c), _) => {
+                            text.push(c);
+                            lx.bump();
+                        }
+                        (None, _) => break, // unterminated — tolerate
+                    }
+                }
+                let trailing = trailing(&tokens);
+                comments.push(Comment {
+                    text,
+                    line,
+                    col,
+                    trailing,
+                });
+            }
+            '"' => {
+                lx.lex_string();
+                tokens.push(Token {
+                    tok: Tok::Str,
+                    line,
+                    col,
+                });
+            }
+            '\'' => {
+                let tok = lx.lex_quote();
+                tokens.push(Token { tok, line, col });
+            }
+            ':' if lx.peek(1) == Some(':') => {
+                lx.bump_n(2);
+                tokens.push(Token {
+                    tok: Tok::Sep,
+                    line,
+                    col,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                lx.lex_number();
+                tokens.push(Token {
+                    tok: Tok::Num,
+                    line,
+                    col,
+                });
+            }
+            c if is_ident_start(c) => {
+                if let Some(tok) = lx.try_prefixed_literal() {
+                    tokens.push(Token { tok, line, col });
+                } else {
+                    let word = lx.lex_ident();
+                    tokens.push(Token {
+                        tok: Tok::Ident(word),
+                        line,
+                        col,
+                    });
+                }
+            }
+            c => {
+                lx.bump();
+                tokens.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    let mut code_lines: Vec<u32> = tokens.iter().map(|t| t.line).collect();
+    code_lines.dedup(); // tokens are emitted in line order
+    Lexed {
+        tokens,
+        comments,
+        code_lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plain_string_contents_are_opaque() {
+        assert_eq!(idents(r#"let x = "Instant::now()";"#), ["let", "x"]);
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        // The embedded \" must not terminate the literal early.
+        assert_eq!(idents(r#"let s = "a \" Instant::now \\";"#), ["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let s = r#\"thread_rng() \"quoted\" inside\"#; now();";
+        assert_eq!(idents(src), ["let", "s", "now"]);
+    }
+
+    #[test]
+    fn raw_string_hash_count_must_match() {
+        // `"#` inside an `r##"…"##` literal is still literal.
+        let src = "let s = r##\"x \"# SystemTime::now \"##; done";
+        assert_eq!(idents(src), ["let", "s", "done"]);
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        assert_eq!(
+            idents(r#"let b = b"env::var"; let c = c"x";"#),
+            ["let", "b", "let", "c"]
+        );
+        assert_eq!(idents("let b = br#\"thread::spawn\"#;"), ["let", "b"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* thread_rng() */ still comment */ real_code();";
+        assert_eq!(idents(src), ["real_code"]);
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("thread_rng"));
+    }
+
+    #[test]
+    fn line_comment_captured_with_trailing_flag() {
+        let lexed = lex("let a = 1; // trailing note\n// standalone\nlet b = 2;");
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+        assert_eq!(lexed.next_code_line(2), Some(3));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks: Vec<Tok> = lex("'a' 'static x<'b> '\\n' '_'")
+            .tokens
+            .into_iter()
+            .map(|t| t.tok)
+            .collect();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Char,
+                Tok::Lifetime,
+                Tok::Ident("x".into()),
+                Tok::Punct('<'),
+                Tok::Lifetime,
+                Tok::Punct('>'),
+                Tok::Char,
+                Tok::Char,
+            ]
+        );
+    }
+
+    #[test]
+    fn char_escape_with_embedded_quote() {
+        // '\'' is a char literal; the ident after it must still lex.
+        assert_eq!(idents(r"let c = '\''; after();"), ["let", "c", "after"]);
+    }
+
+    #[test]
+    fn raw_identifier_is_stripped() {
+        assert_eq!(idents("let r#type = 1;"), ["let", "type"]);
+    }
+
+    #[test]
+    fn byte_char_literal() {
+        assert_eq!(idents("let x = b'a'; next"), ["let", "x", "next"]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let toks: Vec<Tok> = lex("0..10").tokens.into_iter().map(|t| t.tok).collect();
+        assert_eq!(
+            toks,
+            vec![Tok::Num, Tok::Punct('.'), Tok::Punct('.'), Tok::Num]
+        );
+    }
+
+    #[test]
+    fn float_and_exponent_literals() {
+        let toks: Vec<Tok> = lex("1e-9 1.5f64 0xFF")
+            .tokens
+            .into_iter()
+            .map(|t| t.tok)
+            .collect();
+        assert_eq!(toks, vec![Tok::Num, Tok::Num, Tok::Num]);
+    }
+
+    #[test]
+    fn path_separator_positions() {
+        let lexed = lex("std::time::Instant::now()");
+        let kinds: Vec<Tok> = lexed.tokens.iter().map(|t| t.tok.clone()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Tok::Ident("std".into()),
+                Tok::Sep,
+                Tok::Ident("time".into()),
+                Tok::Sep,
+                Tok::Ident("Instant".into()),
+                Tok::Sep,
+                Tok::Ident("now".into()),
+                Tok::Punct('('),
+                Tok::Punct(')'),
+            ]
+        );
+        assert_eq!(lexed.tokens[6].line, 1);
+    }
+}

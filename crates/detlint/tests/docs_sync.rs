@@ -1,0 +1,56 @@
+//! README ↔ rule-registry sync: the "Correctness tooling" table must
+//! list exactly the registered rule ids — no phantom docs, no
+//! undocumented rules.
+
+use std::collections::BTreeSet;
+
+fn readme() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
+    std::fs::read_to_string(path).expect("README.md at the workspace root")
+}
+
+/// Rule ids from the README table: rows of the form ``| `rule-id` | … |``
+/// inside the "Correctness tooling" section.
+fn documented_rules(readme: &str) -> BTreeSet<String> {
+    let section = readme
+        .split("## Correctness tooling")
+        .nth(1)
+        .expect("README has a Correctness tooling section")
+        .split("\n## ")
+        .next()
+        .unwrap();
+    section
+        .lines()
+        .filter_map(|line| {
+            let cell = line.strip_prefix("| `")?;
+            let id = cell.split('`').next()?;
+            Some(id.to_string())
+        })
+        .collect()
+}
+
+#[test]
+fn readme_table_matches_rule_registry() {
+    let documented = documented_rules(&readme());
+    let registered: BTreeSet<String> = detlint::RULES.iter().map(|r| r.id.to_string()).collect();
+    assert!(!registered.is_empty(), "rule registry must not be empty");
+    let phantom: Vec<_> = documented.difference(&registered).collect();
+    let undocumented: Vec<_> = registered.difference(&documented).collect();
+    assert!(
+        phantom.is_empty() && undocumented.is_empty(),
+        "README table out of sync with detlint::RULES — \
+         documented-but-unregistered: {phantom:?}, \
+         registered-but-undocumented: {undocumented:?}"
+    );
+}
+
+#[test]
+fn every_rule_has_a_summary() {
+    for rule in detlint::RULES {
+        assert!(
+            !rule.summary.trim().is_empty(),
+            "rule `{}` needs a summary (it is shown in diagnostics)",
+            rule.id
+        );
+    }
+}

@@ -162,6 +162,9 @@ where
         let failure = &failure;
         let handles: Vec<_> = (0..workers)
             .map(|w| {
+                // detlint::allow(ad-hoc-spawn): this IS the sanctioned
+                // run_sharded worker pool; outputs are re-sorted by shard
+                // index below, so scheduling order cannot escape.
                 scope.spawn(move || {
                     let mut collected = Vec::new();
                     let mut index = w;

@@ -8,7 +8,7 @@
 //! forwarders are MikroTik" finding.
 
 use netsim::{Ctx, Datagram, Host, IcmpMessage, NodeId, SimDuration, Simulator, UdpSend};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// Fingerprint scan configuration.
@@ -58,8 +58,9 @@ pub struct FingerprintScanner {
     /// census probe template: each send is a refcount bump, not a fresh
     /// allocation.
     probe_payload: netsim::Payload,
-    /// Evidence per probed host.
-    pub evidence: HashMap<Ipv4Addr, HostEvidence>,
+    /// Evidence per probed host — address-sorted (`BTreeMap`) so any
+    /// report surface iterating it renders byte-identically every run.
+    pub evidence: BTreeMap<Ipv4Addr, HostEvidence>,
 }
 
 const PACE_TOKEN: u64 = u64::MAX;
@@ -73,7 +74,7 @@ impl FingerprintScanner {
             config,
             cursor: 0,
             probe_payload: vec![0x00].into(),
-            evidence: HashMap::new(),
+            evidence: BTreeMap::new(),
         }
     }
 
@@ -138,7 +139,7 @@ pub fn run_fingerprint_scan(
     sim: &mut Simulator,
     node: NodeId,
     config: FingerprintConfig,
-) -> HashMap<Ipv4Addr, HostEvidence> {
+) -> BTreeMap<Ipv4Addr, HostEvidence> {
     sim.install(node, FingerprintScanner::new(config));
     sim.schedule_timer(node, SimDuration::ZERO, PACE_TOKEN);
     sim.run();
