@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod attack_sweep;
 pub mod campaign_sweep;
 pub mod cdf;
 pub mod census;
@@ -38,6 +39,9 @@ pub mod sensor_sweep;
 pub mod table;
 
 pub use aggregate::{by_country, figure3_cumulative, rank_by_transparent, CountryStats};
+pub use attack_sweep::{
+    run_attacks_cached, run_attacks_sharded, AmpCell, AttackMatrix, SensorEfficacy,
+};
 pub use campaign_sweep::{
     install_sensors, run_campaign_cached, run_campaign_sharded, CampaignSweep, DetectionMatrix,
     SensorTotals, ShardCaptures, CAMPAIGN_EPOCH, SENSOR_SHARD,

@@ -359,11 +359,11 @@ mod tests {
             RrType::Any,
             6,
         );
+        let any_len = any.wire_len().expect("ANY response encodes");
+        let a_len = a.wire_len().expect("A response encodes");
         assert!(
-            any.wire_len() > a.wire_len(),
-            "ANY response must be larger: {} vs {}",
-            any.wire_len(),
-            a.wire_len()
+            any_len > a_len,
+            "ANY response must be larger: {any_len} vs {a_len}"
         );
     }
 

@@ -1,0 +1,39 @@
+//! CI entry point for the deterministic wire-format fuzz harness.
+//!
+//! ```sh
+//! cargo run --release -p dnswire --bin wirefuzz            # quick mode
+//! cargo run --release -p dnswire --bin wirefuzz -- 250000  # deeper run
+//! ```
+//!
+//! Runs the fixed seed corpus plus seeded mutants (default
+//! [`dnswire::fuzz::QUICK_ITERATIONS`]) through the panic/desync/reparse
+//! oracles and exits non-zero on any violation, printing the offending
+//! input in hex so the failure replays anywhere. An optional positional
+//! argument overrides the iteration count; a second overrides the seed.
+
+use dnswire::fuzz::{run_fuzz, DEFAULT_SEED, QUICK_ITERATIONS};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let iterations: u64 = args
+        .next()
+        .map(|a| a.parse().expect("iteration count must be a number"))
+        .unwrap_or(QUICK_ITERATIONS);
+    let seed: u64 = args
+        .next()
+        .map(|a| a.parse().expect("seed must be a number"))
+        .unwrap_or(DEFAULT_SEED);
+
+    let report = run_fuzz(seed, iterations);
+    println!("wirefuzz seed={seed:#018x}: {}", report.summary());
+    if report.clean() {
+        return;
+    }
+    for failure in &report.failures {
+        eprintln!(
+            "FAIL input #{}: {:?}\n  bytes: {}",
+            failure.index, failure.kind, failure.input_hex
+        );
+    }
+    std::process::exit(1);
+}

@@ -41,6 +41,15 @@ pub enum WireError {
     },
     /// A TXT segment exceeded 255 bytes.
     TxtSegmentTooLong(usize),
+    /// A message section held more entries than the 16-bit header count
+    /// can announce — encoding would silently truncate the count and emit
+    /// a self-desynchronized packet.
+    SectionCountOverflow {
+        /// Which section overflowed.
+        section: &'static str,
+        /// Entries actually present.
+        len: usize,
+    },
     /// Trailing bytes after the message body. The transactional scanner
     /// treats those as a middlebox distortion (§4.1).
     TrailingBytes(usize),
@@ -71,6 +80,9 @@ impl fmt::Display for WireError {
                 write!(f, "RDLENGTH {declared} but consumed {consumed}")
             }
             WireError::TxtSegmentTooLong(n) => write!(f, "TXT segment of {n} bytes exceeds 255"),
+            WireError::SectionCountOverflow { section, len } => {
+                write!(f, "{section} section of {len} entries exceeds u16 count")
+            }
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
         }
     }

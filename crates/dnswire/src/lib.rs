@@ -45,10 +45,12 @@ mod question;
 mod rdata;
 
 pub mod builder;
+pub mod fuzz;
 pub mod template;
 
 pub use builder::MessageBuilder;
 pub use error::WireError;
+pub use fuzz::{run_fuzz, FuzzFailure, FuzzReport};
 pub use header::{Flags, Header, Opcode, Rcode, HEADER_LEN};
 pub use message::{peek_id, peek_qr, Message};
 pub use name::DnsName;

@@ -39,12 +39,18 @@ impl Message {
 
     /// Encode to wire bytes, reporting errors.
     pub fn try_encode(&self) -> Result<Vec<u8>, WireError> {
+        // Section counts are 16-bit on the wire; a longer section must be
+        // an error, not an `as u16` truncation that would emit a header
+        // announcing 1 record for a 65 537-record body.
+        let count = |len: usize, section: &'static str| -> Result<u16, WireError> {
+            u16::try_from(len).map_err(|_| WireError::SectionCountOverflow { section, len })
+        };
         let mut buf = Vec::with_capacity(128);
         let mut header = self.header;
-        header.qdcount = self.questions.len() as u16;
-        header.ancount = self.answers.len() as u16;
-        header.nscount = self.authorities.len() as u16;
-        header.arcount = self.additionals.len() as u16;
+        header.qdcount = count(self.questions.len(), "question")?;
+        header.ancount = count(self.answers.len(), "answer")?;
+        header.nscount = count(self.authorities.len(), "authority")?;
+        header.arcount = count(self.additionals.len(), "additional")?;
         header.encode(&mut buf);
         let mut offsets: HashMap<String, usize> = HashMap::new();
         for q in &self.questions {
@@ -83,12 +89,21 @@ impl Message {
         }
         let mut pos = 0usize;
         let header = Header::decode(msg, &mut pos)?;
-        let mut questions = Vec::with_capacity(header.qdcount as usize);
+        // Header counts are attacker-controlled: a 12-byte runt may claim
+        // 65 535 answers. Preallocate only what the remaining bytes could
+        // possibly hold; pathological counts then fail on the first
+        // truncated entry having reserved nothing.
+        let mut questions = Vec::with_capacity(capped_capacity(
+            header.qdcount,
+            QUESTION_MIN_WIRE_LEN,
+            pos,
+            msg,
+        ));
         for _ in 0..header.qdcount {
             questions.push(Question::decode(msg, &mut pos)?);
         }
         let mut decode_section = |count: u16| -> Result<Vec<Record>, WireError> {
-            let mut out = Vec::with_capacity(count as usize);
+            let mut out = Vec::with_capacity(capped_capacity(count, RECORD_MIN_WIRE_LEN, pos, msg));
             for _ in 0..count {
                 out.push(Record::decode(msg, &mut pos)?);
             }
@@ -159,11 +174,29 @@ impl Message {
         }
     }
 
-    /// Approximate amplification factor of a response relative to a query,
-    /// in wire bytes (used by the misuse-potential study, §6).
-    pub fn wire_len(&self) -> usize {
-        self.try_encode().map(|b| b.len()).unwrap_or(0)
+    /// Encoded size in wire bytes (used by the misuse-potential study, §6,
+    /// as the numerator/denominator of amplification factors).
+    ///
+    /// Encoding failures propagate: a message that cannot encode has no
+    /// wire length, and mapping it to `0` would silently zero the
+    /// amplification factors computed from it.
+    pub fn wire_len(&self) -> Result<usize, WireError> {
+        self.try_encode().map(|b| b.len())
     }
+}
+
+/// Smallest wire footprint of a question: 1-byte root name + type + class.
+const QUESTION_MIN_WIRE_LEN: usize = 5;
+/// Smallest wire footprint of a record: 1-byte root name + the 10-byte
+/// fixed part (type, class, TTL, RDLENGTH) with empty RDATA.
+const RECORD_MIN_WIRE_LEN: usize = 11;
+
+/// How many entries of at-least-`min_len` wire bytes could still fit in
+/// `msg` past `pos` — the safe upper bound for section preallocation. The
+/// claimed `count` is only honored up to that bound.
+fn capped_capacity(count: u16, min_len: usize, pos: usize, msg: &[u8]) -> usize {
+    let fit = msg.len().saturating_sub(pos) / min_len;
+    (count as usize).min(fit)
 }
 
 /// Extract `(id, qname)` cheaply from a raw packet without a full decode.
@@ -190,7 +223,7 @@ pub fn peek_qr(msg: &[u8]) -> Option<bool> {
 mod tests {
     use super::*;
     use crate::name::DnsName;
-    use crate::rdata::RrType;
+    use crate::rdata::{Class, RrType};
 
     fn sample_response() -> Message {
         let qname = DnsName::parse("odns-study.example.").unwrap();
@@ -328,6 +361,82 @@ mod tests {
             Message::decode(&big),
             Err(WireError::MessageTooLong(_))
         ));
+    }
+
+    #[test]
+    fn oversized_section_count_is_an_error_not_a_truncation() {
+        // Regression: `as u16` used to truncate 65 537 to 1, emitting a
+        // header that announced one answer for a 65 537-record body.
+        let mut m = Message::default();
+        let rec = Record::a(DnsName::root(), 0, Ipv4Addr::new(192, 0, 2, 1));
+        m.answers = vec![rec; u16::MAX as usize + 2];
+        assert_eq!(
+            m.try_encode(),
+            Err(WireError::SectionCountOverflow {
+                section: "answer",
+                len: u16::MAX as usize + 2,
+            })
+        );
+    }
+
+    #[test]
+    fn exactly_u16_max_entries_still_encode_their_count() {
+        // The boundary itself is legal; only the body-length cap applies.
+        let mut m = Message::default();
+        let rec = Record::a(DnsName::root(), 0, Ipv4Addr::new(192, 0, 2, 1));
+        m.answers = vec![rec; u16::MAX as usize];
+        // 65 535 × 15 bytes blows MAX_MESSAGE_LEN, but the *count* is fine:
+        // the error must be the length cap, not a count overflow.
+        assert!(matches!(m.try_encode(), Err(WireError::MessageTooLong(_))));
+    }
+
+    #[test]
+    fn runt_header_counts_do_not_reserve_memory() {
+        // A 12-byte runt claiming 65 535 answers used to reserve
+        // 65 535 × sizeof(Record) per section before the first decode
+        // error. The cap bounds preallocation by what the remaining bytes
+        // could hold.
+        assert_eq!(
+            capped_capacity(0xFFFF, RECORD_MIN_WIRE_LEN, 12, &[0u8; 12]),
+            0
+        );
+        assert_eq!(
+            capped_capacity(0xFFFF, QUESTION_MIN_WIRE_LEN, 12, &[0u8; 12]),
+            0
+        );
+        // 34 bytes past the header fit exactly 3 minimal 11-byte records.
+        assert_eq!(
+            capped_capacity(0xFFFF, RECORD_MIN_WIRE_LEN, 12, &[0u8; 46]),
+            3
+        );
+        // Honest counts below the bound pass through unchanged.
+        assert_eq!(capped_capacity(2, RECORD_MIN_WIRE_LEN, 12, &[0u8; 4096]), 2);
+
+        // And the runt itself still fails cleanly.
+        let mut runt = vec![0u8; crate::header::HEADER_LEN];
+        runt[6] = 0xFF;
+        runt[7] = 0xFF; // ancount = 65 535
+        assert!(matches!(
+            Message::decode(&runt),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn wire_len_propagates_encode_failure() {
+        // Regression: an unencodable message used to report wire length 0,
+        // silently zeroing amplification factors in the §6 misuse study.
+        let ok = sample_response();
+        assert_eq!(ok.wire_len().unwrap(), ok.encode().len());
+
+        let mut bad = Message::default();
+        bad.answers.push(Record {
+            name: DnsName::root(),
+            class: Class::In,
+            ttl: 0,
+            rdata: crate::rdata::RData::Txt(vec![vec![0u8; 256]]),
+        });
+        assert_eq!(bad.wire_len(), Err(WireError::TxtSegmentTooLong(256)));
     }
 
     #[test]

@@ -424,7 +424,20 @@ impl Record {
         let ttl = u32::from_be_bytes([msg[*pos + 4], msg[*pos + 5], msg[*pos + 6], msg[*pos + 7]]);
         let rdlength = u16::from_be_bytes([msg[*pos + 8], msg[*pos + 9]]) as usize;
         *pos += 10;
+        let rdata_start = *pos;
         let rdata = RData::decode(rtype, msg, pos, rdlength)?;
+        // Structural guarantee, independent of the per-type arms inside
+        // `RData::decode`: the record body consumed exactly RDLENGTH
+        // bytes. A skewed RDLENGTH (an NS/CNAME name that under- or
+        // over-runs the declared length) would otherwise desynchronize
+        // `pos` for every subsequent record — the Injection-Attacks
+        // parser-confusion class.
+        if *pos != rdata_start + rdlength {
+            return Err(WireError::RdataLengthMismatch {
+                declared: rdlength,
+                consumed: *pos - rdata_start,
+            });
+        }
         Ok(Record {
             name,
             class,
@@ -500,6 +513,66 @@ mod tests {
             Record::decode(&buf, &mut pos),
             Err(WireError::RdataLengthMismatch { declared: 5, .. })
         ));
+    }
+
+    /// Hand-build a record with an arbitrary RDLENGTH over `rdata` bytes.
+    fn skewed(rtype: u16, rdlength: u16, rdata: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        DnsName::parse("x.").unwrap().encode_uncompressed(&mut buf);
+        buf.extend_from_slice(&rtype.to_be_bytes());
+        buf.extend_from_slice(&1u16.to_be_bytes()); // class IN
+        buf.extend_from_slice(&60u32.to_be_bytes());
+        buf.extend_from_slice(&rdlength.to_be_bytes());
+        buf.extend_from_slice(rdata);
+        buf
+    }
+
+    #[test]
+    fn ns_rdlength_underrun_rejected() {
+        // Regression (parser-confusion class): RDLENGTH 5 over an NS name
+        // that only spans 3 bytes. Without the consumed-exactly check the
+        // 2 surplus bytes would be reparsed as the next record's owner
+        // name, desynchronizing every record that follows.
+        let buf = skewed(2, 5, &[1, b'a', 0, 0xC0, 0x00]);
+        let mut pos = 0;
+        assert_eq!(
+            Record::decode(&buf, &mut pos),
+            Err(WireError::RdataLengthMismatch {
+                declared: 5,
+                consumed: 3,
+            })
+        );
+    }
+
+    #[test]
+    fn cname_rdlength_overrun_rejected() {
+        // RDLENGTH 2 over a CNAME name spanning 3 bytes: the name reads
+        // one byte past the declared RDATA end, stealing it from the next
+        // record.
+        let buf = skewed(5, 2, &[1, b'a', 0]);
+        let mut pos = 0;
+        assert_eq!(
+            Record::decode(&buf, &mut pos),
+            Err(WireError::RdataLengthMismatch {
+                declared: 2,
+                consumed: 3,
+            })
+        );
+    }
+
+    #[test]
+    fn mx_rdlength_skew_rejected() {
+        // Preference (2 bytes) + root exchange (1 byte) = 3 consumed, 4
+        // declared.
+        let buf = skewed(15, 4, &[0, 10, 0, 0]);
+        let mut pos = 0;
+        assert_eq!(
+            Record::decode(&buf, &mut pos),
+            Err(WireError::RdataLengthMismatch {
+                declared: 4,
+                consumed: 3,
+            })
+        );
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! The adversarial regression corpus: one deterministic reproducer per
+//! historical wire-parser bug, plus the seeded fuzz harness in quick mode
+//! (≥10k mutated inputs) asserting zero panics and zero parser desyncs.
+//!
+//! Everything here is fixed-seed and wall-clock-free: a failure on any
+//! machine replays bit-identically on every other.
+
+use dnswire::fuzz::{run_fuzz, seed_corpus, DEFAULT_SEED, QUICK_ITERATIONS};
+use dnswire::{DnsName, Message, MessageBuilder, RrType, WireError};
+use std::net::Ipv4Addr;
+
+/// Bug 1 reproducer — skewed RDLENGTH (parser-confusion class): an NS
+/// record declaring 5 RDATA bytes over a 3-byte name, followed by a
+/// well-formed A record. Before the consumed-exactly check the two
+/// surplus bytes shifted the parse of everything after them.
+#[test]
+fn skewed_rdlength_cannot_desync_following_records() {
+    let mut msg = Vec::new();
+    // Header: id 0xBAD, response, ancount = 2.
+    msg.extend_from_slice(&[0x0B, 0xAD, 0x80, 0x00, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00]);
+    msg.extend_from_slice(&[0x00, 0x00]);
+    // Answer 1: root NS with RDLENGTH 5 over a 3-byte name.
+    msg.extend_from_slice(&[0x00]); // owner: root
+    msg.extend_from_slice(&2u16.to_be_bytes()); // NS
+    msg.extend_from_slice(&1u16.to_be_bytes()); // IN
+    msg.extend_from_slice(&60u32.to_be_bytes());
+    msg.extend_from_slice(&5u16.to_be_bytes()); // RDLENGTH lie
+    msg.extend_from_slice(&[1, b'a', 0]); // actual 3-byte name
+    msg.extend_from_slice(&[0x00, 0x00]); // the 2 smuggled bytes
+                                          // Answer 2: a well-formed root A record.
+    msg.extend_from_slice(&[0x00]);
+    msg.extend_from_slice(&1u16.to_be_bytes());
+    msg.extend_from_slice(&1u16.to_be_bytes());
+    msg.extend_from_slice(&60u32.to_be_bytes());
+    msg.extend_from_slice(&4u16.to_be_bytes());
+    msg.extend_from_slice(&[192, 0, 2, 200]);
+
+    assert_eq!(
+        Message::decode(&msg),
+        Err(WireError::RdataLengthMismatch {
+            declared: 5,
+            consumed: 3,
+        }),
+        "skewed RDLENGTH must be rejected, not silently reparsed"
+    );
+}
+
+/// Bug 2 reproducer — section-count truncation: 65 537 answers used to
+/// encode as `ancount = 1` via `as u16`.
+#[test]
+fn section_count_overflow_rejected_on_encode() {
+    let mut m = Message::default();
+    let rec = dnswire::Record::a(DnsName::root(), 0, Ipv4Addr::new(192, 0, 2, 1));
+    m.answers = vec![rec; u16::MAX as usize + 2];
+    assert_eq!(
+        m.try_encode(),
+        Err(WireError::SectionCountOverflow {
+            section: "answer",
+            len: u16::MAX as usize + 2,
+        })
+    );
+}
+
+/// Bug 3 reproducer — attacker-controlled preallocation: a 12-byte runt
+/// claiming 65 535 entries in every section must fail cleanly (and, per
+/// the capped-capacity fix, without reserving megabytes first — the cap
+/// itself is unit-tested next to the decoder).
+#[test]
+fn runt_with_inflated_counts_fails_cleanly() {
+    let mut runt = vec![0u8; 12];
+    for field in [4usize, 6, 8, 10] {
+        runt[field] = 0xFF;
+        runt[field + 1] = 0xFF;
+    }
+    assert!(matches!(
+        Message::decode(&runt),
+        Err(WireError::Truncated { .. })
+    ));
+}
+
+/// Bug 4 reproducer — `wire_len` used to map encode failure to 0,
+/// zeroing the §6 amplification factors computed from it.
+#[test]
+fn wire_len_reports_unencodable_messages() {
+    let q = MessageBuilder::query(1, DnsName::root(), RrType::A).build();
+    assert_eq!(q.wire_len().unwrap(), q.encode().len());
+
+    let mut bad = Message::default();
+    bad.answers.push(dnswire::Record {
+        name: DnsName::root(),
+        class: dnswire::Class::In,
+        ttl: 0,
+        rdata: dnswire::RData::Txt(vec![vec![0u8; 256]]),
+    });
+    assert_eq!(bad.wire_len(), Err(WireError::TxtSegmentTooLong(256)));
+}
+
+/// Compression-pointer games: self-pointing, forward-pointing, and
+/// header-targeting pointers must all be rejected without panics.
+#[test]
+fn pointer_games_rejected() {
+    // Self-pointing question name.
+    let mut own = vec![0u8; 12];
+    own[5] = 1; // qdcount
+    own.extend_from_slice(&[0xC0, 0x0C, 0x00, 0x01, 0x00, 0x01]);
+    assert!(Message::decode(&own).is_err());
+
+    // Forward-pointing name.
+    let mut fwd = vec![0u8; 12];
+    fwd[5] = 1;
+    fwd.extend_from_slice(&[0xC0, 0x20, 0x00, 0x01, 0x00, 0x01]);
+    assert!(Message::decode(&fwd).is_err());
+}
+
+/// The full quick-mode harness: the fixed corpus plus ≥10k seeded mutants
+/// through the panic/desync/reparse oracle — the acceptance gate.
+#[test]
+fn quick_fuzz_finds_no_panics_or_desyncs() {
+    let report = run_fuzz(DEFAULT_SEED, QUICK_ITERATIONS);
+    assert!(report.clean(), "oracle violations:\n{:#?}", report.failures);
+    assert_eq!(report.inputs, QUICK_ITERATIONS + seed_corpus().len() as u64);
+    assert!(
+        report.decode_ok > 0,
+        "mutants must include decodable inputs"
+    );
+    assert!(report.decode_err > 0, "mutants must include hostile inputs");
+}
+
+/// Determinism of the harness itself: same seed, same report.
+#[test]
+fn fuzz_harness_is_deterministic() {
+    assert_eq!(run_fuzz(0xFEED, 1_000), run_fuzz(0xFEED, 1_000));
+}

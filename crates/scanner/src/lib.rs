@@ -11,7 +11,10 @@
 //! * [`HoneypotSensor`] (`dns-honeypot-sensors`) — the three sensors of
 //!   the controlled experiment (§3.1);
 //! * [`FingerprintScanner`] — Shodan-style banner grabbing for the device
-//!   attribution of Appendix E.
+//!   attribution of Appendix E;
+//! * [`ReflectionAttacker`] / [`VictimMeter`] — the §6 misuse model:
+//!   spoofed-source reflection campaigns with per-plan victim attribution,
+//!   feeding the analysis crate's amplification matrix.
 //!
 //! The classification rules live in [`mod@classify`] and are shared with the
 //! analysis crate.
@@ -19,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attacks;
 pub mod campaigns;
 pub mod classify;
 pub mod fingerprint;
@@ -27,6 +31,10 @@ pub mod sensors;
 pub mod shard;
 pub mod transactional;
 
+pub use attacks::{
+    run_reflections, AttackSpend, AttackVector, ReflectionAttacker, ReflectionPlan, VictimMeter,
+    VictimTally,
+};
 pub use campaigns::{
     run_campaign, run_campaign_delayed, Campaign, CampaignConfig, CampaignReport, CampaignScanner,
 };

@@ -1,95 +1,61 @@
-//! §6 misuse potential: transparent forwarders as invisible diffusers of
-//! reflective amplification — and why the sensors' rate limiting makes
-//! honeypots useless to attackers.
+//! §6 misuse potential, generalized: seeded spoofed-source reflection
+//! campaigns through every ODNS component class, rolled into the
+//! per-component [`analysis::AttackMatrix`] — plus the sensor rate-limiter
+//! efficacy row showing why honeypots are useless to attackers.
 //!
 //! ```sh
 //! cargo run --release --example amplification_study
 //! ```
 
-use dnswire::{MessageBuilder, RrType};
+use analysis::attack_sweep::run_attacks_sharded;
 use inetgen::{CountrySelection, GenConfig};
-use netsim::testkit::ScriptedClient;
-use netsim::{SimDuration, UdpSend};
+use scanner::attacks::AttackVector;
+use scanner::OdnsClass;
 
 fn main() {
-    println!("== Misuse study: reflective amplification through transparent forwarders ==\n");
+    println!("== Misuse study: reflective amplification across the ODNS component classes ==\n");
     let config = GenConfig {
         countries: CountrySelection::Codes(vec!["BRA", "IND"]),
         scale: 1_000,
         dud_fraction: 0.0,
         ..GenConfig::default()
     };
-    let mut internet = inetgen::generate(&config);
-    let victim_node = internet.fixtures.victim;
-    let victim_ip = internet.fixtures.victim_ip;
 
-    let diffusers: Vec<_> = internet
-        .truth
-        .transparent_ips()
-        .into_iter()
-        .take(100)
-        .collect();
-    println!("attacker: 1 spoofing box (SAV-free network)");
-    println!("diffusers: {} transparent forwarders", diffusers.len());
-    println!("victim: {victim_ip}\n");
+    println!("attacker : 1 spoofing box (SAV-free network)");
+    println!("vectors  : ANY, TXT, ANY+EDNS(4096) — spoofed with the victim's source");
+    println!("diffusers: every planted resolver, recursive forwarder, and transparent forwarder");
+    println!("victim   : per-pass reply ports attribute each vector/component pair\n");
 
-    // ANY query for maximum response size.
-    let query = MessageBuilder::query(0xDDD, odns::study::study_qname(), RrType::Any)
-        .recursion_desired(true)
-        .build()
-        .encode();
-    let query = netsim::Payload::from(query);
-    let query_len = query.len();
+    let matrix = run_attacks_sharded(&config, 2);
+    println!("{}", matrix.render().render());
 
-    let attacker_node = internet.fixtures.sensor3; // a SAV-free fixture box
-    let mut attacker = ScriptedClient::new();
-    let mut sends = Vec::new();
-    for (i, d) in diffusers.iter().enumerate() {
-        let token = attacker.push(UdpSend {
-            src: Some(victim_ip),
-            src_port: 4444,
-            dst: *d,
-            dst_port: 53,
-            ttl: None,
-            payload: query.clone(),
-        });
-        sends.push((SimDuration::from_micros(i as u64 * 200), token));
-    }
-    internet.sim.install(attacker_node, attacker);
-    for (delay, token) in sends {
-        internet.sim.schedule_timer(attacker_node, delay, token);
-    }
-    internet.sim.install(victim_node, ScriptedClient::new());
-    internet.sim.run();
-
-    let victim: &ScriptedClient = internet.sim.host_as(victim_node).unwrap();
-    let received: usize = victim.datagrams.iter().map(|(_, d)| d.payload.len()).sum();
-    let sent = query_len * diffusers.len();
-    let mut sources: Vec<_> = victim.datagrams.iter().map(|(_, d)| d.src).collect();
-    sources.sort();
-    sources.dedup();
-
+    let s = &matrix.sensors;
     println!(
-        "attacker sent     : {} packets, {} bytes",
-        diffusers.len(),
-        sent
+        "\nsensor flood      : {} spoofed queries ({} bytes) at sensors 1+2",
+        s.attack_queries, s.attack_bytes
     );
     println!(
-        "victim received   : {} packets, {} bytes from {} distinct resolver addresses",
-        victim.datagrams.len(),
-        received,
-        sources.len()
+        "limiters shed     : {} of {} ({:.0}%) — victim saw only {} packets / {} bytes",
+        s.rate_limited,
+        s.queries,
+        s.shed_fraction() * 100.0,
+        s.victim.packets,
+        s.victim.bytes
     );
+
+    let tf_cell = matrix
+        .cell(AttackVector::Any, OdnsClass::TransparentForwarder)
+        .expect("transparent-forwarder pass ran");
     println!(
-        "amplification     : {:.2}x (bytes at victim / bytes spent)",
-        received as f64 / sent as f64
+        "\nresolver addresses seen by the victim of the transparent-forwarder pass: {:?}",
+        tf_cell.sources
     );
-    println!("\nresolver addresses seen by the victim: {sources:?}");
     println!(
         "\nNone of these are the diffusing forwarders: the attack arrives from\n\
-         well-known public resolvers (reaching multiple PoPs despite the\n\
-         attacker's single box), and attribution of the diffusion layer is\n\
-         impossible from the victim's viewpoint — the paper's §6 argument\n\
-         for why transparent forwarders intensify the ODNS threat."
+         well-known public resolvers, and attribution of the diffusion layer is\n\
+         impossible from the victim's viewpoint — the paper's §6 argument for\n\
+         why transparent forwarders intensify the ODNS threat. The honeypot\n\
+         sensors' one-answer-per-5-minutes-per-/24 policy, measured in the\n\
+         flood row above, is what keeps research deployments off that list."
     );
 }

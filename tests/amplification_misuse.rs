@@ -8,6 +8,8 @@ use dnswire::{DnsName, MessageBuilder, RrType};
 use inetgen::{generate, CountrySelection, GenConfig};
 use netsim::testkit::ScriptedClient;
 use netsim::{SimDuration, UdpSend};
+use scanner::attacks::AttackVector;
+use scanner::OdnsClass;
 
 #[test]
 fn spoofed_queries_amplify_at_the_victim() {
@@ -159,4 +161,75 @@ fn rate_limited_sensors_are_useless_as_amplifiers() {
         "rate limiting must cap the reflected volume, got {}",
         victim.datagrams.len()
     );
+}
+
+#[test]
+fn attack_matrix_reports_per_component_amplification() {
+    // The generalized §6 instrument: the full attack sweep over one world,
+    // checked against the ground truth of the same generation config.
+    let config = GenConfig {
+        countries: CountrySelection::Codes(vec!["BRA"]),
+        scale: 2_000,
+        dud_fraction: 0.0,
+        ..GenConfig::default()
+    };
+    let matrix = analysis::run_attacks_sharded(&config, 1);
+
+    // Every component class amplifies under every vector — the factor the
+    // matrix exists to report.
+    for class in OdnsClass::all() {
+        for vector in AttackVector::all() {
+            let cell = matrix
+                .cell(vector, class)
+                .unwrap_or_else(|| panic!("{vector}/{class:?} cell missing"));
+            assert!(cell.queries > 0, "{vector}/{class:?}: pass never fired");
+            assert!(
+                cell.amplification() > 1.0,
+                "{vector}/{class:?}: factor {:.2}",
+                cell.amplification()
+            );
+        }
+    }
+
+    // The EDNS vector pays OPT overhead per query while this zoo answers
+    // within 512 bytes regardless, so per class it reflects the same bytes
+    // at a strictly worse rate than plain ANY.
+    for class in OdnsClass::all() {
+        let any = matrix.cell(AttackVector::Any, class).unwrap();
+        let edns = matrix.cell(AttackVector::EdnsAny, class).unwrap();
+        assert_eq!(any.responses, edns.responses, "{class:?}: same reflectors");
+        assert_eq!(any.bytes_at_victim, edns.bytes_at_victim);
+        assert!(edns.amplification() < any.amplification());
+    }
+
+    // Invisibility, per component: the transparent-forwarder pass arrives
+    // at the victim exclusively from resolver addresses, while recursive
+    // forwarders and resolvers expose themselves.
+    let truth = generate(&config).truth;
+    let tf_cell = matrix
+        .cell(AttackVector::Any, OdnsClass::TransparentForwarder)
+        .unwrap();
+    for diffuser in truth.transparent_ips() {
+        assert!(
+            !tf_cell.sources.contains(&diffuser),
+            "response source {diffuser} exposes a diffuser"
+        );
+    }
+    let rf_cell = matrix
+        .cell(AttackVector::Any, OdnsClass::RecursiveForwarder)
+        .unwrap();
+    assert!(
+        truth
+            .hosts
+            .iter()
+            .filter(|h| h.class == inetgen::PlantedClass::RecursiveForwarder)
+            .any(|h| rf_cell.sources.contains(&h.ip)),
+        "recursive forwarders answer as themselves"
+    );
+
+    // The sensors' rate limiters make them useless in the same matrix: the
+    // flood row sheds nearly everything and the victim sees one answer per
+    // sensor instance.
+    assert!(matrix.sensors.rate_limited > matrix.sensors.answered);
+    assert_eq!(matrix.sensors.victim.packets, matrix.sensors.answered);
 }
