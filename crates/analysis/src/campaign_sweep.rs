@@ -405,7 +405,7 @@ fn shard_campaign_pass(
     let scanner_node = world.fixtures.scanner;
     world.sim.tap(scanner_node);
     let scan = ScanConfig::new(world.targets.clone());
-    let (probes, responses) = run_scan_raw(&mut world.sim, scanner_node, scan);
+    let (probes, responses, _retry) = run_scan_raw(&mut world.sim, scanner_node, scan);
     let scan_capture = world
         .sim
         .take_capture(scanner_node)

@@ -43,6 +43,9 @@ pub struct Census {
     pub unmatched_responses: usize,
     /// Responses that arrived past the timeout.
     pub late_responses: usize,
+    /// Answers discarded because their probe was already answered — wire
+    /// duplicates and answers from superseded retransmission attempts.
+    pub late_answers_discarded: usize,
 }
 
 impl Census {
@@ -79,6 +82,7 @@ impl Census {
             rows,
             unmatched_responses: 0,
             late_responses: 0,
+            late_answers_discarded: 0,
         }
     }
 
@@ -159,11 +163,12 @@ impl Census {
 /// fixture node; the simulator's event loop drains completely (probe
 /// pacing + 20 s timeout are simulated time, not wall time).
 pub fn run_census(internet: &mut Internet, config: &ClassifierConfig) -> Census {
-    let scan = ScanConfig::new(internet.targets.clone());
+    let scan = census_scan_config(internet);
     let outcome = scanner::run_scan(&mut internet.sim, internet.fixtures.scanner, scan);
     let mut census = Census::from_transactions(&outcome.transactions, &internet.geo, config);
     census.unmatched_responses = outcome.unmatched_responses;
     census.late_responses = outcome.late_responses;
+    census.late_answers_discarded = outcome.late_answers_discarded;
     census
 }
 
@@ -187,14 +192,30 @@ pub(crate) fn census_part(
     let mut part = Census::from_transactions(&outcome.transactions, geo, config);
     part.unmatched_responses = outcome.unmatched_responses;
     part.late_responses = outcome.late_responses;
+    part.late_answers_discarded = outcome.late_answers_discarded;
     part
+}
+
+/// The scan configuration a census world gets: the paper's defaults on a
+/// clean network; on a faulty one, target-keyed tuples — the fault
+/// plane's verdicts hash each probe's flow identity, and only the
+/// target-keyed identity is the same for every shard count, so lossy
+/// censuses stay partition-invariant (see [`scanner::TupleScheme`]).
+fn census_scan_config(world: &Internet) -> ScanConfig {
+    let scan = ScanConfig::new(world.targets.clone());
+    if world.sim.faults_active() {
+        scan.with_target_keyed_tuples()
+    } else {
+        scan
+    }
 }
 
 /// One shard's census experiment: transactional scan, correlated and
 /// classified in-worker against the shard's own lookup database.
 pub(crate) fn census_shard_pass(world: &mut Internet, config: &ClassifierConfig) -> Census {
-    let scan = ScanConfig::new(world.targets.clone());
-    let (probes, responses) = scanner::run_scan_raw(&mut world.sim, world.fixtures.scanner, scan);
+    let scan = census_scan_config(world);
+    let (probes, responses, _retry) =
+        scanner::run_scan_raw(&mut world.sim, world.fixtures.scanner, scan);
     census_part(probes, responses, &world.geo, config)
 }
 
@@ -212,6 +233,7 @@ pub(crate) fn merge_census_parts(parts: Vec<Census>) -> Census {
         merged.rows.extend(part.rows);
         merged.unmatched_responses += part.unmatched_responses;
         merged.late_responses += part.late_responses;
+        merged.late_answers_discarded += part.late_answers_discarded;
     }
     merged
 }
@@ -270,6 +292,7 @@ pub(crate) fn census_from_shard_records(
     let mut census = Census::from_transactions(&outcome.transactions, geo, config);
     census.unmatched_responses = outcome.unmatched_responses;
     census.late_responses = outcome.late_responses;
+    census.late_answers_discarded = outcome.late_answers_discarded;
     census
 }
 

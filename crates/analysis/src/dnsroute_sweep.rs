@@ -65,7 +65,8 @@ pub(crate) fn dnsroute_shard_pass(
     classifier: &ClassifierConfig,
 ) -> (Census, Vec<TraceResult>) {
     let scan = ScanConfig::new(world.targets.clone());
-    let (probes, responses) = scanner::run_scan_raw(&mut world.sim, world.fixtures.scanner, scan);
+    let (probes, responses, _retry) =
+        scanner::run_scan_raw(&mut world.sim, world.fixtures.scanner, scan);
     let part = census_part(probes, responses, &world.geo, classifier);
     let traces = dnsroute::run_dnsroute(
         &mut world.sim,

@@ -35,6 +35,7 @@ pub mod paths;
 pub mod pcap_ingest;
 pub mod ranking;
 pub mod report;
+pub mod resilience;
 pub mod sensor_sweep;
 pub mod table;
 
@@ -65,5 +66,8 @@ pub use pcap_ingest::{
     streams_from_pcap, IngestError,
 };
 pub use ranking::{table5_ranking, RankingRow};
+pub use resilience::{
+    run_resilience_sweep, sweep_fault_plan, sweep_retry_policy, ResilienceCell, ResilienceMatrix,
+};
 pub use sensor_sweep::{run_sensors_sharded, SensorSweep};
 pub use table::{pct, TextTable};

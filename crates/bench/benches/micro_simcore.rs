@@ -183,9 +183,23 @@ fn bench_hotpath() {
     println!(
         "hotpath/queue                            events/answered probe: {events_per_answered:.2}  timers coalesced: {coalesced}  wheel: {wheel_scheduled}  heap: {heap_scheduled}"
     );
+    // The hot path runs with faults off and a single-attempt policy, so
+    // every fault-plane and retry counter must read zero — the artifact
+    // records them so a leak of either layer into the clean path is
+    // visible in any run's JSON, not just in the dedicated tests.
+    assert_eq!(
+        (
+            stats.dropped_fault,
+            stats.dropped_corrupt,
+            stats.duplicates_injected,
+            stats.retransmits_sent
+        ),
+        (0, 0, 0, 0),
+        "fault plane or retry layer touched the clean hot path"
+    );
 
     let section = format!(
-        "{{\n    \"bench\": \"micro_simcore/hotpath\",\n    \"mode\": \"{}\",\n    \"world\": \"tiny_world (MUS+FSM, scale 1000)\",\n    \"scans\": {},\n    \"probes_per_scan\": {},\n    \"answered_probes\": {},\n    \"steady\": {{\n      \"probes_per_second\": {:.0},\n      \"events_per_second\": {:.0},\n      \"events_per_answered_probe\": {:.3},\n      \"timers_coalesced\": {},\n      \"events_wheel_scheduled\": {},\n      \"events_heap_scheduled\": {},\n      \"elapsed_seconds\": {:.6},\n      \"route_cache_hits\": {},\n      \"route_cache_misses\": {},\n      \"route_cache_hit_rate\": {:.6}\n    }},\n    \"baseline\": {{\n      \"note\": \"{}\",\n      \"steady_probes_per_second\": {:.0},\n      \"cold_world_probes_per_second\": {:.0},\n      \"events_per_answered_probe\": {:.2}\n    }},\n    \"speedup_vs_baseline_steady\": {:.2}\n  }}",
+        "{{\n    \"bench\": \"micro_simcore/hotpath\",\n    \"mode\": \"{}\",\n    \"world\": \"tiny_world (MUS+FSM, scale 1000)\",\n    \"scans\": {},\n    \"probes_per_scan\": {},\n    \"answered_probes\": {},\n    \"steady\": {{\n      \"probes_per_second\": {:.0},\n      \"events_per_second\": {:.0},\n      \"events_per_answered_probe\": {:.3},\n      \"timers_coalesced\": {},\n      \"events_wheel_scheduled\": {},\n      \"events_heap_scheduled\": {},\n      \"elapsed_seconds\": {:.6},\n      \"route_cache_hits\": {},\n      \"route_cache_misses\": {},\n      \"route_cache_hit_rate\": {:.6}\n    }},\n    \"faults\": {{\n      \"dropped_fault\": {},\n      \"dropped_corrupt\": {},\n      \"duplicates_injected\": {},\n      \"retransmits_sent\": {}\n    }},\n    \"baseline\": {{\n      \"note\": \"{}\",\n      \"steady_probes_per_second\": {:.0},\n      \"cold_world_probes_per_second\": {:.0},\n      \"events_per_answered_probe\": {:.2}\n    }},\n    \"speedup_vs_baseline_steady\": {:.2}\n  }}",
         if quick { "quick" } else { "full" },
         scans,
         probes_per_scan,
@@ -200,6 +214,10 @@ fn bench_hotpath() {
         stats.route_cache_hits,
         stats.route_cache_misses,
         hit_rate,
+        stats.dropped_fault,
+        stats.dropped_corrupt,
+        stats.duplicates_injected,
+        stats.retransmits_sent,
         BASELINE_NOTE,
         BASELINE_STEADY_PROBES_PER_SEC,
         BASELINE_COLD_WORLD_PROBES_PER_SEC,

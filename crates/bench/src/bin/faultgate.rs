@@ -1,0 +1,105 @@
+//! CI gate for census recall under packet loss.
+//!
+//! Runs a small, fully deterministic resilience sweep — the same warm
+//! shard worlds every time, fault verdicts keyed per flow from the
+//! generation seed — and fails if the retried census no longer clears
+//! the committed recall floor at the reference grid point (5 % loss,
+//! 2 retransmissions). Because nothing in the sweep is sampled at run
+//! time, any movement at all is a behaviour change in the pipeline, not
+//! noise; the floor sits below the expected value only to leave room
+//! for *intentional* world-generation changes to shift the planted set.
+//!
+//! The gate also pins the invariants the floor is meaningless without:
+//! a clean world must reach full recall with zero retransmissions (the
+//! retry layer must stay dormant when nothing is lost), retries must
+//! never *reduce* recall, and precision must be exactly 1.0 in every
+//! cell — loss may cost coverage, it must never fabricate a transparent
+//! forwarder.
+//!
+//! Usage: `faultgate [floor]` (default 0.93)
+
+use analysis::run_resilience_sweep;
+use inetgen::{CountrySelection, GenConfig, ShardWorldCache};
+use std::process::ExitCode;
+
+/// Reference grid point: 5 % loss, 2 retransmissions.
+const GATE_LOSS_PERMILLE: u32 = 50;
+const GATE_RETRIES: u8 = 2;
+const DEFAULT_FLOOR: f64 = 0.93;
+
+fn main() -> ExitCode {
+    let floor: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("floor must be a number"))
+        .unwrap_or(DEFAULT_FLOOR);
+
+    let config = GenConfig {
+        countries: CountrySelection::Codes(vec!["BRA", "TUR", "MUS"]),
+        scale: 2_000,
+        dud_fraction: 0.0,
+        ..GenConfig::default()
+    };
+    let mut cache = ShardWorldCache::new(config);
+    let matrix = run_resilience_sweep(&mut cache, 2, &[0, GATE_LOSS_PERMILLE], &[0, GATE_RETRIES]);
+    println!("faultgate: recall floor {floor} at 5% loss, 2 retries\n");
+    println!("{}", matrix.render().render());
+
+    let mut failed = false;
+    for ((loss, retries), cell) in matrix.cells.iter() {
+        if cell.false_positives != 0 {
+            failed = true;
+            println!(
+                "  FAIL — {} false positives at {loss}‰/{retries} retries: loss fabricated forwarders",
+                cell.false_positives
+            );
+        }
+    }
+
+    let clean = matrix.cell(0, GATE_RETRIES).expect("clean point swept");
+    if clean.recall() < 1.0 || clean.retransmits_sent != 0 {
+        failed = true;
+        println!(
+            "  FAIL — clean world: recall {:.3}, {} retransmits (want 1.000 and 0: the retry layer must stay dormant without loss)",
+            clean.recall(),
+            clean.retransmits_sent
+        );
+    }
+
+    let unretried = matrix
+        .cell(GATE_LOSS_PERMILLE, 0)
+        .expect("unretried point swept");
+    let gated = matrix
+        .cell(GATE_LOSS_PERMILLE, GATE_RETRIES)
+        .expect("gate point swept");
+    if gated.recall() < unretried.recall() {
+        failed = true;
+        println!(
+            "  FAIL — retries reduced recall: {:.3} with {} retries vs {:.3} without",
+            gated.recall(),
+            GATE_RETRIES,
+            unretried.recall()
+        );
+    }
+    if gated.recall() >= floor {
+        println!(
+            "  OK — recall {:.3} at 5% loss with {} retries (floor {floor}, unretried {:.3})",
+            gated.recall(),
+            GATE_RETRIES,
+            unretried.recall()
+        );
+    } else {
+        failed = true;
+        println!(
+            "  FAIL — recall {:.3} at 5% loss with {} retries fell below the committed floor {floor}",
+            gated.recall(),
+            GATE_RETRIES
+        );
+    }
+
+    if failed {
+        eprintln!("faultgate: census resilience regressed");
+        return ExitCode::FAILURE;
+    }
+    println!("\nfaultgate: recall holds under loss");
+    ExitCode::SUCCESS
+}

@@ -72,7 +72,6 @@ pub struct RecursiveForwarder {
     cache: Option<DnsCache>,
     pending: HashMap<(u16, u16), usize>,
     queries: Vec<PendingQuery>,
-    next_port: u16,
     timeout: SimDuration,
     device: Option<DeviceProfile>,
     manipulation: Manipulation,
@@ -94,7 +93,6 @@ impl RecursiveForwarder {
             cache: Some(DnsCache::new(64)),
             pending: HashMap::new(),
             queries: Vec::new(),
-            next_port: 2048,
             timeout: SimDuration::from_secs(5),
             device: None,
             manipulation: Manipulation::None,
@@ -178,14 +176,26 @@ impl RecursiveForwarder {
         self.resolver
     }
 
-    fn alloc_port(&mut self) -> u16 {
-        let p = self.next_port;
-        self.next_port = if self.next_port >= 65000 {
-            2048
-        } else {
-            self.next_port + 1
-        };
-        p
+    /// Upstream ephemeral port for a client query, keyed off the client
+    /// flow rather than an allocation counter. The upstream five-tuple is
+    /// then a pure function of the downstream query: per-flow fault
+    /// verdicts cannot depend on the order probes happen to arrive in
+    /// (and therefore cannot depend on the shard count). A counter hands
+    /// the fault-doomed port to whichever query arrives first.
+    fn flow_port(&self, client: Ipv4Addr, client_port: u16, txid: u16) -> u16 {
+        const BASE: u16 = 2048;
+        const SPAN: u64 = 65000 - BASE as u64 + 1;
+        let h = netsim::mix64(
+            (u64::from(u32::from(client)) << 32) | (u64::from(client_port) << 16) | u64::from(txid),
+        );
+        let mut port = BASE + (h % SPAN) as u16;
+        // On the rare (port, txid) collision with a query still in flight
+        // — or a client retransmit racing its own first attempt — probe
+        // linearly so the pending entry is never clobbered.
+        while self.pending.contains_key(&(port, txid)) {
+            port = if port >= 65000 { BASE } else { port + 1 };
+        }
+        port
     }
 }
 
@@ -316,8 +326,8 @@ impl Host for RecursiveForwarder {
         }
 
         // Forward upstream from our own address (the defining rewrite).
-        let port = self.alloc_port();
         let txid = query.header.id; // keep the ID; our port disambiguates
+        let port = self.flow_port(dgram.src, dgram.src_port, txid);
         self.queries.push(PendingQuery {
             client: dgram.src,
             client_port: dgram.src_port,

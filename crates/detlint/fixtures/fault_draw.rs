@@ -1,0 +1,13 @@
+//! Fixture: packet fate decided by sequential RNG draws instead of the
+//! flow-keyed fault plane. The draw order depends on event order, so a
+//! lossy run stops being bit-identical across shard counts.
+
+fn deliver(rng: &mut SmallRng, pkt: Packet) {
+    if rng.gen_bool(0.05) {
+        return; // dropped
+    }
+    if rng.gen_ratio(1, 50) {
+        duplicate(pkt.clone());
+    }
+    forward(pkt);
+}

@@ -44,6 +44,10 @@ pub const RULES: &[Rule] = &[
         summary: "floating-point key type in a map or set",
     },
     Rule {
+        id: "fault-draw",
+        summary: "gen_bool / gen_ratio — ad-hoc probability draw outside the netsim::fault plane",
+    },
+    Rule {
         id: "bad-suppression",
         summary: "detlint::allow without a justification, or naming an unknown rule",
     },
@@ -131,6 +135,17 @@ pub fn run_rules(lexed: &Lexed, ordered: bool) -> Vec<RawFinding> {
                     "env-dependent",
                     i,
                     "`option_env!` bakes the build environment into behaviour".into(),
+                );
+            }
+            "gen_bool" | "gen_ratio" => {
+                push(
+                    "fault-draw",
+                    i,
+                    format!(
+                        "`{name}` draws a probability ad hoc; packet-fate decisions must be \
+                         flow-keyed through `netsim::fault` (`FaultPlan::decide`) so a lossy \
+                         run stays bit-identical at any shard count"
+                    ),
                 );
             }
             "spawn" if path_head(i, &["thread"]) => {
@@ -319,6 +334,24 @@ mod tests {
     #[test]
     fn seeded_rng_is_fine() {
         assert!(rules_on("let r = SmallRng::seed_from_u64(7);", false).is_empty());
+    }
+
+    #[test]
+    fn fault_draw_variants() {
+        let found = rules_on(
+            "if rng.gen_bool(0.1) { drop(pkt); }\nlet dup = rng.gen_ratio(1, 20);",
+            false,
+        );
+        assert_eq!(
+            found,
+            vec![("fault-draw".to_string(), 1), ("fault-draw".to_string(), 2)]
+        );
+    }
+
+    #[test]
+    fn flow_keyed_fault_decision_is_fine() {
+        assert!(rules_on("let v = plan.decide(&key, country, kind);", false).is_empty());
+        assert!(rules_on(r#"let s = "gen_bool in prose";"#, false).is_empty());
     }
 
     #[test]

@@ -66,6 +66,11 @@ fn derive_hash_key_fixture_fails() {
 }
 
 #[test]
+fn fault_draw_fixture_fails() {
+    assert_flags("fault_draw.rs", "fault-draw");
+}
+
+#[test]
 fn bad_suppression_fixture_fails() {
     assert_flags("bad_suppression.rs", "bad-suppression");
     // The same fixture carries a stale-but-well-formed allow: it must

@@ -18,7 +18,9 @@
 //! Time Exceeded), plus a TTL-encoding transaction ID for DNS answers.
 
 use dnswire::{MessageBuilder, RrType};
-use netsim::{Ctx, Datagram, Host, IcmpMessage, NodeId, SimDuration, SimTime, Simulator, UdpSend};
+use netsim::{
+    Ctx, Datagram, Host, IcmpMessage, NodeId, RetryPolicy, SimDuration, SimTime, Simulator, UdpSend,
+};
 use odns::study;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -42,6 +44,13 @@ pub struct DnsRouteConfig {
     /// tool to classic traceroute — the ablation showing why "common
     /// traceroute" cannot see behind a transparent forwarder (§5).
     pub continue_past_target: bool,
+    /// Per-hop retransmission policy. On a silent hop timeout the probe
+    /// is re-sent (same TTL, same `(port, txid)`) up to
+    /// `retry.max_attempts` times before the hop is recorded anonymous
+    /// and the sweep advances. [`DnsRouteConfig::per_hop_timeout`] plays
+    /// the role of the initial RTO; the policy contributes the attempt
+    /// count, backoff multiplier, and jitter.
+    pub retry: RetryPolicy,
 }
 
 impl DnsRouteConfig {
@@ -59,6 +68,7 @@ impl DnsRouteConfig {
             start_gap: SimDuration::from_micros(200),
             base_port: 40_000,
             continue_past_target: true,
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -68,6 +78,26 @@ impl DnsRouteConfig {
             continue_past_target: false,
             ..Self::new(targets)
         }
+    }
+
+    /// Enable per-hop retransmissions (validated loudly).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        retry.assert_valid();
+        self.retry = retry;
+        self
+    }
+
+    /// The silent-hop wait after transmission `attempt` (0 = the TTL's
+    /// first probe): `per_hop_timeout` backed off by the retry policy's
+    /// multiplier, plus its deterministic jitter keyed by the probe's
+    /// `(target, ttl)` identity.
+    fn hop_wait(&self, idx: usize, ttl: u8, attempt: u8) -> SimDuration {
+        let policy = RetryPolicy {
+            initial_rto: self.per_hop_timeout,
+            ..self.retry
+        };
+        let key = ((idx as u64) << 8) | u64::from(ttl);
+        policy.rto_after(attempt) + policy.jitter_for(key, attempt)
     }
 }
 
@@ -140,6 +170,8 @@ struct TargetState {
     target: Ipv4Addr,
     port: u16,
     current_ttl: u8,
+    /// Transmissions of the current TTL's probe (1 after the first send).
+    attempts: u8,
     hops: Vec<Option<Ipv4Addr>>,
     target_seen_at: Option<u8>,
     dns: Option<DnsEndpoint>,
@@ -153,6 +185,8 @@ pub struct DnsRoutePlusPlus {
     states: Vec<TargetState>,
     port_to_target: HashMap<u16, usize>,
     started: usize,
+    /// Per-hop retransmissions sent across the whole sweep.
+    pub retransmits_sent: u64,
 }
 
 /// Timer token space: `START_TOKEN + i` starts target `i`;
@@ -187,6 +221,7 @@ impl DnsRoutePlusPlus {
                 target,
                 port: config.base_port + i as u16,
                 current_ttl: 0,
+                attempts: 0,
                 hops: Vec::new(),
                 target_seen_at: None,
                 dns: None,
@@ -200,11 +235,13 @@ impl DnsRoutePlusPlus {
             .enumerate()
             .map(|(i, s)| (s.port, i))
             .collect();
+        config.retry.assert_valid();
         DnsRoutePlusPlus {
             config,
             states,
             port_to_target,
             started: 0,
+            retransmits_sent: 0,
         }
     }
 
@@ -221,16 +258,10 @@ impl DnsRoutePlusPlus {
             .collect()
     }
 
-    fn send_probe(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
-        let s = &mut self.states[idx];
-        if s.done || s.current_ttl >= self.config.max_ttl {
-            s.done = true;
-            return;
-        }
-        s.current_ttl += 1;
-        let ttl = s.current_ttl;
-        s.hops.push(None); // provisional anonymous hop for this TTL
-        debug_assert_eq!(s.hops.len(), ttl as usize);
+    /// The wire probe for target `idx` at `ttl` — rebuilt identically for
+    /// every retransmission attempt.
+    fn probe_send(&self, idx: usize, ttl: u8) -> UdpSend {
+        let s = &self.states[idx];
         // The answer's txid is the only way to recover which probe TTL
         // reached the resolver, so the low byte carries the full 8-bit TTL
         // (no aliasing for any `max_ttl`); the high byte tags the target
@@ -239,16 +270,46 @@ impl DnsRoutePlusPlus {
         let query = MessageBuilder::query(txid, study::study_qname(), RrType::A)
             .recursion_desired(true)
             .build();
-        ctx.send_udp(UdpSend {
+        UdpSend {
             src: None,
             src_port: s.port,
             dst: s.target,
             dst_port: dnswire::DNS_PORT,
             ttl: Some(ttl),
             payload: query.encode().into(),
-        });
+        }
+    }
+
+    fn send_probe(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
+        let s = &mut self.states[idx];
+        if s.done || s.current_ttl >= self.config.max_ttl {
+            s.done = true;
+            return;
+        }
+        s.current_ttl += 1;
+        s.attempts = 1;
+        let ttl = s.current_ttl;
+        s.hops.push(None); // provisional anonymous hop for this TTL
+        debug_assert_eq!(s.hops.len(), ttl as usize);
+        let send = self.probe_send(idx, ttl);
+        ctx.send_udp(send);
         ctx.set_timer(
-            self.config.per_hop_timeout,
+            self.config.hop_wait(idx, ttl, 0),
+            ((idx as u64) << 8) | u64::from(ttl),
+        );
+    }
+
+    /// Retransmit the current TTL's probe after a silent wait: same
+    /// `(port, txid)`, same TTL, next backoff wait. The caller has
+    /// checked attempts remain.
+    fn retransmit_probe(&mut self, ctx: &mut Ctx<'_>, idx: usize, ttl: u8) {
+        let attempt = self.states[idx].attempts; // 0-based index of this transmission
+        let send = self.probe_send(idx, ttl);
+        ctx.send_udp_attempt(send, attempt);
+        self.states[idx].attempts += 1;
+        self.retransmits_sent += 1;
+        ctx.set_timer(
+            self.config.hop_wait(idx, ttl, attempt),
             ((idx as u64) << 8) | u64::from(ttl),
         );
     }
@@ -362,7 +423,13 @@ impl Host for DnsRoutePlusPlus {
             .map(|h| h.is_some())
             .unwrap_or(false);
         if !answered {
-            self.advance(ctx, idx);
+            // Silent hop: retransmit while the policy allows, then record
+            // it anonymous and move on.
+            if s.attempts < self.config.retry.max_attempts {
+                self.retransmit_probe(ctx, idx, ttl);
+            } else {
+                self.advance(ctx, idx);
+            }
         }
     }
 

@@ -72,6 +72,10 @@ struct World {
 }
 
 fn build_world_ext(scanner_access: &[Ipv4Addr]) -> World {
+    build_world_cfg(scanner_access, SimConfig::default())
+}
+
+fn build_world_cfg(scanner_access: &[Ipv4Addr], config: SimConfig) -> World {
     let mut b = TopologyBuilder::new();
     let a100 = b.add_as(as_spec(100, true, vec![Ipv4Addr::new(10, 100, 0, 1)]));
     let a200 = b.add_as(as_spec(
@@ -99,7 +103,7 @@ fn build_world_ext(scanner_access: &[Ipv4Addr]) -> World {
     let resolver = b.add_host(a400, HostSpec::simple(RESOLVER));
     let noise = b.add_host(a400, HostSpec::simple(NOISE));
 
-    let mut sim = Simulator::new(b.build().unwrap(), SimConfig::default());
+    let mut sim = Simulator::new(b.build().unwrap(), config);
     sim.install(forwarder, TransparentForwarder::new(RESOLVER));
     sim.install(recursive, odns::RecursiveForwarder::new(RESOLVER));
     sim.install(resolver, Canned);
@@ -361,4 +365,47 @@ fn multiple_targets_trace_concurrently() {
     assert_eq!(traces[1].target, RECURSIVE_HOST);
     assert!(traces[1].target_seen_at.is_none());
     assert!(traces[1].dns.is_some());
+}
+
+#[test]
+fn per_hop_retries_fill_hops_lost_to_faults() {
+    let faulty = |retry: netsim::RetryPolicy| {
+        let mut w = build_world_cfg(
+            &[],
+            SimConfig {
+                seed: 9,
+                faults: netsim::FaultConfig {
+                    drop_probability: 0.35,
+                    ..netsim::FaultConfig::none()
+                }
+                .into(),
+                ..SimConfig::default()
+            },
+        );
+        let traces = run_dnsroute(
+            &mut w.sim,
+            w.scanner,
+            DnsRouteConfig::new(vec![FORWARDER]).with_retry(retry),
+        );
+        (traces, w.sim.stats().retransmits_sent)
+    };
+    let (single, retx_single) = faulty(netsim::RetryPolicy::none());
+    let (retried, retx) = faulty(netsim::RetryPolicy::retries(3));
+    assert_eq!(retx_single, 0, "single-shot sweeps never retransmit");
+    assert!(retx > 0, "silent hops must trigger retransmissions");
+    let anon = |ts: &[dnsroute::TraceResult]| ts[0].hops.iter().filter(|h| h.is_none()).count();
+    assert!(
+        anon(&retried) < anon(&single),
+        "retries fill anonymous hops: {} vs {}",
+        anon(&retried),
+        anon(&single)
+    );
+    assert!(
+        retried[0].dns.is_some(),
+        "with per-hop retries the resolver answer is recovered"
+    );
+    // Bit-identical replay: stateless fault draws + pure retry schedule.
+    let (again, retx_again) = faulty(netsim::RetryPolicy::retries(3));
+    assert_eq!(retried, again);
+    assert_eq!(retx, retx_again);
 }

@@ -1088,7 +1088,11 @@ pub fn generate_shard(config: &GenConfig, spec: ShardSpec) -> Internet {
         }
     }
 
-    let sim_config = SimConfig::for_shard(config.seed, spec.index);
+    // The fault plan is salted from the *generation* seed, which is shared
+    // by every shard — per-flow fault verdicts are therefore invariant
+    // under the shard count even though per-shard sim seeds differ.
+    let mut sim_config = SimConfig::for_shard(config.seed, spec.index);
+    sim_config.faults = config.faults.clone().salted(config.seed);
     let mut sim = Simulator::new(topo, sim_config.clone());
 
     // Study infrastructure: every shard deploys its own full root → TLD →

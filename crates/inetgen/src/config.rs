@@ -1,5 +1,6 @@
 //! Generator configuration and scaling.
 
+use netsim::FaultPlan;
 use rand::Rng;
 
 /// Which countries to instantiate.
@@ -35,6 +36,10 @@ pub struct GenConfig {
     pub with_devices: bool,
     /// Country subset.
     pub countries: CountrySelection,
+    /// Fault plane injected into every shard's simulator. The plan is
+    /// salted from the *generation* seed (not the per-shard sim seed), so
+    /// a given flow sees the same fault verdicts for any shard count.
+    pub faults: FaultPlan,
 }
 
 impl Default for GenConfig {
@@ -46,6 +51,7 @@ impl Default for GenConfig {
             dud_fraction: 0.10,
             with_devices: true,
             countries: CountrySelection::All,
+            faults: FaultPlan::none(),
         }
     }
 }

@@ -1,16 +1,26 @@
 //! Fault injection and rate limiting.
 //!
-//! Following the smoltcp example-harness idiom, adverse network conditions
-//! are first-class: packet drop, duplication, and latency jitter are
-//! configured globally and drawn from the simulator's seeded RNG, so a
-//! faulty run is exactly reproducible. The token bucket implements the
-//! paper's sensor rate limiting ("one request every 5 minutes per source
-//! /24", §3.1) and the authoritative server's 20k pps budget (§4.1).
+//! Adverse network conditions are first-class: packet drop, corruption,
+//! duplication, and latency jitter are configured through a [`FaultPlan`]
+//! and decided **statelessly per packet** — every verdict is a SplitMix64
+//! hash of `(plan salt, src, dst, src_port, txid, attempt)`, never a draw
+//! from a sequential RNG. That makes a lossy run bit-identical for any
+//! shard count, any event order, and any warm-cache rerun: the fate of a
+//! probe depends only on its flow identity, not on how many packets the
+//! simulator happened to process before it.
+//!
+//! The token bucket implements the paper's sensor rate limiting ("one
+//! request every 5 minutes per source /24", §3.1) and the authoritative
+//! server's 20k pps budget (§4.1).
 
 use crate::time::{SimDuration, SimTime};
-use rand::Rng;
+use crate::topology::{AsKind, CountryCode};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
 
-/// Global fault-injection configuration.
+/// One fault profile: probabilities plus a jitter bound. Used standalone
+/// (uniform faults) or as a per-country / per-AS-kind override inside a
+/// [`FaultPlan`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultConfig {
     /// Probability a packet is silently dropped in transit.
@@ -41,6 +51,97 @@ impl Default for FaultConfig {
     }
 }
 
+/// The flow identity a fault verdict is keyed on. Two packets with the
+/// same key share a fate; bumping `attempt` (a retransmission) re-rolls
+/// every decision independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowKey {
+    /// Source address on the wire (post-spoofing).
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// UDP source port.
+    pub src_port: u16,
+    /// DNS transaction id (first two payload bytes; zero when absent).
+    pub txid: u16,
+    /// Retransmission attempt, 0 for the original send.
+    pub attempt: u8,
+}
+
+/// The complete, precomputed fate of one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowVerdict {
+    /// Silently dropped before routing.
+    pub drop: bool,
+    /// Corrupted in transit — discarded by the receiver's checksum.
+    pub corrupt: bool,
+    /// A second copy is delivered shortly after the first.
+    pub duplicate: bool,
+    /// Extra delivery latency in `[0, max_jitter]`.
+    pub jitter: SimDuration,
+    /// Extra latency of the duplicate copy beyond the original's arrival.
+    pub duplicate_jitter: SimDuration,
+}
+
+impl FlowVerdict {
+    /// The no-fault verdict (quiet plans short-circuit to this).
+    pub const CLEAN: FlowVerdict = FlowVerdict {
+        drop: false,
+        corrupt: false,
+        duplicate: false,
+        jitter: SimDuration::ZERO,
+        duplicate_jitter: SimDuration::ZERO,
+    };
+}
+
+/// SplitMix64 finalizer — the same mixing the shard-seed derivation uses.
+/// Public so the retry layer can key its per-probe jitter off it.
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-decision stream constants: each fault dimension reads an
+/// independent hash of the same flow key.
+const STREAM_DROP: u64 = 0xD509;
+const STREAM_CORRUPT: u64 = 0xC055;
+const STREAM_DUPLICATE: u64 = 0xD0B1;
+const STREAM_JITTER: u64 = 0x71AA;
+const STREAM_DUP_JITTER: u64 = 0x71BB;
+/// Stream for deriving a plan salt from a simulator seed (see
+/// [`FaultPlan::salted`]).
+const STREAM_SALT: u64 = 0x5A17;
+
+fn flow_hash(salt: u64, key: &FlowKey, stream: u64) -> u64 {
+    let endpoints = (u64::from(u32::from(key.src)) << 32) | u64::from(u32::from(key.dst));
+    let ports =
+        (u64::from(key.src_port) << 32) | (u64::from(key.txid) << 16) | u64::from(key.attempt);
+    let mut h = mix64(salt ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    h = mix64(h ^ endpoints);
+    h = mix64(h ^ ports);
+    h
+}
+
+/// Map a hash to a unit-interval f64 (53 mantissa bits, unbiased).
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Map a hash to a duration in `[0, max]`.
+fn bounded(h: u64, max: SimDuration) -> SimDuration {
+    if max == SimDuration::ZERO {
+        SimDuration::ZERO
+    } else {
+        SimDuration(h % (max.as_micros() + 1))
+    }
+}
+
+fn probability_ok(p: f64) -> bool {
+    p.is_finite() && (0.0..=1.0).contains(&p)
+}
+
 impl FaultConfig {
     /// No faults at all (the default).
     pub fn none() -> Self {
@@ -58,29 +159,167 @@ impl FaultConfig {
         }
     }
 
-    /// Decide whether to drop, using the simulator RNG.
-    pub fn should_drop<R: Rng>(&self, rng: &mut R) -> bool {
-        self.drop_probability > 0.0 && rng.gen_bool(self.drop_probability.clamp(0.0, 1.0))
+    /// True when this profile injects nothing.
+    pub fn is_none(&self) -> bool {
+        self.drop_probability == 0.0
+            && self.duplicate_probability == 0.0
+            && self.corrupt_probability == 0.0
+            && self.max_jitter == SimDuration::ZERO
     }
 
-    /// Decide whether to duplicate.
-    pub fn should_duplicate<R: Rng>(&self, rng: &mut R) -> bool {
-        self.duplicate_probability > 0.0 && rng.gen_bool(self.duplicate_probability.clamp(0.0, 1.0))
-    }
-
-    /// Decide whether a packet is corrupted in transit (and therefore
-    /// discarded by the receiver's checksum verification).
-    pub fn should_corrupt<R: Rng>(&self, rng: &mut R) -> bool {
-        self.corrupt_probability > 0.0 && rng.gen_bool(self.corrupt_probability.clamp(0.0, 1.0))
-    }
-
-    /// Draw a jitter value in `[0, max_jitter]`.
-    pub fn jitter<R: Rng>(&self, rng: &mut R) -> SimDuration {
-        if self.max_jitter == SimDuration::ZERO {
-            SimDuration::ZERO
-        } else {
-            SimDuration(rng.gen_range(0..=self.max_jitter.as_micros()))
+    /// Reject NaN and out-of-range probabilities loudly. Runs at
+    /// construction/installation time (plan builders, `Simulator::new`,
+    /// `set_faults`) — decision sites never clamp.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("drop_probability", self.drop_probability),
+            ("duplicate_probability", self.duplicate_probability),
+            ("corrupt_probability", self.corrupt_probability),
+        ] {
+            if !probability_ok(p) {
+                return Err(format!("{name} = {p} is not a probability in [0, 1]"));
+            }
         }
+        Ok(())
+    }
+
+    /// Decide this packet's complete fate from its flow key alone.
+    pub fn decide(&self, salt: u64, key: &FlowKey) -> FlowVerdict {
+        FlowVerdict {
+            drop: self.drop_probability > 0.0
+                && unit(flow_hash(salt, key, STREAM_DROP)) < self.drop_probability,
+            corrupt: self.corrupt_probability > 0.0
+                && unit(flow_hash(salt, key, STREAM_CORRUPT)) < self.corrupt_probability,
+            duplicate: self.duplicate_probability > 0.0
+                && unit(flow_hash(salt, key, STREAM_DUPLICATE)) < self.duplicate_probability,
+            jitter: bounded(flow_hash(salt, key, STREAM_JITTER), self.max_jitter),
+            duplicate_jitter: bounded(flow_hash(salt, key, STREAM_DUP_JITTER), self.max_jitter),
+        }
+    }
+}
+
+/// The world's fault geography: a base profile plus per-country and
+/// per-AS-kind overrides, all keyed decisions salted by one value shared
+/// across every shard world (which is what keeps a lossy census
+/// K-invariant — shard worlds have different simulator seeds, but the
+/// fault plane must not care).
+///
+/// Precedence per packet (keyed by the **destination**'s AS): country
+/// override, else AS-kind override, else base.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Decision salt. `0` means "derive from the simulator seed at
+    /// installation" ([`FaultPlan::salted`]); sharded drivers set an
+    /// explicit salt so all shards agree.
+    pub salt: u64,
+    /// Profile applied where no override matches.
+    pub base: FaultConfig,
+    /// Overrides by destination country.
+    pub by_country: BTreeMap<CountryCode, FaultConfig>,
+    /// Overrides by destination AS kind.
+    pub by_kind: BTreeMap<AsKind, FaultConfig>,
+}
+
+impl FaultPlan {
+    /// No faults anywhere.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The same profile everywhere (no geography).
+    pub fn uniform(base: FaultConfig) -> Self {
+        FaultPlan {
+            base,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Uniform lossy profile, as [`FaultConfig::lossy`].
+    pub fn lossy(p: f64) -> Self {
+        Self::uniform(FaultConfig::lossy(p))
+    }
+
+    /// Builder: set an explicit decision salt.
+    pub fn with_salt(mut self, salt: u64) -> Self {
+        self.salt = salt;
+        self
+    }
+
+    /// Builder: override the profile for one destination country.
+    pub fn with_country(mut self, country: CountryCode, cfg: FaultConfig) -> Self {
+        self.by_country.insert(country, cfg);
+        self
+    }
+
+    /// Builder: override the profile for one destination AS kind.
+    pub fn with_kind(mut self, kind: AsKind, cfg: FaultConfig) -> Self {
+        self.by_kind.insert(kind, cfg);
+        self
+    }
+
+    /// Fill a zero salt from `seed` (leaves explicit salts untouched).
+    /// The simulator calls this at installation so plain single-world
+    /// runs get seed-dependent fault patterns for free.
+    pub fn salted(mut self, seed: u64) -> Self {
+        if self.salt == 0 {
+            self.salt = mix64(seed ^ STREAM_SALT);
+        }
+        self
+    }
+
+    /// True when no profile anywhere injects anything — the hot path's
+    /// one-branch fast exit.
+    pub fn is_quiet(&self) -> bool {
+        self.base.is_none()
+            && self.by_country.values().all(FaultConfig::is_none)
+            && self.by_kind.values().all(FaultConfig::is_none)
+    }
+
+    /// Validate every profile in the plan.
+    pub fn validate(&self) -> Result<(), String> {
+        self.base.validate().map_err(|e| format!("base: {e}"))?;
+        for (c, cfg) in &self.by_country {
+            cfg.validate()
+                .map_err(|e| format!("country {}: {e}", c.as_str()))?;
+        }
+        for (k, cfg) in &self.by_kind {
+            cfg.validate().map_err(|e| format!("kind {k:?}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Panicking form of [`FaultPlan::validate`], used at installation.
+    pub fn assert_valid(&self) {
+        if let Err(e) = self.validate() {
+            panic!("invalid FaultPlan: {e}");
+        }
+    }
+
+    /// The profile in effect for a destination with the given geography.
+    pub fn effective(&self, country: Option<CountryCode>, kind: Option<AsKind>) -> &FaultConfig {
+        if let Some(cfg) = country.and_then(|c| self.by_country.get(&c)) {
+            return cfg;
+        }
+        if let Some(cfg) = kind.and_then(|k| self.by_kind.get(&k)) {
+            return cfg;
+        }
+        &self.base
+    }
+
+    /// Decide a packet's fate under the effective profile.
+    pub fn decide(
+        &self,
+        key: &FlowKey,
+        country: Option<CountryCode>,
+        kind: Option<AsKind>,
+    ) -> FlowVerdict {
+        self.effective(country, kind).decide(self.salt, key)
+    }
+}
+
+impl From<FaultConfig> for FaultPlan {
+    fn from(cfg: FaultConfig) -> Self {
+        FaultPlan::uniform(cfg)
     }
 }
 
@@ -173,18 +412,24 @@ impl TokenBucket {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+
+    fn key(i: u64) -> FlowKey {
+        FlowKey {
+            src: Ipv4Addr::new(192, 0, 2, 1),
+            dst: Ipv4Addr::from((i as u32) | 0x0a00_0000),
+            src_port: 33_000u16.wrapping_add(i as u16),
+            txid: (i >> 16) as u16,
+            attempt: 0,
+        }
+    }
 
     #[test]
     fn default_faults_do_nothing() {
         let f = FaultConfig::none();
-        let mut rng = SmallRng::seed_from_u64(1);
-        for _ in 0..100 {
-            assert!(!f.should_drop(&mut rng));
-            assert!(!f.should_duplicate(&mut rng));
-            assert_eq!(f.jitter(&mut rng), SimDuration::ZERO);
+        for i in 0..100 {
+            assert_eq!(f.decide(7, &key(i)), FlowVerdict::CLEAN);
         }
+        assert!(FaultPlan::none().is_quiet());
     }
 
     #[test]
@@ -193,8 +438,7 @@ mod tests {
             drop_probability: 0.3,
             ..FaultConfig::none()
         };
-        let mut rng = SmallRng::seed_from_u64(42);
-        let drops = (0..10_000).filter(|_| f.should_drop(&mut rng)).count();
+        let drops = (0..10_000).filter(|&i| f.decide(42, &key(i)).drop).count();
         assert!(
             (2_500..3_500).contains(&drops),
             "got {drops} drops out of 10000"
@@ -202,26 +446,117 @@ mod tests {
     }
 
     #[test]
-    fn jitter_bounded() {
+    fn jitter_bounded_and_nontrivial() {
         let f = FaultConfig {
             max_jitter: SimDuration::from_millis(3),
             ..FaultConfig::none()
         };
-        let mut rng = SmallRng::seed_from_u64(7);
-        for _ in 0..1000 {
-            assert!(f.jitter(&mut rng) <= SimDuration::from_millis(3));
+        let mut nonzero = 0;
+        for i in 0..1000 {
+            let j = f.decide(7, &key(i)).jitter;
+            assert!(j <= SimDuration::from_millis(3));
+            if j > SimDuration::ZERO {
+                nonzero += 1;
+            }
         }
+        assert!(nonzero > 900, "jitter should almost always be nonzero");
     }
 
     #[test]
-    fn fault_decisions_deterministic_for_same_seed() {
+    fn verdicts_are_a_pure_function_of_salt_and_key() {
         let f = FaultConfig::lossy(0.2);
-        let mut a = SmallRng::seed_from_u64(99);
-        let mut b = SmallRng::seed_from_u64(99);
-        for _ in 0..500 {
-            assert_eq!(f.should_drop(&mut a), f.should_drop(&mut b));
-            assert_eq!(f.jitter(&mut a), f.jitter(&mut b));
+        for i in 0..500 {
+            assert_eq!(f.decide(99, &key(i)), f.decide(99, &key(i)));
         }
+        let differs = (0..500).any(|i| f.decide(99, &key(i)) != f.decide(100, &key(i)));
+        assert!(differs, "a different salt must change the pattern");
+    }
+
+    #[test]
+    fn attempts_reroll_independently() {
+        let f = FaultConfig {
+            drop_probability: 0.5,
+            ..FaultConfig::none()
+        };
+        let differs = (0..200).any(|i| {
+            let k0 = key(i);
+            let k1 = FlowKey { attempt: 1, ..k0 };
+            f.decide(5, &k0).drop != f.decide(5, &k1).drop
+        });
+        assert!(
+            differs,
+            "retransmissions must not share the original's fate"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_nan_and_out_of_range() {
+        let nan = FaultConfig {
+            drop_probability: f64::NAN,
+            ..FaultConfig::none()
+        };
+        assert!(nan.validate().is_err());
+        let big = FaultConfig {
+            corrupt_probability: 1.5,
+            ..FaultConfig::none()
+        };
+        assert!(big.validate().is_err());
+        let neg = FaultConfig {
+            duplicate_probability: -0.1,
+            ..FaultConfig::none()
+        };
+        assert!(neg.validate().is_err());
+        assert!(FaultConfig::lossy(0.3).validate().is_ok());
+        let plan = FaultPlan::none().with_kind(AsKind::Transit, big);
+        assert!(plan.validate().unwrap_err().contains("Transit"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid FaultPlan")]
+    fn assert_valid_panics_loudly() {
+        FaultPlan::lossy(f64::INFINITY).assert_valid();
+    }
+
+    #[test]
+    fn plan_precedence_country_beats_kind_beats_base() {
+        let drop_all = FaultConfig {
+            drop_probability: 1.0,
+            ..FaultConfig::none()
+        };
+        let plan = FaultPlan::uniform(FaultConfig::none())
+            .with_kind(AsKind::EyeballIsp, FaultConfig::lossy(0.5))
+            .with_country(CountryCode::new("BRA"), drop_all);
+        let bra = Some(CountryCode::new("BRA"));
+        let deu = Some(CountryCode::new("DEU"));
+        let isp = Some(AsKind::EyeballIsp);
+        assert_eq!(plan.effective(bra, isp), &drop_all);
+        assert_eq!(plan.effective(deu, isp), &FaultConfig::lossy(0.5));
+        assert_eq!(
+            plan.effective(deu, Some(AsKind::Transit)),
+            &FaultConfig::none()
+        );
+        assert_eq!(plan.effective(None, None), &FaultConfig::none());
+        assert!(!plan.is_quiet());
+    }
+
+    #[test]
+    fn salting_fills_only_zero_salts() {
+        let derived = FaultPlan::lossy(0.1).salted(7);
+        assert_ne!(derived.salt, 0);
+        assert_eq!(derived.clone().salted(8).salt, derived.salt);
+        let explicit = FaultPlan::lossy(0.1).with_salt(123).salted(7);
+        assert_eq!(explicit.salt, 123);
+        assert_ne!(
+            FaultPlan::lossy(0.1).salted(7).salt,
+            FaultPlan::lossy(0.1).salted(9).salt
+        );
+    }
+
+    #[test]
+    fn plan_from_config_is_uniform() {
+        let plan: FaultPlan = FaultConfig::lossy(0.2).into();
+        assert_eq!(plan.base, FaultConfig::lossy(0.2));
+        assert!(plan.by_country.is_empty() && plan.by_kind.is_empty());
     }
 
     #[test]

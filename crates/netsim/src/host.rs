@@ -52,7 +52,12 @@ impl UdpSend {
 /// the simulator afterwards.
 #[derive(Debug)]
 pub(crate) enum Action {
-    SendUdp(UdpSend),
+    SendUdp {
+        send: UdpSend,
+        /// Retransmission attempt (0 = original). Part of the fault-plane
+        /// flow key, so a retransmit's fate re-rolls independently.
+        attempt: u8,
+    },
     SetTimer {
         delay: SimDuration,
         token: u64,
@@ -103,9 +108,18 @@ impl<'a> Ctx<'a> {
         self.topo
     }
 
-    /// Queue a UDP send.
+    /// Queue a UDP send (an original transmission, attempt 0).
     pub fn send_udp(&mut self, send: UdpSend) {
-        self.actions.push(Action::SendUdp(send));
+        self.actions.push(Action::SendUdp { send, attempt: 0 });
+    }
+
+    /// Queue a UDP send tagged as retransmission attempt `attempt`
+    /// (1-based for retries). The attempt number feeds the stateless
+    /// fault plane's flow key — a retry's drop/corrupt/jitter decisions
+    /// are independent of the original's — and attempts > 0 are counted
+    /// in [`crate::SimStats::retransmits_sent`].
+    pub fn send_udp_attempt(&mut self, send: UdpSend, attempt: u8) {
+        self.actions.push(Action::SendUdp { send, attempt });
     }
 
     /// Queue a timer that fires `delay` from now, delivering `token` to

@@ -51,6 +51,7 @@
 mod fault;
 mod host;
 mod packet;
+mod retry;
 mod routing;
 mod sim;
 mod stats;
@@ -63,9 +64,10 @@ pub mod testkit;
 pub mod wheel;
 pub mod wire;
 
-pub use fault::{FaultConfig, TokenBucket};
+pub use fault::{mix64, FaultConfig, FaultPlan, FlowKey, FlowVerdict, TokenBucket};
 pub use host::{Ctx, Host, UdpSend};
 pub use packet::{Datagram, IcmpKind, IcmpMessage, Payload, QuotedDatagram, DEFAULT_TTL};
+pub use retry::RetryPolicy;
 pub use routing::{Hop, Path, RouteError, RouteResolver};
 pub use sim::{OneShotSender, SimConfig, Simulator};
 pub use stats::{DropReason, SimStats};

@@ -7,7 +7,7 @@
 //! deliveries, ICMP errors, and timer callbacks — single callbacks or
 //! paced batches that serve a whole probe burst from one queue event.
 
-use crate::fault::FaultConfig;
+use crate::fault::{FaultPlan, FlowKey, FlowVerdict};
 use crate::host::{Action, Ctx, Host, UdpSend};
 use crate::packet::{Datagram, IcmpKind, IcmpMessage, QuotedDatagram};
 use crate::pcap::PcapWriter;
@@ -17,18 +17,18 @@ use crate::time::{SimDuration, SimTime};
 use crate::topology::{IpOwner, NodeId, Topology};
 use crate::wheel::{Placement, TimerWheel};
 use crate::wire;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use std::collections::HashMap;
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
-    /// RNG seed; every random decision (faults, host jitter) derives from
-    /// it, making runs reproducible.
+    /// Seed for seed-derived decisions. The fault plane salts its
+    /// stateless per-flow hashes from it (unless the plan carries an
+    /// explicit salt), so two runs with the same seed and plan replay the
+    /// same fault pattern bit for bit.
     pub seed: u64,
-    /// Fault injection profile.
-    pub faults: FaultConfig,
+    /// Fault injection plan (validated at installation).
+    pub faults: FaultPlan,
     /// Hard ceiling on processed events, to catch runaway feedback loops
     /// (e.g. two forwarders pointed at each other).
     pub max_events: u64,
@@ -38,7 +38,7 @@ impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
             seed: 0x0D15EA5E,
-            faults: FaultConfig::none(),
+            faults: FaultPlan::none(),
             max_events: 200_000_000,
         }
     }
@@ -77,8 +77,10 @@ pub struct Simulator {
     queue: TimerWheel<EventKind>,
     now: SimTime,
     seq: u64,
-    rng: SmallRng,
-    faults: FaultConfig,
+    seed: u64,
+    faults: FaultPlan,
+    /// Cached `faults.is_quiet()` — the per-packet fast-path branch.
+    faults_quiet: bool,
     max_events: u64,
     resolver: RouteResolver,
     stats: SimStats,
@@ -96,14 +98,18 @@ impl Simulator {
         let n = topo.host_count();
         let mut hosts = Vec::with_capacity(n);
         hosts.resize_with(n, || None);
+        let faults = config.faults.salted(config.seed);
+        faults.assert_valid();
+        let faults_quiet = faults.is_quiet();
         Simulator {
             topo,
             hosts,
             queue: TimerWheel::new(),
             now: SimTime::ZERO,
             seq: 0,
-            rng: SmallRng::seed_from_u64(config.seed),
-            faults: config.faults,
+            seed: config.seed,
+            faults,
+            faults_quiet,
             max_events: config.max_events,
             resolver: RouteResolver::new(),
             stats: SimStats::default(),
@@ -138,8 +144,10 @@ impl Simulator {
         self.now = SimTime::ZERO;
         self.seq = 0;
         self.ip_ident = 0;
-        self.rng = SmallRng::seed_from_u64(config.seed);
-        self.faults = config.faults;
+        self.seed = config.seed;
+        self.faults = config.faults.clone().salted(config.seed);
+        self.faults.assert_valid();
+        self.faults_quiet = self.faults.is_quiet();
         self.max_events = config.max_events;
         self.resolver.reset_counters();
         self.stats = SimStats::default();
@@ -160,11 +168,23 @@ impl Simulator {
         &self.stats
     }
 
-    /// Replace the fault-injection profile (takes effect for all packets
+    /// Replace the fault-injection plan (takes effect for all packets
     /// sent after the call — lets experiments degrade an initially clean
-    /// network).
-    pub fn set_faults(&mut self, faults: FaultConfig) {
-        self.faults = faults;
+    /// network). Accepts a bare [`crate::FaultConfig`] for uniform
+    /// faults. A zero plan salt is filled from the simulator seed; the
+    /// plan is validated loudly here, never clamped per decision.
+    pub fn set_faults(&mut self, faults: impl Into<FaultPlan>) {
+        let plan = faults.into().salted(self.seed);
+        plan.assert_valid();
+        self.faults_quiet = plan.is_quiet();
+        self.faults = plan;
+    }
+
+    /// Whether the installed fault plan can actually touch packets.
+    /// Experiments use this to pick fault-aware configurations (e.g.
+    /// partition-invariant probe tuples) only when faults are live.
+    pub fn faults_active(&self) -> bool {
+        !self.faults_quiet
     }
 
     /// Enable pcap capture at `node` (everything it sends and receives).
@@ -342,7 +362,7 @@ impl Simulator {
         self.hosts[node.0 as usize] = Some(host);
         for action in actions.drain(..) {
             match action {
-                Action::SendUdp(send) => self.process_send(node, send),
+                Action::SendUdp { send, attempt } => self.process_send(node, send, attempt),
                 Action::SetTimer { delay, token } => {
                     let at = self.now + delay;
                     self.push(at, EventKind::Timer { node, token });
@@ -379,7 +399,7 @@ impl Simulator {
         self.action_pool = actions;
     }
 
-    fn process_send(&mut self, from: NodeId, send: UdpSend) {
+    fn process_send(&mut self, from: NodeId, send: UdpSend, attempt: u8) {
         let src = send.src.unwrap_or_else(|| self.topo.host_spec(from).ip);
         let spoofed = !self.topo.node_owns_ip(from, src);
         if spoofed {
@@ -392,6 +412,9 @@ impl Simulator {
         }
         let ttl = send.effective_ttl();
         self.stats.udp_sent += 1;
+        if attempt > 0 {
+            self.stats.retransmits_sent += 1;
+        }
 
         let dgram_at_send = Datagram {
             src,
@@ -405,7 +428,37 @@ impl Simulator {
         // happens to it afterwards (exactly like dumpcap on the scan host).
         self.capture_udp(from, &dgram_at_send);
 
-        if self.faults.should_drop(&mut self.rng) {
+        // The packet's complete fate is a stateless hash of its flow key
+        // under the destination's effective fault profile — identical for
+        // any shard count, event order, or warm rerun. Quiet plans pay
+        // one boolean branch.
+        let verdict = if self.faults_quiet {
+            FlowVerdict::CLEAN
+        } else {
+            let payload: &[u8] = &dgram_at_send.payload;
+            let txid = if payload.len() >= 2 {
+                u16::from_be_bytes([payload[0], payload[1]])
+            } else {
+                0
+            };
+            let (country, kind) = match self.topo.as_of_ip(send.dst) {
+                Some(as_id) => {
+                    let spec = self.topo.as_spec(as_id);
+                    (Some(spec.country), Some(spec.kind))
+                }
+                None => (None, None),
+            };
+            let key = FlowKey {
+                src,
+                dst: send.dst,
+                src_port: send.src_port,
+                txid,
+                attempt,
+            };
+            self.faults.decide(&key, country, kind)
+        };
+
+        if verdict.drop {
             self.stats.record_drop(DropReason::Fault);
             return;
         }
@@ -449,28 +502,25 @@ impl Simulator {
             return;
         }
 
-        if self.faults.should_corrupt(&mut self.rng) {
+        if verdict.corrupt {
             // A bit flip in transit: the Internet checksum catches every
             // single-bit error, so the receiving stack drops the packet.
-            self.stats.corrupted += 1;
-            self.stats.record_drop(DropReason::Fault);
+            self.stats.record_drop(DropReason::Corrupt);
             return;
         }
 
         let arrival_ttl = ttl - path.router_hops() as u8;
-        let jitter = self.faults.jitter(&mut self.rng);
-        let deliver_at = self.now + path.total_latency + jitter;
+        let deliver_at = self.now + path.total_latency + verdict.jitter;
         let dgram = Datagram {
             ttl: arrival_ttl,
             ..dgram_at_send
         };
-        if self.faults.should_duplicate(&mut self.rng) {
+        if verdict.duplicate {
             self.stats.duplicates_injected += 1;
-            let extra = self.faults.jitter(&mut self.rng);
             // The duplicate shares the payload bytes (refcount bump, no
             // memcpy), exactly like a duplicated packet on the wire.
             self.push(
-                deliver_at + extra + SimDuration::from_micros(1),
+                deliver_at + verdict.duplicate_jitter + SimDuration::from_micros(1),
                 EventKind::Udp {
                     node: path.dst_node,
                     dgram: Box::new(dgram.clone()),
@@ -849,6 +899,28 @@ mod tests {
         assert_eq!(sim.stats().dropped_no_such_host, 1);
     }
 
+    /// Sends one probe per timer token, each on its own source port —
+    /// fifty distinct flow keys for the stateless fault plane to decide.
+    struct TokenProber {
+        dst: Ipv4Addr,
+        replies: Vec<Datagram>,
+    }
+
+    impl Host for TokenProber {
+        fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, dgram: Datagram) {
+            self.replies.push(dgram);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            ctx.send_udp(UdpSend::new(
+                30000 + token as u16,
+                self.dst,
+                53,
+                vec![token as u8, !token as u8],
+            ));
+        }
+        crate::impl_host_downcast!();
+    }
+
     #[test]
     fn deterministic_under_seed() {
         let run = |seed| {
@@ -857,21 +929,20 @@ mod tests {
                 topo,
                 SimConfig {
                     seed,
-                    faults: FaultConfig::lossy(0.3),
+                    faults: FaultPlan::lossy(0.3),
                     ..SimConfig::default()
                 },
             );
             sim.install(server, Echo { received: vec![] });
+            sim.install(
+                scanner,
+                TokenProber {
+                    dst: server_ip,
+                    replies: vec![],
+                },
+            );
             for i in 0..50u64 {
-                sim.install(
-                    scanner,
-                    Prober {
-                        send: UdpSend::new(30000 + i as u16, server_ip, 53, vec![i as u8]),
-                        replies: vec![],
-                        icmp: vec![],
-                    },
-                );
-                sim.schedule_timer(scanner, SimDuration::from_millis(i), 0);
+                sim.schedule_timer(scanner, SimDuration::from_millis(i), i);
             }
             sim.run();
             (sim.stats().clone(), sim.now())
@@ -880,8 +951,12 @@ mod tests {
         let (s2, t2) = run(7);
         assert_eq!(s1, s2);
         assert_eq!(t1, t2);
-        let (s3, _) = run(8);
-        assert_ne!(s1, s3, "different seed should change fault pattern");
+        let (s3, t3) = run(8);
+        assert_ne!(
+            (s1, t1),
+            (s3, t3),
+            "different seed should change fault pattern"
+        );
     }
 
     #[test]
@@ -981,7 +1056,7 @@ mod tests {
         // and IP idents — the warm-world reuse contract.
         let config = SimConfig {
             seed: 41,
-            faults: FaultConfig::lossy(0.2),
+            faults: FaultPlan::lossy(0.2),
             ..SimConfig::default()
         };
         let drive = |sim: &mut Simulator, scanner: NodeId, server: NodeId, server_ip: Ipv4Addr| {

@@ -15,8 +15,11 @@ pub enum DropReason {
     NoSuchHost,
     /// TTL reached zero in transit (an ICMP Time Exceeded was emitted).
     TtlExpired,
-    /// Random fault injection.
+    /// Fault-injection drop: the packet silently vanished in transit.
     Fault,
+    /// Fault-injection corruption: the packet arrived damaged and the
+    /// receiver's checksum verification discarded it.
+    Corrupt,
 }
 
 /// Counters maintained by the simulator. All fields are cumulative.
@@ -38,17 +41,22 @@ pub struct SimStats {
     pub dropped_no_such_host: u64,
     /// TTL expiries (each also generates an ICMP Time Exceeded).
     pub dropped_ttl: u64,
-    /// Fault-injection drops.
+    /// Fault-injection drops (packet vanished in transit).
     pub dropped_fault: u64,
+    /// Corrupt-discard drops (packet arrived damaged; the receiver's
+    /// checksum check threw it away). A distinct class from
+    /// `dropped_fault` so loss and corruption are separately attributable.
+    pub dropped_corrupt: u64,
     /// ICMP messages delivered.
     pub icmp_delivered: u64,
     /// ICMP messages whose destination did not exist (e.g. errors toward a
     /// spoofed, unassigned victim address).
     pub icmp_undeliverable: u64,
-    /// Duplicates injected by fault config.
+    /// Duplicates injected by fault config (the extra copies delivered,
+    /// not drops — the third fault class next to drop and corrupt).
     pub duplicates_injected: u64,
-    /// Payload corruptions injected by fault config.
-    pub corrupted: u64,
+    /// Retransmissions submitted by hosts (UDP sends with attempt > 0).
+    pub retransmits_sent: u64,
     /// Total UDP payload bytes delivered (amplification accounting).
     pub udp_bytes_delivered: u64,
     /// Timer events fired.
@@ -82,6 +90,7 @@ impl SimStats {
             DropReason::NoSuchHost => self.dropped_no_such_host += 1,
             DropReason::TtlExpired => self.dropped_ttl += 1,
             DropReason::Fault => self.dropped_fault += 1,
+            DropReason::Corrupt => self.dropped_corrupt += 1,
         }
     }
 
@@ -92,6 +101,7 @@ impl SimStats {
             + self.dropped_no_such_host
             + self.dropped_ttl
             + self.dropped_fault
+            + self.dropped_corrupt
     }
 
     /// Delivery ratio over UDP (delivered / sent), 1.0 when nothing sent.
@@ -113,19 +123,21 @@ impl fmt::Display for SimStats {
         )?;
         writeln!(
             f,
-            "drops: sav={} no_route={} no_host={} ttl={} fault={}",
+            "drops: sav={} no_route={} no_host={} ttl={} fault={} corrupt={}",
             self.dropped_sav,
             self.dropped_no_route,
             self.dropped_no_such_host,
             self.dropped_ttl,
-            self.dropped_fault
+            self.dropped_fault,
+            self.dropped_corrupt
         )?;
         writeln!(
             f,
-            "icmp: delivered={} undeliverable={} | dup={} timers={} coalesced={} events={}",
+            "icmp: delivered={} undeliverable={} | dup={} retx={} timers={} coalesced={} events={}",
             self.icmp_delivered,
             self.icmp_undeliverable,
             self.duplicates_injected,
+            self.retransmits_sent,
             self.timers_fired,
             self.timers_coalesced,
             self.events_processed
@@ -156,6 +168,20 @@ mod tests {
         assert_eq!(s.dropped_sav, 1);
         assert_eq!(s.dropped_ttl, 2);
         assert_eq!(s.total_dropped(), 3);
+    }
+
+    #[test]
+    fn fault_and_corrupt_are_distinct_drop_classes() {
+        let mut s = SimStats::default();
+        s.record_drop(DropReason::Fault);
+        s.record_drop(DropReason::Corrupt);
+        s.record_drop(DropReason::Corrupt);
+        assert_eq!(s.dropped_fault, 1);
+        assert_eq!(s.dropped_corrupt, 2);
+        assert_eq!(s.total_dropped(), 3);
+        let text = s.to_string();
+        assert!(text.contains("fault=1"));
+        assert!(text.contains("corrupt=2"));
     }
 
     #[test]

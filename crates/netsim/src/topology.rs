@@ -56,7 +56,7 @@ impl fmt::Display for CountryCode {
 
 /// Network type of an AS, mirroring the paper's PeeringDB-based
 /// classification (Appendix E: Cable/DSL/ISP, NSP, …).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum AsKind {
     /// Transit / network service provider.
     Transit,

@@ -19,7 +19,7 @@
 //! only the *processing* differs.
 
 use dnswire::{Message, MessageBuilder, RrType};
-use netsim::{Ctx, Datagram, Host, NodeId, SimDuration, Simulator, UdpSend};
+use netsim::{Ctx, Datagram, Host, NodeId, RetryPolicy, SimDuration, Simulator, UdpSend};
 use odns::study;
 use std::collections::{BTreeSet, HashMap};
 use std::net::Ipv4Addr;
@@ -77,6 +77,9 @@ pub struct CampaignConfig {
     pub inter_probe_gap: SimDuration,
     /// Base source port.
     pub base_port: u16,
+    /// Retransmission policy (default: single-shot, matching the real
+    /// campaigns' observable behavior).
+    pub retry: RetryPolicy,
 }
 
 impl CampaignConfig {
@@ -87,7 +90,15 @@ impl CampaignConfig {
             targets,
             inter_probe_gap: SimDuration::from_micros(50),
             base_port: 41_000,
+            retry: RetryPolicy::none(),
         }
+    }
+
+    /// Enable retransmissions (validated loudly).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        retry.assert_valid();
+        self.retry = retry;
+        self
     }
 }
 
@@ -102,6 +113,9 @@ pub struct CampaignReport {
     pub sanitized_out: u64,
     /// Responses that did not parse or carried no A record.
     pub invalid: u64,
+    /// Retransmissions sent (zero unless the pass ran with a
+    /// [`RetryPolicy`]).
+    pub retransmits_sent: u64,
 }
 
 impl CampaignReport {
@@ -114,6 +128,7 @@ impl CampaignReport {
         self.odns.extend(other.odns.iter().copied());
         self.sanitized_out += other.sanitized_out;
         self.invalid += other.invalid;
+        self.retransmits_sent += other.retransmits_sent;
     }
 }
 
@@ -124,11 +139,20 @@ pub struct CampaignScanner {
     cursor: usize,
     /// `(port, txid)` → probed target, for the connected-socket check.
     sent: HashMap<(u16, u16), Ipv4Addr>,
+    /// Per-probe "response seen" flags (retry bookkeeping only — a
+    /// response stops retransmission regardless of how the campaign's
+    /// pipeline judges it). Empty when retries are disabled.
+    answered: Vec<bool>,
+    /// Per-probe transmission counts. Empty when retries are disabled.
+    attempts_sent: Vec<u8>,
     /// The report being accumulated.
     pub report: CampaignReport,
 }
 
 const PACE_TOKEN: u64 = u64::MAX;
+/// Retry-check tokens: `RETRY_BASE | probe_index` (pacing is matched
+/// first, so `PACE_TOKEN`'s set top bit never collides).
+const RETRY_BASE: u64 = 1 << 63;
 /// Probes paced per batched timer event (campaigns have no per-run burst
 /// knob; the census scanner's `ScanConfig::burst` default matches).
 const PROBE_BURST: u32 = 16;
@@ -136,10 +160,21 @@ const PROBE_BURST: u32 = 16;
 impl CampaignScanner {
     /// Build from config.
     pub fn new(config: CampaignConfig) -> Self {
+        config.retry.assert_valid();
+        let (answered, attempts_sent) = if config.retry.enabled() {
+            (
+                vec![false; config.targets.len()],
+                vec![0u8; config.targets.len()],
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
         CampaignScanner {
             config,
             cursor: 0,
             sent: HashMap::new(),
+            answered,
+            attempts_sent,
             report: CampaignReport::default(),
         }
     }
@@ -150,10 +185,64 @@ impl CampaignScanner {
             (index & 0xFFFF) as u16,
         )
     }
+
+    /// The campaign's wire query for probe `index` — rebuilt for every
+    /// transmission, byte-identical across attempts.
+    fn probe_query(txid: u16) -> netsim::Payload {
+        MessageBuilder::query(txid, study::study_qname(), RrType::A)
+            .recursion_desired(true)
+            .build()
+            .encode()
+            .into()
+    }
+
+    /// Inverse of [`CampaignScanner::probe_tuple`]: mark the probe a
+    /// response maps to as answered, halting its retransmissions.
+    fn note_answer(&mut self, dst_port: u16, payload: &netsim::Payload) {
+        let Some(txid) = dnswire::peek_id(payload) else {
+            return;
+        };
+        let index =
+            (usize::from(dst_port.wrapping_sub(self.config.base_port)) << 16) | usize::from(txid);
+        if index < self.answered.len()
+            && self.attempts_sent[index] > 0
+            && self.probe_tuple(index) == (dst_port, txid)
+        {
+            self.answered[index] = true;
+        }
+    }
+
+    /// Retry-check for probe `index`: retransmit if still unanswered and
+    /// attempts remain, then arm the next check with backoff.
+    fn on_retry_check(&mut self, ctx: &mut Ctx<'_>, index: usize) {
+        let Some(&sent) = self.attempts_sent.get(index) else {
+            return;
+        };
+        if sent == 0 || self.answered[index] || sent >= self.config.retry.max_attempts {
+            return;
+        }
+        let target = self.config.targets[index];
+        let (port, txid) = self.probe_tuple(index);
+        ctx.send_udp_attempt(
+            UdpSend::new(port, target, dnswire::DNS_PORT, Self::probe_query(txid)),
+            sent,
+        );
+        let now_sent = sent + 1;
+        self.attempts_sent[index] = now_sent;
+        self.report.retransmits_sent += 1;
+        if now_sent < self.config.retry.max_attempts {
+            let delay = self.config.retry.rto_after(now_sent - 1)
+                + self.config.retry.jitter_for(index as u64, now_sent);
+            ctx.set_timer(delay, RETRY_BASE | index as u64);
+        }
+    }
 }
 
 impl Host for CampaignScanner {
     fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, dgram: Datagram) {
+        if self.config.retry.enabled() {
+            self.note_answer(dgram.dst_port, &dgram.payload);
+        }
         let Ok(msg) = Message::decode(&dgram.payload) else {
             self.report.invalid += 1;
             return;
@@ -182,32 +271,56 @@ impl Host for CampaignScanner {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
-        if token != PACE_TOKEN {
+        if token == PACE_TOKEN {
+            if self.cursor < self.config.targets.len() {
+                let i = self.cursor;
+                self.cursor += 1;
+                let target = self.config.targets[i];
+                let (port, txid) = self.probe_tuple(i);
+                self.sent.insert((port, txid), target);
+                ctx.send_udp(UdpSend::new(
+                    port,
+                    target,
+                    dnswire::DNS_PORT,
+                    Self::probe_query(txid),
+                ));
+                if self.config.retry.enabled() {
+                    self.attempts_sent[i] = 1;
+                    if self.config.retry.jitter != SimDuration::ZERO {
+                        let delay = self.config.retry.rto_after(0)
+                            + self.config.retry.jitter_for(i as u64, 1);
+                        ctx.set_timer(delay, RETRY_BASE | i as u64);
+                    }
+                }
+                // One batched pacing event per burst of probes; send times
+                // are unchanged (`index · gap` past the campaign start).
+                let burst = PROBE_BURST as usize;
+                let remaining = self.config.targets.len() - self.cursor;
+                let gap = self.config.inter_probe_gap;
+                if remaining > 0 && i.is_multiple_of(burst) {
+                    ctx.set_timer_batch(gap, gap, remaining.min(burst) as u32, PACE_TOKEN, 0);
+                }
+                // Jitter-free retry checks ride the same batching as the
+                // census scanner's: the burst leader arms one batch
+                // covering itself and its burst.
+                if self.config.retry.enabled()
+                    && self.config.retry.jitter == SimDuration::ZERO
+                    && i.is_multiple_of(burst)
+                {
+                    let count = 1 + remaining.min(burst);
+                    ctx.set_timer_batch(
+                        self.config.retry.rto_after(0),
+                        gap,
+                        count as u32,
+                        RETRY_BASE | i as u64,
+                        1,
+                    );
+                }
+            }
             return;
         }
-        if self.cursor < self.config.targets.len() {
-            let i = self.cursor;
-            self.cursor += 1;
-            let target = self.config.targets[i];
-            let (port, txid) = self.probe_tuple(i);
-            self.sent.insert((port, txid), target);
-            let query = MessageBuilder::query(txid, study::study_qname(), RrType::A)
-                .recursion_desired(true)
-                .build();
-            ctx.send_udp(UdpSend::new(
-                port,
-                target,
-                dnswire::DNS_PORT,
-                query.encode(),
-            ));
-            // One batched pacing event per burst of probes; send times are
-            // unchanged (`index · gap` past the campaign start).
-            let burst = PROBE_BURST as usize;
-            let remaining = self.config.targets.len() - self.cursor;
-            if remaining > 0 && i.is_multiple_of(burst) {
-                let gap = self.config.inter_probe_gap;
-                ctx.set_timer_batch(gap, gap, remaining.min(burst) as u32, PACE_TOKEN, 0);
-            }
+        if token & RETRY_BASE != 0 {
+            self.on_retry_check(ctx, (token ^ RETRY_BASE) as usize);
         }
     }
 
@@ -338,21 +451,62 @@ mod tests {
             odns: [RESOLVER, RECFWD].into_iter().collect(),
             sanitized_out: 2,
             invalid: 1,
+            retransmits_sent: 4,
         };
         let b = CampaignReport {
             odns: [RESOLVER, TRANSP].into_iter().collect(),
             sanitized_out: 3,
             invalid: 0,
+            retransmits_sent: 1,
         };
         let mut ab = a.clone();
         ab.absorb(&b);
         assert_eq!(ab.odns.len(), 3, "shared responder collapses to one");
         assert_eq!((ab.sanitized_out, ab.invalid), (5, 1));
+        assert_eq!(ab.retransmits_sent, 5);
         // Order independence.
         let mut ba = b.clone();
         ba.absorb(&a);
         a.absorb(&b);
         assert_eq!(ba, a);
+    }
+
+    #[test]
+    fn retries_recover_lossy_campaign_responders() {
+        let run = |retry: RetryPolicy, seed: u64| {
+            let mut ips = vec![SCANNER];
+            ips.extend((1..=30).map(|i| Ipv4Addr::new(198, 51, 100, i)));
+            let (topo, nodes) = playground(&ips);
+            let mut sim = Simulator::new(
+                topo,
+                SimConfig {
+                    seed,
+                    faults: netsim::FaultPlan::lossy(0.4),
+                    ..SimConfig::default()
+                },
+            );
+            for node in &nodes[1..] {
+                sim.install(*node, Canned);
+            }
+            run_campaign(
+                &mut sim,
+                nodes[0],
+                CampaignConfig::new(Campaign::Shadowserver, ips[1..].to_vec()).with_retry(retry),
+            )
+        };
+        let single = run(RetryPolicy::none(), 21);
+        let retried = run(RetryPolicy::retries(3), 21);
+        assert_eq!(single.retransmits_sent, 0);
+        assert!(single.odns.len() < 30, "losses must bite");
+        assert!(retried.retransmits_sent > 0);
+        assert!(
+            retried.odns.len() > single.odns.len(),
+            "retries recover responders: {} vs {}",
+            retried.odns.len(),
+            single.odns.len()
+        );
+        // Determinism: the retried pass replays bit-identically.
+        assert_eq!(retried, run(RetryPolicy::retries(3), 21));
     }
 
     #[test]

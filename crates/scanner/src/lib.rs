@@ -42,10 +42,10 @@ pub use classify::{classify, ClassifierConfig, Discard, OdnsClass, Verdict};
 pub use fingerprint::{
     attribute_vendor, run_fingerprint_scan, FingerprintConfig, FingerprintScanner, HostEvidence,
 };
-pub use records::{ProbeRecord, ResponseRecord, ScanOutcome, Transaction};
+pub use records::{ProbeRecord, ResponseRecord, RetryStats, ScanOutcome, Transaction};
 pub use sensors::{sensor_reply_matches, HoneypotSensor, SensorAddresses, SensorKind, SensorStats};
 pub use shard::{merge_shard_records, MergeStats, ShardRecords, StreamingMerge};
 pub use transactional::{
     correlate, correlate_owned, run_scan, run_scan_raw, Correlator, ProbeNaming, ScanConfig,
-    TransactionalScanner,
+    TransactionalScanner, TupleScheme,
 };

@@ -79,16 +79,63 @@ impl Transaction {
     }
 }
 
+/// Retransmission accounting from a scan run under a
+/// [`netsim::RetryPolicy`]. All zeros for single-shot scans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Retransmissions the scanner put on the wire (transmissions beyond
+    /// each probe's first).
+    pub retransmits_sent: u64,
+    /// `answered_on_attempt[k]` = probes whose first answer arrived after
+    /// `k + 1` transmissions. Attempts beyond the histogram's width land
+    /// in the last bucket.
+    pub answered_on_attempt: [u64; RetryStats::MAX_TRACKED_ATTEMPTS],
+}
+
+impl RetryStats {
+    /// Histogram width: attempts 1..=8 tracked individually.
+    pub const MAX_TRACKED_ATTEMPTS: usize = 8;
+
+    /// Record a probe first answered after `attempts` transmissions.
+    pub fn record_answered(&mut self, attempts: u8) {
+        let slot = usize::from(attempts.max(1) - 1).min(Self::MAX_TRACKED_ATTEMPTS - 1);
+        self.answered_on_attempt[slot] += 1;
+    }
+
+    /// Fold another scan's counters into this one (shard merge).
+    pub fn absorb(&mut self, other: &RetryStats) {
+        self.retransmits_sent += other.retransmits_sent;
+        for (a, b) in self
+            .answered_on_attempt
+            .iter_mut()
+            .zip(other.answered_on_attempt)
+        {
+            *a += b;
+        }
+    }
+
+    /// Probes answered only thanks to a retransmission (attempt ≥ 2).
+    pub fn answered_by_retry(&self) -> u64 {
+        self.answered_on_attempt[1..].iter().sum()
+    }
+}
+
 /// Outcome of a whole scan run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ScanOutcome {
     /// All correlated transactions, in probe order.
     pub transactions: Vec<Transaction>,
-    /// Responses that matched no outstanding probe (late, duplicated, or
-    /// unsolicited).
+    /// Responses that matched no outstanding probe (unsolicited or
+    /// garbage).
     pub unmatched_responses: usize,
     /// Responses that arrived after the per-probe timeout.
     pub late_responses: usize,
+    /// Responses for an already-answered `(port, txid)` tuple — answers
+    /// from superseded retransmission attempts (or wire duplicates),
+    /// deduplicated away by the correlator.
+    pub late_answers_discarded: usize,
+    /// Retransmission accounting (zeros for single-shot scans).
+    pub retry: RetryStats,
 }
 
 impl ScanOutcome {
@@ -188,5 +235,29 @@ mod tests {
             }),
         });
         assert_eq!(o.answered_count(), 1);
+    }
+
+    #[test]
+    fn retry_stats_histogram_and_merge() {
+        let mut a = RetryStats::default();
+        a.record_answered(1);
+        a.record_answered(2);
+        a.record_answered(2);
+        a.record_answered(200); // clamps into the last bucket
+        a.retransmits_sent = 3;
+        assert_eq!(a.answered_on_attempt[0], 1);
+        assert_eq!(a.answered_on_attempt[1], 2);
+        assert_eq!(
+            a.answered_on_attempt[RetryStats::MAX_TRACKED_ATTEMPTS - 1],
+            1
+        );
+        assert_eq!(a.answered_by_retry(), 3);
+        let mut b = RetryStats::default();
+        b.record_answered(1);
+        b.retransmits_sent = 2;
+        b.absorb(&a);
+        assert_eq!(b.retransmits_sent, 5);
+        assert_eq!(b.answered_on_attempt[0], 2);
+        assert_eq!(b.answered_by_retry(), 3);
     }
 }

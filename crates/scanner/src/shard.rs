@@ -16,7 +16,7 @@
 //!   of response arrival order within each shard;
 //! * unmatched/late counters are the sums of the per-shard counters.
 
-use crate::records::{ProbeRecord, ResponseRecord, ScanOutcome};
+use crate::records::{ProbeRecord, ResponseRecord, RetryStats, ScanOutcome};
 use crate::transactional::Correlator;
 use netsim::SimDuration;
 
@@ -29,6 +29,9 @@ pub struct ShardRecords {
     pub probes: Vec<ProbeRecord>,
     /// The shard's raw responses, in arrival order.
     pub responses: Vec<ResponseRecord>,
+    /// The shard scanner's retransmission counters (zeros when the scan
+    /// ran single-shot).
+    pub retry: RetryStats,
 }
 
 impl ShardRecords {
@@ -39,7 +42,14 @@ impl ShardRecords {
             shard,
             probes,
             responses,
+            retry: RetryStats::default(),
         }
+    }
+
+    /// Attach the shard's retransmission counters.
+    pub fn with_retry(mut self, retry: RetryStats) -> Self {
+        self.retry = retry;
+        self
     }
 }
 
@@ -90,6 +100,7 @@ pub struct StreamingMerge {
     budget_records: Option<usize>,
     correlator: Correlator,
     parts: Vec<(u32, ScanOutcome)>,
+    retry: RetryStats,
     resident: usize,
     peak: usize,
     exceeded: bool,
@@ -103,6 +114,7 @@ impl StreamingMerge {
             budget_records: None,
             correlator: Correlator::new(),
             parts: Vec::new(),
+            retry: RetryStats::default(),
             resident: 0,
             peak: 0,
             exceeded: false,
@@ -131,6 +143,7 @@ impl StreamingMerge {
         if let Some(budget) = self.budget_records {
             self.exceeded |= self.peak > budget;
         }
+        self.retry.absorb(&shard.retry);
         let outcome = self
             .correlator
             .correlate(shard.probes, shard.responses, self.timeout);
@@ -162,12 +175,15 @@ impl StreamingMerge {
             transactions: Vec::with_capacity(self.resident),
             unmatched_responses: 0,
             late_responses: 0,
+            late_answers_discarded: 0,
+            retry: self.retry,
         };
         let mut base = 0usize;
         for (_, outcome) in self.parts {
             let shard_probes = outcome.transactions.len();
             merged.unmatched_responses += outcome.unmatched_responses;
             merged.late_responses += outcome.late_responses;
+            merged.late_answers_discarded += outcome.late_answers_discarded;
             for mut t in outcome.transactions {
                 t.probe.index += base;
                 merged.transactions.push(t);
@@ -310,7 +326,7 @@ mod tests {
 
     #[test]
     fn counters_are_summed() {
-        let mut s0 = shard(0, 1, &[0, 0]); // duplicate → 1 unmatched
+        let mut s0 = shard(0, 1, &[0, 0]); // duplicate → 1 discarded
         s0.responses.push(ResponseRecord {
             received_at: SimTime(5),
             src: Ipv4Addr::new(9, 9, 9, 9),
@@ -319,7 +335,32 @@ mod tests {
         });
         let s1 = shard(1, 1, &[0]);
         let merged = merge_shard_records(vec![s0, s1], SimDuration::from_secs(20));
-        assert_eq!(merged.unmatched_responses, 2);
+        assert_eq!(merged.unmatched_responses, 1);
+        assert_eq!(merged.late_answers_discarded, 1);
         assert_eq!(merged.answered_count(), 2);
+    }
+
+    #[test]
+    fn retry_stats_are_absorbed_across_shards() {
+        let mut r0 = RetryStats {
+            retransmits_sent: 4,
+            ..RetryStats::default()
+        };
+        r0.record_answered(2);
+        let mut r1 = RetryStats {
+            retransmits_sent: 1,
+            ..RetryStats::default()
+        };
+        r1.record_answered(1);
+        let merged = merge_shard_records(
+            vec![
+                shard(0, 1, &[0]).with_retry(r0),
+                shard(1, 1, &[0]).with_retry(r1),
+            ],
+            SimDuration::from_secs(20),
+        );
+        assert_eq!(merged.retry.retransmits_sent, 5);
+        assert_eq!(merged.retry.answered_on_attempt[0], 1);
+        assert_eq!(merged.retry.answered_on_attempt[1], 1);
     }
 }

@@ -8,9 +8,9 @@
 //! forwarders visible: their responses arrive from a *different* address
 //! than the probed one, which only a recorded transaction can reveal.
 
-use crate::records::{ProbeRecord, ResponseRecord, ScanOutcome, Transaction};
+use crate::records::{ProbeRecord, ResponseRecord, RetryStats, ScanOutcome, Transaction};
 use dnswire::{MessageBuilder, RrType};
-use netsim::{Ctx, Datagram, Host, NodeId, SimDuration, Simulator, UdpSend};
+use netsim::{Ctx, Datagram, Host, NodeId, RetryPolicy, SimDuration, Simulator, UdpSend};
 use odns::study;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -41,6 +41,25 @@ pub enum ProbeNaming {
     EncodeTarget,
 }
 
+/// How probe `(src_port, txid)` tuples are assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TupleScheme {
+    /// Port-walk (the default): the port varies per probe *index* and the
+    /// txid advances once per 65 k block, so a whole block shares one wire
+    /// payload (see [`ScanConfig::probe_tuple`]).
+    #[default]
+    PortWalk,
+    /// Target-keyed: the tuple is a pure function of the *target address*
+    /// (txid = the address's high 16 bits, port = base port + low 16
+    /// bits). Unique because targets are, and — unlike the index-based
+    /// walk — invariant under probe order and partitioning: a probe's
+    /// flow identity is the same whichever shard probes it, which is what
+    /// lets the fault plane's flow-keyed verdicts commute with sharding.
+    /// Costs the per-block payload cache (txids no longer arrive in
+    /// blocks), so lossless scans keep the walk.
+    TargetKeyed,
+}
+
 /// Scanner configuration.
 #[derive(Debug, Clone)]
 pub struct ScanConfig {
@@ -48,6 +67,8 @@ pub struct ScanConfig {
     pub targets: Vec<Ipv4Addr>,
     /// Name construction method.
     pub naming: ProbeNaming,
+    /// `(src_port, txid)` assignment scheme.
+    pub tuples: TupleScheme,
     /// Gap between consecutive probes (sets the scan rate; the paper scans
     /// the full IPv4 space in 18 hours — "moderate").
     pub inter_probe_gap: SimDuration,
@@ -61,6 +82,10 @@ pub struct ScanConfig {
     /// Send times are exactly `index · inter_probe_gap` regardless of this
     /// value — it only sets how many queue events the pacing costs.
     pub burst: u32,
+    /// Retransmission policy. The default ([`RetryPolicy::none`]) keeps
+    /// the paper's single-shot behavior: no retry state is allocated and
+    /// no retry timers are armed.
+    pub retry: RetryPolicy,
 }
 
 impl ScanConfig {
@@ -77,16 +102,35 @@ impl ScanConfig {
         ScanConfig {
             targets,
             naming: ProbeNaming::Static,
+            tuples: TupleScheme::PortWalk,
             inter_probe_gap: SimDuration::from_micros(50),
             timeout: Self::DEFAULT_TIMEOUT,
             base_port: 33_000,
             burst: Self::DEFAULT_BURST,
+            retry: RetryPolicy::none(),
         }
     }
 
     /// Switch to the query-encoding method (Table 2 comparison).
     pub fn with_query_encoding(mut self) -> Self {
         self.naming = ProbeNaming::EncodeTarget;
+        self
+    }
+
+    /// Switch to target-keyed tuples ([`TupleScheme::TargetKeyed`]) — the
+    /// scheme lossy-world experiments need for shard-count-invariant
+    /// fault verdicts.
+    pub fn with_target_keyed_tuples(mut self) -> Self {
+        self.tuples = TupleScheme::TargetKeyed;
+        self
+    }
+
+    /// Enable retransmissions. Panics on a degenerate policy — a scan
+    /// that silently never retries is worse than one that refuses to
+    /// start.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        retry.assert_valid();
+        self.retry = retry;
         self
     }
 
@@ -101,6 +145,22 @@ impl ScanConfig {
         let port = self.base_port.wrapping_add((index & 0xFFFF) as u16);
         let txid = (index >> 16) as u16;
         (port, txid)
+    }
+
+    /// The `(src_port, txid)` tuple for the probe at `index` targeting
+    /// `target`, under the configured [`TupleScheme`]. `PortWalk` uses the
+    /// index ([`ScanConfig::probe_tuple`]); `TargetKeyed` uses the address
+    /// alone.
+    pub fn tuple_for(&self, index: usize, target: Ipv4Addr) -> (u16, u16) {
+        match self.tuples {
+            TupleScheme::PortWalk => self.probe_tuple(index),
+            TupleScheme::TargetKeyed => {
+                let ip = u32::from(target);
+                let port = self.base_port.wrapping_add((ip & 0xFFFF) as u16);
+                let txid = (ip >> 16) as u16;
+                (port, txid)
+            }
+        }
     }
 }
 
@@ -125,18 +185,56 @@ pub struct TransactionalScanner {
     pub probes: Vec<ProbeRecord>,
     /// Raw response records in arrival order.
     pub responses: Vec<ResponseRecord>,
+    /// Per-probe "first answer seen" flags — retransmission stops the
+    /// moment any response for the probe's `(port, txid)` arrives. Empty
+    /// when retries are disabled (single-shot scans pay nothing).
+    answered: Vec<bool>,
+    /// Per-probe transmission counts (1 after the original send). Empty
+    /// when retries are disabled.
+    attempts_sent: Vec<u8>,
+    /// `(port, txid) → probe index`, the inverse the answer path needs
+    /// when tuples are target-keyed (the port-walk inverse is arithmetic).
+    /// Empty unless retries are enabled under [`TupleScheme::TargetKeyed`].
+    tuple_index: HashMap<(u16, u16), usize>,
+    /// Live retransmission counters, copied into the outcome.
+    pub retry_stats: RetryStats,
 }
 
 /// Timer token used for probe pacing.
 const PACE_TOKEN: u64 = u64::MAX;
 
+/// Retry-check tokens occupy the top-bit half of the token space:
+/// `RETRY_BASE | probe_index`. `PACE_TOKEN` (`u64::MAX`) also has the top
+/// bit set, so pacing is matched first and probe indices stay well below
+/// the ambiguous range.
+const RETRY_BASE: u64 = 1 << 63;
+
 impl TransactionalScanner {
     /// Build from config.
     pub fn new(config: ScanConfig) -> Self {
+        config.retry.assert_valid();
         let probes = Vec::with_capacity(config.targets.len());
         let probe_template = match config.naming {
             ProbeNaming::Static => Some(static_probe_template()),
             ProbeNaming::EncodeTarget => None,
+        };
+        let (answered, attempts_sent) = if config.retry.enabled() {
+            (
+                vec![false; config.targets.len()],
+                vec![0u8; config.targets.len()],
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let tuple_index = if config.retry.enabled() && config.tuples == TupleScheme::TargetKeyed {
+            config
+                .targets
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (config.tuple_for(i, *t), i))
+                .collect()
+        } else {
+            HashMap::new()
         };
         TransactionalScanner {
             config,
@@ -145,6 +243,10 @@ impl TransactionalScanner {
             cached_block: None,
             probes,
             responses: Vec::new(),
+            answered,
+            attempts_sent,
+            tuple_index,
+            retry_stats: RetryStats::default(),
         }
     }
 
@@ -171,13 +273,17 @@ impl TransactionalScanner {
     /// scan itself. The first matching response within the window wins;
     /// later matches count as duplicates/late.
     pub fn outcome(&self) -> ScanOutcome {
-        correlate(&self.probes, &self.responses, self.config.timeout)
+        let mut outcome = correlate(&self.probes, &self.responses, self.config.timeout);
+        outcome.retry = self.retry_stats;
+        outcome
     }
 
-    fn send_probe(&mut self, ctx: &mut Ctx<'_>, index: usize) {
-        let target = self.config.targets[index];
-        let (port, txid) = self.config.probe_tuple(index);
-        let payload: netsim::Payload = if self.probe_template.is_some() {
+    /// The wire payload of probe `index` — shared block buffer under
+    /// static naming, a fresh encode under query encoding. Used by both
+    /// the original send and every retransmission, so a retransmitted
+    /// probe is byte-identical to its original.
+    fn probe_payload(&mut self, target: Ipv4Addr, txid: u16) -> netsim::Payload {
+        if self.probe_template.is_some() {
             self.block_payload(txid)
         } else {
             let qname = study::encode_target_name(target);
@@ -186,7 +292,13 @@ impl TransactionalScanner {
                 .build()
                 .encode()
                 .into()
-        };
+        }
+    }
+
+    fn send_probe(&mut self, ctx: &mut Ctx<'_>, index: usize) {
+        let target = self.config.targets[index];
+        let (port, txid) = self.config.tuple_for(index, target);
+        let payload = self.probe_payload(target, txid);
         self.probes.push(ProbeRecord {
             index,
             target,
@@ -195,11 +307,81 @@ impl TransactionalScanner {
             txid,
         });
         ctx.send_udp(UdpSend::new(port, target, dnswire::DNS_PORT, payload));
+        if self.config.retry.enabled() {
+            self.attempts_sent[index] = 1;
+            // With jitter every probe's retry check lands at its own
+            // hashed offset, so arm individually; the jitter-free case is
+            // armed in batches by the burst leader (see `on_timer`).
+            if self.config.retry.jitter != SimDuration::ZERO {
+                let delay =
+                    self.config.retry.rto_after(0) + self.config.retry.jitter_for(index as u64, 1);
+                ctx.set_timer(delay, RETRY_BASE | index as u64);
+            }
+        }
+    }
+
+    /// A retry-check timer fired for probe `index`: if it is still
+    /// unanswered and attempts remain, retransmit the *same* `(port,
+    /// txid)` wire bytes (no new [`ProbeRecord`] — correlation sees one
+    /// transaction per probe) and arm the next check with backoff.
+    fn on_retry_check(&mut self, ctx: &mut Ctx<'_>, index: usize) {
+        let Some(&sent) = self.attempts_sent.get(index) else {
+            return;
+        };
+        if sent == 0 || self.answered[index] || sent >= self.config.retry.max_attempts {
+            return;
+        }
+        let target = self.config.targets[index];
+        let (port, txid) = self.config.tuple_for(index, target);
+        let payload = self.probe_payload(target, txid);
+        ctx.send_udp_attempt(UdpSend::new(port, target, dnswire::DNS_PORT, payload), sent);
+        let now_sent = sent + 1;
+        self.attempts_sent[index] = now_sent;
+        self.retry_stats.retransmits_sent += 1;
+        if now_sent < self.config.retry.max_attempts {
+            let delay = self.config.retry.rto_after(now_sent - 1)
+                + self.config.retry.jitter_for(index as u64, now_sent);
+            ctx.set_timer(delay, RETRY_BASE | index as u64);
+        }
+    }
+
+    /// Mark the probe a response maps to (the inverse of the configured
+    /// tuple scheme — arithmetic for the port walk, the prebuilt map for
+    /// target-keyed tuples) as answered, stopping further retransmissions
+    /// and recording the attempt histogram. Only the *first* response
+    /// counts; anything later is the correlator's business.
+    fn note_answer(&mut self, dst_port: u16, payload: &netsim::Payload) {
+        let Some(txid) = dnswire::peek_id(payload) else {
+            return;
+        };
+        let index = match self.config.tuples {
+            TupleScheme::PortWalk => {
+                (usize::from(txid) << 16)
+                    | usize::from(dst_port.wrapping_sub(self.config.base_port))
+            }
+            TupleScheme::TargetKeyed => {
+                let Some(&i) = self.tuple_index.get(&(dst_port, txid)) else {
+                    return;
+                };
+                i
+            }
+        };
+        if index < self.answered.len()
+            && self.attempts_sent[index] > 0
+            && !self.answered[index]
+            && self.config.tuple_for(index, self.config.targets[index]) == (dst_port, txid)
+        {
+            self.answered[index] = true;
+            self.retry_stats.record_answered(self.attempts_sent[index]);
+        }
     }
 }
 
 impl Host for TransactionalScanner {
     fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
+        if self.config.retry.enabled() {
+            self.note_answer(dgram.dst_port, &dgram.payload);
+        }
         self.responses.push(ResponseRecord {
             received_at: ctx.now(),
             src: dgram.src,
@@ -209,23 +391,45 @@ impl Host for TransactionalScanner {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
-        if token != PACE_TOKEN {
+        if token == PACE_TOKEN {
+            if self.cursor < self.config.targets.len() {
+                let i = self.cursor;
+                self.cursor += 1;
+                self.send_probe(ctx, i);
+                // Batched pacing: a single bootstrap timer fires probe 0;
+                // the first probe of each burst arms one timer batch
+                // covering the rest of the burst. Send times stay exactly
+                // `index · gap`, and any legacy single-timer bootstrap
+                // still drives a full scan.
+                let burst = self.config.burst.max(1) as usize;
+                let remaining = self.config.targets.len() - self.cursor;
+                let gap = self.config.inter_probe_gap;
+                if remaining > 0 && i.is_multiple_of(burst) {
+                    ctx.set_timer_batch(gap, gap, remaining.min(burst) as u32, PACE_TOKEN, 0);
+                }
+                // Jitter-free retries ride the same batching: the burst
+                // leader arms one retry-check batch covering itself and
+                // its burst, each check landing exactly `initial_rto`
+                // after the probe it guards (send times are `index·gap`,
+                // so a stride of `gap` keeps the offsets aligned).
+                if self.config.retry.enabled()
+                    && self.config.retry.jitter == SimDuration::ZERO
+                    && i.is_multiple_of(burst)
+                {
+                    let count = 1 + remaining.min(burst);
+                    ctx.set_timer_batch(
+                        self.config.retry.rto_after(0),
+                        gap,
+                        count as u32,
+                        RETRY_BASE | i as u64,
+                        1,
+                    );
+                }
+            }
             return;
         }
-        if self.cursor < self.config.targets.len() {
-            let i = self.cursor;
-            self.cursor += 1;
-            self.send_probe(ctx, i);
-            // Batched pacing: a single bootstrap timer fires probe 0; the
-            // first probe of each burst arms one timer batch covering the
-            // rest of the burst. Send times stay exactly `index · gap`, and
-            // any legacy single-timer bootstrap still drives a full scan.
-            let burst = self.config.burst.max(1) as usize;
-            let remaining = self.config.targets.len() - self.cursor;
-            if remaining > 0 && i.is_multiple_of(burst) {
-                let gap = self.config.inter_probe_gap;
-                ctx.set_timer_batch(gap, gap, remaining.min(burst) as u32, PACE_TOKEN, 0);
-            }
+        if token & RETRY_BASE != 0 {
+            self.on_retry_check(ctx, (token ^ RETRY_BASE) as usize);
         }
     }
 
@@ -307,6 +511,7 @@ impl Correlator {
             .collect();
         let mut unmatched = 0usize;
         let mut late = 0usize;
+        let mut superseded = 0usize;
         for r in responses {
             let Some(txid) = dnswire::peek_id(&r.payload) else {
                 unmatched += 1;
@@ -331,7 +536,10 @@ impl Correlator {
                 continue;
             }
             if t.response.is_some() {
-                unmatched += 1; // duplicate
+                // A second answer for an already-answered tuple: a wire
+                // duplicate, or the answer to a superseded retransmission
+                // attempt. Deduplicated — the first response stands.
+                superseded += 1;
                 continue;
             }
             t.response = Some(r);
@@ -340,6 +548,8 @@ impl Correlator {
             transactions,
             unmatched_responses: unmatched,
             late_responses: late,
+            late_answers_discarded: superseded,
+            retry: RetryStats::default(),
         }
     }
 }
@@ -349,19 +559,21 @@ impl Correlator {
 /// examples, and the census pipeline.
 pub fn run_scan(sim: &mut Simulator, node: NodeId, config: ScanConfig) -> ScanOutcome {
     let timeout = config.timeout;
-    let (probes, responses) = run_scan_raw(sim, node, config);
-    correlate_owned(probes, responses, timeout)
+    let (probes, responses, retry) = run_scan_raw(sim, node, config);
+    let mut outcome = correlate_owned(probes, responses, timeout);
+    outcome.retry = retry;
+    outcome
 }
 
 /// Run the scan like [`run_scan`] but return the *raw* probe/response
-/// streams instead of correlating — the per-shard collection step of a
-/// sharded census, whose correlation happens once over the merged
-/// streams.
+/// streams (plus retransmission counters) instead of correlating — the
+/// per-shard collection step of a sharded census, whose correlation
+/// happens once over the merged streams.
 pub fn run_scan_raw(
     sim: &mut Simulator,
     node: NodeId,
     config: ScanConfig,
-) -> (Vec<ProbeRecord>, Vec<ResponseRecord>) {
+) -> (Vec<ProbeRecord>, Vec<ResponseRecord>, RetryStats) {
     sim.install(node, TransactionalScanner::new(config));
     sim.schedule_timer(node, SimDuration::ZERO, PACE_TOKEN);
     sim.run();
@@ -373,6 +585,7 @@ pub fn run_scan_raw(
     (
         std::mem::take(&mut scanner.probes),
         std::mem::take(&mut scanner.responses),
+        scanner.retry_stats,
     )
 }
 
@@ -512,7 +725,189 @@ mod tests {
         });
         let o = s.outcome();
         assert!(o.transactions[0].response.is_some());
-        assert_eq!(o.unmatched_responses, 2, "duplicate + garbage");
+        assert_eq!(o.unmatched_responses, 1, "garbage");
+        assert_eq!(o.late_answers_discarded, 1, "duplicate deduplicated");
+    }
+
+    /// A minimal DNS-ish responder: answers every query with a response
+    /// skeleton echoing the query's transaction id.
+    struct Responder;
+    impl Host for Responder {
+        fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
+            let Some(txid) = dnswire::peek_id(&dgram.payload) else {
+                return;
+            };
+            let resp = MessageBuilder::query(txid, study::study_qname(), RrType::A)
+                .build()
+                .response_skeleton()
+                .encode();
+            ctx.send_udp(UdpSend {
+                src: Some(dgram.dst),
+                src_port: dgram.dst_port,
+                dst: dgram.src,
+                dst_port: dgram.src_port,
+                ttl: None,
+                payload: resp.into(),
+            });
+        }
+        netsim::impl_host_downcast!();
+    }
+
+    /// Build a lossy playground world with `n` responding targets and run
+    /// one scan under `retry`, returning the outcome.
+    fn lossy_scan(n: u8, loss: f64, seed: u64, retry: RetryPolicy) -> ScanOutcome {
+        let ips: Vec<Ipv4Addr> = (1..=n).map(|i| Ipv4Addr::new(203, 0, 113, i)).collect();
+        let mut all = vec![Ipv4Addr::new(192, 0, 2, 1)];
+        all.extend(&ips);
+        let (topo, nodes) = playground(&all);
+        let mut sim = Simulator::new(
+            topo,
+            SimConfig {
+                seed,
+                faults: netsim::FaultPlan::lossy(loss),
+                ..SimConfig::default()
+            },
+        );
+        for node in &nodes[1..] {
+            sim.install(*node, Responder);
+        }
+        let cfg = ScanConfig::new(ips).with_retry(retry);
+        run_scan(&mut sim, nodes[0], cfg)
+    }
+
+    #[test]
+    fn retransmissions_recover_answers_lost_to_faults() {
+        let single = lossy_scan(40, 0.4, 11, RetryPolicy::none());
+        let retried = lossy_scan(40, 0.4, 11, RetryPolicy::retries(3));
+        assert!(
+            single.answered_count() < 40,
+            "the lossy world must actually lose probes (got {}/40)",
+            single.answered_count()
+        );
+        assert!(
+            retried.answered_count() > single.answered_count(),
+            "retries recover answers: {} vs {}",
+            retried.answered_count(),
+            single.answered_count()
+        );
+        assert!(retried.retry.retransmits_sent > 0);
+        assert!(
+            retried.retry.answered_by_retry() > 0,
+            "some probe must be answered on attempt >= 2"
+        );
+        // Attempt-1 answers + retry answers = all answers.
+        let histogram_total: u64 = retried.retry.answered_on_attempt.iter().sum();
+        assert_eq!(histogram_total, retried.answered_count() as u64);
+        // Single-shot runs carry zero retry accounting.
+        assert_eq!(single.retry, crate::records::RetryStats::default());
+    }
+
+    #[test]
+    fn retried_scans_are_deterministic() {
+        let policy = RetryPolicy::retries(2).with_jitter(SimDuration::from_millis(3));
+        let a = lossy_scan(25, 0.3, 77, policy);
+        let b = lossy_scan(25, 0.3, 77, policy);
+        assert_eq!(a, b, "same seed, same policy => bit-identical outcome");
+        let c = lossy_scan(25, 0.3, 78, policy);
+        assert_ne!(a, c, "a different seed redraws the fault pattern");
+    }
+
+    #[test]
+    fn retry_on_lossless_world_sends_nothing_extra() {
+        let o = lossy_scan(10, 0.0, 5, RetryPolicy::retries(3));
+        assert_eq!(o.answered_count(), 10);
+        assert_eq!(
+            o.retry.retransmits_sent, 0,
+            "every probe answered first try"
+        );
+        assert_eq!(o.retry.answered_on_attempt[0], 10);
+        assert_eq!(o.retry.answered_by_retry(), 0);
+    }
+
+    #[test]
+    fn duplicate_faults_do_not_double_count_answers() {
+        // A duplicating (but lossless) wire: every probe and answer may be
+        // cloned. Each probe must still end up with exactly one response,
+        // clones landing in `late_answers_discarded`.
+        let ips: Vec<Ipv4Addr> = (1..=10).map(|i| Ipv4Addr::new(203, 0, 113, i)).collect();
+        let mut all = vec![Ipv4Addr::new(192, 0, 2, 1)];
+        all.extend(&ips);
+        let (topo, nodes) = playground(&all);
+        let faults = netsim::FaultPlan::uniform(netsim::FaultConfig {
+            duplicate_probability: 1.0,
+            ..netsim::FaultConfig::none()
+        });
+        let mut sim = Simulator::new(
+            topo,
+            SimConfig {
+                seed: 3,
+                faults,
+                ..SimConfig::default()
+            },
+        );
+        for node in &nodes[1..] {
+            sim.install(*node, Responder);
+        }
+        let o = run_scan(&mut sim, nodes[0], ScanConfig::new(ips));
+        assert_eq!(o.answered_count(), 10, "one answer per probe, no more");
+        assert!(o.late_answers_discarded > 0, "clones were deduplicated");
+        assert_eq!(o.unmatched_responses, 0);
+    }
+
+    #[test]
+    fn target_keyed_tuples_are_order_invariant_and_unique() {
+        let targets: Vec<Ipv4Addr> = (0..2000u32)
+            .map(|i| Ipv4Addr::from(0xCB00_0000 + i))
+            .collect();
+        let forward = ScanConfig::new(targets.clone()).with_target_keyed_tuples();
+        let mut reversed_targets = targets.clone();
+        reversed_targets.reverse();
+        let reversed = ScanConfig::new(reversed_targets).with_target_keyed_tuples();
+        let mut seen = std::collections::HashSet::new();
+        for (i, t) in targets.iter().enumerate() {
+            let tuple = forward.tuple_for(i, *t);
+            assert!(seen.insert(tuple), "tuple collision at {t}");
+            // The tuple depends only on the target: probing the same
+            // address at a different index (any order, any partition)
+            // yields the same flow identity.
+            assert_eq!(tuple, reversed.tuple_for(targets.len() - 1 - i, *t));
+        }
+    }
+
+    #[test]
+    fn target_keyed_retries_answer_and_correlate() {
+        // End-to-end under the target-keyed scheme: lossy world, retries
+        // enabled — the answer path's map-based inverse must stop
+        // retransmissions just like the arithmetic one.
+        let ips: Vec<Ipv4Addr> = (1..=30).map(|i| Ipv4Addr::new(203, 0, 113, i)).collect();
+        let mut all = vec![Ipv4Addr::new(192, 0, 2, 1)];
+        all.extend(&ips);
+        let (topo, nodes) = playground(&all);
+        let mut sim = Simulator::new(
+            topo,
+            SimConfig {
+                seed: 19,
+                faults: netsim::FaultPlan::lossy(0.3),
+                ..SimConfig::default()
+            },
+        );
+        for node in &nodes[1..] {
+            sim.install(*node, Responder);
+        }
+        let cfg = ScanConfig::new(ips.clone())
+            .with_target_keyed_tuples()
+            .with_retry(RetryPolicy::retries(3));
+        let o = run_scan(&mut sim, nodes[0], cfg);
+        assert!(o.answered_count() > 0);
+        assert!(o.retry.retransmits_sent > 0);
+        let histogram_total: u64 = o.retry.answered_on_attempt.iter().sum();
+        assert_eq!(histogram_total, o.answered_count() as u64);
+        for t in o.transactions.iter().filter(|t| t.response.is_some()) {
+            // Correlation matched the probe's own tuple, i.e. the response
+            // really belongs to this target.
+            let ip = u32::from(t.probe.target);
+            assert_eq!(t.probe.txid, (ip >> 16) as u16);
+        }
     }
 
     #[test]

@@ -114,7 +114,8 @@ proptest! {
         }
         let o = s.outcome();
         prop_assert_eq!(o.answered_count(), 1);
-        prop_assert_eq!(o.unmatched_responses, copies - 1);
+        prop_assert_eq!(o.unmatched_responses, 0);
+        prop_assert_eq!(o.late_answers_discarded, copies - 1);
     }
 
     #[test]

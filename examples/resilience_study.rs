@@ -1,0 +1,56 @@
+//! Census under loss: sweep packet-loss rate against retransmission
+//! budget and measure what the paper's correlation method recovers.
+//!
+//! Every grid point scans the *same* warm shard worlds under a
+//! flow-keyed [`netsim::FaultPlan`] — verdicts are a pure function of
+//! `(generation seed, flow)`, so the whole table is bit-identical for
+//! any shard count and on every rerun.
+//!
+//! ```sh
+//! cargo run --release --example resilience_study
+//! ```
+
+use analysis::run_resilience_sweep;
+use inetgen::{CountrySelection, GenConfig, ShardWorldCache};
+
+fn main() {
+    println!("== Resilience study: recall under loss × retransmission budget ==\n");
+    let config = GenConfig {
+        countries: CountrySelection::Codes(vec!["BRA", "TUR", "MUS"]),
+        scale: 2_000,
+        dud_fraction: 0.0,
+        ..GenConfig::default()
+    };
+    println!("worlds   : {:?}, scale {}", config.countries, config.scale);
+    println!("loss     : 0%, 2%, 5%, 10% uniform per flow (plus proportionate");
+    println!("           duplication and corruption — see FaultPlan::lossy)");
+    println!("retries  : 0, 1, 2 retransmissions, 2 s RTO, exponential backoff\n");
+
+    let mut cache = ShardWorldCache::new(config);
+    let matrix = run_resilience_sweep(&mut cache, 4, &[0, 20, 50, 100], &[0, 1, 2]);
+    println!("{}", matrix.render().render());
+
+    let clean = matrix.cell(0, 0).expect("clean grid point ran");
+    let lossy = matrix.cell(50, 0).expect("5% no-retry grid point ran");
+    let retried = matrix.cell(50, 2).expect("5% two-retry grid point ran");
+    println!(
+        "\nrecall at 5% loss : {:.3} unretried -> {:.3} with 2 retries (clean {:.3})",
+        lossy.recall(),
+        retried.recall(),
+        clean.recall()
+    );
+    println!(
+        "wire overhead     : {} retransmissions on {} probes ({:.1}%)",
+        retried.retransmits_sent,
+        retried.probes_sent,
+        retried.overhead() * 100.0
+    );
+    println!(
+        "\nRetries recover probe-path loss completely, but an answer that the\n\
+         network has fated to die dies for every attempt — the same flow key\n\
+         dooms it each time — so recall under p answer-path loss tops out\n\
+         near 1-p. That ceiling, not the retry budget, is what the faultgate\n\
+         CI floor is calibrated against. Precision stays 1.000 in every cell:\n\
+         loss costs coverage, it never fabricates a transparent forwarder."
+    );
+}

@@ -68,7 +68,7 @@ proptest! {
         let run = inetgen::run_sharded(&config, k, |spec, world| {
             let node = world.fixtures.scanner;
             world.sim.tap(node);
-            let (probes, responses) = scanner::run_scan_raw(
+            let (probes, responses, _retries) = scanner::run_scan_raw(
                 &mut world.sim,
                 node,
                 scanner::ScanConfig::new(world.targets.clone()),
@@ -114,6 +114,70 @@ proptest! {
             .expect("captures parse");
         prop_assert_eq!(&capture_census, &live_census, "K={} census", k);
         prop_assert!(capture_census.odns_total() > 0, "world must answer");
+    }
+
+    #[test]
+    fn duplication_never_double_counts(seed in any::<u64>()) {
+        // Wire duplication (no loss, no corruption) must be invisible in
+        // every tally that counts *things*, not packets: census rows stay
+        // exactly the planted set, every duplicate correlates to its probe
+        // and is discarded as a late answer, and the attack matrix keeps
+        // its spend and attribution — duplicates may only add wire bytes
+        // on the victim side, which is faithful accounting, not a bug.
+        let duplication = netsim::FaultConfig {
+            drop_probability: 0.0,
+            duplicate_probability: 0.5,
+            corrupt_probability: 0.0,
+            max_jitter: netsim::SimDuration::from_millis(5),
+        };
+
+        let mut config = tiny_config(seed);
+        config.faults = netsim::FaultPlan::uniform(duplication);
+        let mut internet = generate(&config);
+        let planted_t = internet.truth.count(PlantedClass::TransparentForwarder);
+        let planted_r = internet.truth.count(PlantedClass::RecursiveForwarder);
+        let planted_v = internet.truth.count(PlantedClass::RecursiveResolver);
+        let census = analysis::run_census(&mut internet, &ClassifierConfig::default());
+        prop_assert_eq!(census.count(OdnsClass::TransparentForwarder), planted_t);
+        prop_assert_eq!(census.count(OdnsClass::RecursiveForwarder), planted_r);
+        prop_assert_eq!(census.count(OdnsClass::RecursiveResolver), planted_v);
+        prop_assert_eq!(census.unmatched_responses, 0, "every copy still matches its probe");
+        prop_assert!(census.late_answers_discarded > 0, "the copies were seen and discarded");
+
+        // Attack matrix: same world with and without duplication.
+        let attack_world = |faults: netsim::FaultPlan| GenConfig {
+            seed,
+            countries: CountrySelection::Codes(vec!["BRA", "MUS"]),
+            scale: 1_000,
+            dud_fraction: 0.0,
+            faults,
+            ..GenConfig::default()
+        };
+        let clean = analysis::attack_sweep::run_attacks_sharded(
+            &attack_world(netsim::FaultPlan::none()), 2);
+        let dup = analysis::attack_sweep::run_attacks_sharded(
+            &attack_world(netsim::FaultPlan::uniform(duplication)), 2);
+        prop_assert_eq!(
+            clean.cells.keys().collect::<Vec<_>>(),
+            dup.cells.keys().collect::<Vec<_>>()
+        );
+        for (key, clean_cell) in &clean.cells {
+            let dup_cell = &dup.cells[key];
+            prop_assert_eq!(
+                dup_cell.queries, clean_cell.queries,
+                "{:?}: attacker spend is counted at send time, never per copy", key
+            );
+            prop_assert_eq!(dup_cell.bytes_sent, clean_cell.bytes_sent, "{:?}", key);
+            prop_assert_eq!(
+                &dup_cell.sources, &clean_cell.sources,
+                "{:?}: duplication must not invent reflector addresses", key
+            );
+            prop_assert!(
+                dup_cell.responses >= clean_cell.responses,
+                "{:?}: copies only ever add victim-side packets", key
+            );
+        }
+        prop_assert_eq!(dup.sensors.attack_queries, clean.sensors.attack_queries);
     }
 
     #[test]

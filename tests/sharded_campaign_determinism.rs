@@ -52,7 +52,7 @@ fn k1_bit_identical_to_unsharded_campaign_sensor_path() {
     let addrs = internet.fixtures.sensor_addrs;
     let scanner_node = internet.fixtures.scanner;
     internet.sim.tap(scanner_node);
-    let (probes, responses) = scanner::run_scan_raw(
+    let (probes, responses, _retries) = scanner::run_scan_raw(
         &mut internet.sim,
         scanner_node,
         ScanConfig::new(internet.targets.clone()),
